@@ -1,0 +1,1 @@
+bench/ablation_bench.ml: Array Csr Dense Formats Gpusim Hyb Kernels List Printf Report Workloads

@@ -1,0 +1,1 @@
+bench/gnn_bench.ml: Csr Dense Formats Gpusim Hashtbl Hyb Kernels List Nn Printf Report Tuner Workloads

@@ -1,0 +1,1 @@
+bench/report.ml: Float Gpusim Hashtbl List Printf String Tuner

@@ -1,0 +1,1 @@
+bench/rgms_bench.ml: Array Csr Dense Formats Gpusim Kernels List Nn Printf Report Workloads

@@ -1,0 +1,1 @@
+bench/transformer_bench.ml: Bsr Csr Dbsr Dense Float Formats Gpusim Kernels List Printf Report Sr_bcrs Workloads

@@ -1,0 +1,90 @@
+(* Ablations of the design choices listed in DESIGN.md S5: horizontal
+   fusion, rfactor two-stage reduction, vector width, and the bucketing
+   rule. *)
+
+open Formats
+
+let run () =
+  Report.header "Ablations";
+  let spec = Gpusim.Spec.v100 in
+  let a = Workloads.Graphs.by_name "ogbn-arxiv" in
+  let feat = 128 in
+  let x = Dense.random ~seed:11 a.Csr.cols feat in
+
+  Report.subheader "horizontal fusion (hyb SpMM, ogbn-arxiv, d=128)";
+  let compiled, _ = Kernels.Spmm.sparsetir_hyb ~c:1 a x ~feat in
+  let on =
+    Gpusim.run ~horizontal_fusion:true spec compiled.Kernels.Spmm.fn
+      compiled.Kernels.Spmm.bindings
+  in
+  let off =
+    Gpusim.run ~horizontal_fusion:false spec compiled.Kernels.Spmm.fn
+      compiled.Kernels.Spmm.bindings
+  in
+  Printf.printf "fused: %.4f ms (%d launches merged)  unfused: %.4f ms  -> %.2fx\n"
+    on.Gpusim.p_time_ms off.Gpusim.p_launches off.Gpusim.p_time_ms
+    (off.Gpusim.p_time_ms /. on.Gpusim.p_time_ms);
+
+  Report.subheader "rfactor two-stage reduction (SDDMM, ogbn-arxiv, d=128)";
+  let xs = Dense.random ~seed:5 a.Csr.rows feat in
+  let ys = Dense.random ~seed:6 feat a.Csr.cols in
+  let with_rf = Kernels.Sddmm.two_stage ~edges:8 ~group:8 ~vec:1 a xs ys ~feat in
+  let without = Kernels.Sddmm.dgl a xs ys ~feat in
+  let t_rf =
+    (Gpusim.run spec with_rf.Kernels.Sddmm.fn with_rf.Kernels.Sddmm.bindings)
+      .Gpusim.p_time_ms
+  in
+  let t_no =
+    (Gpusim.run spec without.Kernels.Sddmm.fn without.Kernels.Sddmm.bindings)
+      .Gpusim.p_time_ms
+  in
+  Printf.printf "two-stage: %.4f ms  one-stage: %.4f ms  -> %.2fx\n" t_rf t_no
+    (t_no /. t_rf);
+
+  Report.subheader "vectorized load width (SDDMM, ogbn-arxiv, d=128)";
+  List.iter
+    (fun vec ->
+      let c = Kernels.Sddmm.two_stage ~edges:8 ~group:8 ~vec a xs ys ~feat in
+      let t =
+        (Gpusim.run spec c.Kernels.Sddmm.fn c.Kernels.Sddmm.bindings)
+          .Gpusim.p_time_ms
+      in
+      Printf.printf "vec=%d: %.4f ms\n" vec t)
+    [ 1; 2; 4 ];
+
+  Report.subheader "kernel fusion: FusedMM vs SDDMM-then-SpMM (ogbn-arxiv)";
+  let z = Dense.random ~seed:7 a.Csr.cols 32 in
+  let v = Dense.random ~seed:8 a.Csr.cols 64 in
+  let x32 = Dense.random ~seed:9 a.Csr.rows 32 in
+  let ones = { a with Csr.data = Array.map (fun _ -> 1.0) a.Csr.data } in
+  let fused = Kernels.Sptensor.fusedmm ones x32 z v in
+  let p_f =
+    Gpusim.run spec fused.Kernels.Sptensor.fn fused.Kernels.Sptensor.bindings
+  in
+  let steps, _ = Kernels.Sptensor.unfused ones x32 z v in
+  let p_u = Gpusim.run_many spec steps in
+  Printf.printf
+    "fused: %.4f ms (%.2f MB)  unfused: %.4f ms (%.2f MB)  -> %.2fx faster,      %.2fx less memory
+"
+    p_f.Gpusim.p_time_ms
+    (float_of_int p_f.Gpusim.p_memory_bytes /. 1.0e6)
+    p_u.Gpusim.p_time_ms
+    (float_of_int p_u.Gpusim.p_memory_bytes /. 1.0e6)
+    (p_u.Gpusim.p_time_ms /. p_f.Gpusim.p_time_ms)
+    (float_of_int p_u.Gpusim.p_memory_bytes
+    /. float_of_int p_f.Gpusim.p_memory_bytes);
+
+  Report.subheader "bucketing rule k (hyb SpMM, ogbn-arxiv, d=128)";
+  let kd = Hyb.default_k a in
+  List.iter
+    (fun k ->
+      let c, h = Kernels.Spmm.sparsetir_hyb ~c:1 ~k a x ~feat in
+      let t =
+        (Gpusim.run ~horizontal_fusion:true spec c.Kernels.Spmm.fn
+           c.Kernels.Spmm.bindings)
+          .Gpusim.p_time_ms
+      in
+      Printf.printf "k=%d%s: %.4f ms (padding %.1f%%)\n" k
+        (if k = kd then " (rule)" else "")
+        t (Hyb.padding_pct h))
+    [ max 0 (kd - 2); kd; kd + 2 ]

@@ -1,0 +1,198 @@
+(* GNN experiments: Table 1, Figure 12 (column partitioning ablation),
+   Figure 13 (SpMM), Figure 14 (SDDMM), Figure 15 (end-to-end GraphSAGE
+   training). *)
+
+open Formats
+
+let graphs_quick = [ "cora"; "citeseer"; "pubmed"; "ogbn-arxiv" ]
+let graphs_full =
+  [ "cora"; "citeseer"; "pubmed"; "ppi"; "ogbn-arxiv"; "ogbn-proteins";
+    "reddit" ]
+
+let feats ~full = if full then [ 32; 64; 128; 256; 512 ] else [ 32; 128 ]
+
+let specs ~full =
+  if full then [ Gpusim.Spec.v100; Gpusim.Spec.rtx3070 ] else [ Gpusim.Spec.v100 ]
+
+(* ---------------- Table 1 ---------------- *)
+
+let table1 () =
+  Report.header "Table 1: graph statistics and %padding under hyb(c, k)";
+  Printf.printf "%-16s%10s%12s%10s%10s\n" "graph" "#nodes" "#edges" "k" "%padding";
+  List.iter
+    (fun name ->
+      let a = Workloads.Graphs.by_name name in
+      let k = Hyb.default_k a in
+      let h = Hyb.of_csr ~c:1 ~k a in
+      Printf.printf "%-16s%10d%12d%10d%9.1f%%\n" name a.Csr.rows (Csr.nnz a) k
+        (Hyb.padding_pct h))
+    graphs_full
+
+(* ---------------- Figure 12 ---------------- *)
+
+let fig12 () =
+  Report.header
+    "Figure 12: SpMM kernel duration and L1/L2 hit rate vs column partitions \
+     (reddit-like, d=128, V100)";
+  let a = Workloads.Graphs.by_name "reddit" in
+  let feat = 128 in
+  let x = Dense.random ~seed:11 a.Csr.cols feat in
+  Printf.printf "%-12s%14s%10s%10s%14s\n" "partitions" "duration(ms)" "L1 hit"
+    "L2 hit" "dram (MB)";
+  List.iter
+    (fun c ->
+      let compiled, _ = Kernels.Spmm.sparsetir_hyb ~c a x ~feat in
+      let p =
+        Gpusim.run ~horizontal_fusion:true Gpusim.Spec.v100
+          compiled.Kernels.Spmm.fn compiled.Kernels.Spmm.bindings
+      in
+      Printf.printf "%-12d%14.4f%9.1f%%%9.1f%%%14.2f\n" c p.Gpusim.p_time_ms
+        (100. *. p.Gpusim.p_l1_hit_rate)
+        (100. *. p.Gpusim.p_l2_hit_rate)
+        (p.Gpusim.p_dram_bytes /. 1.0e6))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ---------------- Figure 13 ---------------- *)
+
+let spmm_systems =
+  [ "cuSPARSE"; "dgSPARSE"; "Sputnik"; "TACO"; "SparseTIR(no-hyb)";
+    "SparseTIR(hyb)" ]
+
+let fig13 ?(full = false) () =
+  Report.header
+    "Figure 13: SpMM speedup vs cuSPARSE (geomean over feature sizes)";
+  let graphs = if full then graphs_full else graphs_quick in
+  List.iter
+    (fun spec ->
+      Report.subheader (Printf.sprintf "GPU: %s" spec.Gpusim.Spec.name);
+      let st = Report.store () in
+      List.iter
+        (fun gname ->
+          let a = Workloads.Graphs.by_name gname in
+          let per_system = Hashtbl.create 8 in
+          let add sys t =
+            let cur = try Hashtbl.find per_system sys with Not_found -> [] in
+            Hashtbl.replace per_system sys (t :: cur)
+          in
+          List.iter
+            (fun feat ->
+              let x = Dense.random ~seed:11 a.Csr.cols feat in
+              let run (c : Kernels.Spmm.compiled) =
+                (Gpusim.run spec c.Kernels.Spmm.fn c.Kernels.Spmm.bindings)
+                  .Gpusim.p_time_ms
+              in
+              add "cuSPARSE" (run (Kernels.Spmm.cusparse a x ~feat));
+              add "dgSPARSE" (run (Kernels.Spmm.dgsparse a x ~feat));
+              add "Sputnik" (run (Kernels.Spmm.sputnik a x ~feat));
+              add "TACO" (run (Kernels.Spmm.taco a x ~feat));
+              (* SparseTIR kernels are tuned over their search spaces *)
+              let no_hyb =
+                Tuner.search
+                  (Tuner.spmm_no_hyb_candidates spec a x ~feat)
+              in
+              add "SparseTIR(no-hyb)" no_hyb.Tuner.best.Gpusim.p_time_ms;
+              let hyb =
+                Tuner.search (Tuner.spmm_hyb_candidates spec a x ~feat)
+              in
+              add "SparseTIR(hyb)" hyb.Tuner.best.Gpusim.p_time_ms)
+            (feats ~full);
+          List.iter
+            (fun sys ->
+              Report.record st ~row:gname ~system:sys
+                (Report.geomean (Hashtbl.find per_system sys)))
+            spmm_systems)
+        graphs;
+      Report.speedup_table ~row_label:"graph" ~rows:graphs
+        ~systems:spmm_systems ~baseline:"cuSPARSE" (Report.lookup st))
+    (specs ~full)
+
+(* ---------------- Figure 14 ---------------- *)
+
+let sddmm_systems =
+  [ "DGL(FeatGraph)"; "cuSPARSE"; "TACO"; "dgSPARSE(PRedS)"; "SparseTIR" ]
+
+let fig14 ?(full = false) () =
+  Report.header
+    "Figure 14: SDDMM speedup vs DGL/FeatGraph (geomean over feature sizes)";
+  let graphs = if full then graphs_full else graphs_quick in
+  List.iter
+    (fun spec ->
+      Report.subheader (Printf.sprintf "GPU: %s" spec.Gpusim.Spec.name);
+      let st = Report.store () in
+      List.iter
+        (fun gname ->
+          let a = Workloads.Graphs.by_name gname in
+          let per_system = Hashtbl.create 8 in
+          let add sys t =
+            let cur = try Hashtbl.find per_system sys with Not_found -> [] in
+            Hashtbl.replace per_system sys (t :: cur)
+          in
+          List.iter
+            (fun feat ->
+              let x = Dense.random ~seed:5 a.Csr.rows feat in
+              let y = Dense.random ~seed:6 feat a.Csr.cols in
+              let run (c : Kernels.Sddmm.compiled) =
+                (Gpusim.run spec c.Kernels.Sddmm.fn c.Kernels.Sddmm.bindings)
+                  .Gpusim.p_time_ms
+              in
+              add "DGL(FeatGraph)" (run (Kernels.Sddmm.dgl a x y ~feat));
+              add "cuSPARSE" (run (Kernels.Sddmm.cusparse a x y ~feat));
+              add "TACO" (run (Kernels.Sddmm.taco a x y ~feat));
+              add "dgSPARSE(PRedS)" (run (Kernels.Sddmm.dgsparse a x y ~feat));
+              let tuned =
+                Tuner.search
+                  (Tuner.sddmm_candidates
+                     ~edges:(if full then [ 8; 16 ] else [ 8 ])
+                     ~groups:[ 4; 8 ] ~vecs:[ 2; 4 ] spec a x y ~feat)
+              in
+              add "SparseTIR" tuned.Tuner.best.Gpusim.p_time_ms)
+            (feats ~full);
+          List.iter
+            (fun sys ->
+              Report.record st ~row:gname ~system:sys
+                (Report.geomean (Hashtbl.find per_system sys)))
+            sddmm_systems)
+        graphs;
+      Report.speedup_table ~row_label:"graph" ~rows:graphs
+        ~systems:sddmm_systems ~baseline:"DGL(FeatGraph)" (Report.lookup st))
+    (specs ~full)
+
+(* ---------------- Figure 15 ---------------- *)
+
+let fig15 ?(full = false) () =
+  Report.header
+    "Figure 15: end-to-end GraphSAGE training speedup, PyTorch+SparseTIR vs \
+     DGL";
+  (* GraphSAGE aggregates the raw features first, so the layer-1 SpMM runs at
+     the dataset's (large) input width with a small hidden size — the regime
+     the paper benchmarks *)
+  let graphs =
+    if full then graphs_full else [ "cora"; "pubmed"; "ppi"; "ogbn-arxiv" ]
+  in
+  List.iter
+    (fun spec ->
+      Report.subheader (Printf.sprintf "GPU: %s" spec.Gpusim.Spec.name);
+      let st = Report.store () in
+      List.iter
+        (fun gname ->
+          let a =
+            Workloads.Graphs.normalize_rows (Workloads.Graphs.by_name gname)
+          in
+          let run variant =
+            let m =
+              Nn.Graphsage.epoch variant a ~in_feat:256 ~hidden:32 ~out_feat:16
+                ()
+            in
+            (Nn.Graphsage.profile
+               ~horizontal_fusion:(variant <> Nn.Graphsage.Dgl)
+               spec m)
+              .Gpusim.p_time_ms
+          in
+          Report.record st ~row:gname ~system:"DGL" (run Nn.Graphsage.Dgl);
+          Report.record st ~row:gname ~system:"PyTorch+SparseTIR"
+            (run (Nn.Graphsage.Sparsetir 1)))
+        graphs;
+      Report.speedup_table ~row_label:"graph" ~rows:graphs
+        ~systems:[ "DGL"; "PyTorch+SparseTIR" ] ~baseline:"DGL"
+        (Report.lookup st))
+    (specs ~full)

@@ -1,0 +1,45 @@
+(* Shared reporting helpers for the benchmark harness: paper-style tables of
+   normalized speedups. *)
+
+let header (title : string) : unit =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader (s : string) : unit = Printf.printf "\n-- %s --\n" s
+
+(* Print a table of rows x systems where each cell is a speedup against the
+   baseline column. *)
+let speedup_table ~(row_label : string) ~(rows : string list)
+    ~(systems : string list) ~(baseline : string)
+    (time_ms : row:string -> system:string -> float) : unit =
+  Printf.printf "%-16s" row_label;
+  List.iter (fun s -> Printf.printf "%16s" s) systems;
+  print_newline ();
+  List.iter
+    (fun row ->
+      Printf.printf "%-16s" row;
+      let base = time_ms ~row ~system:baseline in
+      List.iter
+        (fun system ->
+          let t = time_ms ~row ~system in
+          if Float.is_nan t then Printf.printf "%16s" "-"
+          else Printf.printf "%15.2fx" (base /. t))
+        systems;
+      print_newline ())
+    rows;
+  Printf.printf "(speedup vs %s; higher is better)\n" baseline
+
+let geomean = Tuner.geomean
+
+let time_of_profile (p : Gpusim.profile) = p.Gpusim.p_time_ms
+
+(* memoized timing store *)
+type store = (string, float) Hashtbl.t
+
+let store () : store = Hashtbl.create 64
+let record (s : store) ~row ~system (t : float) =
+  Hashtbl.replace s (row ^ "|" ^ system) t
+
+let lookup (s : store) ~row ~system : float =
+  match Hashtbl.find_opt s (row ^ "|" ^ system) with
+  | Some t -> t
+  | None -> Float.nan

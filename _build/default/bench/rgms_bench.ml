@@ -1,0 +1,117 @@
+(* RGMS experiments: Table 2 (heterograph stats), Figure 20 (end-to-end RGCN
+   inference + memory footprint), Figure 23 (3D sparse convolution). *)
+
+open Formats
+
+let hetero_quick = [ "AIFB"; "MUTAG"; "BGS" ]
+let hetero_full = [ "AIFB"; "MUTAG"; "BGS"; "ogbl-biokg"; "AM" ]
+
+(* ---------------- Table 2 ---------------- *)
+
+let table2 () =
+  Report.header "Table 2: heterogeneous graph statistics and %padding (3D hyb)";
+  Printf.printf "%-14s%10s%12s%10s%10s\n" "graph" "#nodes" "#edges" "#etypes"
+    "%padding";
+  List.iter
+    (fun name ->
+      let h = Workloads.Hetero.by_name name in
+      let _, padded = Kernels.Rgms.hyb_buckets h.Workloads.Hetero.relations in
+      let edges = Workloads.Hetero.total_edges h in
+      Printf.printf "%-14s%10d%12d%10d%9.1f%%\n" name
+        h.Workloads.Hetero.spec.Workloads.Hetero.h_nodes edges
+        h.Workloads.Hetero.spec.Workloads.Hetero.h_etypes
+        (100.0 *. float_of_int padded /. float_of_int (edges + padded)))
+    hetero_full
+
+(* ---------------- Figure 20 ---------------- *)
+
+let rgcn_systems =
+  [ Nn.Rgcn.Graphiler; Nn.Rgcn.Dgl_system; Nn.Rgcn.Pyg_system;
+    Nn.Rgcn.Sparsetir_naive; Nn.Rgcn.Sparsetir_hyb; Nn.Rgcn.Sparsetir_hyb_tc ]
+
+let fig20 ?(full = false) () =
+  Report.header
+    "Figure 20: end-to-end RGCN inference (feat 32): speedup vs Graphiler and \
+     GPU memory footprint";
+  let names = if full then hetero_full else hetero_quick in
+  let spec = Gpusim.Spec.v100 in
+  let st = Report.store () in
+  let mem = Report.store () in
+  List.iter
+    (fun gname ->
+      let h = Workloads.Hetero.by_name gname in
+      List.iter
+        (fun sys ->
+          let m = Nn.Rgcn.inference sys h ~feat:32 () in
+          let p = Nn.Rgcn.profile spec m in
+          Report.record st ~row:gname ~system:(Nn.Rgcn.system_name sys)
+            p.Gpusim.p_time_ms;
+          Report.record mem ~row:gname ~system:(Nn.Rgcn.system_name sys)
+            (float_of_int p.Gpusim.p_memory_bytes /. 1.0e6))
+        rgcn_systems)
+    names;
+  let sys_names = List.map Nn.Rgcn.system_name rgcn_systems in
+  Report.speedup_table ~row_label:"graph" ~rows:names ~systems:sys_names
+    ~baseline:"Graphiler" (Report.lookup st);
+  Report.subheader "GPU memory footprint (MB)";
+  Printf.printf "%-16s" "graph";
+  List.iter (fun s -> Printf.printf "%18s" s) sys_names;
+  print_newline ();
+  List.iter
+    (fun row ->
+      Printf.printf "%-16s" row;
+      List.iter
+        (fun system ->
+          Printf.printf "%18.2f" (Report.lookup mem ~row ~system))
+        sys_names;
+      print_newline ())
+    names
+
+(* ---------------- Figure 23 ---------------- *)
+
+let fig23 ?(full = false) () =
+  Report.header
+    "Figure 23: 3D sparse convolution speedup vs TorchSparse per channel size";
+  let cloud =
+    Workloads.Pointcloud.generate ~grid:64
+      ~target_points:(if full then 12000 else 4000)
+      ()
+  in
+  let rels = Workloads.Pointcloud.conv_relations cloud in
+  Printf.printf "points=%d offsets=%d mapped-pairs=%d\n"
+    (Workloads.Pointcloud.n_points cloud)
+    (Array.length rels)
+    (Array.fold_left (fun a r -> a + Csr.nnz r) 0 rels);
+  let spec = Gpusim.Spec.v100 in
+  let st = Report.store () in
+  let channels =
+    if full then Workloads.Pointcloud.minkowski_channels
+    else [ (16, 16); (32, 64); (96, 96); (192, 256) ]
+  in
+  let n = Workloads.Pointcloud.n_points cloud in
+  let rows =
+    List.map
+      (fun (ci, co) ->
+        let row = Printf.sprintf "sqrt(CinCout)=%.0f" (sqrt (float_of_int (ci * co))) in
+        let x = Dense.random ~seed:3 n ci in
+        let w =
+          Array.init (Array.length rels) (fun r ->
+              Dense.random ~seed:(50 + r) ci co)
+        in
+        let torch = Kernels.Rgms.gather_two_stage rels x w in
+        (* TorchSparse batches its gather/GEMM/scatter launches *)
+        Report.record st ~row ~system:"TorchSparse"
+          (Kernels.Rgms.profile ~horizontal_fusion:true spec torch)
+            .Gpusim.p_time_ms;
+        (* sparse conv relations are already ELL(1): no composable formats
+           needed (footnote 12), but the fused TC schedule applies *)
+        let tir = Kernels.Rgms.hyb_tc ~k:0 rels x w in
+        Report.record st ~row ~system:"SparseTIR"
+          (Kernels.Rgms.profile ~horizontal_fusion:true spec tir)
+            .Gpusim.p_time_ms;
+        row)
+      channels
+  in
+  Report.speedup_table ~row_label:"channels" ~rows
+    ~systems:[ "TorchSparse"; "SparseTIR" ] ~baseline:"TorchSparse"
+    (Report.lookup st)

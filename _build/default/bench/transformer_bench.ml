@@ -1,0 +1,195 @@
+(* Sparse-transformer experiments: Figure 16 (sparse attention operators),
+   Figure 17 (structured pruning, BSR vs DBSR), Figure 19 (unstructured
+   pruning, SR-BCRS). *)
+
+open Formats
+
+(* Scaled attention setting (paper: 4096x4096, 12 heads, band 256, d=64;
+   scaled uniformly, see DESIGN.md). *)
+let attn_size ~full = if full then 1024 else 512
+let attn_heads ~full = if full then 8 else 4
+let attn_band ~full = if full then 128 else 64
+let attn_feat = 64
+let attn_block = 16
+
+let fig16 ?(full = false) () =
+  Report.header
+    "Figure 16: sparse attention operator speedup vs Triton block-sparse";
+  let size = attn_size ~full and heads = attn_heads ~full in
+  let masks =
+    [ ("band", Workloads.Attention.band ~size ~band:(attn_band ~full) ());
+      ("butterfly", Workloads.Attention.butterfly ~size ~block:attn_block ()) ]
+  in
+  List.iter
+    (fun spec ->
+      Report.subheader (Printf.sprintf "GPU: %s" spec.Gpusim.Spec.name);
+      let st = Report.store () in
+      let rows = ref [] in
+      List.iter
+        (fun (mname, mask) ->
+          let bsr = Bsr.of_csr ~block:attn_block mask in
+          (* Triton's block-sparse kernels operate at a fixed 32 granularity *)
+          let bsr32 = Bsr.of_csr ~block:32 mask in
+          (* SpMM *)
+          let b =
+            Workloads.Attention.batched_dense ~heads ~rows:size ~cols:attn_feat
+              ()
+          in
+          let row = mname ^ "-spmm" in
+          rows := row :: !rows;
+          let run_bs (c : Kernels.Block_sparse.compiled) =
+            (Gpusim.run spec c.Kernels.Block_sparse.fn
+               c.Kernels.Block_sparse.bindings)
+              .Gpusim.p_time_ms
+          in
+          Report.record st ~row ~system:"Triton"
+            (run_bs (Kernels.Block_sparse.triton_bsr_spmm bsr32 ~heads b ~feat:attn_feat));
+          Report.record st ~row ~system:"SparseTIR-CSR"
+            (run_bs (Kernels.Block_sparse.csr_spmm_batched mask ~heads b ~feat:attn_feat));
+          (* SparseTIR tunes over its schedule space, including whether to
+             stage the dense tile in shared memory *)
+          Report.record st ~row ~system:"SparseTIR-BSR"
+            (Float.min
+               (run_bs (Kernels.Block_sparse.bsr_spmm bsr ~heads b ~feat:attn_feat))
+               (run_bs
+                  (Kernels.Block_sparse.bsr_spmm ~staged:false bsr ~heads b
+                     ~feat:attn_feat)));
+          (* SDDMM *)
+          let row = mname ^ "-sddmm" in
+          rows := row :: !rows;
+          let x =
+            Workloads.Attention.batched_dense ~seed:8 ~heads ~rows:size
+              ~cols:attn_feat ()
+          in
+          let y =
+            Workloads.Attention.batched_dense ~seed:9 ~heads ~rows:attn_feat
+              ~cols:size ()
+          in
+          Report.record st ~row ~system:"Triton"
+            (run_bs
+               (Kernels.Block_sparse.bsr_sddmm ~staged:false bsr32 ~heads
+                  ~feat:attn_feat x y));
+          Report.record st ~row ~system:"SparseTIR-CSR" Float.nan;
+          Report.record st ~row ~system:"SparseTIR-BSR"
+            (Float.min
+               (run_bs
+                  (Kernels.Block_sparse.bsr_sddmm bsr ~heads ~feat:attn_feat x y))
+               (run_bs
+                  (Kernels.Block_sparse.bsr_sddmm ~staged:false bsr ~heads
+                     ~feat:attn_feat x y))))
+        masks;
+      Report.speedup_table ~row_label:"operator" ~rows:(List.rev !rows)
+        ~systems:[ "Triton"; "SparseTIR-CSR"; "SparseTIR-BSR" ]
+        ~baseline:"Triton" (Report.lookup st))
+    (if full then [ Gpusim.Spec.v100; Gpusim.Spec.rtx3070 ]
+     else [ Gpusim.Spec.v100 ])
+
+(* ---------------- Figure 17 ---------------- *)
+
+(* Densities swept as 2^-x, as on the paper's x-axis. *)
+let fig17_densities ~full =
+  if full then [ 0.5; 0.25; 0.125; 0.0625; 0.03125 ] else [ 0.25; 0.0625 ]
+
+let fig17 ?(full = false) () =
+  Report.header
+    "Figure 17: structured-pruned BERT SpMM speedup vs cuBLAS (block 32)";
+  let rows_w, cols_w = (768, 768) in
+  let seq = if full then 512 else 256 in
+  let spec = Gpusim.Spec.v100 in
+  let st = Report.store () in
+  let dens = fig17_densities ~full in
+  let row_names =
+    List.map (fun d -> Printf.sprintf "density 2^%d" (int_of_float (Float.round (Float.log d /. Float.log 2.)))) dens
+  in
+  List.iter2
+    (fun d row ->
+      let w =
+        Workloads.Pruning.block_pruned ~rows:rows_w ~cols:cols_w ~block:32
+          ~density:d ()
+      in
+      let x = Workloads.Pruning.activations ~in_features:cols_w ~seq_len:seq () in
+      (* cuBLAS treats the weight as dense *)
+      let dense_w = Csr.to_dense w in
+      let cub = Kernels.Gemm.cublas_tc dense_w (Dense.init cols_w seq (fun i j -> Dense.get x i j)) in
+      Report.record st ~row ~system:"cuBLAS"
+        (Gpusim.run spec cub.Kernels.Gemm.fn cub.Kernels.Gemm.bindings).Gpusim.p_time_ms;
+      let run_bs (c : Kernels.Block_sparse.compiled) =
+        (Gpusim.run spec c.Kernels.Block_sparse.fn
+           c.Kernels.Block_sparse.bindings)
+          .Gpusim.p_time_ms
+      in
+      let bsr = Bsr.of_csr ~block:32 w in
+      let dbsr = Dbsr.of_csr ~block:32 w in
+      Report.record st ~row ~system:"Triton"
+        (run_bs (Kernels.Block_sparse.bsr_spmm_single ~staged:false bsr x));
+      Report.record st ~row ~system:"SparseTIR-BSR"
+        (Float.min
+           (run_bs (Kernels.Block_sparse.bsr_spmm_single bsr x))
+           (run_bs (Kernels.Block_sparse.bsr_spmm_single ~staged:false bsr x)));
+      Report.record st ~row ~system:"SparseTIR-DBSR"
+        (Float.min
+           (run_bs (Kernels.Block_sparse.dbsr_spmm dbsr x))
+           (run_bs (Kernels.Block_sparse.dbsr_spmm ~staged:false dbsr x))))
+    dens row_names;
+  Report.speedup_table ~row_label:"weight density" ~rows:row_names
+    ~systems:[ "cuBLAS"; "Triton"; "SparseTIR-BSR"; "SparseTIR-DBSR" ]
+    ~baseline:"cuBLAS" (Report.lookup st)
+
+(* ---------------- Figure 19 ---------------- *)
+
+let fig19_densities ~full =
+  if full then [ 0.25; 0.125; 0.0625; 0.03125; 0.015625 ]
+  else [ 0.125; 0.03125 ]
+
+let fig19 ?(full = false) () =
+  Report.header
+    "Figure 19: unstructured-pruned BERT SpMM speedup vs cuBLAS \
+     (SR-BCRS(8,32) vs BSR(32) vs cuSPARSE CSRMM)";
+  let rows_w, cols_w = (768, 768) in
+  let seq = if full then 512 else 256 in
+  let spec = Gpusim.Spec.v100 in
+  let st = Report.store () in
+  let dens = fig19_densities ~full in
+  let row_names =
+    List.map
+      (fun d ->
+        Printf.sprintf "density 2^%d"
+          (int_of_float (Float.round (Float.log d /. Float.log 2.))))
+      dens
+  in
+  Printf.printf "%-16s%22s\n" "density" "stored density (SR-BCRS vs BSR)";
+  List.iter2
+    (fun d row ->
+      let w =
+        Workloads.Pruning.movement_pruned ~rows:rows_w ~cols:cols_w ~density:d
+          ()
+      in
+      let x = Workloads.Pruning.activations ~in_features:cols_w ~seq_len:seq () in
+      let dense_w = Csr.to_dense w in
+      let cub = Kernels.Gemm.cublas_tc dense_w (Dense.init cols_w seq (fun i j -> Dense.get x i j)) in
+      Report.record st ~row ~system:"cuBLAS"
+        (Gpusim.run spec cub.Kernels.Gemm.fn cub.Kernels.Gemm.bindings).Gpusim.p_time_ms;
+      (* cuSPARSE CSRMM on the element-level matrix *)
+      let csrmm = Kernels.Spmm.cusparse w x ~feat:seq in
+      Report.record st ~row ~system:"cuSPARSE"
+        (Gpusim.run spec csrmm.Kernels.Spmm.fn csrmm.Kernels.Spmm.bindings)
+          .Gpusim.p_time_ms;
+      let run_bs (c : Kernels.Block_sparse.compiled) =
+        (Gpusim.run spec c.Kernels.Block_sparse.fn
+           c.Kernels.Block_sparse.bindings)
+          .Gpusim.p_time_ms
+      in
+      let bsr = Bsr.of_csr ~block:32 w in
+      Report.record st ~row ~system:"SparseTIR-BSR"
+        (run_bs (Kernels.Block_sparse.bsr_spmm_single bsr x));
+      let sr = Sr_bcrs.of_csr ~tile:8 ~group:32 w in
+      Report.record st ~row ~system:"SparseTIR-SR-BCRS"
+        (run_bs (Kernels.Block_sparse.sr_bcrs_spmm sr x));
+      Printf.printf "%-16s  SR-BCRS %.4f | BSR %.4f | element %.4f\n" row
+        (Sr_bcrs.stored_density sr)
+        (float_of_int (Bsr.nnz_stored bsr) /. float_of_int (rows_w * cols_w))
+        d)
+    dens row_names;
+  Report.speedup_table ~row_label:"weight density" ~rows:row_names
+    ~systems:[ "cuBLAS"; "cuSPARSE"; "SparseTIR-BSR"; "SparseTIR-SR-BCRS" ]
+    ~baseline:"cuBLAS" (Report.lookup st)

@@ -1,0 +1,107 @@
+(* sparsetir-cli: inspect the compilation pipeline and run individual
+   experiments from the command line.
+
+   Subcommands:
+     show   --op spmm|sddmm --graph NAME --feat N [--stage 1|2|3]
+     run    --op ... --system ... : time one kernel on a simulated GPU
+     bench  NAME [--full]        : one experiment from the harness *)
+
+open Cmdliner
+open Formats
+
+let graph_arg =
+  let doc = "Graph workload (cora, citeseer, pubmed, ppi, ogbn-arxiv, \
+             ogbn-proteins, reddit)." in
+  Arg.(value & opt string "cora" & info [ "graph" ] ~docv:"NAME" ~doc)
+
+let feat_arg =
+  let doc = "Dense feature size." in
+  Arg.(value & opt int 32 & info [ "feat" ] ~docv:"N" ~doc)
+
+let stage_arg =
+  let doc = "Pipeline stage to print (1 = coordinate space, 2 = position \
+             space, 3 = flat loop IR)." in
+  Arg.(value & opt int 3 & info [ "stage" ] ~docv:"STAGE" ~doc)
+
+let op_arg =
+  let doc = "Operator: spmm or sddmm." in
+  Arg.(value & opt string "spmm" & info [ "op" ] ~docv:"OP" ~doc)
+
+let gpu_arg =
+  let doc = "Simulated GPU: v100 or rtx3070." in
+  Arg.(value & opt string "v100" & info [ "gpu" ] ~docv:"GPU" ~doc)
+
+let spec_of = function
+  | "rtx3070" -> Gpusim.Spec.rtx3070
+  | _ -> Gpusim.Spec.v100
+
+let show graph feat op stage =
+  let a = Workloads.Graphs.by_name graph in
+  let fn =
+    match op with
+    | "sddmm" -> Kernels.Sddmm.stage1 a ~feat
+    | _ -> Kernels.Spmm.stage1 a ~feat
+  in
+  let fn =
+    match stage with
+    | 1 -> fn
+    | 2 -> Sparse_ir.lower_iterations fn
+    | _ -> Sparse_ir.compile fn
+  in
+  print_endline (Tir.Printer.func_to_string fn)
+
+let run graph feat op gpu system =
+  let a = Workloads.Graphs.by_name graph in
+  let spec = spec_of gpu in
+  let x = Dense.random ~seed:11 a.Csr.cols feat in
+  let profile =
+    match (op, system) with
+    | "sddmm", _ ->
+        let xs = Dense.random ~seed:5 a.Csr.rows feat in
+        let ys = Dense.random ~seed:6 feat a.Csr.cols in
+        let c =
+          match system with
+          | "dgl" -> Kernels.Sddmm.dgl a xs ys ~feat
+          | "dgsparse" -> Kernels.Sddmm.dgsparse a xs ys ~feat
+          | "taco" -> Kernels.Sddmm.taco a xs ys ~feat
+          | _ -> Kernels.Sddmm.sparsetir a xs ys ~feat
+        in
+        Gpusim.run spec c.Kernels.Sddmm.fn c.Kernels.Sddmm.bindings
+    | _, "hyb" ->
+        let c, h = Kernels.Spmm.sparsetir_hyb a x ~feat in
+        Printf.printf "hyb: %d buckets, %.1f%% padding\n"
+          (List.length h.Hyb.buckets) (Hyb.padding_pct h);
+        Gpusim.run ~horizontal_fusion:true spec c.Kernels.Spmm.fn
+          c.Kernels.Spmm.bindings
+    | _, sys ->
+        let c =
+          match sys with
+          | "cusparse" -> Kernels.Spmm.cusparse a x ~feat
+          | "dgsparse" -> Kernels.Spmm.dgsparse a x ~feat
+          | "sputnik" -> Kernels.Spmm.sputnik a x ~feat
+          | "taco" -> Kernels.Spmm.taco a x ~feat
+          | _ -> Kernels.Spmm.sparsetir_no_hyb a x ~feat
+        in
+        Gpusim.run spec c.Kernels.Spmm.fn c.Kernels.Spmm.bindings
+  in
+  Printf.printf "%s %s on %s (%s, d=%d): %s\n" system op graph gpu feat
+    (Gpusim.pp_profile profile)
+
+let system_arg =
+  let doc = "Kernel strategy: cusparse, dgsparse, sputnik, taco, no-hyb, \
+             hyb (SpMM) / dgl, dgsparse, taco, sparsetir (SDDMM)." in
+  Arg.(value & opt string "hyb" & info [ "system" ] ~docv:"SYS" ~doc)
+
+let show_cmd =
+  Cmd.v (Cmd.info "show" ~doc:"Print the IR of an operator at a pipeline stage")
+    Term.(const show $ graph_arg $ feat_arg $ op_arg $ stage_arg)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Profile one kernel on a simulated GPU")
+    Term.(const run $ graph_arg $ feat_arg $ op_arg $ gpu_arg $ system_arg)
+
+let main_cmd =
+  let doc = "SparseTIR (OCaml reproduction) command-line tools" in
+  Cmd.group (Cmd.info "sparsetir-cli" ~doc) [ show_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

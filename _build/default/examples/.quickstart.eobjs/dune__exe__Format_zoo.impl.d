@@ -1,0 +1,1 @@
+examples/format_zoo.ml: Array Bsr Csr Dbsr Dense Dia Ell Formats Hyb Kernels List Printer Printf Sparse_ir Sr_bcrs String Tir

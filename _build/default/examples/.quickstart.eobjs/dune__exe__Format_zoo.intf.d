@@ -1,0 +1,1 @@
+examples/format_zoo.mli:

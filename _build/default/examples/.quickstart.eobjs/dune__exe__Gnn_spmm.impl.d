@@ -1,0 +1,1 @@
+examples/gnn_spmm.ml: Csr Dense Formats Gpusim Hyb Kernels List Printf Tir Tuner Workloads

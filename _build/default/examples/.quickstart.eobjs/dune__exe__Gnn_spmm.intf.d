@@ -1,0 +1,1 @@
+examples/gnn_spmm.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coo Csr Dense Formats Gpusim Ir Kernels Printer Printf Schedule Sparse_ir Tensor Tir

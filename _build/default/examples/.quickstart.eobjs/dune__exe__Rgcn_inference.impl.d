@@ -1,0 +1,1 @@
+examples/rgcn_inference.ml: Formats Gpusim List Nn Printf Tir Workloads

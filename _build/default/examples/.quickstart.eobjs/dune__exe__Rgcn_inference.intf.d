@@ -1,0 +1,1 @@
+examples/rgcn_inference.mli:

@@ -1,0 +1,1 @@
+examples/sparse_attention.ml: Bsr Csr Formats Gpusim Kernels List Printf Workloads

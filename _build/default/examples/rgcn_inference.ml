@@ -1,0 +1,46 @@
+(* End-to-end RGCN inference (S4.4.1): run the two-layer relational GCN on a
+   synthetic heterogeneous graph under every system strategy and report both
+   latency and GPU memory footprint — a miniature of Figure 20.
+
+     dune exec examples/rgcn_inference.exe *)
+
+let () =
+  print_endline "== RGCN inference: fused RGMS vs two-stage baselines ==\n";
+  let h = Workloads.Hetero.by_name "AIFB" in
+  let feat = 32 in
+  Printf.printf "graph: %d nodes, %d edges, %d relations; feature size %d\n\n"
+    h.Workloads.Hetero.spec.Workloads.Hetero.h_nodes
+    (Workloads.Hetero.total_edges h)
+    h.Workloads.Hetero.spec.Workloads.Hetero.h_etypes feat;
+  let spec = Gpusim.Spec.v100 in
+  let reference = Nn.Rgcn.reference h ~feat () in
+  let baseline = ref None in
+  List.iter
+    (fun system ->
+      let m = Nn.Rgcn.inference system h ~feat () in
+      Nn.Rgcn.execute m;
+      let err =
+        Formats.Dense.max_abs_diff reference
+          (Formats.Dense.of_array reference.Formats.Dense.rows
+             reference.Formats.Dense.cols
+             (Tir.Tensor.to_float_array m.Nn.Rgcn.out))
+      in
+      let rel_err = err /. 100.0 in
+      let p = Nn.Rgcn.profile spec m in
+      (match system with
+      | Nn.Rgcn.Graphiler -> baseline := Some p.Gpusim.p_time_ms
+      | _ -> ());
+      let speedup =
+        match !baseline with Some b -> b /. p.Gpusim.p_time_ms | None -> 1.0
+      in
+      Printf.printf
+        "%-20s %9.4f ms  (%.2fx vs Graphiler)  mem %7.1f MB  err %.1e\n"
+        (Nn.Rgcn.system_name system)
+        p.Gpusim.p_time_ms speedup
+        (float_of_int p.Gpusim.p_memory_bytes /. 1.0e6)
+        rel_err)
+    [ Nn.Rgcn.Graphiler; Nn.Rgcn.Dgl_system; Nn.Rgcn.Pyg_system;
+      Nn.Rgcn.Sparsetir_naive; Nn.Rgcn.Sparsetir_hyb; Nn.Rgcn.Sparsetir_hyb_tc ];
+  print_endline
+    "\nThe fused SparseTIR kernels avoid materializing the per-relation\n\
+     intermediate T in HBM, which shows up as the smaller memory footprint."

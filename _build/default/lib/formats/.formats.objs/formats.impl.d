@@ -1,0 +1,1 @@
+lib/formats/formats.ml: Bsr Coo Csf Csr Dbsr Dense Dia Ell Hyb Sr_bcrs

@@ -1,0 +1,1 @@
+lib/formats/bsr.ml: Array Csr Dense Hashtbl Int Set Tir

@@ -1,0 +1,1 @@
+lib/formats/bsr.mli: Csr Dense Tir

@@ -1,0 +1,1 @@
+lib/formats/coo.ml: Array Dense List Printf

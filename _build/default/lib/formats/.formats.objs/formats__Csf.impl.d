@@ -1,0 +1,1 @@
+lib/formats/csf.ml: Array Dense List

@@ -1,0 +1,1 @@
+lib/formats/csr.ml: Array Coo Dense Tir

@@ -1,0 +1,1 @@
+lib/formats/csr.mli: Coo Dense Tir

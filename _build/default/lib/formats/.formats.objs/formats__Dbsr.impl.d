@@ -1,0 +1,1 @@
+lib/formats/dbsr.ml: Array Bsr Csr Dense Tir

@@ -1,0 +1,1 @@
+lib/formats/dbsr.mli: Bsr Csr Dense Tir

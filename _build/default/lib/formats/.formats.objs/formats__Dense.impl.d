@@ -1,0 +1,1 @@
+lib/formats/dense.ml: Array Float Int64 Tir

@@ -1,0 +1,1 @@
+lib/formats/dia.ml: Array Csr Dense Hashtbl Int Set

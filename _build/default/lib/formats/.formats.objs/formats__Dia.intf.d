@@ -1,0 +1,1 @@
+lib/formats/dia.mli: Csr Dense

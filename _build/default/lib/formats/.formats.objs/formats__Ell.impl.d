@@ -1,0 +1,1 @@
+lib/formats/ell.ml: Array Csr Dense Fun Tir

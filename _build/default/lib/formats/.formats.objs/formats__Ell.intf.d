@@ -1,0 +1,1 @@
+lib/formats/ell.mli: Csr Dense Tir

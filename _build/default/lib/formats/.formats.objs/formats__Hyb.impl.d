@@ -1,0 +1,1 @@
+lib/formats/hyb.ml: Array Csr Dense Ell Float List

@@ -1,0 +1,1 @@
+lib/formats/hyb.mli: Csr Dense Ell

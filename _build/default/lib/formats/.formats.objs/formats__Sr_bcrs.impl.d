@@ -1,0 +1,1 @@
+lib/formats/sr_bcrs.ml: Array Csr Dense Int List Set Tir

@@ -1,0 +1,1 @@
+lib/formats/sr_bcrs.mli: Csr Dense Tir

@@ -1,0 +1,93 @@
+(* Block Compressed Sparse Row: fixed square blocks, a block stored whenever
+   any of its elements is non-zero (padding the rest with zeros).  Used for
+   block-sparse attention and structured-pruned weights (S4.3). *)
+
+type t = {
+  rows : int;            (* element rows *)
+  cols : int;
+  block : int;
+  rows_b : int;          (* block rows = ceil(rows / block) *)
+  cols_b : int;
+  indptr : int array;    (* rows_b + 1 *)
+  indices : int array;   (* nnzb: block-column ids *)
+  data : float array;    (* nnzb * block * block, row-major per block *)
+  padded : int;          (* zero elements stored inside blocks *)
+}
+
+let nnzb (m : t) = Array.length m.indices
+let nnz_stored (m : t) = nnzb m * m.block * m.block
+
+let of_csr ~(block : int) (c : Csr.t) : t =
+  let rows_b = (c.Csr.rows + block - 1) / block in
+  let cols_b = (c.Csr.cols + block - 1) / block in
+  (* collect non-empty blocks per block-row *)
+  let module IS = Set.Make (Int) in
+  let row_blocks = Array.make rows_b IS.empty in
+  for i = 0 to c.Csr.rows - 1 do
+    for p = c.Csr.indptr.(i) to c.Csr.indptr.(i + 1) - 1 do
+      let bi = i / block and bj = c.Csr.indices.(p) / block in
+      row_blocks.(bi) <- IS.add bj row_blocks.(bi)
+    done
+  done;
+  let indptr = Array.make (rows_b + 1) 0 in
+  for bi = 0 to rows_b - 1 do
+    indptr.(bi + 1) <- indptr.(bi) + IS.cardinal row_blocks.(bi)
+  done;
+  let nb = indptr.(rows_b) in
+  let indices = Array.make (max 1 nb) 0 in
+  let data = Array.make (max 1 (nb * block * block)) 0.0 in
+  let pos = Array.make rows_b 0 in
+  let block_slot = Hashtbl.create 64 in
+  for bi = 0 to rows_b - 1 do
+    IS.iter
+      (fun bj ->
+        let slot = indptr.(bi) + pos.(bi) in
+        pos.(bi) <- pos.(bi) + 1;
+        indices.(slot) <- bj;
+        Hashtbl.replace block_slot (bi, bj) slot)
+      row_blocks.(bi)
+  done;
+  let filled = ref 0 in
+  for i = 0 to c.Csr.rows - 1 do
+    for p = c.Csr.indptr.(i) to c.Csr.indptr.(i + 1) - 1 do
+      let j = c.Csr.indices.(p) in
+      let slot = Hashtbl.find block_slot (i / block, j / block) in
+      data.((slot * block * block) + ((i mod block) * block) + (j mod block)) <-
+        c.Csr.data.(p);
+      incr filled
+    done
+  done;
+  { rows = c.Csr.rows; cols = c.Csr.cols; block; rows_b; cols_b; indptr;
+    indices; data; padded = (nb * block * block) - !filled }
+
+let to_dense (m : t) : Dense.t =
+  let d = Dense.create m.rows m.cols in
+  for bi = 0 to m.rows_b - 1 do
+    for p = m.indptr.(bi) to m.indptr.(bi + 1) - 1 do
+      let bj = m.indices.(p) in
+      for ii = 0 to m.block - 1 do
+        for jj = 0 to m.block - 1 do
+          let i = (bi * m.block) + ii and j = (bj * m.block) + jj in
+          if i < m.rows && j < m.cols then
+            Dense.set d i j m.data.((p * m.block * m.block) + (ii * m.block) + jj)
+        done
+      done
+    done
+  done;
+  d
+
+(* Fraction of explicitly stored zeros (intra-block fragmentation). *)
+let padding_ratio (m : t) : float =
+  if nnz_stored m = 0 then 0.0
+  else float_of_int m.padded /. float_of_int (nnz_stored m)
+
+let indptr_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ m.rows_b + 1 ] (Array.copy m.indptr)
+
+let indices_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ max 1 (nnzb m) ] (Array.copy m.indices)
+
+let data_tensor ?(dtype = Tir.Dtype.F32) (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_float_array ~dtype
+    [ max 1 (Array.length m.data) ]
+    (Array.copy m.data)

@@ -1,0 +1,59 @@
+(* Coordinate-format sparse matrices: the interchange representation used to
+   build the compressed formats.  Entries are kept sorted by (row, col) with
+   duplicates summed. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  entries : (int * int * float) array; (* sorted by (row, col) *)
+}
+
+let nnz (m : t) = Array.length m.entries
+
+let normalize rows cols (entries : (int * int * float) array) : t =
+  Array.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg (Printf.sprintf "Coo: entry (%d,%d) out of %dx%d" i j rows cols))
+    entries;
+  let entries = Array.copy entries in
+  Array.sort (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2)) entries;
+  (* sum duplicates *)
+  let out = ref [] in
+  Array.iter
+    (fun (i, j, v) ->
+      match !out with
+      | (i', j', v') :: rest when i = i' && j = j' -> out := (i, j, v +. v') :: rest
+      | _ -> out := (i, j, v) :: !out)
+    entries;
+  let deduped =
+    !out |> List.filter (fun (_, _, v) -> v <> 0.0) |> List.rev |> Array.of_list
+  in
+  { rows; cols; entries = deduped }
+
+let of_entries ~rows ~cols entries : t = normalize rows cols (Array.of_list entries)
+
+let of_dense (d : Dense.t) : t =
+  let acc = ref [] in
+  for i = d.Dense.rows - 1 downto 0 do
+    for j = d.Dense.cols - 1 downto 0 do
+      let v = Dense.get d i j in
+      if v <> 0.0 then acc := (i, j, v) :: !acc
+    done
+  done;
+  { rows = d.Dense.rows; cols = d.Dense.cols; entries = Array.of_list !acc }
+
+let to_dense (m : t) : Dense.t =
+  let d = Dense.create m.rows m.cols in
+  Array.iter (fun (i, j, v) -> Dense.set d i j (Dense.get d i j +. v)) m.entries;
+  d
+
+let density (m : t) : float =
+  float_of_int (nnz m) /. float_of_int (m.rows * m.cols)
+
+(* Structure-only view: values replaced by 1.0 (adjacency matrices). *)
+let structure (m : t) : t =
+  { m with entries = Array.map (fun (i, j, _) -> (i, j, 1.0)) m.entries }
+
+let transpose (m : t) : t =
+  normalize m.cols m.rows (Array.map (fun (i, j, v) -> (j, i, v)) m.entries)

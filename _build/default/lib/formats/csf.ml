@@ -1,0 +1,116 @@
+(* Compressed Sparse Fiber (Smith & Karypis) for order-3 tensors: a two-level
+   compression I -> J -> K, the deepest axis chain exercised by the paper's
+   format language (S3.1 lists CSF among the expressible formats). *)
+
+type t = {
+  dim_i : int;
+  dim_j : int;
+  dim_k : int;
+  (* level 1: non-empty (i) fibers are all i in [0, dim_i) for simplicity *)
+  j_indptr : int array;  (* dim_i + 1 *)
+  j_indices : int array; (* nnz_j: j coordinates *)
+  (* level 2 *)
+  k_indptr : int array;  (* nnz_j + 1 *)
+  k_indices : int array; (* nnz: k coordinates *)
+  data : float array;    (* nnz *)
+}
+
+let nnz (t : t) = Array.length t.data
+let nnz_fibers (t : t) = Array.length t.j_indices
+
+(* Build from (i, j, k, v) entries; duplicates summed. *)
+let of_entries ~dim_i ~dim_j ~dim_k (entries : (int * int * int * float) list) :
+    t =
+  List.iter
+    (fun (i, j, k, _) ->
+      if i < 0 || i >= dim_i || j < 0 || j >= dim_j || k < 0 || k >= dim_k then
+        invalid_arg "Csf.of_entries: coordinate out of range")
+    entries;
+  let sorted =
+    List.sort (fun (a, b, c, _) (d, e, f, _) -> compare (a, b, c) (d, e, f))
+      entries
+  in
+  (* merge duplicates *)
+  let merged =
+    List.fold_left
+      (fun acc (i, j, k, v) ->
+        match acc with
+        | (i', j', k', v') :: rest when i = i' && j = j' && k = k' ->
+            (i, j, k, v +. v') :: rest
+        | _ -> (i, j, k, v) :: acc)
+      [] sorted
+    |> List.rev
+    |> List.filter (fun (_, _, _, v) -> v <> 0.0)
+  in
+  let j_indptr = Array.make (dim_i + 1) 0 in
+  let j_rev = ref [] and k_ptr_rev = ref [ 0 ] and k_rev = ref [] in
+  let data_rev = ref [] in
+  let cur = ref (-1, -1) in
+  let kcount = ref 0 in
+  List.iter
+    (fun (i, j, k, v) ->
+      if (i, j) <> !cur then begin
+        if !cur <> (-1, -1) then k_ptr_rev := !kcount :: !k_ptr_rev;
+        cur := (i, j);
+        j_rev := j :: !j_rev;
+        j_indptr.(i + 1) <- j_indptr.(i + 1) + 1
+      end;
+      incr kcount;
+      k_rev := k :: !k_rev;
+      data_rev := v :: !data_rev)
+    merged;
+  if !cur <> (-1, -1) then k_ptr_rev := !kcount :: !k_ptr_rev;
+  for i = 1 to dim_i do
+    j_indptr.(i) <- j_indptr.(i) + j_indptr.(i - 1)
+  done;
+  { dim_i; dim_j; dim_k;
+    j_indptr;
+    j_indices = Array.of_list (List.rev !j_rev);
+    k_indptr = Array.of_list (List.rev !k_ptr_rev);
+    k_indices = Array.of_list (List.rev !k_rev);
+    data = Array.of_list (List.rev !data_rev) }
+
+(* Reference MTTKRP: Y[i, r] = sum_{j,k} T[i,j,k] * B[j,r] * C[k,r]. *)
+let mttkrp (t : t) (b : Dense.t) (c : Dense.t) : Dense.t =
+  let rank = b.Dense.cols in
+  let y = Dense.create t.dim_i rank in
+  for i = 0 to t.dim_i - 1 do
+    for f = t.j_indptr.(i) to t.j_indptr.(i + 1) - 1 do
+      let j = t.j_indices.(f) in
+      for p = t.k_indptr.(f) to t.k_indptr.(f + 1) - 1 do
+        let k = t.k_indices.(p) in
+        let v = t.data.(p) in
+        for r = 0 to rank - 1 do
+          Dense.set y i r
+            (Dense.get y i r +. (v *. Dense.get b j r *. Dense.get c k r))
+        done
+      done
+    done
+  done;
+  y
+
+let iter_entries (t : t) (f : int -> int -> int -> float -> unit) : unit =
+  for i = 0 to t.dim_i - 1 do
+    for fb = t.j_indptr.(i) to t.j_indptr.(i + 1) - 1 do
+      let j = t.j_indices.(fb) in
+      for p = t.k_indptr.(fb) to t.k_indptr.(fb + 1) - 1 do
+        f i j t.k_indices.(p) t.data.(p)
+      done
+    done
+  done
+
+(* Deterministic random sparse order-3 tensor. *)
+let random ?(seed = 12) ~dim_i ~dim_j ~dim_k ~nnz () : t =
+  let st = ref (seed * 2654435761) in
+  let next n =
+    st := (!st * 1103515245) + 12345;
+    abs (!st / 65536) mod n
+  in
+  let entries = ref [] in
+  for _ = 1 to nnz do
+    entries :=
+      ( next dim_i, next dim_j, next dim_k,
+        float_of_int (1 + next 13) /. 4.0 )
+      :: !entries
+  done;
+  of_entries ~dim_i ~dim_j ~dim_k !entries

@@ -1,0 +1,129 @@
+(* Compressed Sparse Row storage, plus reference SpMM/SDDMM used to validate
+   every compiled kernel in the test-suite and benchmarks. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  indptr : int array;  (* rows + 1 *)
+  indices : int array; (* nnz, sorted within each row *)
+  data : float array;  (* nnz *)
+}
+
+let nnz (m : t) = m.indptr.(m.rows)
+let row_len (m : t) i = m.indptr.(i + 1) - m.indptr.(i)
+
+let density (m : t) : float =
+  float_of_int (nnz m) /. float_of_int (m.rows * m.cols)
+
+(* Robust to arbitrary entry order and duplicates: entries are bucketed per
+   row with cursors, then each row is sorted by column and duplicate columns
+   are summed (binary searches during lowering require sorted rows). *)
+let of_coo (c : Coo.t) : t =
+  let n = Coo.nnz c in
+  let counts = Array.make (c.Coo.rows + 1) 0 in
+  Array.iter (fun (i, _, _) -> counts.(i + 1) <- counts.(i + 1) + 1) c.Coo.entries;
+  let raw_indptr = Array.make (c.Coo.rows + 1) 0 in
+  for i = 1 to c.Coo.rows do
+    raw_indptr.(i) <- raw_indptr.(i - 1) + counts.(i)
+  done;
+  let indices = Array.make (max 1 n) 0 and data = Array.make (max 1 n) 0.0 in
+  let cursor = Array.sub raw_indptr 0 c.Coo.rows in
+  Array.iter
+    (fun (i, j, v) ->
+      let p = cursor.(i) in
+      cursor.(i) <- p + 1;
+      indices.(p) <- j;
+      data.(p) <- v)
+    c.Coo.entries;
+  (* per-row sort + duplicate merge *)
+  let out_indptr = Array.make (c.Coo.rows + 1) 0 in
+  let out_indices = Array.make (max 1 n) 0 and out_data = Array.make (max 1 n) 0.0 in
+  let w = ref 0 in
+  for i = 0 to c.Coo.rows - 1 do
+    let lo = raw_indptr.(i) and hi = raw_indptr.(i + 1) in
+    let row = Array.init (hi - lo) (fun k -> (indices.(lo + k), data.(lo + k))) in
+    Array.sort (fun (a, _) (b, _) -> compare a b) row;
+    Array.iter
+      (fun (j, v) ->
+        if !w > out_indptr.(i) && out_indices.(!w - 1) = j then
+          out_data.(!w - 1) <- out_data.(!w - 1) +. v
+        else begin
+          out_indices.(!w) <- j;
+          out_data.(!w) <- v;
+          incr w
+        end)
+      row;
+    out_indptr.(i + 1) <- !w
+  done;
+  { rows = c.Coo.rows;
+    cols = c.Coo.cols;
+    indptr = out_indptr;
+    indices = Array.sub out_indices 0 (max 1 !w);
+    data = Array.sub out_data 0 (max 1 !w) }
+
+let to_coo (m : t) : Coo.t =
+  let entries = ref [] in
+  for i = m.rows - 1 downto 0 do
+    for p = m.indptr.(i + 1) - 1 downto m.indptr.(i) do
+      entries := (i, m.indices.(p), m.data.(p)) :: !entries
+    done
+  done;
+  { Coo.rows = m.rows; cols = m.cols; entries = Array.of_list !entries }
+
+let of_dense (d : Dense.t) : t = of_coo (Coo.of_dense d)
+let to_dense (m : t) : Dense.t = Coo.to_dense (to_coo m)
+
+let transpose (m : t) : t = of_coo (Coo.transpose (to_coo m))
+
+(* Reference SpMM: Y = A X. *)
+let spmm (a : t) (x : Dense.t) : Dense.t =
+  if a.cols <> x.Dense.rows then invalid_arg "Csr.spmm: shape mismatch";
+  let y = Dense.create a.rows x.Dense.cols in
+  for i = 0 to a.rows - 1 do
+    for p = a.indptr.(i) to a.indptr.(i + 1) - 1 do
+      let j = a.indices.(p) and v = a.data.(p) in
+      for k = 0 to x.Dense.cols - 1 do
+        Dense.set y i k (Dense.get y i k +. (v *. Dense.get x j k))
+      done
+    done
+  done;
+  y
+
+(* Reference SDDMM: out_p = A_p * (X Y)_{i_p, j_p}, keeping A's structure. *)
+let sddmm (a : t) (x : Dense.t) (y : Dense.t) : float array =
+  if x.Dense.cols <> y.Dense.rows then invalid_arg "Csr.sddmm: shape mismatch";
+  let out = Array.make (nnz a) 0.0 in
+  for i = 0 to a.rows - 1 do
+    for p = a.indptr.(i) to a.indptr.(i + 1) - 1 do
+      let j = a.indices.(p) in
+      let acc = ref 0.0 in
+      for k = 0 to x.Dense.cols - 1 do
+        acc := !acc +. (Dense.get x i k *. Dense.get y k j)
+      done;
+      out.(p) <- a.data.(p) *. !acc
+    done
+  done;
+  out
+
+(* Row-length histogram; used by the workload generators and Table 1. *)
+let degree_stats (m : t) : int * int * float =
+  let mx = ref 0 and mn = ref max_int and s = ref 0 in
+  for i = 0 to m.rows - 1 do
+    let l = row_len m i in
+    mx := max !mx l;
+    mn := min !mn l;
+    s := !s + l
+  done;
+  (!mn, !mx, float_of_int !s /. float_of_int m.rows)
+
+(* Tensors for binding CSR data to compiled kernels. *)
+let indptr_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ m.rows + 1 ] (Array.copy m.indptr)
+
+let indices_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ max 1 (nnz m) ]
+    (if nnz m = 0 then [| 0 |] else Array.copy m.indices)
+
+let data_tensor ?(dtype = Tir.Dtype.F32) (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_float_array ~dtype [ max 1 (nnz m) ]
+    (if nnz m = 0 then [| 0.0 |] else Array.copy m.data)

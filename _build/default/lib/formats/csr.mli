@@ -1,0 +1,37 @@
+(** Compressed Sparse Row storage, plus reference SpMM/SDDMM used to validate
+    every compiled kernel. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  indptr : int array;  (** rows + 1 *)
+  indices : int array; (** sorted within each row *)
+  data : float array;
+}
+
+val nnz : t -> int
+val row_len : t -> int -> int
+val density : t -> float
+
+val of_coo : Coo.t -> t
+(** Robust to arbitrary entry order and duplicates: entries are bucketed per
+    row, sorted by column, and duplicate columns summed (binary searches
+    during lowering require sorted rows). *)
+
+val to_coo : t -> Coo.t
+val of_dense : Dense.t -> t
+val to_dense : t -> Dense.t
+val transpose : t -> t
+
+val spmm : t -> Dense.t -> Dense.t
+(** Reference Y = A X. *)
+
+val sddmm : t -> Dense.t -> Dense.t -> float array
+(** Reference out_p = A_p * (X Y) at A's non-zero positions. *)
+
+val degree_stats : t -> int * int * float
+(** (min, max, mean) row length. *)
+
+val indptr_tensor : t -> Tir.Tensor.t
+val indices_tensor : t -> Tir.Tensor.t
+val data_tensor : ?dtype:Tir.Dtype.t -> t -> Tir.Tensor.t

@@ -1,0 +1,50 @@
+(* Doubly-compressed BSR (inspired by DCSR): block rows that contain no
+   blocks are skipped entirely, storing a block-row id map.  The paper
+   proposes DBSR for block-pruned transformer weights, whose block matrices
+   have many all-zero rows (S4.3.2, Figure 17). *)
+
+type t = {
+  base : Bsr.t;          (* with compressed indptr over non-empty block rows *)
+  row_ids : int array;   (* original block-row id per stored block row *)
+  nrows_b : int;         (* stored (non-empty) block rows *)
+}
+
+let of_bsr (b : Bsr.t) : t =
+  let nonempty = ref [] in
+  for bi = b.Bsr.rows_b - 1 downto 0 do
+    if b.Bsr.indptr.(bi + 1) > b.Bsr.indptr.(bi) then nonempty := bi :: !nonempty
+  done;
+  let row_ids = Array.of_list !nonempty in
+  let nrows_b = Array.length row_ids in
+  let indptr = Array.make (nrows_b + 1) 0 in
+  Array.iteri
+    (fun r bi ->
+      indptr.(r + 1) <- indptr.(r) + (b.Bsr.indptr.(bi + 1) - b.Bsr.indptr.(bi)))
+    row_ids;
+  (* indices/data order is unchanged: rows keep their relative order *)
+  { base = { b with Bsr.indptr }; row_ids; nrows_b }
+
+let of_csr ~block (c : Csr.t) : t = of_bsr (Bsr.of_csr ~block c)
+
+let to_dense (m : t) : Dense.t =
+  let b = m.base in
+  let d = Dense.create b.Bsr.rows b.Bsr.cols in
+  for r = 0 to m.nrows_b - 1 do
+    let bi = m.row_ids.(r) in
+    for p = b.Bsr.indptr.(r) to b.Bsr.indptr.(r + 1) - 1 do
+      let bj = b.Bsr.indices.(p) in
+      for ii = 0 to b.Bsr.block - 1 do
+        for jj = 0 to b.Bsr.block - 1 do
+          let i = (bi * b.Bsr.block) + ii and j = (bj * b.Bsr.block) + jj in
+          if i < b.Bsr.rows && j < b.Bsr.cols then
+            Dense.set d i j
+              b.Bsr.data.((p * b.Bsr.block * b.Bsr.block) + (ii * b.Bsr.block) + jj)
+        done
+      done
+    done
+  done;
+  d
+
+let row_ids_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ max 1 m.nrows_b ]
+    (if m.nrows_b = 0 then [| 0 |] else Array.copy m.row_ids)

@@ -1,0 +1,15 @@
+(* Host-side sparse matrix formats and conversions.  Compressed auxiliary
+   data produced here (indptr / indices / row maps) feeds the SparseTIR axes
+   of the compiled kernels; the paper performs the same conversions at
+   preprocessing time for stationary sparse structures (S3.2.1). *)
+
+module Dense = Dense
+module Coo = Coo
+module Csr = Csr
+module Ell = Ell
+module Bsr = Bsr
+module Dbsr = Dbsr
+module Sr_bcrs = Sr_bcrs
+module Dia = Dia
+module Hyb = Hyb
+module Csf = Csf

@@ -1,0 +1,128 @@
+(* The paper's composable format hyb(c, k) (S4.2.1, Figure 11).
+
+   Columns are partitioned into c ranges.  Within each partition, every row
+   with l stored elements (2^{i-1} < l <= 2^i) goes to bucket i and is padded
+   to width 2^i; rows longer than 2^k are split into multiple pseudo-rows of
+   width 2^k, which is what gives compile-time load balancing.  Each bucket
+   is a row-mapped ELL sub-matrix (Ell.t). *)
+
+type bucket = {
+  bk_part : int;   (* column partition id *)
+  bk_width : int;  (* 2^i *)
+  bk_ell : Ell.t;  (* row-mapped ELL sub-matrix *)
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  parts : int;          (* c *)
+  max_width : int;      (* 2^k *)
+  part_cols : int;      (* ceil(cols / c) *)
+  buckets : bucket list;
+  nnz : int;
+  padded : int;
+}
+
+(* Bucketing rule used in the paper: k = ceil(log2(nnz / rows)). *)
+let default_k (c : Csr.t) : int =
+  let avg = float_of_int (Csr.nnz c) /. float_of_int (max 1 c.Csr.rows) in
+  max 0 (int_of_float (Float.ceil (Float.log (Float.max 1.0 avg) /. Float.log 2.0)))
+
+let of_csr ~(c : int) ~(k : int) (m : Csr.t) : t =
+  let part_cols = (m.Csr.cols + c - 1) / c in
+  let max_width = 1 lsl k in
+  (* per partition: (row id, entries) lists *)
+  let buckets = ref [] in
+  let padded = ref 0 in
+  for part = 0 to c - 1 do
+    let lo = part * part_cols and hi = min m.Csr.cols ((part + 1) * part_cols) in
+    (* rows of this partition, as (row, (col, v) list) *)
+    let rows_entries = ref [] in
+    for i = m.Csr.rows - 1 downto 0 do
+      let es = ref [] in
+      for p = m.Csr.indptr.(i + 1) - 1 downto m.Csr.indptr.(i) do
+        let j = m.Csr.indices.(p) in
+        if j >= lo && j < hi then es := (j, m.Csr.data.(p)) :: !es
+      done;
+      if !es <> [] then rows_entries := (i, !es) :: !rows_entries
+    done;
+    (* split long rows into pseudo-rows of width at most 2^k *)
+    let pseudo = ref [] in
+    List.iter
+      (fun (i, es) ->
+        let rec chunks l =
+          if List.length l <= max_width then [ l ]
+          else
+            let rec take n acc = function
+              | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let c1, rest = take max_width [] l in
+            c1 :: chunks rest
+        in
+        List.iter (fun ch -> pseudo := (i, ch) :: !pseudo) (chunks es))
+      (List.rev !rows_entries);
+    let pseudo = List.rev !pseudo in
+    (* assign pseudo-rows to buckets by ceil(log2 l) *)
+    let nbuckets = k + 1 in
+    let by_bucket = Array.make nbuckets [] in
+    List.iter
+      (fun (i, es) ->
+        let l = List.length es in
+        let b =
+          let rec go w idx = if l <= w then idx else go (w * 2) (idx + 1) in
+          go 1 0
+        in
+        by_bucket.(b) <- (i, es) :: by_bucket.(b))
+      pseudo;
+    Array.iteri
+      (fun b rows_list ->
+        let rows_list = List.rev rows_list in
+        let nrows = List.length rows_list in
+        if nrows > 0 then begin
+          let width = 1 lsl b in
+          let row_map = Array.make nrows 0 in
+          (* padded slots point one past the last column: an absent
+             coordinate, so compiled copies and computations see them as
+             structural zeros (and they keep each row's indices sorted) *)
+          let indices = Array.make (nrows * width) m.Csr.cols in
+          let data = Array.make (nrows * width) 0.0 in
+          List.iteri
+            (fun r (i, es) ->
+              row_map.(r) <- i;
+              List.iteri
+                (fun q (j, v) ->
+                  indices.((r * width) + q) <- j;
+                  data.((r * width) + q) <- v)
+                es;
+              padded := !padded + (width - List.length es))
+            rows_list;
+          buckets :=
+            { bk_part = part;
+              bk_width = width;
+              bk_ell =
+                { Ell.rows = nrows; cols = m.Csr.cols; width; indices; data;
+                  row_map = Some row_map; padded = 0 } }
+            :: !buckets
+        end)
+      by_bucket
+  done;
+  { rows = m.Csr.rows; cols = m.Csr.cols; parts = c; max_width; part_cols;
+    buckets = List.rev !buckets; nnz = Csr.nnz m; padded = !padded }
+
+(* %padding of Table 1 / Table 2: padded slots over stored slots. *)
+let padding_pct (h : t) : float =
+  100.0 *. float_of_int h.padded /. float_of_int (h.nnz + h.padded)
+
+let to_dense (h : t) : Dense.t =
+  let d = Dense.create h.rows h.cols in
+  List.iter
+    (fun b ->
+      let e = Ell.to_dense b.bk_ell ~orig_rows:h.rows in
+      for i = 0 to h.rows - 1 do
+        for j = 0 to h.cols - 1 do
+          Dense.set d i j (Dense.get d i j +. Dense.get e i j)
+        done
+      done)
+    h.buckets;
+  d

@@ -1,0 +1,32 @@
+(** The paper's composable format hyb(c, k) (S4.2.1, Figure 11): column
+    partitioning into c ranges, power-of-two row-length bucketing up to 2^k
+    with long-row splitting, one row-mapped ELL sub-matrix per bucket. *)
+
+type bucket = {
+  bk_part : int;   (** column partition id *)
+  bk_width : int;  (** 2^i *)
+  bk_ell : Ell.t;  (** row-mapped ELL sub-matrix *)
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  parts : int;
+  max_width : int;
+  part_cols : int;
+  buckets : bucket list;
+  nnz : int;
+  padded : int;
+}
+
+val default_k : Csr.t -> int
+(** The paper's bucketing rule: k = ceil(log2(nnz / rows)). *)
+
+val of_csr : c:int -> k:int -> Csr.t -> t
+(** Padded slots point one past the last column (an absent coordinate), so
+    compiled copies and computations see them as structural zeros. *)
+
+val padding_pct : t -> float
+(** The %padding column of Tables 1 and 2. *)
+
+val to_dense : t -> Dense.t

@@ -1,0 +1,99 @@
+(* SR-BCRS(t, g) — the column-vector-sparse format of Magicube, used by the
+   paper for unstructured-pruned weights (S4.3.2, Figures 18 and 19).
+
+   The matrix is divided into t x 1 vertical tiles; all-zero tiles are
+   omitted.  The surviving tiles of each row strip (t consecutive rows) are
+   grouped g at a time, padding the tail group with zero tiles so every group
+   holds exactly g tiles.  A group is stored as a dense t x g row-major panel
+   (rows = the strip's t matrix rows, columns = the group's gathered matrix
+   columns), which multiplies g gathered rows of the dense operand — exactly
+   an MMA tile.  Intra-tile fragmentation is bounded below by 1/t, versus
+   1/b^2 for BSR with block size b. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  tile : int;               (* t: tile height *)
+  group : int;              (* g: tiles per group *)
+  strips : int;             (* ceil(rows / t) *)
+  group_indptr : int array; (* strips + 1, in groups *)
+  tile_cols : int array;    (* per stored tile (group*g + k): its column *)
+  data : float array;       (* per group: t x g row-major panel *)
+  padded : int;             (* zero elements stored due to tile+group padding *)
+}
+
+let n_groups (m : t) = m.group_indptr.(m.strips)
+let n_tiles (m : t) = n_groups m * m.group
+let nnz_stored (m : t) = n_tiles m * m.tile
+
+let of_csr ~(tile : int) ~(group : int) (c : Csr.t) : t =
+  let strips = (c.Csr.rows + tile - 1) / tile in
+  let d = Csr.to_dense c in
+  let module IS = Set.Make (Int) in
+  let strip_tiles = Array.make strips IS.empty in
+  for i = 0 to c.Csr.rows - 1 do
+    for p = c.Csr.indptr.(i) to c.Csr.indptr.(i + 1) - 1 do
+      let s = i / tile in
+      strip_tiles.(s) <- IS.add c.Csr.indices.(p) strip_tiles.(s)
+    done
+  done;
+  let group_indptr = Array.make (strips + 1) 0 in
+  for s = 0 to strips - 1 do
+    let nt = IS.cardinal strip_tiles.(s) in
+    group_indptr.(s + 1) <- group_indptr.(s) + ((nt + group - 1) / group)
+  done;
+  let total_groups = group_indptr.(strips) in
+  let total_tiles = total_groups * group in
+  let tile_cols = Array.make (max 1 total_tiles) 0 in
+  let data = Array.make (max 1 (total_groups * tile * group)) 0.0 in
+  let filled = ref 0 in
+  for s = 0 to strips - 1 do
+    List.iteri
+      (fun k j ->
+        let grp = group_indptr.(s) + (k / group) in
+        let gk = k mod group in
+        tile_cols.((grp * group) + gk) <- j;
+        for r = 0 to tile - 1 do
+          let i = (s * tile) + r in
+          if i < c.Csr.rows then begin
+            let v = Dense.get d i j in
+            data.((((grp * tile) + r) * group) + gk) <- v;
+            if v <> 0.0 then incr filled
+          end
+        done)
+      (IS.elements strip_tiles.(s))
+  done;
+  { rows = c.Csr.rows; cols = c.Csr.cols; tile; group; strips; group_indptr;
+    tile_cols; data; padded = (total_tiles * tile) - !filled }
+
+let to_dense (m : t) : Dense.t =
+  let d = Dense.create m.rows m.cols in
+  for s = 0 to m.strips - 1 do
+    for grp = m.group_indptr.(s) to m.group_indptr.(s + 1) - 1 do
+      for gk = 0 to m.group - 1 do
+        let j = m.tile_cols.((grp * m.group) + gk) in
+        for r = 0 to m.tile - 1 do
+          let i = (s * m.tile) + r in
+          let v = m.data.((((grp * m.tile) + r) * m.group) + gk) in
+          if i < m.rows && v <> 0.0 then Dense.set d i j (Dense.get d i j +. v)
+        done
+      done
+    done
+  done;
+  d
+
+(* density of the transformed representation (Figure 19's right plot) *)
+let stored_density (m : t) : float =
+  float_of_int (nnz_stored m) /. float_of_int (m.rows * m.cols)
+
+let group_indptr_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ m.strips + 1 ] (Array.copy m.group_indptr)
+
+let tile_cols_tensor (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_int_array [ max 1 (Array.length m.tile_cols) ]
+    (Array.copy m.tile_cols)
+
+let data_tensor ?(dtype = Tir.Dtype.F16) (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_float_array ~dtype
+    [ max 1 (Array.length m.data) ]
+    (Array.copy m.data)

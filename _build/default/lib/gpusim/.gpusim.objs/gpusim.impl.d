@@ -1,0 +1,1 @@
+lib/gpusim/gpusim.ml: Analysis Array Cache Cost Eval Float Hashtbl Ir List Printf Spec Tensor Tir

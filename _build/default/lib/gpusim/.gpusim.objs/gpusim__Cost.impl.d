@@ -1,0 +1,1 @@
+lib/gpusim/cost.ml: Analysis Array Cache Dtype Float Fun Hashtbl List Option Printf Spec Tensor Tir

@@ -1,0 +1,1 @@
+lib/gpusim/cost.mli: Cache Hashtbl Spec Tensor Tir

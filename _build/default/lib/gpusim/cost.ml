@@ -1,0 +1,917 @@
+(* Architectural cost model: walks a Stage III function at warp granularity,
+   evaluating integer control flow against the real buffer contents (indptr /
+   indices arrays), classifying every memory access by its per-lane stride
+   (coalesced / strided / gather / broadcast), driving per-SM L1 and a shared
+   L2 cache simulator, and accounting CUDA-core, tensor-core and shared-memory
+   throughput.
+
+   Key modeling decisions (see DESIGN.md S2):
+   - threadIdx.x is symbolic within a warp: every integer expression carries
+     its value at lane 0 plus its lane dependence (uniform / linear with known
+     coefficient / divergent).  Linear addresses become strided cache runs;
+     divergent addresses become gathers of one transaction per active lane.
+   - Loops with lane-divergent trip counts (e.g. row-per-thread CSR kernels)
+     execute max-over-lanes iterations with per-step active lane counts,
+     which is exactly the SIMT serialization that causes the load-imbalance
+     the paper's hyb format removes.
+   - Long uniform serial loops are summarized: two probe iterations establish
+     the per-request stride, then the whole loop is charged as strided cache
+     runs.  Loops that cannot be summarized are sampled.
+   - Blocks are assigned to SMs round-robin; kernel time is the maximum over
+     SMs of per-resource throughput times, bounded below by the longest
+     single-block critical path and the device-wide DRAM/L2 time. *)
+
+open Tir
+open Tir.Ir
+
+exception Cost_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Cost_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic-in-lane integer values                                     *)
+(* ------------------------------------------------------------------ *)
+
+type lane_dep = Uniform | Linear of int | Divergent
+
+type sval = { v0 : int; dep : lane_dep }
+
+let uni v = { v0 = v; dep = Uniform }
+
+let dep_add a b =
+  match (a, b) with
+  | Uniform, d | d, Uniform -> d
+  | Linear x, Linear y -> if x + y = 0 then Uniform else Linear (x + y)
+  | _ -> Divergent
+
+let dep_neg = function
+  | Uniform -> Uniform
+  | Linear x -> Linear (-x)
+  | Divergent -> Divergent
+
+let dep_mul_const d k =
+  match d with
+  | Uniform -> Uniform
+  | Linear x -> if x * k = 0 then Uniform else Linear (x * k)
+  | Divergent -> Divergent
+
+let is_uniform = function Uniform -> true | Linear _ | Divergent -> false
+
+(* ------------------------------------------------------------------ *)
+(* Memory requests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type space = Sp_global | Sp_shared | Sp_register
+
+type req = {
+  rq_space : space;
+  rq_base : int;        (* byte address at lane 0 *)
+  rq_lane_stride : int; (* byte stride per lane; 0 = broadcast *)
+  rq_gather : bool;     (* divergent address: one transaction per lane *)
+  rq_bytes : int;       (* bytes per lane *)
+  rq_store : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Accumulators                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type wacc = {
+  mutable a_insts : float;     (* warp instructions *)
+  mutable a_l1 : float;        (* transactions that hit in L1 *)
+  mutable a_l2 : float;        (* transactions served by L2 *)
+  mutable a_dram : float;      (* transactions served by DRAM *)
+  mutable a_dram_bytes : float;
+  mutable a_smem : float;      (* shared-memory transactions *)
+  mutable a_tc : float;        (* tensor-core MAC operations *)
+  mutable a_flops : float;
+}
+
+let wacc_zero () =
+  { a_insts = 0.; a_l1 = 0.; a_l2 = 0.; a_dram = 0.; a_dram_bytes = 0.;
+    a_smem = 0.; a_tc = 0.; a_flops = 0. }
+
+let wacc_add (dst : wacc) (src : wacc) ~(scale : float) =
+  dst.a_insts <- dst.a_insts +. (scale *. src.a_insts);
+  dst.a_l1 <- dst.a_l1 +. (scale *. src.a_l1);
+  dst.a_l2 <- dst.a_l2 +. (scale *. src.a_l2);
+  dst.a_dram <- dst.a_dram +. (scale *. src.a_dram);
+  dst.a_dram_bytes <- dst.a_dram_bytes +. (scale *. src.a_dram_bytes);
+  dst.a_smem <- dst.a_smem +. (scale *. src.a_smem);
+  dst.a_tc <- dst.a_tc +. (scale *. src.a_tc);
+  dst.a_flops <- dst.a_flops +. (scale *. src.a_flops)
+
+(* Warp critical-path cycles (latency view): bounds the kernel from below
+   when few blocks exist or one warp carries a hub row.  Memory latencies are
+   divided by a memory-level-parallelism factor — a warp keeps several loads
+   in flight — so the critical path reflects pipelined, not serialized,
+   accesses. *)
+let mlp_factor = 4.0
+
+let wacc_latency (spec : Spec.t) (w : wacc) : float =
+  w.a_insts
+  +. ((w.a_l1 *. spec.l1_txn_cycles) /. mlp_factor)
+  +. ((w.a_l2 *. spec.l2_txn_cycles) /. mlp_factor)
+  +. ((w.a_dram *. spec.dram_txn_cycles) /. mlp_factor)
+  +. (w.a_smem *. spec.smem_txn_cycles /. mlp_factor)
+  +. (w.a_tc /. 64.0)
+
+(* ------------------------------------------------------------------ *)
+(* Walker context                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type binding = {
+  bd_sv : sval;
+  bd_def : expr option; (* definition, for per-lane re-evaluation *)
+}
+
+type buf_info = {
+  bi_tensor : Tensor.t option; (* real contents (aux data) when bound *)
+  bi_base : int;               (* simulated base byte address *)
+  bi_space : space;
+  bi_dsize : int;
+}
+
+type ctx = {
+  spec : Spec.t;
+  l2 : Cache.t;
+  l1s : Cache.t array;                   (* one per SM *)
+  mutable sm : int;                      (* SM executing the current block *)
+  vars : (int, binding) Hashtbl.t;
+  bufs : (int, buf_info) Hashtbl.t;
+  mutable lane_var : int;                (* vid of the threadIdx.x loop var *)
+  mutable warp_base : int;
+  mutable active : int;                  (* active lanes in current warp *)
+  mutable acc : wacc;                    (* current warp accumulator *)
+  mutable probe : (req list ref * float ref) option;
+      (* when set, record requests/ops instead of charging *)
+  mutable next_addr : int;               (* simulated allocator *)
+  mutable next_smem : int;
+  mutable total_flops : float;           (* kernel-wide flop counter *)
+  (* inside address computations: arithmetic is strength-reduced by real
+     code generators, so it does not charge instructions *)
+  mutable in_index : bool;
+}
+
+let no_lane = -1
+
+let make_ctx (spec : Spec.t) : ctx =
+  { spec;
+    l2 = Cache.create ~bytes:spec.l2_bytes ~line:spec.l2_line ~assoc:spec.l2_assoc;
+    l1s =
+      Array.init spec.num_sms (fun _ ->
+          Cache.create ~bytes:spec.l1_bytes ~line:spec.l1_line ~assoc:spec.l1_assoc);
+    sm = 0;
+    vars = Hashtbl.create 64;
+    bufs = Hashtbl.create 32;
+    lane_var = no_lane;
+    warp_base = 0;
+    active = 1;
+    acc = wacc_zero ();
+    probe = None;
+    next_addr = 256;
+    next_smem = 0;
+    total_flops = 0.0;
+    in_index = false }
+
+let register_buffer (ctx : ctx) (b : buffer) (t : Tensor.t option)
+    ~(numel : int) : unit =
+  if Hashtbl.mem ctx.bufs b.buf_id then ()
+  else begin
+    let dsize = Dtype.size_bytes b.buf_dtype in
+    let bytes = numel * dsize in
+    let space, base =
+      match b.buf_scope with
+      | Global ->
+          let a = ctx.next_addr in
+          ctx.next_addr <- a + ((bytes + 255) / 256 * 256) + 256;
+          (Sp_global, a)
+      | Shared ->
+          let a = ctx.next_smem in
+          ctx.next_smem <- a + bytes;
+          (Sp_shared, a)
+      | Local -> (Sp_register, 0)
+    in
+    Hashtbl.replace ctx.bufs b.buf_id
+      { bi_tensor = t; bi_base = base; bi_space = space; bi_dsize = dsize }
+  end
+
+let buf_info_exn (ctx : ctx) (b : buffer) : buf_info =
+  match Hashtbl.find_opt ctx.bufs b.buf_id with
+  | Some i -> i
+  | None -> err "buffer %s not registered with the simulator" b.buf_name
+
+(* ------------------------------------------------------------------ *)
+(* Charging                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let charge_ops (ctx : ctx) (n : float) : unit =
+  if not ctx.in_index then
+    match ctx.probe with
+    | Some (_, ops) -> ops := !ops +. n
+    | None -> ctx.acc.a_insts <- ctx.acc.a_insts +. n
+
+let charge_flops (ctx : ctx) (n : float) : unit =
+  if ctx.probe = None then begin
+    ctx.acc.a_flops <- ctx.acc.a_flops +. n;
+    ctx.total_flops <- ctx.total_flops +. n
+  end
+
+(* Charge a global-memory cache run; splits hits among L1/L2/DRAM. *)
+let charge_global_run (ctx : ctx) ~base ~stride ~count ~bytes ~(txn_mult : float)
+    : unit =
+  let l1 = ctx.l1s.(ctx.sm) in
+  (* a zero-stride run re-issues the same transaction [count] times: the
+     cache sees the line once, but every repeat is a (hitting) transaction *)
+  if stride = 0 && count > 1 then begin
+    let h1, m1 = Cache.access_run l1 ~base ~stride:0 ~count:1 ~bytes in
+    ctx.acc.a_l1 <-
+      ctx.acc.a_l1 +. (float_of_int (count - 1) *. txn_mult);
+    let h2, m2 =
+      if m1 = 0 then (0, 0) else Cache.access_run ctx.l2 ~base ~stride:0 ~count:1 ~bytes
+    in
+    let f = float_of_int in
+    let l2_rate = if h2 + m2 = 0 then 0.0 else f h2 /. f (h2 + m2) in
+    let to_l2 = f m1 *. l2_rate and to_dram = f m1 *. (1.0 -. l2_rate) in
+    ctx.acc.a_l1 <- ctx.acc.a_l1 +. (f h1 *. txn_mult);
+    ctx.acc.a_l2 <- ctx.acc.a_l2 +. (to_l2 *. txn_mult);
+    ctx.acc.a_dram <- ctx.acc.a_dram +. (to_dram *. txn_mult);
+    ctx.acc.a_dram_bytes <-
+      ctx.acc.a_dram_bytes +. (to_dram *. txn_mult *. f ctx.spec.l2_line)
+  end
+  else
+  let h1, m1 = Cache.access_run l1 ~base ~stride ~count ~bytes in
+  let h2, m2 =
+    if m1 = 0 then (0, 0) else Cache.access_run ctx.l2 ~base ~stride ~count ~bytes
+  in
+  let f = float_of_int in
+  let l2_rate = if h2 + m2 = 0 then 0.0 else f h2 /. f (h2 + m2) in
+  let to_l2 = f m1 *. l2_rate and to_dram = f m1 *. (1.0 -. l2_rate) in
+  let acc = ctx.acc in
+  acc.a_l1 <- acc.a_l1 +. (f h1 *. txn_mult);
+  acc.a_l2 <- acc.a_l2 +. (to_l2 *. txn_mult);
+  acc.a_dram <- acc.a_dram +. (to_dram *. txn_mult);
+  acc.a_dram_bytes <-
+    acc.a_dram_bytes +. (to_dram *. txn_mult *. f ctx.spec.l2_line)
+
+let charge_req (ctx : ctx) (r : req) : unit =
+  match ctx.probe with
+  | Some (reqs, _) -> reqs := r :: !reqs
+  | None -> (
+      match r.rq_space with
+      | Sp_register -> ()
+      | Sp_shared ->
+          let txns =
+            if r.rq_gather then float_of_int ctx.active
+            else if r.rq_lane_stride = 0 then 1.0
+            else
+              (* shared memory: bank conflicts ignored; one txn per 128B *)
+              Float.of_int
+                (max 1 ((ctx.active * max r.rq_bytes r.rq_lane_stride + 127) / 128))
+          in
+          ctx.acc.a_smem <- ctx.acc.a_smem +. txns
+      | Sp_global ->
+          if r.rq_gather then
+            (* probe one lane's line; assume similar fate for other lanes *)
+            charge_global_run ctx ~base:r.rq_base ~stride:0 ~count:1
+              ~bytes:r.rq_bytes
+              ~txn_mult:(float_of_int ctx.active)
+          else if r.rq_lane_stride = 0 then
+            charge_global_run ctx ~base:r.rq_base ~stride:0 ~count:1
+              ~bytes:r.rq_bytes ~txn_mult:1.0
+          else
+            charge_global_run ctx ~base:r.rq_base ~stride:r.rq_lane_stride
+              ~count:ctx.active ~bytes:r.rq_bytes ~txn_mult:1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Integer evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_var (ctx : ctx) (x : var) : binding =
+  match Hashtbl.find_opt ctx.vars x.vid with
+  | Some b -> b
+  | None -> err "cost walker: unbound variable %s" x.vname
+
+(* Pure re-evaluation of [e] for a specific lane (no charging). *)
+let rec eval_lane (ctx : ctx) (lane : int) (e : expr) : int =
+  match e with
+  | Int_imm n -> n
+  | Float_imm x -> int_of_float x
+  | Bool_imm b -> if b then 1 else 0
+  | Evar x ->
+      if x.vid = ctx.lane_var then ctx.warp_base + lane
+      else
+        let b = lookup_var ctx x in
+        (match b.bd_def with
+        | Some d when b.bd_sv.dep <> Uniform -> eval_lane ctx lane d
+        | _ -> b.bd_sv.v0)
+  | Load (b, idx) -> (
+      let info = buf_info_exn ctx b in
+      match info.bi_tensor with
+      | None -> 0
+      | Some t ->
+          let flat = flat_index_of ctx lane t idx in
+          if flat < 0 || flat >= Tensor.numel t then 0 else Tensor.get_i t flat)
+  | Binop (op, a, b) -> eval_binop_int op (eval_lane ctx lane a) (eval_lane ctx lane b)
+  | Unop (Neg, a) -> -eval_lane ctx lane a
+  | Unop (Not, a) -> if eval_lane ctx lane a = 0 then 1 else 0
+  | Unop ((Exp | Sqrt | Log | Abs), a) -> abs (eval_lane ctx lane a)
+  | Select (c, t, f) ->
+      if eval_lane ctx lane c <> 0 then eval_lane ctx lane t else eval_lane ctx lane f
+  | Cast (_, a) -> eval_lane ctx lane a
+  | Bsearch bs -> (
+      let info = buf_info_exn ctx bs.bs_buf in
+      match info.bi_tensor with
+      | None -> 0
+      | Some t ->
+          let lo = eval_lane ctx lane bs.bs_lo
+          and hi = eval_lane ctx lane bs.bs_hi
+          and v = eval_lane ctx lane bs.bs_v in
+          bsearch_data t ~lo ~hi ~v ~ub:bs.bs_ub)
+
+and flat_index_of (ctx : ctx) (lane : int) (t : Tensor.t) (idx : expr list) :
+    int =
+  let ints = List.map (eval_lane ctx lane) idx in
+  match ints with
+  | [ i ] when Array.length t.Tensor.shape <> 1 -> i
+  | _ ->
+      let arr = Array.of_list ints in
+      let ok = ref true in
+      Array.iteri
+        (fun d i -> if i < 0 || i >= t.Tensor.shape.(d) then ok := false)
+        arr;
+      if not !ok then -1 else Tensor.flat_index t arr
+
+and eval_binop_int op x y =
+  match op with
+  | Add -> x + y
+  | Sub -> x - y
+  | Mul -> x * y
+  | Div -> if y = 0 then 0 else x / y
+  | Floor_div ->
+      if y = 0 then 0
+      else if x >= 0 then x / y
+      else -(((-x) + y - 1) / y)
+  | Floor_mod ->
+      if y = 0 then 0
+      else
+        let r = x mod y in
+        if r >= 0 then r else r + y
+  | Min -> min x y
+  | Max -> max x y
+  | Eq -> if x = y then 1 else 0
+  | Ne -> if x <> y then 1 else 0
+  | Lt -> if x < y then 1 else 0
+  | Le -> if x <= y then 1 else 0
+  | Gt -> if x > y then 1 else 0
+  | Ge -> if x >= y then 1 else 0
+  | And -> if x <> 0 && y <> 0 then 1 else 0
+  | Or -> if x <> 0 || y <> 0 then 1 else 0
+
+and bsearch_data (t : Tensor.t) ~lo ~hi ~v ~ub : int =
+  let n = Tensor.numel t in
+  let lo = max 0 lo and hi = min n hi in
+  if ub then begin
+    let rec go lo' hi' =
+      if lo' + 1 >= hi' then lo'
+      else
+        let mid = (lo' + hi') / 2 in
+        if Tensor.get_i t mid <= v then go mid hi' else go lo' mid
+    in
+    if lo >= hi then lo else go lo hi
+  end
+  else
+    let rec go lo' hi' =
+      if lo' >= hi' then hi
+      else
+        let mid = (lo' + hi') / 2 in
+        let x = Tensor.get_i t mid in
+        if x = v then mid else if x < v then go (mid + 1) hi' else go lo' mid
+    in
+    go lo hi
+
+(* Charging symbolic walk: evaluates integer structure at lane 0 with lane
+   dependence, while charging instruction and memory costs. *)
+let rec walk_expr (ctx : ctx) (e : expr) : sval =
+  match e with
+  | Int_imm n -> uni n
+  | Float_imm _ -> uni 0
+  | Bool_imm b -> uni (if b then 1 else 0)
+  | Evar x ->
+      if x.vid = ctx.lane_var then { v0 = ctx.warp_base; dep = Linear 1 }
+      else (lookup_var ctx x).bd_sv
+  | Load (b, idx) -> walk_load ctx b idx ~store:None
+  | Binop (op, a, b) -> (
+      let sa = walk_expr ctx a and sb = walk_expr ctx b in
+      charge_ops ctx 1.0;
+      (match op with
+      | Add | Sub | Mul | Div -> charge_flops ctx 1.0
+      | _ -> ());
+      let v = eval_binop_int op sa.v0 sb.v0 in
+      let dep =
+        match op with
+        | Add -> dep_add sa.dep sb.dep
+        | Sub -> dep_add sa.dep (dep_neg sb.dep)
+        | Mul -> (
+            match (sa.dep, sb.dep) with
+            | Uniform, Uniform -> Uniform
+            | Linear c, Uniform -> dep_mul_const (Linear c) sb.v0
+            | Uniform, Linear c -> dep_mul_const (Linear c) sa.v0
+            | _ -> Divergent)
+        | Floor_div -> (
+            match (sa.dep, sb.dep) with
+            | Uniform, Uniform -> Uniform
+            | Linear c, Uniform
+              when sb.v0 > 0 && c > 0 && c * 31 < sb.v0
+                   && sa.v0 mod sb.v0 + (c * 31) < sb.v0 ->
+                Uniform (* whole warp lands in the same quotient *)
+            | _, Uniform when sa.dep <> Divergent -> Divergent
+            | _ -> Divergent)
+        | Floor_mod -> (
+            match (sa.dep, sb.dep) with
+            | Uniform, Uniform -> Uniform
+            | Linear c, Uniform
+              when sb.v0 > 0 && c > 0 && c * 31 < sb.v0
+                   && sa.v0 mod sb.v0 + (c * 31) < sb.v0 ->
+                Linear c (* no wraparound within the warp *)
+            | _ -> Divergent)
+        | Min | Max | Div -> (
+            match (sa.dep, sb.dep) with
+            | Uniform, Uniform -> Uniform
+            | _ -> Divergent)
+        | Eq | Ne | Lt | Le | Gt | Ge | And | Or -> (
+            match (sa.dep, sb.dep) with
+            | Uniform, Uniform -> Uniform
+            | _ -> Divergent)
+      in
+      { v0 = v; dep })
+  | Unop (op, a) ->
+      let sa = walk_expr ctx a in
+      charge_ops ctx 1.0;
+      if op = Exp || op = Sqrt || op = Log then charge_ops ctx 3.0;
+      { v0 = (match op with Neg -> -sa.v0 | Not -> (if sa.v0 = 0 then 1 else 0)
+              | _ -> sa.v0);
+        dep = (match sa.dep with Uniform -> Uniform | _ -> Divergent) }
+  | Select (c, t, f) ->
+      let sc = walk_expr ctx c in
+      charge_ops ctx 1.0;
+      if is_uniform sc.dep then
+        if sc.v0 <> 0 then walk_expr ctx t else walk_expr ctx f
+      else begin
+        (* divergent select: both sides execute *)
+        let st = walk_expr ctx t and _sf = walk_expr ctx f in
+        { v0 = (if sc.v0 <> 0 then st.v0 else _sf.v0); dep = Divergent }
+      end
+  | Cast (_, a) -> walk_expr ctx a
+  | Bsearch bs ->
+      let slo = walk_expr ctx bs.bs_lo
+      and shi = walk_expr ctx bs.bs_hi
+      and sv = walk_expr ctx bs.bs_v in
+      let info = buf_info_exn ctx bs.bs_buf in
+      let result =
+        match info.bi_tensor with
+        | Some t -> bsearch_data t ~lo:slo.v0 ~hi:shi.v0 ~v:sv.v0 ~ub:bs.bs_ub
+        | None -> slo.v0
+      in
+      let steps =
+        let n = max 2 (shi.v0 - slo.v0) in
+        ceil (log (float_of_int n) /. log 2.0)
+      in
+      charge_ops ctx (4.0 *. steps);
+      (* each step reads one element, effectively a gather *)
+      let mid = (slo.v0 + max slo.v0 shi.v0) / 2 in
+      for _ = 1 to int_of_float steps do
+        charge_req ctx
+          { rq_space = info.bi_space;
+            rq_base = info.bi_base + (mid * info.bi_dsize);
+            rq_lane_stride = 0;
+            rq_gather =
+              not (is_uniform slo.dep && is_uniform shi.dep && is_uniform sv.dep);
+            rq_bytes = info.bi_dsize;
+            rq_store = false }
+      done;
+      let dep =
+        if is_uniform slo.dep && is_uniform shi.dep && is_uniform sv.dep then
+          Uniform
+        else Divergent
+      in
+      { v0 = result; dep }
+
+and walk_load (ctx : ctx) (b : buffer) (idx : expr list) ~store : sval =
+  let info = buf_info_exn ctx b in
+  let saved_in_index = ctx.in_index in
+  ctx.in_index <- true;
+  let svs = List.map (walk_expr ctx) idx in
+  ctx.in_index <- saved_in_index;
+  (* flat element offset at lane 0 + lane dependence *)
+  let flat0, dep =
+    match svs with
+    | [ s ] when (match info.bi_tensor with
+                 | Some t -> Array.length t.Tensor.shape <> 1
+                 | None -> false) ->
+        (s.v0, s.dep)
+    | _ ->
+        let shape =
+          match info.bi_tensor with
+          | Some t -> Array.to_list t.Tensor.shape
+          | None ->
+              List.map
+                (fun e ->
+                  match Analysis.const_int_opt e with Some n -> n | None -> 1)
+                b.buf_shape
+        in
+        let rec strides = function
+          | [] -> []
+          | _ :: rest -> List.fold_left ( * ) 1 rest :: strides rest
+        in
+        let sts = strides shape in
+        List.fold_left2
+          (fun (acc, dep) s st ->
+            (acc + (s.v0 * st), dep_add dep (dep_mul_const s.dep st)))
+          (0, Uniform) svs sts
+  in
+  charge_ops ctx 1.0;
+  let addr = info.bi_base + (flat0 * info.bi_dsize) in
+  let r =
+    { rq_space = info.bi_space;
+      rq_base = addr;
+      rq_lane_stride =
+        (match dep with Linear c -> c * info.bi_dsize | _ -> 0);
+      rq_gather = (dep = Divergent);
+      rq_bytes = info.bi_dsize;
+      rq_store = store <> None }
+  in
+  charge_req ctx r;
+  (* value: only integer buffers matter for control flow *)
+  let v0 =
+    if Dtype.is_int b.buf_dtype then
+      match info.bi_tensor with
+      | Some t ->
+          let flat =
+            match svs with
+            | [ s ] when Array.length t.Tensor.shape <> 1 -> s.v0
+            | _ -> flat0
+          in
+          if flat >= 0 && flat < Tensor.numel t then Tensor.get_i t flat else 0
+      | None -> 0
+    else 0
+  in
+  { v0; dep = (match dep with Uniform -> Uniform | _ -> Divergent) }
+
+(* ------------------------------------------------------------------ *)
+(* Statement walker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-block walker state. *)
+type blk_state = {
+  warps : (int * int * int, wacc) Hashtbl.t;
+  mutable cur_ty : int;
+  mutable cur_tz : int;
+  mutable smem_high : int;
+}
+
+let summarize_min = 8
+let divergent_cap = 256
+let fallback_cap = 64
+
+let bind_var (ctx : ctx) (x : var) (b : binding) (f : unit -> unit) : unit =
+  let saved = Hashtbl.find_opt ctx.vars x.vid in
+  Hashtbl.replace ctx.vars x.vid b;
+  f ();
+  (match saved with
+  | Some old -> Hashtbl.replace ctx.vars x.vid old
+  | None -> Hashtbl.remove ctx.vars x.vid)
+
+let current_warp (bs : blk_state) (w : int) : (int * int * int) * unit =
+  ((bs.cur_ty, bs.cur_tz, w), ())
+
+let warp_acc (bs : blk_state) (key : int * int * int) : wacc =
+  match Hashtbl.find_opt bs.warps key with
+  | Some a -> a
+  | None ->
+      let a = wacc_zero () in
+      Hashtbl.replace bs.warps key a;
+      a
+
+(* Scale everything accumulated by [f] into the current warp acc. *)
+let with_scaled_acc (ctx : ctx) ~(scale : float) (f : unit -> unit) : unit =
+  let saved = ctx.acc in
+  let tmp = wacc_zero () in
+  ctx.acc <- tmp;
+  Fun.protect ~finally:(fun () -> ctx.acc <- saved) f;
+  wacc_add saved tmp ~scale
+
+let req_compatible (a : req) (b : req) : bool =
+  a.rq_space = b.rq_space && a.rq_gather = b.rq_gather && a.rq_bytes = b.rq_bytes
+  && a.rq_store = b.rq_store
+  && a.rq_lane_stride = b.rq_lane_stride
+
+let rec walk_stmt (ctx : ctx) (bs : blk_state) (st : stmt) : unit =
+  match st with
+  | Store (b, idx, value) ->
+      ignore (walk_expr ctx value);
+      ignore (walk_load ctx b idx ~store:(Some ()))
+  | Seq l -> List.iter (walk_stmt ctx bs) l
+  | Eval e -> ignore (walk_expr ctx e)
+  | Let_stmt (x, value, body) ->
+      let sv = walk_expr ctx value in
+      bind_var ctx x { bd_sv = sv; bd_def = Some value } (fun () ->
+          walk_stmt ctx bs body)
+  | If (c, t, f) ->
+      let sc = walk_expr ctx c in
+      charge_ops ctx 1.0;
+      if sc.v0 <> 0 then walk_stmt ctx bs t
+      else Option.iter (walk_stmt ctx bs) f
+  | Block_stmt blk ->
+      let binds = List.map (fun bi -> (bi, walk_expr ctx bi.bi_bind)) blk.blk_iters in
+      let rec bind_all bl k =
+        match bl with
+        | [] -> k ()
+        | (bi, sv) :: rest ->
+            bind_var ctx bi.bi_var
+              { bd_sv = sv; bd_def = Some bi.bi_bind }
+              (fun () -> bind_all rest k)
+      in
+      bind_all binds (fun () ->
+          let at_init =
+            List.for_all
+              (fun (bi, sv) ->
+                match bi.bi_kind with Reduce -> sv.v0 = 0 | Spatial -> true)
+              binds
+          in
+          if at_init then Option.iter (walk_stmt ctx bs) blk.blk_init;
+          walk_stmt ctx bs blk.blk_body)
+  | Alloc (b, body) ->
+      let numel =
+        List.fold_left
+          (fun acc e ->
+            match Analysis.const_int_opt e with
+            | Some n -> acc * n
+            | None -> acc * max 1 (walk_expr ctx e).v0)
+          1 b.buf_shape
+      in
+      register_buffer ctx b None ~numel;
+      if b.buf_scope = Shared then
+        bs.smem_high <- max bs.smem_high ctx.next_smem;
+      walk_stmt ctx bs body
+  | Mma_sync m -> walk_mma ctx m
+  | Sp_iter_stmt sp ->
+      err "sparse iteration %s reached the simulator: compile it first" sp.sp_name
+  | For { for_var; extent; kind; body } -> (
+      match kind with
+      | Thread_bind (Block_x | Block_y | Block_z) ->
+          err "grid loop %s nested inside a thread block" for_var.vname
+      | Thread_bind (Thread_y | Thread_z) ->
+          let e = walk_expr ctx extent in
+          for tv = 0 to max 0 e.v0 - 1 do
+            (match kind with
+            | Thread_bind Thread_y -> bs.cur_ty <- tv
+            | _ -> bs.cur_tz <- tv);
+            bind_var ctx for_var
+              { bd_sv = uni tv; bd_def = None }
+              (fun () -> walk_stmt ctx bs body)
+          done;
+          bs.cur_ty <- 0;
+          bs.cur_tz <- 0;
+          ctx.acc <- warp_acc bs (0, 0, 0)
+      | Thread_bind Thread_x ->
+          let e = walk_expr ctx extent in
+          let total = max 1 e.v0 in
+          let nw = (total + 31) / 32 in
+          let saved_lane = ctx.lane_var in
+          for w = 0 to nw - 1 do
+            ctx.lane_var <- for_var.vid;
+            ctx.warp_base <- w * 32;
+            ctx.active <- min 32 (total - (w * 32));
+            let key, () = current_warp bs w in
+            ctx.acc <- warp_acc bs key;
+            walk_stmt ctx bs body
+          done;
+          ctx.lane_var <- saved_lane;
+          ctx.warp_base <- 0;
+          ctx.active <- 1;
+          ctx.acc <- warp_acc bs (bs.cur_ty, bs.cur_tz, 0)
+      | Parallel ->
+          (* Cooperative (block-wide) loop: iterations map one-per-thread, so
+             32 iterations execute as one warp instruction.  Memory charges
+             are already line-granular (strided runs), so only instruction
+             and shared-memory counts collapse by the warp width. *)
+          let e = walk_expr ctx extent in
+          let saved = ctx.acc in
+          let tmp = wacc_zero () in
+          ctx.acc <- tmp;
+          Fun.protect
+            ~finally:(fun () -> ctx.acc <- saved)
+            (fun () -> walk_serial ctx bs for_var extent e body ~overhead:0.5);
+          saved.a_insts <- saved.a_insts +. (tmp.a_insts /. 32.0);
+          saved.a_smem <- saved.a_smem +. (tmp.a_smem /. 32.0);
+          saved.a_l1 <- saved.a_l1 +. tmp.a_l1;
+          saved.a_l2 <- saved.a_l2 +. tmp.a_l2;
+          saved.a_dram <- saved.a_dram +. tmp.a_dram;
+          saved.a_dram_bytes <- saved.a_dram_bytes +. tmp.a_dram_bytes;
+          saved.a_tc <- saved.a_tc +. tmp.a_tc;
+          saved.a_flops <- saved.a_flops +. tmp.a_flops
+      | Vectorized ->
+          let e = walk_expr ctx extent in
+          let lanes = max 1 e.v0 in
+          walk_vectorized ctx bs for_var lanes body
+      | Serial | Unrolled ->
+          let e = walk_expr ctx extent in
+          if is_uniform e.dep then
+            walk_serial ctx bs for_var extent e body
+              ~overhead:(if kind = Unrolled then 0.25 else 2.0)
+          else walk_divergent ctx bs for_var extent body)
+
+(* MMA statements charge tensor-core work directly (outside the probe
+   machinery), so loops containing them must not be summarized. *)
+and contains_mma (st : stmt) : bool =
+  let found = ref false in
+  Analysis.iter_stmt (function Mma_sync _ -> found := true | _ -> ()) st;
+  !found
+
+(* Vectorized loop: one wide instruction; memory requests widened. *)
+and walk_vectorized (ctx : ctx) (bs : blk_state) (x : var) (lanes : int)
+    (body : stmt) : unit =
+  let reqs = ref [] and ops = ref 0.0 in
+  let saved_probe = ctx.probe in
+  ctx.probe <- Some (reqs, ops);
+  bind_var ctx x { bd_sv = uni 0; bd_def = None } (fun () -> walk_stmt ctx bs body);
+  ctx.probe <- saved_probe;
+  charge_ops ctx !ops;
+  List.iter
+    (fun r -> charge_req ctx { r with rq_bytes = r.rq_bytes * lanes })
+    (List.rev !reqs)
+
+(* Uniform serial loop: summarize via two probes when possible; otherwise
+   iterate (sampling long loops). *)
+and walk_serial (ctx : ctx) (bs : blk_state) (x : var) (_extent : expr)
+    (e : sval) (body : stmt) ~(overhead : float) : unit =
+  let n = e.v0 in
+  if n <= 0 then ()
+  else if n < summarize_min || contains_mma body then
+    if n <= 4 * fallback_cap then
+      for i = 0 to n - 1 do
+        charge_ops ctx overhead;
+        bind_var ctx x { bd_sv = uni i; bd_def = None } (fun () ->
+            walk_stmt ctx bs body)
+      done
+    else begin
+      let step = n / fallback_cap in
+      with_scaled_acc ctx ~scale:(float_of_int n /. float_of_int fallback_cap)
+        (fun () ->
+          for k = 0 to fallback_cap - 1 do
+            charge_ops ctx overhead;
+            bind_var ctx x
+              { bd_sv = uni (k * step); bd_def = None }
+              (fun () -> walk_stmt ctx bs body)
+          done)
+    end
+  else if false then
+    for i = 0 to n - 1 do
+      charge_ops ctx overhead;
+      bind_var ctx x { bd_sv = uni i; bd_def = None } (fun () ->
+          walk_stmt ctx bs body)
+    done
+  else begin
+    (* probe iterations 0 and 1 *)
+    let probe i =
+      let reqs = ref [] and ops = ref 0.0 in
+      let saved = ctx.probe in
+      ctx.probe <- Some (reqs, ops);
+      bind_var ctx x { bd_sv = uni i; bd_def = None } (fun () ->
+          walk_stmt ctx bs body);
+      ctx.probe <- saved;
+      (List.rev !reqs, !ops)
+    in
+    let r0, o0 = probe 0 in
+    let r1, o1 = probe 1 in
+    let compatible =
+      List.length r0 = List.length r1
+      && List.for_all2 req_compatible r0 r1
+      && Float.abs (o0 -. o1) < 0.5
+    in
+    if compatible then begin
+      charge_ops ctx ((o0 +. overhead) *. float_of_int n);
+      List.iter2
+        (fun (a : req) (b : req) ->
+          let iter_stride = b.rq_base - a.rq_base in
+          match a.rq_space with
+          | Sp_register -> ()
+          | Sp_shared ->
+              let per_iter =
+                if a.rq_gather then float_of_int ctx.active
+                else if a.rq_lane_stride = 0 then 1.0
+                else
+                  Float.of_int
+                    (max 1
+                       ((ctx.active * max a.rq_bytes a.rq_lane_stride + 127) / 128))
+              in
+              ctx.acc.a_smem <- ctx.acc.a_smem +. (per_iter *. float_of_int n)
+          | Sp_global ->
+              if a.rq_gather then
+                charge_global_run ctx ~base:a.rq_base ~stride:iter_stride
+                  ~count:n ~bytes:a.rq_bytes
+                  ~txn_mult:(float_of_int ctx.active)
+              else if a.rq_lane_stride = 0 then
+                charge_global_run ctx ~base:a.rq_base ~stride:iter_stride
+                  ~count:n ~bytes:a.rq_bytes ~txn_mult:1.0
+              else
+                (* warp footprint per iteration *)
+                charge_global_run ctx ~base:a.rq_base ~stride:iter_stride
+                  ~count:n
+                  ~bytes:(ctx.active * a.rq_lane_stride)
+                  ~txn_mult:1.0)
+        r0 r1
+    end
+    else begin
+      (* fallback: iterate, sampling if long *)
+      let cap = fallback_cap in
+      if n <= cap then
+        for i = 0 to n - 1 do
+          charge_ops ctx overhead;
+          bind_var ctx x { bd_sv = uni i; bd_def = None } (fun () ->
+              walk_stmt ctx bs body)
+        done
+      else begin
+        let step = n / cap in
+        with_scaled_acc ctx ~scale:(float_of_int n /. float_of_int cap)
+          (fun () ->
+            for k = 0 to cap - 1 do
+              charge_ops ctx overhead;
+              bind_var ctx x
+                { bd_sv = uni (k * step); bd_def = None }
+                (fun () -> walk_stmt ctx bs body)
+            done)
+      end
+    end
+  end
+
+(* Lane-divergent loop: per-lane trip counts; max-over-lanes iterations with
+   shrinking active masks (SIMT serialization). *)
+and walk_divergent (ctx : ctx) (bs : blk_state) (x : var) (extent : expr)
+    (body : stmt) : unit =
+  let lanes = ctx.active in
+  let counts = Array.init lanes (fun l -> max 0 (eval_lane ctx l extent)) in
+  let emax = Array.fold_left max 0 counts in
+  if emax = 0 then ()
+  else begin
+    let saved_active = ctx.active in
+    let run_step s =
+      let active_s = Array.fold_left (fun a c -> if c > s then a + 1 else a) 0 counts in
+      ctx.active <- max 1 active_s;
+      charge_ops ctx 2.0;
+      bind_var ctx x { bd_sv = uni s; bd_def = None } (fun () ->
+          walk_stmt ctx bs body)
+    in
+    if emax <= divergent_cap then
+      for s = 0 to emax - 1 do run_step s done
+    else begin
+      let step = emax / divergent_cap in
+      with_scaled_acc ctx
+        ~scale:(float_of_int emax /. float_of_int divergent_cap)
+        (fun () ->
+          for k = 0 to divergent_cap - 1 do run_step (k * step) done)
+    end;
+    ctx.active <- saved_active
+  end
+
+(* Tensor-core MMA: charge MAC throughput and operand traffic. *)
+and walk_mma (ctx : ctx) (m : mma) : unit =
+  let macs = float_of_int (m.mma_m * m.mma_n * m.mma_k) in
+  ctx.acc.a_tc <- ctx.acc.a_tc +. macs;
+  charge_flops ctx macs;
+  charge_ops ctx 4.0;
+  let operand (o : mma_operand) ~(rows : int) ~(cols : int) ~(rw : float) =
+    let info = buf_info_exn ctx o.op_buf in
+    let origin = List.map (fun e -> (walk_expr ctx e).v0) o.op_origin in
+    let flat0 =
+      match origin with
+      | [ i ] -> i
+      | _ -> (
+          match info.bi_tensor with
+          | Some t when List.length origin = Array.length t.Tensor.shape ->
+              let arr = Array.of_list origin in
+              let ok = ref true in
+              Array.iteri
+                (fun d i -> if i < 0 || i >= t.Tensor.shape.(d) then ok := false)
+                arr;
+              if !ok then Tensor.flat_index t arr else 0
+          | _ -> 0)
+    in
+    let ld = (walk_expr ctx o.op_ld).v0 in
+    match info.bi_space with
+    | Sp_register -> ()
+    | Sp_shared ->
+        ctx.acc.a_smem <-
+          ctx.acc.a_smem
+          +. (rw *. float_of_int (rows * cols * info.bi_dsize) /. 128.0)
+    | Sp_global ->
+        let base = info.bi_base + (flat0 * info.bi_dsize) in
+        for _ = 1 to int_of_float rw do
+          charge_global_run ctx ~base ~stride:(ld * info.bi_dsize) ~count:rows
+            ~bytes:(cols * info.bi_dsize) ~txn_mult:1.0
+        done
+  in
+  operand m.mma_a ~rows:m.mma_m ~cols:m.mma_k ~rw:1.0;
+  operand m.mma_b ~rows:m.mma_k ~cols:m.mma_n ~rw:1.0;
+  operand m.mma_c ~rows:m.mma_m ~cols:m.mma_n ~rw:2.0

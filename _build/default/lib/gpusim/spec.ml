@@ -1,0 +1,85 @@
+(* Machine models of the two GPUs used in the paper's evaluation (S4.1).
+
+   Numbers are public architectural figures; the simulator uses them as
+   throughput/latency coefficients.  Relative speedups between kernels — the
+   quantity the paper reports — depend on the modeled mechanisms (SM load
+   balance, coalescing, cache behaviour, tensor-core throughput, launch
+   overhead), not on the absolute calibration. *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  (* warp instructions issued per cycle per SM (CUDA-core pipelines) *)
+  warp_issue_per_cycle : float;
+  clock_ghz : float;
+  (* per-SM L1/texture cache *)
+  l1_bytes : int;
+  l1_line : int;
+  l1_assoc : int;
+  (* device-wide L2 *)
+  l2_bytes : int;
+  l2_line : int;
+  l2_assoc : int;
+  (* effective cycle costs of a memory transaction served at each level *)
+  l1_txn_cycles : float;
+  l2_txn_cycles : float;
+  dram_txn_cycles : float;
+  smem_txn_cycles : float;
+  (* device DRAM bandwidth in bytes per core cycle *)
+  dram_bytes_per_cycle : float;
+  (* tensor-core half-precision multiply-accumulates per cycle per SM *)
+  tc_macs_per_cycle : float;
+  (* fp32 fused multiply-accumulates per cycle per SM (CUDA cores) *)
+  fp32_macs_per_cycle : float;
+  shared_mem_per_sm : int;
+  (* fixed host-side cost of launching one kernel, in core cycles *)
+  kernel_launch_cycles : float;
+}
+
+let v100 : t =
+  { name = "V100";
+    num_sms = 80;
+    warp_size = 32;
+    warp_issue_per_cycle = 2.0;      (* 64 fp32 lanes / 32 *)
+    clock_ghz = 1.53;
+    l1_bytes = 128 * 1024;
+    l1_line = 32;
+    l1_assoc = 4;
+    l2_bytes = 6 * 1024 * 1024;
+    l2_line = 64;
+    l2_assoc = 16;
+    l1_txn_cycles = 2.0;
+    l2_txn_cycles = 8.0;
+    dram_txn_cycles = 24.0;
+    smem_txn_cycles = 1.0;
+    dram_bytes_per_cycle = 900.0 /. 1.53;  (* 900 GB/s *)
+    tc_macs_per_cycle = 512.0;             (* 8 tensor cores x 64 MACs *)
+    fp32_macs_per_cycle = 64.0;
+    shared_mem_per_sm = 96 * 1024;
+    kernel_launch_cycles = 6000.0 }
+
+let rtx3070 : t =
+  { name = "RTX3070";
+    num_sms = 46;
+    warp_size = 32;
+    warp_issue_per_cycle = 4.0;      (* 128 fp32 lanes / 32 *)
+    clock_ghz = 1.73;
+    l1_bytes = 128 * 1024;
+    l1_line = 32;
+    l1_assoc = 4;
+    l2_bytes = 4 * 1024 * 1024;
+    l2_line = 64;
+    l2_assoc = 16;
+    l1_txn_cycles = 2.0;
+    l2_txn_cycles = 8.0;
+    dram_txn_cycles = 28.0;
+    smem_txn_cycles = 1.0;
+    dram_bytes_per_cycle = 448.0 /. 1.73;  (* 448 GB/s *)
+    tc_macs_per_cycle = 512.0;             (* 4 tensor cores x 128 MACs *)
+    fp32_macs_per_cycle = 128.0;
+    shared_mem_per_sm = 100 * 1024;
+    kernel_launch_cycles = 7000.0 }
+
+let time_ms (spec : t) (cycles : float) : float =
+  cycles /. (spec.clock_ghz *. 1.0e9) *. 1000.0

@@ -1,0 +1,31 @@
+(** Machine models of the two GPUs in the paper's evaluation (S4.1): public
+    architectural figures used as throughput/latency coefficients by the
+    cost model.  Relative speedups depend on the modeled mechanisms, not on
+    the absolute calibration. *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  warp_issue_per_cycle : float;
+  clock_ghz : float;
+  l1_bytes : int;
+  l1_line : int;
+  l1_assoc : int;
+  l2_bytes : int;
+  l2_line : int;
+  l2_assoc : int;
+  l1_txn_cycles : float;
+  l2_txn_cycles : float;
+  dram_txn_cycles : float;
+  smem_txn_cycles : float;
+  dram_bytes_per_cycle : float;
+  tc_macs_per_cycle : float;
+  fp32_macs_per_cycle : float;
+  shared_mem_per_sm : int;
+  kernel_launch_cycles : float;
+}
+
+val v100 : t
+val rtx3070 : t
+val time_ms : t -> float -> float

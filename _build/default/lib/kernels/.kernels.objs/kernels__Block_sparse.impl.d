@@ -1,0 +1,1 @@
+lib/kernels/block_sparse.ml: Array Bsr Builder Csr Dbsr Dense Dtype Formats Fun Gpusim Ir Schedule Sparse_ir Sr_bcrs Tensor Tir Workloads_stub

@@ -1,0 +1,1 @@
+lib/kernels/block_sparse.mli: Bsr Csr Dbsr Dense Formats Gpusim Sr_bcrs Tir

@@ -1,0 +1,1 @@
+lib/kernels/gemm.ml: Array Builder Dense Dtype Formats Gpusim Ir Schedule Sparse_ir Tensor Tir

@@ -1,0 +1,1 @@
+lib/kernels/gemm.mli: Dense Formats Gpusim Tir

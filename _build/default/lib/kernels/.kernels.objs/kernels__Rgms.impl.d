@@ -1,0 +1,1 @@
+lib/kernels/rgms.ml: Array Builder Csr Dense Dtype Ell Formats Gemm Gpusim Hashtbl Hyb Ir List Printf Schedule Sparse_ir Spmm Tensor Tir

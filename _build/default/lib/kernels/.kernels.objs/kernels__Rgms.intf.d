@@ -1,0 +1,1 @@
+lib/kernels/rgms.mli: Csr Dense Ell Formats Gpusim Hyb Tir

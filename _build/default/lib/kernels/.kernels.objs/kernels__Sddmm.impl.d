@@ -1,0 +1,1 @@
+lib/kernels/sddmm.ml: Builder Csr Dense Dtype Formats Gpusim Ir Schedule Sparse_ir Tensor Tir

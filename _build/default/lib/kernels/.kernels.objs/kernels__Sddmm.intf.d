@@ -1,0 +1,1 @@
+lib/kernels/sddmm.mli: Csr Dense Formats Gpusim Tir

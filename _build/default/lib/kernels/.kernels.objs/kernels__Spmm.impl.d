@@ -1,0 +1,1 @@
+lib/kernels/spmm.ml: Builder Csr Dense Dtype Ell Formats Gpusim Hyb Ir List Printf Schedule Sparse_ir Tensor Tir

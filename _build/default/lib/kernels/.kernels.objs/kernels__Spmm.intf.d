@@ -1,0 +1,1 @@
+lib/kernels/spmm.mli: Csr Dense Formats Gpusim Hyb Schedule Sparse_ir Tir

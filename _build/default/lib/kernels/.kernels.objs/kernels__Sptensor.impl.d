@@ -1,0 +1,1 @@
+lib/kernels/sptensor.ml: Array Builder Csf Csr Dense Dtype Formats Gpusim Ir List Schedule Sddmm Sparse_ir Spmm Tensor Tir

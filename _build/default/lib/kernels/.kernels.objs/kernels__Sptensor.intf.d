@@ -1,0 +1,1 @@
+lib/kernels/sptensor.mli: Csf Csr Dense Formats Gpusim Tir

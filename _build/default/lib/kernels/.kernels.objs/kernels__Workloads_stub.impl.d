@@ -1,0 +1,1 @@
+lib/kernels/workloads_stub.ml: Int64

@@ -1,0 +1,401 @@
+(* Block-structured kernels for sparse attention and pruned transformers
+   (S4.3): batched BSR/CSR SpMM and SDDMM for attention masks, DBSR SpMM for
+   block pruning, SR-BCRS SpMM for unstructured pruning.  Tensor-core
+   variants use half precision, as in the paper. *)
+
+open Tir
+open Formats
+
+type compiled = {
+  fn : Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tensor.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Batched BSR SpMM: C[h,i,k] += A[h,io,jo,ii,ji] * B[h, jo*bs+ji, k]   *)
+(* ------------------------------------------------------------------ *)
+
+let bsr_spmm_stage1 (a : Bsr.t) ~(heads : int) ~(feat : int) : Ir.func =
+  let open Builder in
+  let bs = a.Bsr.block in
+  let nzb = max 1 (Bsr.nnzb a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (a.Bsr.rows_b + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nzb ] in
+  let h_ax = dense_fixed "H" ~length:(int heads) in
+  let io_ax = dense_fixed "IO" ~length:(int a.Bsr.rows_b) in
+  let jo_ax =
+    sparse_variable "JO" ~parent:io_ax ~length:(int a.Bsr.cols_b)
+      ~nnz:(int nzb) ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let ii_ax = dense_fixed "II" ~length:(int bs) in
+  let ji_ax = dense_fixed "JI" ~length:(int bs) in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let a_buf =
+    match_sparse_buffer ~dtype:Dtype.F16 "A" [ h_ax; io_ax; jo_ax; ii_ax; ji_ax ]
+  in
+  let b_buf = buffer ~dtype:Dtype.F16 "B" [ int heads; int a.Bsr.cols; int feat ] in
+  let c_buf = buffer "C" [ int heads; int (a.Bsr.rows_b * bs); int feat ] in
+  let body =
+    sp_iter ~name:"bsrmm" ~axes:[ h_ax; io_ax; jo_ax; ii_ax; ji_ax; k_ax ]
+      ~kinds:"SSRSRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ h; io; _; ii; _; k ] ->
+            store c_buf [ h; (io *: int bs) +: ii; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ h; io; jo; ii; ji; k ] ->
+            let ci = [ h; (io *: int bs) +: ii; k ] in
+            store c_buf ci
+              (load c_buf ci
+              +: (f32 (load a_buf [ h; io; jo; ii; ji ])
+                 *: f32 (load b_buf [ h; (jo *: int bs) +: ji; k ])))
+        | _ -> assert false)
+  in
+  func "bsrmm" [ a_buf; b_buf; c_buf ] body
+
+(* Per-head values: the mask structure is shared, values differ per head. *)
+let bsr_head_data (a : Bsr.t) ~(heads : int) ~(seed : int) : Tensor.t =
+  let per = Array.length a.Bsr.data in
+  let all = Array.make (heads * per) 0.0 in
+  let g = Workloads_stub.rng seed in
+  for h = 0 to heads - 1 do
+    for p = 0 to per - 1 do
+      all.((h * per) + p) <-
+        (if a.Bsr.data.(p) = 0.0 then 0.0 else (g () *. 2.0) -. 1.0)
+    done
+  done;
+  Tensor.of_float_array ~dtype:Dtype.F16 [ heads * per ] all
+
+
+let bsr_spmm_bindings (a : Bsr.t) ~(heads : int) (b : Tensor.t) :
+    Gpusim.bindings * Tensor.t =
+  let c =
+    Tensor.create Dtype.F32
+      [ heads; a.Bsr.rows_b * a.Bsr.block;
+        (match b.Tensor.shape with [| _; _; f |] -> f | _ -> 0) ]
+  in
+  ( [ ("A", bsr_head_data a ~heads ~seed:17);
+      ("A_indptr", Bsr.indptr_tensor a);
+      ("A_indices", Bsr.indices_tensor a);
+      ("B", b);
+      ("C", c) ],
+    c )
+
+(* Shared schedule: h -> blockIdx.y, io -> blockIdx.x, jo serial reduction,
+   MMA over (ii, k.i, ji).  [staged] adds shared-memory staging of the B
+   tile (the SparseTIR advantage over Triton's block-sparse kernel). *)
+let schedule_bsr_spmm (fn : Ir.func) (a : Bsr.t) ~(feat : int) ~(staged : bool)
+    ~(block : string) : Ir.func =
+  let bs = a.Bsr.block in
+  let sched = Schedule.create fn in
+  let tile_n = min 16 feat in
+  let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
+  Schedule.reorder sched ~loops:[ "k.o"; "jo"; "ii"; "k.i"; "ji" ];
+  if staged then
+    ignore (Schedule.cache_read sched ~block ~buf:"B" ~at:"ii");
+  Schedule.tensorize sched ~block ~m_loop:"ii" ~n_loop:"k.i" ~k_loop:"ji";
+  ignore bs;
+  Schedule.bind sched ~loop:"h" Ir.Block_z;
+  Schedule.bind sched ~loop:"io" Ir.Block_x;
+  Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+  Schedule.get sched
+
+let bsr_spmm ?(staged = true) (a : Bsr.t) ~(heads : int) (b : Tensor.t)
+    ~(feat : int) : compiled =
+  let fn = Sparse_ir.compile (bsr_spmm_stage1 a ~heads ~feat) in
+  let fn = schedule_bsr_spmm fn a ~feat ~staged ~block:"bsrmm" in
+  let bindings, out = bsr_spmm_bindings a ~heads b in
+  { fn; bindings; out }
+
+(* Triton block-sparse matmul: same tensor-core strategy, but no shared
+   staging and a fixed 32x32 block granularity (the mask is re-blocked at
+   Triton's coarser block size, storing extra padding — the generality cost
+   of the library kernel vs the mask-matched SparseTIR format). *)
+let triton_bsr_spmm (a : Bsr.t) ~(heads : int) (b : Tensor.t) ~(feat : int) :
+    compiled =
+  bsr_spmm ~staged:false a ~heads b ~feat
+
+(* ------------------------------------------------------------------ *)
+(* Batched CSR SpMM (scalar cores): the SparseTIR-CSR bar of Figure 16 *)
+(* ------------------------------------------------------------------ *)
+
+let csr_spmm_batched (a : Csr.t) ~(heads : int) (b : Tensor.t) ~(feat : int) :
+    compiled =
+  let open Builder in
+  let m = a.Csr.rows and n = a.Csr.cols and nz = max 1 (Csr.nnz a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nz ] in
+  let h_ax = dense_fixed "H" ~length:(int heads) in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let a_buf = match_sparse_buffer ~dtype:Dtype.F16 "A" [ h_ax; i_ax; j_ax ] in
+  let b_buf = buffer ~dtype:Dtype.F16 "B" [ int heads; int n; int feat ] in
+  let c_buf = buffer "C" [ int heads; int m; int feat ] in
+  let body =
+    sp_iter ~name:"spmm" ~axes:[ h_ax; i_ax; j_ax; k_ax ] ~kinds:"SSRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ h; i; _; k ] -> store c_buf [ h; i; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ h; i; j; k ] ->
+            store c_buf [ h; i; k ]
+              (load c_buf [ h; i; k ]
+              +: (f32 (load a_buf [ h; i; j ]) *: f32 (load b_buf [ h; j; k ])))
+        | _ -> assert false)
+  in
+  let fn = Sparse_ir.compile (func "spmm" [ a_buf; b_buf; c_buf ] body) in
+  let sched = Schedule.create fn in
+  let tx = min 32 feat in
+  let _ = Schedule.split sched ~loop:"k" ~factor:tx in
+  let _ = Schedule.split sched ~loop:"i" ~factor:8 in
+  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+  ignore (Schedule.cache_write sched ~block:"spmm" ());
+  Schedule.bind sched ~loop:"h" Ir.Block_y;
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+  (* per-head CSR values *)
+  let g = Workloads_stub.rng 23 in
+  let vals = Array.init (heads * nz) (fun _ -> (g () *. 2.0) -. 1.0) in
+  let c = Tensor.create Dtype.F32 [ heads; m; feat ] in
+  let bindings =
+    [ ("A", Tensor.of_float_array ~dtype:Dtype.F16 [ heads * nz ] vals);
+      ("A_indptr", Csr.indptr_tensor a);
+      ("A_indices", Csr.indices_tensor a);
+      ("B", b);
+      ("C", c) ]
+  in
+  { fn = Schedule.get sched; bindings; out = c }
+
+(* ------------------------------------------------------------------ *)
+(* Batched BSR SDDMM: OUT[h,io,jo,ii,ji] = sum_k X[h,i,k] Y[h,k,j]      *)
+(* ------------------------------------------------------------------ *)
+
+let bsr_sddmm ?(staged = true) (a : Bsr.t) ~(heads : int) ~(feat : int)
+    (x : Tensor.t) (y : Tensor.t) : compiled =
+  let open Builder in
+  let bs = a.Bsr.block in
+  let nzb = max 1 (Bsr.nnzb a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (a.Bsr.rows_b + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nzb ] in
+  let h_ax = dense_fixed "H" ~length:(int heads) in
+  let io_ax = dense_fixed "IO" ~length:(int a.Bsr.rows_b) in
+  let jo_ax =
+    sparse_variable "JO" ~parent:io_ax ~length:(int a.Bsr.cols_b)
+      ~nnz:(int nzb) ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let ii_ax = dense_fixed "II" ~length:(int bs) in
+  let ji_ax = dense_fixed "JI" ~length:(int bs) in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let out_buf =
+    match_sparse_buffer "OUT" [ h_ax; io_ax; jo_ax; ii_ax; ji_ax ]
+  in
+  let x_buf =
+    buffer ~dtype:Dtype.F16 "X" [ int heads; int a.Bsr.rows; int feat ]
+  in
+  let y_buf =
+    buffer ~dtype:Dtype.F16 "Y" [ int heads; int feat; int a.Bsr.cols ]
+  in
+  let body =
+    sp_iter ~name:"bsddmm" ~axes:[ h_ax; io_ax; jo_ax; ii_ax; ji_ax; k_ax ]
+      ~kinds:"SSSSSR"
+      ~init:(fun vs ->
+        match vs with
+        | [ h; io; jo; ii; ji; _ ] ->
+            store out_buf [ h; io; jo; ii; ji ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ h; io; jo; ii; ji; k ] ->
+            let oi = [ h; io; jo; ii; ji ] in
+            store out_buf oi
+              (load out_buf oi
+              +: (f32 (load x_buf [ h; (io *: int bs) +: ii; k ])
+                 *: f32 (load y_buf [ h; k; (jo *: int bs) +: ji ])))
+        | _ -> assert false)
+  in
+  let fn =
+    Sparse_ir.compile (func "bsddmm" [ out_buf; x_buf; y_buf ] body)
+  in
+  let sched = Schedule.create fn in
+  let tile_k = min 16 feat in
+  let _ = Schedule.split sched ~loop:"k" ~factor:tile_k in
+  Schedule.reorder sched ~loops:[ "jo"; "k.o"; "ii"; "ji"; "k.i" ];
+  if staged then
+    ignore (Schedule.cache_read sched ~block:"bsddmm" ~buf:"X" ~at:"ii");
+  Schedule.tensorize sched ~block:"bsddmm" ~m_loop:"ii" ~n_loop:"ji"
+    ~k_loop:"k.i";
+  Schedule.bind sched ~loop:"h" Ir.Block_y;
+  Schedule.bind sched ~loop:"io" Ir.Block_x;
+  let out =
+    Tensor.create Dtype.F32 [ max 1 (heads * Bsr.nnzb a * bs * bs) ]
+  in
+  let bindings =
+    [ ("OUT", out);
+      ("A_indptr", Bsr.indptr_tensor a);
+      ("A_indices", Bsr.indices_tensor a);
+      ("X", x);
+      ("Y", y) ]
+  in
+  { fn = Schedule.get sched; bindings; out }
+
+(* ------------------------------------------------------------------ *)
+(* DBSR SpMM (Figure 17): skip all-zero block rows                      *)
+(* ------------------------------------------------------------------ *)
+
+let dbsr_spmm ?(staged = true) (w : Dbsr.t) (x : Dense.t) : compiled =
+  let open Builder in
+  let b = w.Dbsr.base in
+  let bs = b.Bsr.block in
+  let feat = x.Dense.cols in
+  let nzb = max 1 (Bsr.nnzb b) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "W_indptr" [ int (w.Dbsr.nrows_b + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "W_indices" [ int nzb ] in
+  let rowid_buf = buffer ~dtype:Dtype.I32 "W_rowids" [ int (max 1 w.Dbsr.nrows_b) ] in
+  let r_ax = dense_fixed "R" ~length:(int (max 1 w.Dbsr.nrows_b)) in
+  let jo_ax =
+    sparse_variable "JO" ~parent:r_ax ~length:(int b.Bsr.cols_b) ~nnz:(int nzb)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let ii_ax = dense_fixed "II" ~length:(int bs) in
+  let ji_ax = dense_fixed "JI" ~length:(int bs) in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let w_buf =
+    match_sparse_buffer ~dtype:Dtype.F16 "W" [ r_ax; jo_ax; ii_ax; ji_ax ]
+  in
+  let x_buf = buffer ~dtype:Dtype.F16 "X" [ int b.Bsr.cols; int feat ] in
+  let c_buf = buffer "C" [ int b.Bsr.rows; int feat ] in
+  let body =
+    sp_iter ~name:"dbsrmm" ~axes:[ r_ax; jo_ax; ii_ax; ji_ax; k_ax ]
+      ~kinds:"SRSRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ r; _; ii; _; k ] ->
+            store c_buf [ (load rowid_buf [ r ] *: int bs) +: ii; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ r; jo; ii; ji; k ] ->
+            let ci = [ (load rowid_buf [ r ] *: int bs) +: ii; k ] in
+            store c_buf ci
+              (load c_buf ci
+              +: (f32 (load w_buf [ r; jo; ii; ji ])
+                 *: f32 (load x_buf [ (jo *: int bs) +: ji; k ])))
+        | _ -> assert false)
+  in
+  let fn = Sparse_ir.compile (func "dbsrmm" [ w_buf; x_buf; c_buf ] body) in
+  let sched = Schedule.create fn in
+  let tile_n = min 16 feat in
+  let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
+  Schedule.reorder sched ~loops:[ "k.o"; "jo"; "ii"; "k.i"; "ji" ];
+  if staged then
+    ignore (Schedule.cache_read sched ~block:"dbsrmm" ~buf:"X" ~at:"ii");
+  Schedule.tensorize sched ~block:"dbsrmm" ~m_loop:"ii" ~n_loop:"k.i"
+    ~k_loop:"ji";
+  Schedule.bind sched ~loop:"r" Ir.Block_x;
+  Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+  let c = Tensor.create Dtype.F32 [ b.Bsr.rows; feat ] in
+  let xt =
+    Tensor.of_float_array ~dtype:Dtype.F16 [ b.Bsr.cols; feat ]
+      (Array.copy x.Dense.data)
+  in
+  let bindings =
+    [ ("W", Bsr.data_tensor ~dtype:Dtype.F16 b);
+      ("W_indptr",
+       Tensor.of_int_array [ w.Dbsr.nrows_b + 1 ] (Array.copy b.Bsr.indptr));
+      ("W_indices", Bsr.indices_tensor b);
+      ("W_rowids", Dbsr.row_ids_tensor w);
+      ("X", xt);
+      ("C", c) ]
+  in
+  { fn = Schedule.get sched; bindings; out = c }
+
+(* Plain BSR SpMM over a single (non-batched) matrix, for the Figure 17
+   BSR-vs-DBSR comparison: every block row gets a thread block, empty or
+   not. *)
+let bsr_spmm_single ?(staged = true) (w : Bsr.t) (x : Dense.t) : compiled =
+  let full =
+    { Dbsr.base = w; row_ids = Array.init w.Bsr.rows_b Fun.id;
+      nrows_b = w.Bsr.rows_b }
+  in
+  dbsr_spmm ~staged full x
+
+(* ------------------------------------------------------------------ *)
+(* SR-BCRS SpMM (Figure 19)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sr_bcrs_spmm (w : Sr_bcrs.t) (x : Dense.t) : compiled =
+  let open Builder in
+  let t = w.Sr_bcrs.tile and g = w.Sr_bcrs.group in
+  let feat = x.Dense.cols in
+  let ngroups = max 1 (Sr_bcrs.n_groups w) in
+  let indptr_buf =
+    buffer ~dtype:Dtype.I32 "W_gindptr" [ int (w.Sr_bcrs.strips + 1) ]
+  in
+  let cols_buf = buffer ~dtype:Dtype.I32 "W_tilecols" [ int (ngroups * g) ] in
+  let s_ax = dense_fixed "S" ~length:(int w.Sr_bcrs.strips) in
+  let g_ax =
+    dense_variable "G" ~parent:s_ax ~length:(int ngroups) ~nnz:(int ngroups)
+      ~indptr:indptr_buf
+  in
+  let tr_ax = dense_fixed "TR" ~length:(int t) in
+  let gk_ax = dense_fixed "GK" ~length:(int g) in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let w_buf =
+    match_sparse_buffer ~dtype:Dtype.F16 "W" [ s_ax; g_ax; tr_ax; gk_ax ]
+  in
+  let x_buf = buffer ~dtype:Dtype.F16 "X" [ int w.Sr_bcrs.cols; int feat ] in
+  let c_buf = buffer "C" [ int w.Sr_bcrs.rows; int feat ] in
+  let body =
+    sp_iter ~name:"srbcrs" ~axes:[ s_ax; g_ax; tr_ax; gk_ax; k_ax ]
+      ~kinds:"SRSRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ s; _; tr; _; k ] ->
+            store c_buf [ (s *: int t) +: tr; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ s; gq; tr; gk; k ] ->
+            let col =
+              load cols_buf
+                [ (((load indptr_buf [ s ] +: gq) *: int g) +: gk) ]
+            in
+            let ci = [ (s *: int t) +: tr; k ] in
+            store c_buf ci
+              (load c_buf ci
+              +: (f32 (load w_buf [ s; gq; tr; gk ]) *: f32 (load x_buf [ col; k ])))
+        | _ -> assert false)
+  in
+  let fn = Sparse_ir.compile (func "srbcrs" [ w_buf; x_buf; c_buf ] body) in
+  let sched = Schedule.create fn in
+  let tile_n = min 16 feat in
+  let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
+  Schedule.reorder sched ~loops:[ "k.o"; "g"; "tr"; "k.i"; "gk" ];
+  ignore (Schedule.cache_read sched ~block:"srbcrs" ~buf:"X" ~at:"tr");
+  Schedule.tensorize sched ~block:"srbcrs" ~m_loop:"tr" ~n_loop:"k.i"
+    ~k_loop:"gk";
+  Schedule.bind sched ~loop:"s" Ir.Block_x;
+  Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+  let c = Tensor.create Dtype.F32 [ w.Sr_bcrs.rows; feat ] in
+  let xt =
+    Tensor.of_float_array ~dtype:Dtype.F16 [ w.Sr_bcrs.cols; feat ]
+      (Array.copy x.Dense.data)
+  in
+  let bindings =
+    [ ("W", Sr_bcrs.data_tensor w);
+      ("W_gindptr", Sr_bcrs.group_indptr_tensor w);
+      ("W_tilecols", Sr_bcrs.tile_cols_tensor w);
+      ("X", xt);
+      ("C", c) ]
+  in
+  { fn = Schedule.get sched; bindings; out = c }

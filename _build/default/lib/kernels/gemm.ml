@@ -1,0 +1,181 @@
+(* Dense GEMM kernels standing in for cuBLAS (the dense baseline of
+   S4.3/S4.4): a tiled tensor-core kernel with shared-memory staging, and an
+   fp32 CUDA-core variant.  C[M,N] = X[M,K] * W[K,N]. *)
+
+open Tir
+open Formats
+
+type compiled = {
+  fn : Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tensor.t;
+}
+
+(* Stage I dense matmul as a (degenerate) sparse iteration over three
+   dense-fixed axes — the same machinery compiles dense code. *)
+let stage1 ~(m : int) ~(n : int) ~(k : int) ~(dtype : Dtype.t) : Ir.func =
+  let open Builder in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax = dense_fixed "Jd" ~length:(int n) in
+  let k_ax = dense_fixed "K" ~length:(int k) in
+  ignore (i_ax, j_ax, k_ax);
+  let x_buf = buffer ~dtype "X" [ int m; int k ] in
+  let w_buf = buffer ~dtype "W" [ int k; int n ] in
+  let c_buf = buffer "C" [ int m; int n ] in
+  let body =
+    sp_iter ~name:"gemm" ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SSR"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; j; _ ] -> store c_buf [ i; j ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; kk ] ->
+            store c_buf [ i; j ]
+              (load c_buf [ i; j ]
+              +: (f32 (load x_buf [ i; kk ]) *: f32 (load w_buf [ kk; j ])))
+        | _ -> assert false)
+  in
+  func "gemm" [ x_buf; w_buf; c_buf ] body
+
+let bindings_of (x : Dense.t) (w : Dense.t) ~(dtype : Dtype.t) :
+    Gpusim.bindings * Tensor.t =
+  let c = Tensor.create Dtype.F32 [ x.Dense.rows; w.Dense.cols ] in
+  let tensor_of (d : Dense.t) =
+    Tensor.of_float_array ~dtype [ d.Dense.rows; d.Dense.cols ]
+      (Array.copy d.Dense.data)
+  in
+  ([ ("X", tensor_of x); ("W", tensor_of w); ("C", c) ], c)
+
+(* Tensor-core GEMM (cuBLAS-like): 16x16 MMA tiles, operands staged in
+   shared memory, one 32x32 output tile per thread block. *)
+let cublas_tc (x : Dense.t) (w : Dense.t) : compiled =
+  let m = x.Dense.rows and k = x.Dense.cols and n = w.Dense.cols in
+  if k <> w.Dense.rows then invalid_arg "Gemm.cublas_tc: shape mismatch";
+  if m mod 16 <> 0 || n mod 16 <> 0 || k mod 16 <> 0 then
+    invalid_arg "Gemm.cublas_tc: dimensions must be multiples of 16";
+  let fn = Sparse_ir.compile (stage1 ~m ~n ~k ~dtype:Dtype.F16) in
+  let sched = Schedule.create fn in
+  let _ = Schedule.split sched ~loop:"i" ~factor:16 in
+  let _ = Schedule.split sched ~loop:"jd" ~factor:16 in
+  let _ = Schedule.split sched ~loop:"k" ~factor:16 in
+  Schedule.reorder sched
+    ~loops:[ "i.o"; "jd.o"; "k.o"; "i.i"; "jd.i"; "k.i" ];
+  (* stage X and W tiles in shared memory, reused across the 16x16 MMA *)
+  let _ = Schedule.cache_read sched ~block:"gemm" ~buf:"X" ~at:"i.i" in
+  let _ = Schedule.cache_read sched ~block:"gemm" ~buf:"W" ~at:"i.i" in
+  Schedule.tensorize sched ~block:"gemm" ~m_loop:"i.i" ~n_loop:"jd.i"
+    ~k_loop:"k.i";
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"jd.o" Ir.Block_y;
+  let bindings, out = bindings_of x w ~dtype:Dtype.F16 in
+  { fn = Schedule.get sched; bindings; out }
+
+(* fp32 CUDA-core GEMM: classic two-level tiling without tensor cores. *)
+let cublas_fp32 (x : Dense.t) (w : Dense.t) : compiled =
+  let m = x.Dense.rows and k = x.Dense.cols and n = w.Dense.cols in
+  if k <> w.Dense.rows then invalid_arg "Gemm.cublas_fp32: shape mismatch";
+  let fn = Sparse_ir.compile (stage1 ~m ~n ~k ~dtype:Dtype.F32) in
+  let sched = Schedule.create fn in
+  let _ = Schedule.split sched ~loop:"i" ~factor:8 in
+  let _ = Schedule.split sched ~loop:"jd" ~factor:32 in
+  Schedule.reorder sched ~loops:[ "i.o"; "jd.o"; "i.i"; "jd.i"; "k" ];
+  ignore (Schedule.cache_write sched ~block:"gemm" ());
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"jd.o" Ir.Block_y;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  Schedule.bind sched ~loop:"jd.i" Ir.Thread_x;
+  let bindings, out = bindings_of x w ~dtype:Dtype.F32 in
+  { fn = Schedule.get sched; bindings; out }
+
+(* Low-level fp32 GEMM step over existing tensors, with optional transpose of
+   the first operand: C = op(X) W, op(X) = X or X^T.  Used to chain GEMMs in
+   end-to-end models (the C tensor of one step feeds the next). *)
+let fp32_step ~(tag : string) ?(trans_x = false) ~(x_t : Tensor.t)
+    ~(w_t : Tensor.t) ~(c_t : Tensor.t) () : Ir.func * Gpusim.bindings =
+  let open Builder in
+  let dim t i = t.Tensor.shape.(i) in
+  let m = dim c_t 0 and n = dim c_t 1 in
+  let k = if trans_x then dim x_t 0 else dim x_t 1 in
+  let xi_ax = dense_fixed ("I_" ^ tag) ~length:(int m) in
+  let xj_ax = dense_fixed ("Jg_" ^ tag) ~length:(int n) in
+  let xk_ax = dense_fixed ("Kg_" ^ tag) ~length:(int k) in
+  let x_buf =
+    buffer ("X_" ^ tag) (if trans_x then [ int k; int m ] else [ int m; int k ])
+  in
+  let w_buf = buffer ("W_" ^ tag) [ int k; int n ] in
+  let c_buf = buffer ("C_" ^ tag) [ int m; int n ] in
+  let body =
+    sp_iter ~name:("gemm_" ^ tag) ~axes:[ xi_ax; xj_ax; xk_ax ] ~kinds:"SSR"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; j; _ ] -> store c_buf [ i; j ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; kk ] ->
+            let xl = if trans_x then load x_buf [ kk; i ] else load x_buf [ i; kk ] in
+            store c_buf [ i; j ] (load c_buf [ i; j ] +: (xl *: load w_buf [ kk; j ]))
+        | _ -> assert false)
+  in
+  let fn =
+    Sparse_ir.compile (func ("gemm_" ^ tag) [ x_buf; w_buf; c_buf ] body)
+  in
+  let sched = Schedule.create fn in
+  let li = "i_" ^ tag and lj = "jg_" ^ tag and lk = "kg_" ^ tag in
+  let _ = Schedule.split sched ~loop:li ~factor:8 in
+  let _ = Schedule.split sched ~loop:lj ~factor:(min 32 n) in
+  Schedule.reorder sched
+    ~loops:[ li ^ ".o"; lj ^ ".o"; li ^ ".i"; lj ^ ".i"; lk ];
+  ignore (Schedule.cache_write sched ~block:("gemm_" ^ tag) ());
+  Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+  Schedule.bind sched ~loop:(lj ^ ".o") Ir.Block_y;
+  Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+  Schedule.bind sched ~loop:(lj ^ ".i") Ir.Thread_x;
+  ( Schedule.get sched,
+    [ ("X_" ^ tag, x_t); ("W_" ^ tag, w_t); ("C_" ^ tag, c_t) ] )
+
+(* Elementwise ReLU step: out = max(x, 0); with [grad] it instead computes
+   out = grad masked by x > 0 (the ReLU backward). *)
+let relu_step ~(tag : string) ?grad ~(x_t : Tensor.t) ~(out_t : Tensor.t) () :
+    Ir.func * Gpusim.bindings =
+  let open Builder in
+  let m = x_t.Tensor.shape.(0) and n = x_t.Tensor.shape.(1) in
+  let x_buf = buffer ("X_" ^ tag) [ int m; int n ] in
+  let out_buf = buffer ("O_" ^ tag) [ int m; int n ] in
+  let g_buf = buffer ("G_" ^ tag) [ int m; int n ] in
+  let bi = var "r.o" and ti = var "r.i" and jv = var "r.j" in
+  let row = (v bi *: int 8) +: v ti in
+  let value =
+    match grad with
+    | None -> max_ (load x_buf [ row; v jv ]) (float 0.0)
+    | Some _ ->
+        select
+          (load x_buf [ row; v jv ] >: float 0.0)
+          (load g_buf [ row; v jv ])
+          (float 0.0)
+  in
+  let body =
+    Ir.For
+      { for_var = bi; extent = int (max 1 ((m + 7) / 8));
+        kind = Ir.Thread_bind Ir.Block_x;
+        body =
+          Ir.For
+            { for_var = ti; extent = int 8; kind = Ir.Thread_bind Ir.Thread_y;
+              body =
+                Ir.If
+                  ( row <: int m,
+                    Ir.For
+                      { for_var = jv; extent = int n;
+                        kind = Ir.Thread_bind Ir.Thread_x;
+                        body = store out_buf [ row; v jv ] value },
+                    None ) } }
+  in
+  let params, binds =
+    match grad with
+    | None -> ([ x_buf; out_buf ], [ ("X_" ^ tag, x_t); ("O_" ^ tag, out_t) ])
+    | Some g ->
+        ( [ x_buf; g_buf; out_buf ],
+          [ ("X_" ^ tag, x_t); ("G_" ^ tag, g); ("O_" ^ tag, out_t) ] )
+  in
+  (func ("relu_" ^ tag) params body, binds)

@@ -1,0 +1,31 @@
+(** Dense GEMM kernels standing in for cuBLAS (S4.3/S4.4 baselines), plus
+    the GEMM/ReLU step builders used to chain end-to-end models. *)
+
+open Formats
+
+type compiled = {
+  fn : Tir.Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tir.Tensor.t;
+}
+
+val stage1 : m:int -> n:int -> k:int -> dtype:Tir.Dtype.t -> Tir.Ir.func
+val bindings_of : Dense.t -> Dense.t -> dtype:Tir.Dtype.t -> Gpusim.bindings * Tir.Tensor.t
+
+val cublas_tc : Dense.t -> Dense.t -> compiled
+(** Half-precision tensor-core GEMM: 16x16 MMA tiles, operands staged in
+    shared memory.  Dimensions must be multiples of 16. *)
+
+val cublas_fp32 : Dense.t -> Dense.t -> compiled
+(** fp32 CUDA-core GEMM with classic two-level tiling. *)
+
+val fp32_step :
+  tag:string -> ?trans_x:bool -> x_t:Tir.Tensor.t -> w_t:Tir.Tensor.t ->
+  c_t:Tir.Tensor.t -> unit -> Tir.Ir.func * Gpusim.bindings
+(** C = op(X) W over existing tensors; [trans_x] computes X^T W (backward
+    passes). *)
+
+val relu_step :
+  tag:string -> ?grad:Tir.Tensor.t -> x_t:Tir.Tensor.t -> out_t:Tir.Tensor.t ->
+  unit -> Tir.Ir.func * Gpusim.bindings
+(** out = max(x, 0); with [grad], out = grad masked by x > 0. *)

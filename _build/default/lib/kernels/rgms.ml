@@ -1,0 +1,621 @@
+(* Relational Gather-Matmul-Scatter (S4.4):
+
+     Y[i,l] = sum_r sum_j sum_k A[r,i,j] * X[j,k] * W[r,k,l]
+
+   with A the per-relation adjacency (values are 1 in every use of RGMS in
+   the paper: RGCN message passing and sparse convolution maps).
+
+   Variants reproduce the systems of Figures 20 and 23:
+   - [naive]       one fused kernel, CSR relations, CUDA cores, no format
+                   decomposition: SparseTIR(naive);
+   - [hyb]         per-(relation, bucket) ELL computations, CUDA cores:
+                   SparseTIR(hyb);
+   - [hyb_tc]      the Figure 21 schedule: per bucket, gather X rows and pin
+                   W_r in shared memory, multiply with tensor-core MMAs,
+                   scatter inside SRAM: SparseTIR(hyb+TC);
+   - [two_stage]   T_r = X W_r materialized in HBM then scattered
+                   (Graphiler / DGL / PyG strategy for RGCN);
+   - [gather_two_stage] TorchSparse's strategy for convolution: gather only
+                   the referenced rows, cuBLAS-style GEMM, scatter. *)
+
+open Tir
+open Tir.Ir
+open Formats
+
+type compiled = {
+  steps : (Ir.func * Gpusim.bindings) list;
+  out : Tensor.t; (* Y, n x l *)
+}
+
+let execute (c : compiled) : unit = Gpusim.execute_many c.steps
+
+let profile ?(horizontal_fusion = false) spec (c : compiled) : Gpusim.profile =
+  Gpusim.run_many ~horizontal_fusion spec c.steps
+
+(* Host reference. *)
+let reference (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) : Dense.t =
+  let n = x.Dense.rows in
+  let l = w.(0).Dense.cols in
+  let y = Dense.create n l in
+  Array.iteri
+    (fun r (a : Csr.t) ->
+      let t = Dense.matmul x w.(r) in
+      for i = 0 to a.Csr.rows - 1 do
+        for p = a.Csr.indptr.(i) to a.Csr.indptr.(i + 1) - 1 do
+          let j = a.Csr.indices.(p) in
+          for c = 0 to l - 1 do
+            Dense.set y i c (Dense.get y i c +. Dense.get t j c)
+          done
+        done
+      done)
+    rels;
+  y
+
+(* Concatenated CSR over relations: indptr has R*n+1 entries, row (r, i)
+   lives at slot r*n+i. *)
+let concat_relations (rels : Csr.t array) : int array * int array =
+  let n = rels.(0).Csr.rows in
+  let r = Array.length rels in
+  let indptr = Array.make ((r * n) + 1) 0 in
+  let total = Array.fold_left (fun a m -> a + Csr.nnz m) 0 rels in
+  let indices = Array.make (max 1 total) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun ri (m : Csr.t) ->
+      for i = 0 to n - 1 do
+        for p = m.Csr.indptr.(i) to m.Csr.indptr.(i + 1) - 1 do
+          indices.(!pos) <- m.Csr.indices.(p);
+          incr pos
+        done;
+        indptr.((ri * n) + i + 1) <- !pos
+      done)
+    rels;
+  (indptr, indices)
+
+let w_tensor (w : Dense.t array) : Tensor.t =
+  let r = Array.length w in
+  let k = w.(0).Dense.rows and l = w.(0).Dense.cols in
+  let all = Array.make (r * k * l) 0.0 in
+  Array.iteri
+    (fun ri (m : Dense.t) -> Array.blit m.Dense.data 0 all (ri * k * l) (k * l))
+    w;
+  Tensor.of_float_array [ r; k; l ] all
+
+(* ------------------------------------------------------------------ *)
+(* SparseTIR(naive): one fused kernel over concatenated CSR relations   *)
+(* ------------------------------------------------------------------ *)
+
+let naive (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) : compiled =
+  let open Builder in
+  let r = Array.length rels in
+  let n = x.Dense.rows and dk = x.Dense.cols and dl = w.(0).Dense.cols in
+  let indptr_arr, indices_arr = concat_relations rels in
+  let nz = max 1 (Array.length indices_arr) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int ((r * n) + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nz ] in
+  let rel_ax = dense_fixed "REL" ~length:(int r) in
+  let i_ax = dense_fixed "I" ~parent:rel_ax ~length:(int n) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed "K" ~length:(int dk) in
+  let l_ax = dense_fixed "L" ~length:(int dl) in
+  let x_buf = buffer "X" [ int n; int dk ] in
+  let w_buf = buffer "W" [ int r; int dk; int dl ] in
+  let y_buf = buffer "Y" [ int n; int dl ] in
+  let body =
+    sp_iter ~name:"rgms" ~axes:[ rel_ax; i_ax; j_ax; k_ax; l_ax ]
+      ~kinds:"RSRRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ _; i; _; _; l ] -> store y_buf [ i; l ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ rel; i; j; k; l ] ->
+            store y_buf [ i; l ]
+              (load y_buf [ i; l ]
+              +: (load x_buf [ j; k ] *: load w_buf [ rel; k; l ]))
+        | _ -> assert false)
+  in
+  (* reorder so the output row axis is outermost (grid) and the relation is a
+     serial reduction inside *)
+  let fn = func "rgms" [ x_buf; w_buf; y_buf ] body in
+  let fn = Sparse_ir.sparse_reorder fn ~iter:"rgms" ~order:[ "REL"; "I"; "J"; "K"; "L" ] in
+  let fn = Sparse_ir.compile fn in
+  let sched = Schedule.create fn in
+  let tx = min 32 dl in
+  let _ = Schedule.split sched ~loop:"l" ~factor:tx in
+  Schedule.reorder sched ~loops:[ "i"; "l.o"; "l.i"; "rel"; "j"; "k" ];
+  ignore (Schedule.cache_write sched ~block:"rgms" ());
+  Schedule.bind sched ~loop:"i" Ir.Block_x;
+  Schedule.bind sched ~loop:"l.i" Ir.Thread_x;
+  let y = Tensor.create Dtype.F32 [ n; dl ] in
+  let bindings =
+    [ ("A_indptr", Tensor.of_int_array [ (r * n) + 1 ] indptr_arr);
+      ("A_indices", Tensor.of_int_array [ nz ] indices_arr);
+      ("X", Dense.to_tensor x);
+      ("W", w_tensor w);
+      ("Y", y) ]
+  in
+  { steps = [ (Schedule.get sched, bindings) ]; out = y }
+
+(* ------------------------------------------------------------------ *)
+(* SparseTIR(hyb): per-(relation, bucket) ELL kernels, CUDA cores       *)
+(* ------------------------------------------------------------------ *)
+
+(* Padded ELL slots must contribute nothing even though the RGMS kernels do
+   not multiply by adjacency values: padded indices are redirected to a
+   phantom zero row of X (index n), the standard padding trick. *)
+let phantom_ell_indices (e : Ell.t) ~(phantom : int) : Tensor.t =
+  let idx = Array.copy e.Ell.indices in
+  Array.iteri
+    (fun p v -> if e.Ell.data.(p) = 0.0 then idx.(p) <- phantom else ignore v)
+    idx;
+  Tensor.of_int_array [ max 1 (Array.length idx) ] idx
+
+(* Build the per-bucket ELL decomposition of every relation (the 3-D hyb of
+   S4.4.1, hyb(1, k) per relation). *)
+let hyb_buckets ?(k = 5) (rels : Csr.t array) : (int * Hyb.bucket) list * int =
+  let padded = ref 0 in
+  let buckets =
+    Array.to_list rels
+    |> List.mapi (fun r (m : Csr.t) ->
+           let h = Hyb.of_csr ~c:1 ~k m in
+           padded := !padded + h.Hyb.padded;
+           List.map (fun b -> (r, b)) h.Hyb.buckets)
+    |> List.concat
+  in
+  (buckets, !padded)
+
+(* Merge separately-scheduled single-kernel functions into one multi-kernel
+   function (each top-level statement launches as its own kernel; horizontal
+   fusion merges the launches).  Scheduling buckets independently keeps the
+   schedule rewrites linear in the bucket count. *)
+let combine_funcs (name : string) (fns : Ir.func list) : Ir.func =
+  let seen = Hashtbl.create 64 in
+  let params =
+    List.concat_map (fun (f : Ir.func) -> f.fn_params) fns
+    |> List.filter (fun (b : buffer) ->
+           if Hashtbl.mem seen b.buf_id then false
+           else begin
+             Hashtbl.replace seen b.buf_id ();
+             true
+           end)
+  in
+  { fn_name = name;
+    fn_params = params;
+    fn_body =
+      Seq
+        (List.concat_map
+           (fun (f : Ir.func) ->
+             match f.fn_body with Seq l -> l | st -> [ st ])
+           fns);
+    fn_domains = List.concat_map (fun (f : Ir.func) -> f.fn_domains) fns }
+
+(* Scalar (CUDA-core) hyb kernel: one sparse iteration per bucket. *)
+let hyb ?(k = 5) (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
+    compiled =
+  let open Builder in
+  let r = Array.length rels in
+  let n = x.Dense.rows and dk = x.Dense.cols and dl = w.(0).Dense.cols in
+  let buckets, _ = hyb_buckets ~k rels in
+  let y_buf = buffer "Y" [ int n; int dl ] in
+  (* X carries a phantom zero row at index n for padded ELL slots *)
+  let x_buf = buffer "X" [ int (n + 1); int dk ] in
+  let w_buf = buffer "W" [ int r; int dk; int dl ] in
+  let binds = ref [] in
+  (* init kernel *)
+  let init_fn =
+    let i0 = dense_fixed "I_init" ~length:(int n) in
+    let l0 = dense_fixed "L_init" ~length:(int dl) in
+    let body =
+      sp_iter ~name:"y_init" ~axes:[ i0; l0 ] ~kinds:"SS" (fun vs ->
+          match vs with
+          | [ i; l ] -> store y_buf [ i; l ] (float 0.0)
+          | _ -> assert false)
+    in
+    let fn = Sparse_ir.compile (func "y_init" [ y_buf ] body) in
+    let sched = Schedule.create fn in
+    let _ = Schedule.split sched ~loop:"i_init" ~factor:8 in
+    let _ = Schedule.split sched ~loop:"l_init" ~factor:(min 32 dl) in
+    Schedule.bind sched ~loop:"i_init.o" Ir.Block_x;
+    Schedule.bind sched ~loop:"i_init.i" Ir.Thread_y;
+    Schedule.bind sched ~loop:"l_init.i" Ir.Thread_x;
+    Schedule.get sched
+  in
+  (* each bucket compiled and scheduled as its own kernel *)
+  let bucket_fns =
+    List.mapi
+      (fun idx (rel, (b : Hyb.bucket)) ->
+        let e = b.Hyb.bk_ell in
+        let tag = Printf.sprintf "r%d_w%d_%d" rel b.Hyb.bk_width idx in
+        let rowmap = buffer ~dtype:Dtype.I32 ("rowmap_" ^ tag) [ int e.Ell.rows ] in
+        let ellidx =
+          buffer ~dtype:Dtype.I32 ("ellidx_" ^ tag)
+            [ int (e.Ell.rows * e.Ell.width) ]
+        in
+        binds :=
+          (("rowmap_" ^ tag), Ell.row_map_tensor e)
+          :: (("ellidx_" ^ tag), phantom_ell_indices e ~phantom:n)
+          :: !binds;
+        let ib = dense_fixed ("IB_" ^ tag) ~length:(int e.Ell.rows) in
+        let jb =
+          sparse_fixed ("JB_" ^ tag) ~parent:ib ~length:(int (n + 1))
+            ~nnz_cols:(int e.Ell.width) ~indices:ellidx
+        in
+        let kx = dense_fixed ("KX_" ^ tag) ~length:(int dk) in
+        let lx = dense_fixed ("LX_" ^ tag) ~length:(int dl) in
+        let body =
+          sp_iter ~name:("rgms_" ^ tag) ~axes:[ ib; jb; kx; lx ] ~kinds:"SRRS"
+            (fun vs ->
+              match vs with
+              | [ ib'; jb'; k'; l' ] ->
+                  let yi = [ load rowmap [ ib' ]; l' ] in
+                  store y_buf yi
+                    (load y_buf yi
+                    +: (load x_buf [ jb'; k' ] *: load w_buf [ int rel; k'; l' ]))
+              | _ -> assert false)
+        in
+        let fn =
+          Sparse_ir.compile (func ("rgms_" ^ tag) [ x_buf; w_buf; y_buf ] body)
+        in
+        let sched = Schedule.create fn in
+        let li = "ib_" ^ tag and lj = "jb_" ^ tag in
+        let lk = "kx_" ^ tag and ll = "lx_" ^ tag in
+        let tx = min 32 dl in
+        let _ = Schedule.split sched ~loop:ll ~factor:tx in
+        let rows_per_block = max 1 (32 / b.Hyb.bk_width) in
+        let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
+        Schedule.reorder sched ~loops:[ li ^ ".i"; ll ^ ".o"; ll ^ ".i"; lj; lk ];
+        ignore (Schedule.cache_write sched ~block:("rgms_" ^ tag) ());
+        Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+        Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+        Schedule.bind sched ~loop:(ll ^ ".i") Ir.Thread_x;
+        Schedule.get sched)
+      buckets
+  in
+  let fn = combine_funcs "rgms_hyb" (init_fn :: bucket_fns) in
+  let y = Tensor.create Dtype.F32 [ n; dl ] in
+  let x_pad =
+    let padded = Array.make ((n + 1) * dk) 0.0 in
+    Array.blit x.Dense.data 0 padded 0 (n * dk);
+    Tensor.of_float_array [ n + 1; dk ] padded
+  in
+  let bindings = [ ("X", x_pad); ("W", w_tensor w); ("Y", y) ] @ !binds in
+  { steps = [ (fn, bindings) ]; out = y }
+
+(* ------------------------------------------------------------------ *)
+(* SparseTIR(hyb+TC): the Figure 21 schedule                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-scheduled Stage III kernel per (relation, bucket): each thread block
+   takes G rows of the bucket (G * width = 32 gathered X rows), pins W_r and
+   the gathered rows in shared memory, multiplies with tensor-core MMAs, and
+   scatter-accumulates the partial products into Y without ever
+   materializing them in HBM.  Feature sizes must be multiples of 16. *)
+let hyb_tc ?(k = 5) (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
+    compiled =
+  let open Builder in
+  let r_count = Array.length rels in
+  let n = x.Dense.rows and dk = x.Dense.cols and dl = w.(0).Dense.cols in
+  if dk mod 16 <> 0 || dl mod 16 <> 0 then
+    invalid_arg "Rgms.hyb_tc: feature sizes must be multiples of 16";
+  ignore r_count;
+  let buckets, _ = hyb_buckets ~k rels in
+  let y_buf = buffer "Y" [ int n; int dl ] in
+  (* X carries a phantom zero row at index n for padded ELL slots *)
+  let x_buf = buffer ~dtype:Dtype.F16 "X" [ int (n + 1); int dk ] in
+  let w_buf = buffer ~dtype:Dtype.F16 "W" [ int (Array.length rels); int dk; int dl ] in
+  let binds = ref [] in
+  let aux_params = ref [] in
+  (* Y init kernel *)
+  let init_kernel =
+    let bi = var "yi.o" and ti = var "yi.i" and lv = var "yl" in
+    For
+      { for_var = bi; extent = int (max 1 ((n + 7) / 8));
+        kind = Thread_bind Block_x;
+        body =
+          For
+            { for_var = ti; extent = int 8; kind = Thread_bind Thread_y;
+              body =
+                If
+                  ( ((v bi *: int 8) +: v ti) <: int n,
+                    For
+                      { for_var = lv; extent = int dl;
+                        kind = Thread_bind Thread_x;
+                        body =
+                          store y_buf [ (v bi *: int 8) +: v ti; v lv ]
+                            (float 0.0) },
+                    None ) } }
+  in
+  let bucket_kernels =
+    List.mapi
+      (fun idx (rel, (b : Hyb.bucket)) ->
+        let e = b.Hyb.bk_ell in
+        let wdt = b.Hyb.bk_width in
+        let tag = Printf.sprintf "r%d_w%d_%d" rel wdt idx in
+        let rowmap = buffer ~dtype:Dtype.I32 ("rowmap_" ^ tag) [ int e.Ell.rows ] in
+        let ellidx =
+          buffer ~dtype:Dtype.I32 ("ellidx_" ^ tag)
+            [ int (e.Ell.rows * wdt) ]
+        in
+        binds :=
+          (("rowmap_" ^ tag), Ell.row_map_tensor e)
+          :: (("ellidx_" ^ tag), phantom_ell_indices e ~phantom:n)
+          :: !binds;
+        aux_params := rowmap :: ellidx :: !aux_params;
+        let rows_per_block = max 1 (32 / wdt) in
+        let gathered = rows_per_block * wdt in (* = 32 unless width > 32 *)
+        let grid = (e.Ell.rows + rows_per_block - 1) / rows_per_block in
+        let wsh = buffer ~scope:Ir.Shared ~dtype:Dtype.F16 ("wsh_" ^ tag) [ int dk; int dl ] in
+        let xg = buffer ~scope:Ir.Shared ~dtype:Dtype.F16 ("xg_" ^ tag) [ int gathered; int dk ] in
+        let pbuf = buffer ~scope:Ir.Shared ("p_" ^ tag) [ int gathered; int dl ] in
+        let blk = var ("blk_" ^ tag) in
+        (* cooperative W copy *)
+        let kk = var "wk" and ll = var "wl" in
+        let w_copy =
+          For
+            { for_var = kk; extent = int dk; kind = Ir.Parallel;
+              body =
+                For
+                  { for_var = ll; extent = int dl; kind = Ir.Serial;
+                    body = store wsh [ v kk; v ll ] (load w_buf [ int rel; v kk; v ll ]) } }
+        in
+        (* gather X rows: t indexes (row-in-block, slot) pairs *)
+        let t = var "gt" and gk = var "gk" in
+        let row_expr = (v blk *: int rows_per_block) +: (v t /^ int wdt) in
+        let slot_expr =
+          (row_expr *: int wdt) +: (v t %^ int wdt)
+        in
+        let x_gather =
+          For
+            { for_var = t; extent = int gathered; kind = Ir.Parallel;
+              body =
+                For
+                  { for_var = gk; extent = int dk; kind = Ir.Serial;
+                    body =
+                      If
+                        ( row_expr <: int e.Ell.rows,
+                          store xg [ v t; v gk ]
+                            (load x_buf [ load ellidx [ slot_expr ]; v gk ]),
+                          Some (store xg [ v t; v gk ] (float 0.0)) ) } }
+        in
+        (* zero P *)
+        let zt = var "zt" and zl = var "zl" in
+        let p_zero =
+          For
+            { for_var = zt; extent = int gathered; kind = Ir.Parallel;
+              body =
+                For
+                  { for_var = zl; extent = int dl; kind = Ir.Serial;
+                    body = store pbuf [ v zt; v zl ] (float 0.0) } }
+        in
+        (* MMA sweep: P[32, dl] += Xg[32, dk] x Wsh[dk, dl] *)
+        let mo = var "mo" and lo = var "lo" and ko = var "ko" in
+        let m_tiles = max 1 (gathered / 16) in
+        let mma =
+          Ir.Mma_sync
+            { mma_m = min 16 gathered; mma_n = 16; mma_k = 16;
+              mma_a =
+                { op_buf = xg; op_origin = [ v mo *: int 16; v ko *: int 16 ];
+                  op_ld = int dk };
+              mma_b =
+                { op_buf = wsh; op_origin = [ v ko *: int 16; v lo *: int 16 ];
+                  op_ld = int dl };
+              mma_c =
+                { op_buf = pbuf; op_origin = [ v mo *: int 16; v lo *: int 16 ];
+                  op_ld = int dl } }
+        in
+        let mma_sweep =
+          (* output tiles are distributed over the block's warps *)
+          For
+            { for_var = mo; extent = int m_tiles; kind = Ir.Parallel;
+              body =
+                For
+                  { for_var = lo; extent = int (dl / 16); kind = Ir.Serial;
+                    body =
+                      For
+                        { for_var = ko; extent = int (dk / 16); kind = Ir.Serial;
+                          body = mma } } }
+        in
+        (* scatter-accumulate inside SRAM -> Y *)
+        let gr = var "gr" and gq = var "gq" and gl = var "gl" in
+        let srow = (v blk *: int rows_per_block) +: v gr in
+        let scatter =
+          For
+            { for_var = gr; extent = int rows_per_block; kind = Ir.Parallel;
+              body =
+                If
+                  ( srow <: int e.Ell.rows,
+                    For
+                      { for_var = gq; extent = int wdt; kind = Ir.Serial;
+                        body =
+                          For
+                            { for_var = gl; extent = int dl; kind = Ir.Serial;
+                              body =
+                                (let yi = [ load rowmap [ srow ]; v gl ] in
+                                 store y_buf yi
+                                   (load y_buf yi
+                                   +: load pbuf [ (v gr *: int wdt) +: v gq; v gl ]))
+                            } },
+                    None ) }
+        in
+        For
+          { for_var = blk; extent = int (max 1 grid); kind = Thread_bind Block_x;
+            body =
+              alloc wsh
+                (alloc xg
+                   (alloc pbuf
+                      (Seq [ w_copy; x_gather; p_zero; mma_sweep; scatter ]))) })
+      buckets
+  in
+  let fn =
+    func "rgms_hyb_tc"
+      ([ x_buf; w_buf; y_buf ] @ List.rev !aux_params)
+      (Seq (init_kernel :: bucket_kernels))
+  in
+  let y = Tensor.create Dtype.F32 [ n; dl ] in
+  let x16 =
+    let padded = Array.make ((n + 1) * dk) 0.0 in
+    Array.blit x.Dense.data 0 padded 0 (n * dk);
+    Tensor.of_float_array ~dtype:Dtype.F16 [ n + 1; dk ] padded
+  in
+  let w16 =
+    let t = w_tensor w in
+    Tensor.of_float_array ~dtype:Dtype.F16 [ Array.length rels; dk; dl ]
+      (Tensor.to_float_array t)
+  in
+  let bindings = [ ("X", x16); ("W", w16); ("Y", y) ] @ !binds in
+  { steps = [ (fn, bindings) ]; out = y }
+
+(* ------------------------------------------------------------------ *)
+(* Two-stage baselines                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Simple elementwise zero kernel for an [n; l] tensor. *)
+let zero_kernel (y_t : Tensor.t) ~(n : int) ~(l : int) :
+    Ir.func * Gpusim.bindings =
+  let open Builder in
+  let y_buf = buffer "Y" [ int n; int l ] in
+  let bi = var "z.o" and ti = var "z.i" and lv = var "z.l" in
+  let body =
+    For
+      { for_var = bi; extent = int (max 1 ((n + 7) / 8));
+        kind = Thread_bind Block_x;
+        body =
+          For
+            { for_var = ti; extent = int 8; kind = Thread_bind Thread_y;
+              body =
+                If
+                  ( ((v bi *: int 8) +: v ti) <: int n,
+                    For
+                      { for_var = lv; extent = int l; kind = Thread_bind Thread_x;
+                        body = store y_buf [ (v bi *: int 8) +: v ti; v lv ] (float 0.0) },
+                    None ) } }
+  in
+  (func "y_zero" [ y_buf ] body, [ ("Y", y_t) ])
+
+(* Graphiler / DGL strategy for RGCN: per relation, T_r = X W_r as a dense
+   GEMM materialized in HBM, then Y += A_r T_r as an SpMM.  [launch_overhead]
+   distinguishes Graphiler (batched, fewer launches via horizontal batching)
+   from DGL/PyG (one pair of kernels per relation plus framework overhead
+   kernels). *)
+let two_stage ?(extra_launches_per_relation = 0) (rels : Csr.t array)
+    (x : Dense.t) (w : Dense.t array) : compiled =
+  let n = x.Dense.rows and dl = w.(0).Dense.cols in
+  let y = Tensor.create Dtype.F32 [ n; dl ] in
+  let steps = ref [ zero_kernel y ~n ~l:dl ] in
+  Array.iteri
+    (fun r (a : Csr.t) ->
+      (* stage 1: T_r = X W_r *)
+      let g = Gemm.cublas_fp32 x w.(r) in
+      steps := (g.Gemm.fn, g.Gemm.bindings) :: !steps;
+      (* stage 2: Y += A_r T_r *)
+      let tag = Printf.sprintf "r%d" r in
+      let step2 =
+        Spmm.accumulate_into a ~b_tensor:g.Gemm.out ~c_tensor:y ~feat:dl ~tag
+      in
+      steps := step2 :: !steps;
+      (* framework overhead kernels (reshapes, index preparation) *)
+      for e = 1 to extra_launches_per_relation do
+        ignore e;
+        steps := zero_kernel (Tensor.create Dtype.F32 [ 1; 1 ]) ~n:1 ~l:1 :: !steps
+      done)
+    rels;
+  { steps = List.rev !steps; out = y }
+
+(* TorchSparse strategy for sparse convolution: per relation (kernel offset),
+   gather the referenced input rows, run a cuBLAS GEMM on the gathered
+   matrix, and scatter-add the result rows.  Gathered/result buffers are
+   materialized in HBM (unlike hyb_tc's on-chip fusion). *)
+let gather_two_stage (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
+    compiled =
+  let open Builder in
+  let n = x.Dense.rows and dk = x.Dense.cols and dl = w.(0).Dense.cols in
+  let y = Tensor.create Dtype.F32 [ n; dl ] in
+  let steps = ref [ zero_kernel y ~n ~l:dl ] in
+  Array.iteri
+    (fun r (a : Csr.t) ->
+      (* edge list of the (<=1 per row) relation *)
+      let out_rows = ref [] and in_rows = ref [] in
+      for i = a.Csr.rows - 1 downto 0 do
+        for p = a.Csr.indptr.(i + 1) - 1 downto a.Csr.indptr.(i) do
+          out_rows := i :: !out_rows;
+          in_rows := a.Csr.indices.(p) :: !in_rows
+        done
+      done;
+      let out_rows = Array.of_list !out_rows
+      and in_rows = Array.of_list !in_rows in
+      let ne = Array.length out_rows in
+      if ne > 0 then begin
+        (* pad the gathered matrix to a multiple of 16 rows for the GEMM *)
+        let ne_pad = (ne + 15) / 16 * 16 in
+        let tag = Printf.sprintf "g%d" r in
+        let xg_t = Tensor.create Dtype.F32 [ ne_pad; dk ] in
+        (* gather kernel *)
+        let inmap =
+          buffer ~dtype:Dtype.I32 ("inmap_" ^ tag) [ int ne ]
+        in
+        let x_buf = buffer "X" [ int n; int dk ] in
+        let xg_buf = buffer ("XG_" ^ tag) [ int ne_pad; int dk ] in
+        let t = var "t" and kk = var "k" in
+        let gather_fn =
+          func ("gather_" ^ tag) [ x_buf; xg_buf; inmap ]
+            (For
+               { for_var = t; extent = int ne; kind = Thread_bind Block_x;
+                 body =
+                   For
+                     { for_var = kk; extent = int dk; kind = Thread_bind Thread_x;
+                       body =
+                         store xg_buf [ v t; v kk ]
+                           (load x_buf [ load inmap [ v t ]; v kk ]) } })
+        in
+        steps :=
+          ( gather_fn,
+            [ ("X", Dense.to_tensor x);
+              ("XG_" ^ tag, xg_t);
+              ("inmap_" ^ tag, Tensor.of_int_array [ ne ] in_rows) ] )
+          :: !steps;
+        (* GEMM: T = XG W_r *)
+        let xg_dense =
+          Dense.of_array ne_pad dk (Tensor.to_float_array xg_t)
+        in
+        (* coarse-grained cuBLAS tensor-core GEMM on the gathered matrix
+           (TorchSparse's matrix multiplications run on well-tuned library
+           kernels, which is why it wins at large channel sizes, S4.4.2);
+           the GEMM input is rebound to the tensor the gather kernel wrote *)
+        let g = Gemm.cublas_tc xg_dense w.(r) in
+        let gemm_bindings =
+          List.map
+            (fun (nm, tt) -> if nm = "X" then (nm, xg_t) else (nm, tt))
+            g.Gemm.bindings
+        in
+        steps := (g.Gemm.fn, gemm_bindings) :: !steps;
+        (* scatter kernel: Y[outmap[t]] += T[t] *)
+        let outmap = buffer ~dtype:Dtype.I32 ("outmap_" ^ tag) [ int ne ] in
+        let t_buf = buffer ("T_" ^ tag) [ int ne_pad; int dl ] in
+        let y_buf = buffer "Y" [ int n; int dl ] in
+        let t2 = var "t" and ll = var "l" in
+        let scatter_fn =
+          func ("scatter_" ^ tag) [ t_buf; y_buf; outmap ]
+            (For
+               { for_var = t2; extent = int ne; kind = Thread_bind Block_x;
+                 body =
+                   For
+                     { for_var = ll; extent = int dl; kind = Thread_bind Thread_x;
+                       body =
+                         (let yi = [ load outmap [ v t2 ]; v ll ] in
+                          store y_buf yi
+                            (load y_buf yi +: load t_buf [ v t2; v ll ])) } })
+        in
+        steps :=
+          ( scatter_fn,
+            [ ("T_" ^ tag, g.Gemm.out);
+              ("Y", y);
+              ("outmap_" ^ tag, Tensor.of_int_array [ ne ] out_rows) ] )
+          :: !steps
+      end)
+    rels;
+  { steps = List.rev !steps; out = y }

@@ -1,0 +1,124 @@
+(* SDDMM kernels (S4.2.2): out_ij = A_ij * sum_k X_ik Y_kj over the non-zero
+   positions of A.  The SparseTIR kernel composes the stage-I sparse_fuse
+   schedule (iterate non-zeros directly) with stage-II rfactor (PRedS-style
+   two-stage reduction) and vectorized loads; the baselines are restricted
+   subsets of that space. *)
+
+open Tir
+open Formats
+
+type compiled = {
+  fn : Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tensor.t; (* non-zero values of the output, length nnz *)
+}
+
+(* Stage I SDDMM over CSR structure. *)
+let stage1 (a : Csr.t) ~(feat : int) : Ir.func =
+  let open Builder in
+  let m = a.Csr.rows and n = a.Csr.cols and nz = max 1 (Csr.nnz a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nz ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let a_buf = match_sparse_buffer "A" [ i_ax; j_ax ] in
+  let out_buf = match_sparse_buffer "OUT" [ i_ax; j_ax ] in
+  let x_buf = buffer "X" [ int m; int feat ] in
+  let y_buf = buffer "Y" [ int feat; int n ] in
+  let body =
+    sp_iter ~name:"sddmm" ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SSR"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; j; _ ] -> store out_buf [ i; j ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k ] ->
+            store out_buf [ i; j ]
+              (load out_buf [ i; j ]
+              +: (load a_buf [ i; j ] *: load x_buf [ i; k ] *: load y_buf [ k; j ]))
+        | _ -> assert false)
+  in
+  func "sddmm" [ a_buf; out_buf; x_buf; y_buf ] body
+
+let base_bindings (a : Csr.t) (x : Dense.t) (y : Dense.t) :
+    Gpusim.bindings * Tensor.t =
+  let out = Tensor.create Dtype.F32 [ max 1 (Csr.nnz a) ] in
+  ( [ ("A", Csr.data_tensor a);
+      ("A_indptr", Csr.indptr_tensor a);
+      ("A_indices", Csr.indices_tensor a);
+      ("X", Dense.to_tensor x);
+      ("Y", Dense.to_tensor y);
+      ("OUT", out) ],
+    out )
+
+(* TACO-style: no fusion (row per thread, divergent edge loop), serial
+   reduction per thread. *)
+let taco (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
+  ignore feat;
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  let _ = Schedule.split sched ~loop:"i" ~factor:32 in
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_x;
+  let bindings, out = base_bindings a x y in
+  { fn = Schedule.get sched; bindings; out }
+
+(* cuSPARSE-style constSDDMM: row-per-thread without fusion or staging; low
+   performance on highly sparse matrices (S4.2.2). *)
+let cusparse (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
+  ignore feat;
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  let _ = Schedule.split sched ~loop:"i" ~factor:16 in
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_x;
+  let bindings, out = base_bindings a x y in
+  { fn = Schedule.get sched; bindings; out }
+
+(* DGL / FeatGraph: stage-I fusion (edge-per-thread, perfect balance),
+   serial reduction, no vectorization.  The Figure 14 baseline. *)
+let dgl (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
+  ignore feat;
+  let fn = Sparse_ir.sparse_fuse (stage1 a ~feat) ~iter:"sddmm" ~axes:[ "I"; "J" ] in
+  let fn = Sparse_ir.compile fn in
+  let sched = Schedule.create fn in
+  let _ = Schedule.split sched ~loop:"ij" ~factor:32 in
+  Schedule.bind sched ~loop:"ij.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"ij.i" Ir.Thread_x;
+  let bindings, out = base_bindings a x y in
+  { fn = Schedule.get sched; bindings; out }
+
+(* PRedS (dgSPARSE) and the SparseTIR-tuned kernel: fusion + two-stage
+   reduction (rfactor) with the feature loop spread over threads, plus
+   vectorized loads.  [group] threads cooperate on one non-zero; [edges]
+   non-zeros per thread block; [vec]-wide vector loads. *)
+let two_stage ?(edges = 8) ?(group = 8) ?(vec = 2) (a : Csr.t) (x : Dense.t)
+    (y : Dense.t) ~(feat : int) : compiled =
+  let vec = if feat mod (group * vec) = 0 then vec else 1 in
+  let group = if feat mod (group * vec) = 0 then group else min group feat in
+  let fn = Sparse_ir.sparse_fuse (stage1 a ~feat) ~iter:"sddmm" ~axes:[ "I"; "J" ] in
+  let fn = Sparse_ir.compile fn in
+  let sched = Schedule.create fn in
+  (* k -> [k.o.o serial][k.o.i = intra-group][k.i vectorized] *)
+  let _ = Schedule.split sched ~loop:"k" ~factor:vec in
+  if vec > 1 then Schedule.vectorize sched ~loop:"k.i";
+  let _ = Schedule.split sched ~loop:"k.o" ~factor:group in
+  let _ = Schedule.rfactor sched ~block:"sddmm" ~loop:"k.o.i" () in
+  Schedule.bind sched ~loop:"k.o.i" Ir.Thread_x;
+  let _ = Schedule.split sched ~loop:"ij" ~factor:edges in
+  Schedule.bind sched ~loop:"ij.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"ij.i" Ir.Thread_y;
+  let bindings, out = base_bindings a x y in
+  { fn = Schedule.get sched; bindings; out }
+
+let dgsparse (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
+  two_stage ~edges:8 ~group:8 ~vec:2 a x y ~feat
+
+let sparsetir ?(edges = 16) ?(group = 8) ?(vec = 4) (a : Csr.t) (x : Dense.t)
+    (y : Dense.t) ~(feat : int) : compiled =
+  two_stage ~edges ~group ~vec a x y ~feat

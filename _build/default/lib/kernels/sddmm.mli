@@ -1,0 +1,40 @@
+(** SDDMM kernels (S4.2.2): out_ij = A_ij * sum_k X_ik Y_kj over A's
+    non-zeros.  The SparseTIR kernel composes stage-I sparse_fuse with
+    stage-II rfactor (PRedS-style two-stage reduction) and vectorized
+    loads; the baselines are restricted subsets of that space.  Output
+    buffer is named "OUT" (length nnz). *)
+
+open Formats
+
+type compiled = {
+  fn : Tir.Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tir.Tensor.t;
+}
+
+val stage1 : Csr.t -> feat:int -> Tir.Ir.func
+val base_bindings : Csr.t -> Dense.t -> Dense.t -> Gpusim.bindings * Tir.Tensor.t
+
+val taco : Csr.t -> Dense.t -> Dense.t -> feat:int -> compiled
+(** Row-per-thread, no fusion, serial reduction. *)
+
+val cusparse : Csr.t -> Dense.t -> Dense.t -> feat:int -> compiled
+(** Generic kernel, poor on highly sparse matrices. *)
+
+val dgl : Csr.t -> Dense.t -> Dense.t -> feat:int -> compiled
+(** FeatGraph strategy: stage-I fusion (edge-per-thread), serial
+    reduction — the Figure 14 baseline. *)
+
+val two_stage :
+  ?edges:int -> ?group:int -> ?vec:int -> Csr.t -> Dense.t -> Dense.t ->
+  feat:int -> compiled
+(** Fusion + rfactor two-stage reduction + vectorized loads: [group] threads
+    cooperate per non-zero, [edges] non-zeros per block, [vec]-wide loads. *)
+
+val dgsparse : Csr.t -> Dense.t -> Dense.t -> feat:int -> compiled
+(** PRedS at its published configuration. *)
+
+val sparsetir :
+  ?edges:int -> ?group:int -> ?vec:int -> Csr.t -> Dense.t -> Dense.t ->
+  feat:int -> compiled
+(** The tuned point of the two-stage space. *)

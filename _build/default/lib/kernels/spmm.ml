@@ -1,0 +1,298 @@
+(* SpMM kernels (S4.2.1): the SparseTIR CSR kernel under the scheduling
+   strategies of each baseline system, and the composable-format hyb kernel
+   produced by format decomposition.
+
+   Every function returns a compiled Stage III function together with the
+   tensor bindings for its parameters; the output buffer is named "C". *)
+
+open Tir
+open Formats
+
+type compiled = {
+  fn : Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tensor.t; (* the "C" tensor, rows x feat *)
+}
+
+(* Stage I CSR SpMM (Figure 3). *)
+let stage1 (a : Csr.t) ~(feat : int) : Ir.func =
+  let open Builder in
+  let m = a.Csr.rows and n = a.Csr.cols and nz = max 1 (Csr.nnz a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nz ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let a_buf = match_sparse_buffer "A" [ i_ax; j_ax ] in
+  let b_buf = buffer "B" [ int n; int feat ] in
+  let c_buf = buffer "C" [ int m; int feat ] in
+  let body =
+    sp_iter ~name:"spmm" ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; _; k ] -> store c_buf [ i; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k ] ->
+            store c_buf [ i; k ]
+              (load c_buf [ i; k ] +: (load a_buf [ i; j ] *: load b_buf [ j; k ]))
+        | _ -> assert false)
+  in
+  func "spmm" [ a_buf; b_buf; c_buf ] body
+
+let base_bindings (a : Csr.t) (x : Dense.t) ~(feat : int) :
+    Gpusim.bindings * Tensor.t =
+  let c = Tensor.create Dtype.F32 [ a.Csr.rows; feat ] in
+  ( [ ("A", Csr.data_tensor a);
+      ("A_indptr", Csr.indptr_tensor a);
+      ("A_indices", Csr.indices_tensor a);
+      ("B", Dense.to_tensor x);
+      ("C", c) ],
+    c )
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling strategies                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Feature-dimension mapping: k -> [k.o serial][k.i = threadIdx.x (tx)]
+   [vectorized width vec].  Requires feat mod (tx * vec) = 0. *)
+let map_feature sched ~(tx : int) ~(vec : int) : unit =
+  if vec > 1 then begin
+    let _, _ = Schedule.split sched ~loop:"k" ~factor:vec in
+    Schedule.vectorize sched ~loop:"k.i";
+    let _, _ = Schedule.split sched ~loop:"k.o" ~factor:tx in
+    Schedule.bind sched ~loop:"k.o.i" Ir.Thread_x
+  end
+  else begin
+    let _, _ = Schedule.split sched ~loop:"k" ~factor:tx in
+    Schedule.bind sched ~loop:"k.i" Ir.Thread_x
+  end
+
+let feature_loops ~(vec : int) =
+  if vec > 1 then [ "k.o.o"; "k.o.i" ] else [ "k.o"; "k.i" ]
+
+(* TACO-style single-shot CSR kernel (with the S4.2.1 limitations): rows
+   grouped over warps with features across lanes — the coalesced layout the
+   TACO GPU autoscheduler reaches — but no register caching of the partial
+   result (C is read-modified-written in global memory every reduction step)
+   and no unrolling, because the provenance-graph IR cannot express them. *)
+let taco (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  let tx = min 32 feat in
+  map_feature sched ~tx ~vec:1;
+  let _ = Schedule.split sched ~loop:"i" ~factor:8 in
+  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+  (* no cache_write: the accumulation target stays in global memory *)
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+  let bindings, out = base_bindings a x ~feat in
+  { fn = Schedule.get sched; bindings; out }
+
+(* cuSPARSE-style CSRMM: one row per block, features across threads,
+   register accumulation. *)
+let cusparse (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  let tx = min 32 feat in
+  map_feature sched ~tx ~vec:1;
+  Schedule.reorder sched ~loops:[ "k.o"; "k.i"; "j" ];
+  ignore (Schedule.cache_write sched ~block:"spmm" ());
+  Schedule.bind sched ~loop:"i" Ir.Block_x;
+  let bindings, out = base_bindings a x ~feat in
+  { fn = Schedule.get sched; bindings; out }
+
+(* GE-SpMM (dgSPARSE): row groups per block + coalesced feature access +
+   register accumulation. *)
+let dgsparse ?(row_group = 8) (a : Csr.t) (x : Dense.t) ~(feat : int) :
+    compiled =
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  let tx = min 32 feat in
+  map_feature sched ~tx ~vec:1;
+  let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+  ignore (Schedule.cache_write sched ~block:"spmm" ());
+  (* GE-SpMM unrolls the non-zero loop after staging indices *)
+  Schedule.unroll sched ~loop:"j";
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let bindings, out = base_bindings a x ~feat in
+  { fn = Schedule.get sched; bindings; out }
+
+(* Sputnik: subwarp tiling with vectorized (float4) feature loads. *)
+let sputnik ?(row_group = 4) (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled
+    =
+  let vec = if feat mod 4 = 0 then 4 else 1 in
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  (* k -> [k.o = tx][k.i vectorized] *)
+  let _, _ = Schedule.split sched ~loop:"k" ~factor:vec in
+  if vec > 1 then Schedule.vectorize sched ~loop:"k.i";
+  Schedule.bind sched ~loop:"k.o" Ir.Thread_x;
+  let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "j" ];
+  ignore (Schedule.cache_write sched ~block:"spmm" ());
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let bindings, out = base_bindings a x ~feat in
+  { fn = Schedule.get sched; bindings; out }
+
+(* SparseTIR without format decomposition: the best CSR schedule in the
+   tuning space (GE-SpMM-style grouping + unrolled reduction + optional
+   vectorization). *)
+let sparsetir_no_hyb ?(row_group = 8) ?(vec = 1) (a : Csr.t) (x : Dense.t)
+    ~(feat : int) : compiled =
+  let vec = if feat mod (32 * vec) = 0 then vec else 1 in
+  let tx = min 32 (feat / vec) in
+  let fn = Sparse_ir.compile (stage1 a ~feat) in
+  let sched = Schedule.create fn in
+  map_feature sched ~tx ~vec;
+  let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+  Schedule.reorder sched ~loops:(("i.i" :: feature_loops ~vec) @ [ "j" ]);
+  ignore (Schedule.cache_write sched ~block:"spmm" ());
+  Schedule.unroll sched ~loop:"j";
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let bindings, out = base_bindings a x ~feat in
+  { fn = Schedule.get sched; bindings; out }
+
+(* ------------------------------------------------------------------ *)
+(* Composable-format hyb(c, k) kernel (Figures 5 and 11)               *)
+(* ------------------------------------------------------------------ *)
+
+(* One FormatRewriteRule per bucket: a row-mapped ELL sub-matrix.  The
+   inverse index map gathers the original row id from the bucket's row map,
+   exercising the paper's integer-loaded index expressions. *)
+let bucket_rule (idx : int) (b : Hyb.bucket) :
+    Sparse_ir.Format_rewrite.rule * (string * Tensor.t) list =
+  let open Builder in
+  let e = b.Hyb.bk_ell in
+  let tag = Printf.sprintf "p%d_w%d_%d" b.Hyb.bk_part b.Hyb.bk_width idx in
+  let row_map_buf = buffer ~dtype:Dtype.I32 ("rowmap_" ^ tag) [ int e.Ell.rows ] in
+  let indices_buf =
+    buffer ~dtype:Dtype.I32 ("ellidx_" ^ tag) [ int (e.Ell.rows * e.Ell.width) ]
+  in
+  let i2 = dense_fixed ("I_" ^ tag) ~length:(int e.Ell.rows) in
+  let j2 =
+    sparse_fixed ("J_" ^ tag) ~parent:i2 ~length:(int e.Ell.cols)
+      ~nnz_cols:(int e.Ell.width) ~indices:indices_buf
+  in
+  let rule =
+    Sparse_ir.Format_rewrite.
+      { fr_name = tag;
+        fr_buffer = "A";
+        fr_new_axes = [ i2; j2 ];
+        fr_fwd = (fun coords -> coords);
+        fr_inv =
+          (fun coords ->
+            match coords with
+            | [ i2c; j2c ] -> [ load row_map_buf [ i2c ]; j2c ]
+            | _ -> invalid_arg "bucket_rule: arity") }
+  in
+  let binds =
+    [ ("rowmap_" ^ tag, Ell.row_map_tensor e);
+      ("ellidx_" ^ tag, Ell.indices_tensor e);
+      ("A_" ^ tag, Ell.data_tensor e) ]
+  in
+  (rule, binds)
+
+(* The hyb(c, k) SpMM: decompose the CSR iteration into per-bucket ELL
+   iterations, then schedule each bucket so a thread block processes 2^k
+   non-zeros (2^{k-i} rows of bucket width 2^i). *)
+let sparsetir_hyb ?(c = 1) ?k (a : Csr.t) (x : Dense.t) ~(feat : int) :
+    compiled * Hyb.t =
+  let k = match k with Some k -> k | None -> Hyb.default_k a in
+  let h = Hyb.of_csr ~c ~k a in
+  let fn = stage1 a ~feat in
+  let rules_binds = List.mapi bucket_rule h.Hyb.buckets in
+  let rules = List.map fst rules_binds in
+  let extra_binds = List.concat_map snd rules_binds in
+  let fn, _bufs = Sparse_ir.decompose_format fn ~iter:"spmm" rules in
+  let fn = Sparse_ir.compile fn in
+  let sched = Schedule.create fn in
+  (* init kernel: parallelize over rows and features *)
+  let _ = Schedule.split sched ~loop:"i" ~factor:(min 8 a.Csr.rows) in
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let tx0 = min 32 feat in
+  let _ = Schedule.split sched ~loop:"k" ~factor:tx0 in
+  Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+  (* per-bucket schedules *)
+  List.iter2
+    (fun (rule : Sparse_ir.Format_rewrite.rule) (b : Hyb.bucket) ->
+      let tag = rule.Sparse_ir.Format_rewrite.fr_name in
+      let li = "i_" ^ tag and lj = "j_" ^ tag in
+      let width = b.Hyb.bk_width in
+      let rows_per_block = max 1 ((1 lsl k) / width) in
+      let lk = "k_" ^ tag in
+      let tx = min 32 feat in
+      let _ = Schedule.split sched ~loop:lk ~factor:tx in
+      Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
+      let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
+      Schedule.reorder sched
+        ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
+      ignore (Schedule.cache_write sched ~block:("spmm_" ^ tag) ());
+      Schedule.unroll sched ~loop:lj;
+      Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+      Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y)
+    rules h.Hyb.buckets;
+  let bindings, out = base_bindings a x ~feat in
+  (* the original A data buffer is gone after decomposition *)
+  let bindings = List.filter (fun (n, _) -> n <> "A") bindings in
+  ({ fn = Schedule.get sched; bindings = bindings @ extra_binds; out }, h)
+
+(* Accumulating SpMM (no output init): C += A * B with B supplied as an
+   existing tensor.  Used by the two-stage RGMS pipelines, where each
+   relation's scatter accumulates into the shared output. *)
+let accumulate_into ?(row_group = 8) (a : Csr.t) ~(b_tensor : Tensor.t)
+    ~(c_tensor : Tensor.t) ~(feat : int) ~(tag : string) :
+    Ir.func * Gpusim.bindings =
+  let open Builder in
+  let m = a.Csr.rows and n = a.Csr.cols and nz = max 1 (Csr.nnz a) in
+  let indptr_buf =
+    buffer ~dtype:Dtype.I32 ("Ai_" ^ tag) [ int (m + 1) ]
+  in
+  let indices_buf = buffer ~dtype:Dtype.I32 ("Ax_" ^ tag) [ int nz ] in
+  let i_ax = dense_fixed ("I_" ^ tag) ~length:(int m) in
+  let j_ax =
+    sparse_variable ("J_" ^ tag) ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed ("K_" ^ tag) ~length:(int feat) in
+  let a_buf = match_sparse_buffer ("A_" ^ tag) [ i_ax; j_ax ] in
+  let b_buf = buffer ("B_" ^ tag) [ int n; int feat ] in
+  let c_buf = buffer "C" [ int m; int feat ] in
+  let body =
+    sp_iter ~name:("spmm_" ^ tag) ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SRS"
+      (fun vs ->
+        match vs with
+        | [ i; j; k ] ->
+            store c_buf [ i; k ]
+              (load c_buf [ i; k ] +: (load a_buf [ i; j ] *: load b_buf [ j; k ]))
+        | _ -> assert false)
+  in
+  let fn = Sparse_ir.compile (func ("spmm_" ^ tag) [ a_buf; b_buf; c_buf ] body) in
+  let sched = Schedule.create fn in
+  let li = "i_" ^ tag and lj = "j_" ^ tag and lk = "k_" ^ tag in
+  let tx = min 32 feat in
+  let _ = Schedule.split sched ~loop:lk ~factor:tx in
+  let _ = Schedule.split sched ~loop:li ~factor:row_group in
+  Schedule.reorder sched ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
+  ignore (Schedule.cache_write sched ~block:("spmm_" ^ tag) ());
+  Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+  Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+  Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
+  let bindings =
+    [ ("A_" ^ tag, Csr.data_tensor a);
+      ("Ai_" ^ tag, Csr.indptr_tensor a);
+      ("Ax_" ^ tag, Csr.indices_tensor a);
+      ("B_" ^ tag, b_tensor);
+      ("C", c_tensor) ]
+  in
+  (Schedule.get sched, bindings)

@@ -1,0 +1,55 @@
+(** SpMM kernels (S4.2.1): the SparseTIR CSR kernel under the scheduling
+    strategies of each baseline system, and the composable-format hyb kernel
+    produced by format decomposition.  Output buffer is named "C". *)
+
+open Formats
+
+type compiled = {
+  fn : Tir.Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tir.Tensor.t; (** rows x feat *)
+}
+
+val stage1 : Csr.t -> feat:int -> Tir.Ir.func
+(** The Stage I SpMM of Figure 3 over the given CSR structure. *)
+
+val base_bindings : Csr.t -> Dense.t -> feat:int -> Gpusim.bindings * Tir.Tensor.t
+
+val map_feature : Schedule.t -> tx:int -> vec:int -> unit
+(** k -> [serial][threadIdx.x][vectorized] mapping shared by the kernels. *)
+
+val feature_loops : vec:int -> string list
+
+val taco : Csr.t -> Dense.t -> feat:int -> compiled
+(** Coalesced row-group kernel but no register caching and no unrolling —
+    the limitations the paper attributes to TACO. *)
+
+val cusparse : Csr.t -> Dense.t -> feat:int -> compiled
+(** One row per block, features across threads, register accumulation. *)
+
+val dgsparse : ?row_group:int -> Csr.t -> Dense.t -> feat:int -> compiled
+(** GE-SpMM: row groups per block, coalesced features, register
+    accumulation, unrolled non-zero loop. *)
+
+val sputnik : ?row_group:int -> Csr.t -> Dense.t -> feat:int -> compiled
+(** Subwarp tiling with vectorized (float4) feature loads. *)
+
+val sparsetir_no_hyb : ?row_group:int -> ?vec:int -> Csr.t -> Dense.t -> feat:int -> compiled
+(** The best single-format (CSR) point of SparseTIR's schedule space. *)
+
+val bucket_rule :
+  int -> Hyb.bucket -> Sparse_ir.Format_rewrite.rule * (string * Tir.Tensor.t) list
+(** One FormatRewriteRule per hyb bucket (a row-mapped ELL): the inverse
+    index map gathers the original row id from the bucket's row map. *)
+
+val sparsetir_hyb :
+  ?c:int -> ?k:int -> Csr.t -> Dense.t -> feat:int -> compiled * Hyb.t
+(** The composable-format kernel of Figures 5 and 11: decompose_format over
+    the bucket rules, one kernel per bucket (thread blocks cover 2^k
+    non-zeros each), plus the generated output-initialization kernel.
+    Profile with horizontal fusion. *)
+
+val accumulate_into :
+  ?row_group:int -> Csr.t -> b_tensor:Tir.Tensor.t -> c_tensor:Tir.Tensor.t ->
+  feat:int -> tag:string -> Tir.Ir.func * Gpusim.bindings
+(** C += A B over existing tensors (no output init), for chained pipelines. *)

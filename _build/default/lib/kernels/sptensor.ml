@@ -1,0 +1,189 @@
+(* Higher-order sparse tensor kernels over CSF: MTTKRP, the classic
+   three-level-deep iteration.  Exercises the axis framework on a chain
+   I -> J(variable) -> K(variable) — the deepest composition the paper's
+   language supports (S3.1 lists CSF among the expressible formats). *)
+
+open Tir
+open Formats
+
+type compiled = {
+  fn : Ir.func;
+  bindings : Gpusim.bindings;
+  out : Tensor.t; (* Y, dim_i x rank *)
+}
+
+(* Stage I MTTKRP: Y[i,r] = sum_{j,k} T[i,j,k] * B[j,r] * C[k,r]. *)
+let mttkrp_stage1 (t : Csf.t) ~(rank : int) : Ir.func =
+  let open Builder in
+  let nf = max 1 (Csf.nnz_fibers t) and nz = max 1 (Csf.nnz t) in
+  let j_indptr = buffer ~dtype:Dtype.I32 "T_jptr" [ int (t.Csf.dim_i + 1) ] in
+  let j_indices = buffer ~dtype:Dtype.I32 "T_jidx" [ int nf ] in
+  let k_indptr = buffer ~dtype:Dtype.I32 "T_kptr" [ int (nf + 1) ] in
+  let k_indices = buffer ~dtype:Dtype.I32 "T_kidx" [ int nz ] in
+  let i_ax = dense_fixed "I" ~length:(int t.Csf.dim_i) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int t.Csf.dim_j) ~nnz:(int nf)
+      ~indptr:j_indptr ~indices:j_indices
+  in
+  let k_ax =
+    sparse_variable "K" ~parent:j_ax ~length:(int t.Csf.dim_k) ~nnz:(int nz)
+      ~indptr:k_indptr ~indices:k_indices
+  in
+  let r_ax = dense_fixed "R" ~length:(int rank) in
+  let t_buf = match_sparse_buffer "T" [ i_ax; j_ax; k_ax ] in
+  let b_buf = buffer "B" [ int t.Csf.dim_j; int rank ] in
+  let c_buf = buffer "C" [ int t.Csf.dim_k; int rank ] in
+  let y_buf = buffer "Y" [ int t.Csf.dim_i; int rank ] in
+  let body =
+    sp_iter ~name:"mttkrp" ~axes:[ i_ax; j_ax; k_ax; r_ax ] ~kinds:"SRRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; _; _; r ] -> store y_buf [ i; r ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k; r ] ->
+            store y_buf [ i; r ]
+              (load y_buf [ i; r ]
+              +: (load t_buf [ i; j; k ] *: load b_buf [ j; r ]
+                 *: load c_buf [ k; r ]))
+        | _ -> assert false)
+  in
+  func "mttkrp" [ t_buf; b_buf; c_buf; y_buf ] body
+
+let bindings_of (t : Csf.t) (b : Dense.t) (c : Dense.t) :
+    Gpusim.bindings * Tensor.t =
+  let rank = b.Dense.cols in
+  let y = Tensor.create Dtype.F32 [ t.Csf.dim_i; rank ] in
+  ( [ ("T", Tensor.of_float_array [ max 1 (Csf.nnz t) ]
+         (if Csf.nnz t = 0 then [| 0.0 |] else Array.copy t.Csf.data));
+      ("T_jptr", Tensor.of_int_array [ t.Csf.dim_i + 1 ] (Array.copy t.Csf.j_indptr));
+      ("T_jidx", Tensor.of_int_array [ max 1 (Csf.nnz_fibers t) ]
+         (if Csf.nnz_fibers t = 0 then [| 0 |] else Array.copy t.Csf.j_indices));
+      ("T_kptr", Tensor.of_int_array
+         [ Array.length t.Csf.k_indptr ] (Array.copy t.Csf.k_indptr));
+      ("T_kidx", Tensor.of_int_array [ max 1 (Csf.nnz t) ]
+         (if Csf.nnz t = 0 then [| 0 |] else Array.copy t.Csf.k_indices));
+      ("B", Dense.to_tensor b);
+      ("C", Dense.to_tensor c);
+      ("Y", y) ],
+    y )
+
+(* GPU schedule: rows across blocks, rank across threads, register
+   accumulation over the two reduction levels. *)
+let mttkrp (t : Csf.t) (b : Dense.t) (c : Dense.t) : compiled =
+  let rank = b.Dense.cols in
+  let fn = Sparse_ir.compile (mttkrp_stage1 t ~rank) in
+  let sched = Schedule.create fn in
+  let tx = min 32 rank in
+  let _ = Schedule.split sched ~loop:"r" ~factor:tx in
+  Schedule.reorder sched ~loops:[ "r.o"; "r.i"; "j"; "k" ];
+  ignore (Schedule.cache_write sched ~block:"mttkrp" ());
+  Schedule.bind sched ~loop:"i" Ir.Block_x;
+  Schedule.bind sched ~loop:"r.i" Ir.Thread_x;
+  let bindings, out = bindings_of t b c in
+  { fn = Schedule.get sched; bindings; out }
+
+(* ------------------------------------------------------------------ *)
+(* FusedMM (Rahman et al.): SDDMM fused with SpMM.                     *)
+(*   Y[i,l] = sum_j (sum_k X[i,k] Z[j,k]) * V[j,l]                      *)
+(* The product distributes over both reductions, so the fused operator  *)
+(* is a single 4-deep sparse iteration; the unfused version runs the    *)
+(* SDDMM kernel, materializes the edge values in HBM, then runs SpMM.   *)
+(* ------------------------------------------------------------------ *)
+
+let fusedmm_stage1 (a : Csr.t) ~(feat : int) ~(out_feat : int) : Ir.func =
+  let open Builder in
+  let m = a.Csr.rows and n = a.Csr.cols and nz = max 1 (Csr.nnz a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nz ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let l_ax = dense_fixed "L" ~length:(int out_feat) in
+  let x_buf = buffer "X" [ int m; int feat ] in
+  let z_buf = buffer "Z" [ int n; int feat ] in
+  let v_buf = buffer "V" [ int n; int out_feat ] in
+  let y_buf = buffer "Y" [ int m; int out_feat ] in
+  let body =
+    sp_iter ~name:"fusedmm" ~axes:[ i_ax; j_ax; k_ax; l_ax ] ~kinds:"SRRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; _; _; l ] -> store y_buf [ i; l ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k; l ] ->
+            store y_buf [ i; l ]
+              (load y_buf [ i; l ]
+              +: (load x_buf [ i; k ] *: load z_buf [ j; k ]
+                 *: load v_buf [ j; l ]))
+        | _ -> assert false)
+  in
+  func "fusedmm" [ x_buf; z_buf; v_buf; y_buf ] body
+
+let fusedmm (a : Csr.t) (x : Dense.t) (z : Dense.t) (v : Dense.t) : compiled =
+  let feat = x.Dense.cols and out_feat = v.Dense.cols in
+  let fn = Sparse_ir.compile (fusedmm_stage1 a ~feat ~out_feat) in
+  let sched = Schedule.create fn in
+  let tx = min 32 out_feat in
+  let _ = Schedule.split sched ~loop:"l" ~factor:tx in
+  let _ = Schedule.split sched ~loop:"i" ~factor:4 in
+  Schedule.reorder sched ~loops:[ "i.i"; "l.o"; "l.i"; "j"; "k" ];
+  ignore (Schedule.cache_write sched ~block:"fusedmm" ());
+  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  Schedule.bind sched ~loop:"l.i" Ir.Thread_x;
+  let y = Tensor.create Dtype.F32 [ a.Csr.rows; out_feat ] in
+  let bindings =
+    [ ("X", Dense.to_tensor x); ("Z", Dense.to_tensor z);
+      ("V", Dense.to_tensor v); ("Y", y);
+      ("A_indptr", Csr.indptr_tensor a);
+      ("A_indices", Csr.indices_tensor a) ]
+  in
+  { fn = Schedule.get sched; bindings; out = y }
+
+(* Host reference for FusedMM. *)
+let fusedmm_reference (a : Csr.t) (x : Dense.t) (z : Dense.t) (v : Dense.t) :
+    Dense.t =
+  let y = Dense.create a.Csr.rows v.Dense.cols in
+  for i = 0 to a.Csr.rows - 1 do
+    for p = a.Csr.indptr.(i) to a.Csr.indptr.(i + 1) - 1 do
+      let j = a.Csr.indices.(p) in
+      let e = ref 0.0 in
+      for k = 0 to x.Dense.cols - 1 do
+        e := !e +. (Dense.get x i k *. Dense.get z j k)
+      done;
+      for l = 0 to v.Dense.cols - 1 do
+        Dense.set y i l (Dense.get y i l +. (!e *. Dense.get v j l))
+      done
+    done
+  done;
+  y
+
+(* Unfused: SDDMM (edge values in HBM) followed by SpMM — two launches and a
+   materialized edge buffer, the comparison the paper draws with FusedMM. *)
+let unfused (a : Csr.t) (x : Dense.t) (z : Dense.t) (v : Dense.t) :
+    (Ir.func * Gpusim.bindings) list * Tensor.t =
+  let feat = x.Dense.cols in
+  (* SDDMM with unit A values computes the edge scores *)
+  let ones = { a with Csr.data = Array.map (fun _ -> 1.0) a.Csr.data } in
+  let zt = Dense.transpose z in
+  let sd = Sddmm.sparsetir ones x zt ~feat in
+  (* SpMM with the scores as A data, sharing the structure *)
+  let scores = sd.Sddmm.out in
+  let sp =
+    Spmm.accumulate_into a ~b_tensor:(Dense.to_tensor v)
+      ~c_tensor:(Tensor.create Dtype.F32 [ a.Csr.rows; v.Dense.cols ])
+      ~feat:v.Dense.cols ~tag:"fmm"
+  in
+  (* rebind the SpMM's value buffer to the SDDMM output *)
+  let fn2, binds2 = sp in
+  let binds2 =
+    List.map (fun (nm, t) -> if nm = "A_fmm" then (nm, scores) else (nm, t)) binds2
+  in
+  let y = List.assoc "C" binds2 in
+  ([ (sd.Sddmm.fn, sd.Sddmm.bindings); (fn2, binds2) ], y)

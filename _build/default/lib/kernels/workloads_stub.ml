@@ -1,0 +1,12 @@
+(* Tiny deterministic RNG for per-head value generation inside kernels,
+   avoiding a dependency cycle with the workloads library. *)
+
+let rng (seed : int) : unit -> float =
+  let state = ref (Int64.of_int ((seed * 2654435761) + 12345)) in
+  fun () ->
+    state := Int64.add !state 0x9e3779b97f4a7c15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.logand z 0xfffffffffffffL) /. 4503599627370496.0

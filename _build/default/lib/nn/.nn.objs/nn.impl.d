@@ -1,0 +1,1 @@
+lib/nn/nn.ml: Graphsage Rgcn

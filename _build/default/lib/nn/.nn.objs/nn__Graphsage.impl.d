@@ -1,0 +1,1 @@
+lib/nn/graphsage.ml: Array Builder Csr Dense Dtype Ell Float Formats Gemm Gpusim Hyb Ir Kernels List Printf Rgms Schedule Sparse_ir Spmm Tensor Tir

@@ -1,0 +1,1 @@
+lib/nn/graphsage.mli: Csr Dense Formats Gpusim Tir

@@ -1,0 +1,1 @@
+lib/nn/rgcn.ml: Array Csr Dense Float Formats Gemm Gpusim Ir Kernels Rgms Tensor Tir Workloads

@@ -1,0 +1,1 @@
+lib/nn/rgcn.mli: Formats Gpusim Kernels Tir Workloads

@@ -1,0 +1,4 @@
+(* End-to-end models assembled from compiled kernels. *)
+
+module Graphsage = Graphsage
+module Rgcn = Rgcn

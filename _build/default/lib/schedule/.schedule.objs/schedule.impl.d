@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Memory Reduction Sched Tensorize

@@ -1,0 +1,1 @@
+lib/schedule/memory.ml: Analysis Builder List Option Sched String Tir

@@ -1,0 +1,1 @@
+lib/schedule/reduction.ml: Analysis Builder Dtype List Sched Tir

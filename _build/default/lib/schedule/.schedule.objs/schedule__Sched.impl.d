@@ -1,0 +1,1 @@
+lib/schedule/sched.ml: Analysis Builder List Option Printf Stdlib String Tir

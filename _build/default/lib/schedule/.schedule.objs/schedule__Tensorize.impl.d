@@ -1,0 +1,1 @@
+lib/schedule/tensorize.ml: Analysis Builder List Option Sched String Tir

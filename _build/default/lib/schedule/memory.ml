@@ -1,0 +1,290 @@
+(* Data-movement schedule primitives: cache_write (register accumulation) and
+   cache_read (shared-memory staging, including gathered rows). *)
+
+open Tir
+open Tir.Ir
+open Sched
+
+let rec redirect_expr ~same_access ~(replacement : expr) (e : expr) : expr =
+  let go = redirect_expr ~same_access ~replacement in
+  match e with
+  | Load (b, i) when same_access b i -> replacement
+  | Load (b, i) -> Load (b, List.map go i)
+  | Binop (op, a, b) -> Binop (op, go a, go b)
+  | Unop (op, a) -> Unop (op, go a)
+  | Select (c, t, f) -> Select (go c, go t, go f)
+  | Cast (dt, a) -> Cast (dt, go a)
+  | Bsearch bs ->
+      Bsearch { bs with bs_lo = go bs.bs_lo; bs_hi = go bs.bs_hi; bs_v = go bs.bs_v }
+  | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+
+(* [cache_write s ~block ~scope] accumulates the block's single store into a
+   scratch buffer of the given scope and writes the result back once the
+   block's reduction loops complete — TVM's cache_write +
+   reverse_compute_at, the optimization TACO cannot express (S4.2.1).
+
+   The loop chain between the hoist point and the block may contain, besides
+   the reduction loops, constant-extent spatial loops (e.g. a vectorized
+   feature sub-loop): the scratch buffer then gets one dimension per such
+   loop, and the write-back replays them.  Guard conditions found inside the
+   chain are re-applied around the write-back (unless they only constrain
+   reduction iterations).  If the block carries no init, the write-back
+   accumulates into the target instead of overwriting it. *)
+let cache_write (s : t) ~(block : string) ?(scope = Local) () : string =
+  let blk = find_block_exn s block in
+  let target, idx, _ = single_store_exn blk in
+  let reduce_vars = reduce_loop_vars blk in
+  let suffix = chain_suffix (path_to_block s block) in
+  (* cut the chain at the first reduction loop *)
+  let rec cut = function
+    | [] -> err "cache_write %s: no reduction loop above the block" block
+    | Pf_for (x, _, _) :: _ as rest when List.mem x.vname reduce_vars -> rest
+    | _ :: rest -> cut rest
+  in
+  let chain = cut suffix in
+  (* spatial loops and guards inside the chain *)
+  let spatials =
+    List.filter_map
+      (function
+        | Pf_for (x, extent, kind) when not (List.mem x.vname reduce_vars) -> (
+            match Analysis.const_int_opt extent with
+            | Some n -> Some (x, n, kind)
+            | None ->
+                err
+                  "cache_write %s: spatial loop %s in the reduction chain has \
+                   non-constant extent"
+                  block x.vname)
+        | _ -> None)
+      chain
+  in
+  let guards = List.filter_map (function Pf_if c -> Some c | _ -> None) chain in
+  let chain_names =
+    List.filter_map (function Pf_for (x, _, _) -> Some x.vname | _ -> None) chain
+  in
+  (* scratch buffer *)
+  let acc_name = target.buf_name ^ "_" ^ block ^ "_acc" in
+  let acc_shape = List.map (fun (_, n, _) -> Int_imm n) spatials in
+  let acc_shape = if acc_shape = [] then [ Int_imm 1 ] else acc_shape in
+  let acc = Builder.buffer ~scope ~dtype:target.buf_dtype acc_name acc_shape in
+  let acc_idx =
+    match spatials with
+    | [] -> [ Int_imm 0 ]
+    | l -> List.map (fun ((x : var), _, _) -> Evar x) l
+  in
+  let bindings = block_var_bindings blk in
+  let outer_idx = List.map (Analysis.subst_expr bindings) idx in
+  let same_access b i = buffer_equal b target && i = idx in
+  let replacement = Load (acc, acc_idx) in
+  let redirect_stmt =
+    Analysis.map_stmt (function
+      | Store (b, i, value) when same_access b i ->
+          Store (acc, acc_idx, redirect_expr ~same_access ~replacement value)
+      | Store (b, i, value) ->
+          Store (b, i, redirect_expr ~same_access ~replacement value)
+      | Eval e -> Eval (redirect_expr ~same_access ~replacement e)
+      | st -> st)
+  in
+  let had_init = blk.blk_init <> None in
+  rewrite_block s block (fun blk ->
+      Block_stmt
+        { blk with
+          blk_init = Option.map redirect_stmt blk.blk_init;
+          blk_body = redirect_stmt blk.blk_body;
+          blk_writes =
+            [ { rg_buf = acc;
+                rg_bounds = List.map (fun e -> (e, Int_imm 1)) acc_idx } ] });
+  (* write-back: replay spatial loops with fresh variables *)
+  let fresh =
+    List.map
+      (fun ((x : var), n, kind) -> (x, Builder.var (x.vname ^ ".wb"), n, kind))
+      spatials
+  in
+  let wb_subst =
+    List.fold_left
+      (fun m ((x : var), y, _, _) -> Analysis.Int_map.add x.vid (Evar y) m)
+      Analysis.Int_map.empty fresh
+  in
+  let wb_target_idx = List.map (Analysis.subst_expr wb_subst) outer_idx in
+  let wb_acc_idx =
+    match fresh with
+    | [] -> [ Int_imm 0 ]
+    | l -> List.map (fun (_, y, _, _) -> Evar y) l
+  in
+  let wb_value =
+    if had_init then Load (acc, wb_acc_idx)
+    else Binop (Add, Load (target, wb_target_idx), Load (acc, wb_acc_idx))
+  in
+  let wb_store = Store (target, wb_target_idx, wb_value) in
+  (* guards: drop those constraining only reduction loops; substitute fresh
+     variables into those referencing the chain's spatial loops *)
+  let chain_var_free c =
+    List.for_all
+      (fun (x : var) -> not (List.mem x.vname chain_names))
+      (Analysis.free_vars_expr c)
+  in
+  let spatial_names = List.map (fun ((x : var), _, _) -> x.vname) spatials in
+  let wb_guards =
+    List.filter_map
+      (fun c ->
+        if chain_var_free c then Some c
+        else if
+          List.for_all
+            (fun (x : var) ->
+              (not (List.mem x.vname chain_names))
+              || List.mem x.vname spatial_names)
+            (Analysis.free_vars_expr c)
+        then Some (Analysis.subst_expr wb_subst c)
+        else None)
+      guards
+  in
+  let writeback =
+    let core = List.fold_right (fun c st -> If (c, st, None)) wb_guards wb_store in
+    List.fold_right
+      (fun (_, y, n, kind) st ->
+        For { for_var = y; extent = Int_imm n; kind; body = st })
+      fresh core
+  in
+  rewrite_at_chain_top s ~chain_vars:chain_names ~required:chain_names
+    ~block_name:block (fun chain_stmt ->
+      Alloc (acc, Seq [ chain_stmt; writeback ]));
+  acc_name
+
+(* Per-dimension staging decision for cache_read. *)
+type stage_dim =
+  | Invariant of expr               (* index does not vary below the stage point *)
+  | Over of var * int * expr        (* varies with one loop var of const extent *)
+
+(* [cache_read s ~block ~buf ~at] stages the region of [buf] read by [block]
+   into a shared-memory buffer, placing the staging copy just above loop
+   [at].  Every index dimension of every access must either be invariant
+   below [at] or vary with exactly one constant-extent loop below [at] (this
+   covers dense tiles, e.g. W[r, k, l], and gathered rows, e.g.
+   X[indices[j], k]).  Returns the staging buffer name. *)
+let cache_read (s : t) ~(block : string) ~(buf : string) ~(at : string) :
+    string =
+  let blk = find_block_exn s block in
+  let target_load = ref None in
+  let on_expr = function
+    | Load (b, idx) when String.equal b.buf_name buf -> (
+        match !target_load with
+        | None -> target_load := Some (b, idx)
+        | Some (_, idx') when idx' = idx -> ()
+        | Some _ -> err "cache_read: multiple distinct accesses to %s" buf)
+    | _ -> ()
+  in
+  Analysis.iter_stmt ~enter_expr:on_expr (fun _ -> ()) (Block_stmt blk);
+  let target, idx =
+    match !target_load with
+    | Some r -> r
+    | None -> err "cache_read: block %s does not read %s" block buf
+  in
+  (* loop vars (with extents) at-or-below [at] *)
+  let below : (var * int) list ref = ref [] in
+  let rec collect st ~active =
+    match st with
+    | For { for_var; extent; kind = _; body } ->
+        let active = active || String.equal for_var.vname at in
+        if active then begin
+          match Analysis.const_int_opt extent with
+          | Some n -> below := (for_var, n) :: !below
+          | None ->
+              err "cache_read: loop %s below %s has non-constant extent"
+                for_var.vname at
+        end;
+        collect body ~active
+    | Seq l -> List.iter (collect ~active) l
+    | If (_, t, e) ->
+        collect ~active t;
+        Option.iter (collect ~active) e
+    | Let_stmt (_, _, b) -> collect ~active b
+    | Alloc (_, b) -> collect ~active b
+    | Block_stmt b ->
+        Option.iter (collect ~active) b.blk_init;
+        collect ~active b.blk_body
+    | Store _ | Eval _ | Mma_sync _ -> ()
+    | Sp_iter_stmt _ -> err "cache_read: stage I construct in stage II program"
+  in
+  collect (get s).fn_body ~active:false;
+  let below = !below in
+  if below = [] then err "cache_read: loop %s not found" at;
+  let bindings = block_var_bindings blk in
+  let idx_loopspace = List.map (Analysis.subst_expr bindings) idx in
+  let dims =
+    List.map
+      (fun e ->
+        let vars = Analysis.free_vars_expr e in
+        let used =
+          List.filter
+            (fun (x : var) -> List.exists (fun (y, _) -> var_equal x y) below)
+            vars
+        in
+        match used with
+        | [] -> Invariant e
+        | [ x ] ->
+            let _, extent = List.find (fun (y, _) -> var_equal x y) below in
+            Over (x, extent, e)
+        | _ ->
+            err "cache_read: index of %s varies with several loops below %s" buf
+              at)
+      idx_loopspace
+  in
+  let stage_shape =
+    List.filter_map (function Invariant _ -> None | Over (_, n, _) -> Some n) dims
+  in
+  let stage_name = buf ^ "_" ^ at ^ "_shared" in
+  let stage =
+    Builder.buffer ~scope:Shared ~dtype:target.buf_dtype stage_name
+      (List.map (fun n -> Int_imm n) stage_shape)
+  in
+  let staged_idx =
+    List.filter_map
+      (function Invariant _ -> None | Over (x, _, _) -> Some (Evar x))
+      dims
+  in
+  let same_access b i = buffer_equal b target && i = idx in
+  let replacement = Load (stage, staged_idx) in
+  let redirect =
+    Analysis.map_stmt (fun st ->
+        match st with
+        | Store (b, i, value) ->
+            Store (b, i, redirect_expr ~same_access ~replacement value)
+        | st -> st)
+  in
+  rewrite_block s block (fun blk ->
+      Block_stmt
+        { blk with
+          blk_init = Option.map redirect blk.blk_init;
+          blk_body = redirect blk.blk_body });
+  rewrite_loop s at (fun x extent kind body ->
+      let copy_vars =
+        List.filter_map
+          (function
+            | Invariant _ -> None
+            | Over (y, n, _) -> Some (y, n, Builder.var (y.vname ^ ".copy")))
+          dims
+      in
+      let src_idx =
+        List.map
+          (fun d ->
+            match d with
+            | Invariant e -> e
+            | Over (y, _, e) ->
+                let _, _, cv =
+                  List.find (fun (z, _, _) -> var_equal y z) copy_vars
+                in
+                Analysis.subst1_expr y (Evar cv) e)
+          dims
+      in
+      let dst_idx = List.map (fun (_, _, cv) -> Evar cv) copy_vars in
+      let copy_body = Store (stage, dst_idx, Load (target, src_idx)) in
+      let copy =
+        List.fold_right
+          (fun (_, n, cv) acc ->
+            For { for_var = cv; extent = Int_imm n; kind = Serial; body = acc })
+          copy_vars copy_body
+      in
+      let copy =
+        match copy with For f -> For { f with kind = Parallel } | st -> st
+      in
+      Alloc (stage, Seq [ copy; For { for_var = x; extent; kind; body } ]));
+  stage_name

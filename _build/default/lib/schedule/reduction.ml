@@ -1,0 +1,105 @@
+(* rfactor: two-stage reduction (Suriana et al., used by the paper to express
+   PRedS-style SDDMM).  Factoring reduction loop [loop] out of [block] turns
+   the per-[loop] partial sums into a scratch tensor zeroed up-front and
+   written by the first-stage block, followed by a second-stage block
+   reducing the scratch tensor into the original output.  After rfactoring,
+   [loop] may legally be bound to threads. *)
+
+open Tir
+open Tir.Ir
+open Sched
+
+let rfactor (s : t) ~(block : string) ~(loop : string) ?(scope = Shared) () :
+    string =
+  let blk = find_block_exn s block in
+  let target, idx, _ = single_store_exn blk in
+  let loop_var, loop_extent, _ = find_loop_exn s loop in
+  let extent =
+    match Analysis.const_int_opt loop_extent with
+    | Some n -> n
+    | None -> err "rfactor: loop %s must have constant extent" loop
+  in
+  let rf_name = target.buf_name ^ "_rf" in
+  let rf = Builder.buffer ~scope ~dtype:target.buf_dtype rf_name [ Int_imm extent ] in
+  let bindings = block_var_bindings blk in
+  let outer_idx = List.map (Analysis.subst_expr bindings) idx in
+  let same_access b i = buffer_equal b target && i = idx in
+  (* Stage 1: redirect the block's accumulation into rf[loop_var]; the block
+     iter bound to [loop] becomes spatial. *)
+  let rf_idx = [ Evar loop_var ] in
+  let redirect =
+    Analysis.map_stmt (fun st ->
+        match st with
+        | Store (b, i, value) ->
+            let rec fix e =
+              match e with
+              | Load (b', i') when same_access b' i' -> Load (rf, rf_idx)
+              | Load (b', i') -> Load (b', List.map fix i')
+              | Binop (op, a, c) -> Binop (op, fix a, fix c)
+              | Unop (op, a) -> Unop (op, fix a)
+              | Select (c, t', f') -> Select (fix c, fix t', fix f')
+              | Cast (dt, a) -> Cast (dt, fix a)
+              | Bsearch bs ->
+                  Bsearch
+                    { bs with bs_lo = fix bs.bs_lo; bs_hi = fix bs.bs_hi;
+                      bs_v = fix bs.bs_v }
+              | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+            in
+            if same_access b i then Store (rf, rf_idx, fix value)
+            else Store (b, i, fix value)
+        | st -> st)
+  in
+  let original_init = blk.blk_init in
+  (* Stage 1 keeps the block's iterators untouched (a reduction iterator may
+     be bound to a fused expression mixing the factored loop with remaining
+     reduction loops); the scratch tensor is zeroed by an explicit loop
+     before the reduction chain instead of first-iteration init semantics. *)
+  rewrite_block s block (fun blk ->
+      Block_stmt
+        { blk with
+          blk_init = None;
+          blk_body = redirect blk.blk_body;
+          blk_writes = [ { rg_buf = rf; rg_bounds = [ (Int_imm 0, Int_imm extent) ] } ]
+        });
+  let zv = Builder.var (loop ^ ".zero") in
+  let zero_loop =
+    For
+      { for_var = zv; extent = Int_imm extent; kind = Serial;
+        body = Store (rf, [ Evar zv ], Float_imm 0.0) }
+  in
+  (* Stage 2: C[outer_idx] = sum over rf. *)
+  let r2 = Builder.var (loop ^ ".rf") in
+  let vr2 = Builder.var ~dtype:Dtype.I32 ("v" ^ loop ^ ".rf") in
+  let stage2_init =
+    match original_init with
+    | Some (Store (b, i, value)) when buffer_equal b target ->
+        Some (Store (b, List.map (Analysis.subst_expr bindings) i, value))
+    | _ -> None
+  in
+  let stage2_block =
+    Block_stmt
+      { blk_name = block ^ ".rf";
+        blk_iters =
+          [ { bi_var = vr2; bi_dom = Int_imm extent; bi_kind = Reduce;
+              bi_bind = Evar r2 } ];
+        blk_reads = [ { rg_buf = rf; rg_bounds = [ (Int_imm 0, Int_imm extent) ] } ];
+        blk_writes =
+          [ { rg_buf = target;
+              rg_bounds = List.map (fun e -> (e, Int_imm 1)) outer_idx } ];
+        blk_init = stage2_init;
+        blk_body =
+          Store
+            ( target,
+              outer_idx,
+              Binop (Add, Load (target, outer_idx), Load (rf, [ Evar vr2 ])) ) }
+  in
+  let stage2 =
+    For { for_var = r2; extent = Int_imm extent; kind = Serial; body = stage2_block }
+  in
+  (* Hoist: allocate rf and emit stage 2 just above the chain of reduction
+     loops leading to the (rewritten) stage-1 block.  [loop]'s variable is now
+     spatial in the block but still part of the loop chain above it. *)
+  let chain_vars = loop :: reduce_loop_vars blk in
+  rewrite_at_chain_top s ~chain_vars ~required:chain_vars ~block_name:block
+    (fun chain -> Alloc (rf, Seq [ zero_loop; chain; stage2 ]));
+  rf_name

@@ -1,0 +1,12 @@
+(* Root module of the schedule library: the core primitives plus the
+   block-level transformations, re-exported under one namespace. *)
+
+include Sched
+module Memory = Memory
+module Reduction = Reduction
+module Tensorize = Tensorize
+
+let cache_write = Memory.cache_write
+let cache_read = Memory.cache_read
+let rfactor = Reduction.rfactor
+let tensorize = Tensorize.tensorize

@@ -1,0 +1,213 @@
+(* tensorize: rewrite an m×n×k matrix-multiply loop nest into a Tensor Core
+   MMA intrinsic.  The paper uses this stage-II schedule to exploit
+   Matrix-Multiply Units for BSR/SR-BCRS operators and fused RGMS (S4.3, S4.4).
+
+   [tensorize s ~block ~m_loop ~n_loop ~k_loop] requires:
+   - the three loops form a perfect nest (in any order) whose innermost body
+     is exactly [block];
+   - all three loops have constant extents (the MMA tile shape);
+   - the block performs C[ic] = C[ic] + castA(A[ia]) * castB(B[ib]) where the
+     flat offsets of A, B, C are affine in the three loop variables with unit
+     stride along k (A), n (B) and n (C).
+
+   If the block carries an init statement, the rewrite guards a tile-wide init
+   nest on the remaining (non-tensorized) reduction iterators being at zero,
+   preserving TensorIR reduction semantics. *)
+
+open Tir
+open Tir.Ir
+open Sched
+
+(* Flat stride of variable [x] within access [buf][idx]: sum over dimensions
+   of (linear coefficient of x in that index) * (row-major stride of the
+   dimension).  Requires constant buffer shape. *)
+let flat_coeff (buf : buffer) (idx : expr list) (x : var) : int =
+  let shape =
+    List.map
+      (fun e ->
+        match Analysis.const_int_opt e with
+        | Some n -> n
+        | None -> err "tensorize: buffer %s has non-constant shape" buf.buf_name)
+      buf.buf_shape
+  in
+  let rank = List.length shape in
+  if List.length idx <> rank then
+    err "tensorize: access to %s has rank %d but buffer has rank %d"
+      buf.buf_name (List.length idx) rank;
+  let strides =
+    (* stride of dim d = product of shape[d+1..] *)
+    let rec go = function
+      | [] -> []
+      | _ :: rest ->
+          let s = List.fold_left ( * ) 1 rest in
+          s :: go rest
+    in
+    go shape
+  in
+  List.fold_left2
+    (fun acc e stride ->
+      match Analysis.linear_in x e with
+      | Some (c, _) -> acc + (c * stride)
+      | None ->
+          err "tensorize: index of %s not linear in %s" buf.buf_name x.vname)
+    0 idx strides
+
+let rec strip_casts (e : expr) : expr =
+  match e with Cast (_, e') -> strip_casts e' | e -> e
+
+let tensorize (s : t) ~(block : string) ~(m_loop : string) ~(n_loop : string)
+    ~(k_loop : string) : unit =
+  let blk = find_block_exn s block in
+  let c_buf, c_idx, value = single_store_exn blk in
+  (* Parse C = C + castA(A[...]) * castB(B[...]). *)
+  let a_access, b_access =
+    match strip_casts value with
+    | Binop (Add, lhs, rhs) -> (
+        (match strip_casts lhs with
+        | Load (b, i) when buffer_equal b c_buf && i = c_idx -> ()
+        | _ -> err "tensorize: block %s is not an accumulation into %s" block
+                 c_buf.buf_name);
+        match strip_casts rhs with
+        | Binop (Mul, x, y) -> (
+            match (strip_casts x, strip_casts y) with
+            | Load (ba, ia), Load (bb, ib) -> ((ba, ia), (bb, ib))
+            | _ -> err "tensorize: multiplicands of %s are not buffer loads" block)
+        | _ -> err "tensorize: block %s body is not a multiply-accumulate" block)
+    | _ -> err "tensorize: block %s body is not a multiply-accumulate" block
+  in
+  let a_buf, a_idx = a_access and b_buf, b_idx = b_access in
+  let bindings = block_var_bindings blk in
+  let to_loopspace = List.map (Analysis.subst_expr bindings) in
+  let a_idx = to_loopspace a_idx
+  and b_idx = to_loopspace b_idx
+  and c_idx_ls = to_loopspace c_idx in
+  (* Locate the perfect nest. *)
+  let names = [ m_loop; n_loop; k_loop ] in
+  let outermost =
+    let rec first st =
+      match st with
+      | For { for_var; body; _ } ->
+          if List.mem for_var.vname names then Some for_var.vname else first body
+      | Seq l -> List.fold_left (fun acc x -> if acc = None then first x else acc) None l
+      | If (_, t, e) -> (
+          match first t with None -> Option.bind e first | r -> r)
+      | Let_stmt (_, _, b) | Alloc (_, b) -> first b
+      | Block_stmt b -> first b.blk_body
+      | _ -> None
+    in
+    match first (get s).fn_body with
+    | Some n -> n
+    | None -> err "tensorize: none of the loops %s found" (String.concat "," names)
+  in
+  rewrite_loop s outermost (fun x0 e0 k0 b0 ->
+      ignore k0;
+      let rec collect acc st remaining =
+        if remaining = [] then
+          match st with
+          | Block_stmt b when String.equal b.blk_name block -> List.rev acc
+          | _ -> err "tensorize: innermost body is not block %s" block
+        else
+          match st with
+          | For { for_var; extent; body; _ } when List.mem for_var.vname remaining
+            ->
+              let n =
+                match Analysis.const_int_opt extent with
+                | Some n -> n
+                | None ->
+                    err "tensorize: loop %s must have constant extent"
+                      for_var.vname
+              in
+              collect ((for_var.vname, (for_var, n)) :: acc) body
+                (List.filter (fun m -> m <> for_var.vname) remaining)
+          | _ -> err "tensorize: loops %s are not perfectly nested"
+                   (String.concat "," remaining)
+      in
+      let frames =
+        collect
+          [ (x0.vname, (x0, match Analysis.const_int_opt e0 with
+              | Some n -> n
+              | None -> err "tensorize: loop %s must have constant extent" x0.vname)) ]
+          b0
+          (List.filter (fun n -> n <> x0.vname) names)
+      in
+      let lookup n = List.assoc n frames in
+      let mv, m = lookup m_loop and nv, n = lookup n_loop and kv, k = lookup k_loop in
+      (* Verify strides and compute leading dimensions. *)
+      let check buf idx ~row ~col ~zero =
+        let ld = flat_coeff buf idx row in
+        let unit = flat_coeff buf idx col in
+        let z = flat_coeff buf idx zero in
+        if unit <> 1 then
+          err "tensorize: %s is not contiguous along the tile columns"
+            buf.buf_name;
+        if z <> 0 then
+          err "tensorize: %s depends on an unrelated tile axis" buf.buf_name;
+        ld
+      in
+      let lda = check a_buf a_idx ~row:mv ~col:kv ~zero:nv in
+      let ldb = check b_buf b_idx ~row:kv ~col:nv ~zero:mv in
+      let ldc = check c_buf c_idx_ls ~row:mv ~col:nv ~zero:kv in
+      let zero_tile idx =
+        List.map
+          (fun e ->
+            Analysis.simplify
+              (Analysis.subst_expr
+                 (List.fold_left
+                    (fun mp (x : var) -> Analysis.Int_map.add x.vid (Int_imm 0) mp)
+                    Analysis.Int_map.empty [ mv; nv; kv ])
+                 e))
+          idx
+      in
+      let mma =
+        Mma_sync
+          { mma_m = m; mma_n = n; mma_k = k;
+            mma_a = { op_buf = a_buf; op_origin = zero_tile a_idx; op_ld = Int_imm lda };
+            mma_b = { op_buf = b_buf; op_origin = zero_tile b_idx; op_ld = Int_imm ldb };
+            mma_c = { op_buf = c_buf; op_origin = zero_tile c_idx_ls; op_ld = Int_imm ldc }
+          }
+      in
+      (* Tile-wide init, guarded on remaining reduction iterators. *)
+      match blk.blk_init with
+      | None -> mma
+      | Some init ->
+          let tess = [ mv; nv; kv ] in
+          (* the init must run exactly when every non-tensorized loop feeding
+             a reduction iterator is at zero *)
+          let outer_reduce_zero =
+            List.concat_map
+              (fun bi ->
+                match bi.bi_kind with
+                | Spatial -> []
+                | Reduce ->
+                    Analysis.free_vars_expr bi.bi_bind
+                    |> List.filter (fun (x : var) ->
+                           not (List.exists (var_equal x) tess))
+                    |> List.map (fun (x : var) ->
+                           Binop (Eq, Evar x, Int_imm 0)))
+              blk.blk_iters
+          in
+          let mi = Builder.var (m_loop ^ ".init")
+          and ni = Builder.var (n_loop ^ ".init") in
+          let init_body =
+            Analysis.subst_stmt
+              (Analysis.Int_map.union (fun _ a _ -> Some a)
+                 (Analysis.Int_map.add mv.vid (Evar mi)
+                    (Analysis.Int_map.singleton nv.vid (Evar ni)))
+                 bindings)
+              (Analysis.subst_stmt bindings init)
+          in
+          let init_nest =
+            For
+              { for_var = mi; extent = Int_imm m; kind = Serial;
+                body =
+                  For { for_var = ni; extent = Int_imm n; kind = Serial;
+                        body = init_body } }
+          in
+          let guarded =
+            match outer_reduce_zero with
+            | [] -> init_nest
+            | c :: cs ->
+                If (List.fold_left (fun acc e -> Binop (And, acc, e)) c cs,
+                    init_nest, None)
+          in
+          Seq [ guarded; mma ])

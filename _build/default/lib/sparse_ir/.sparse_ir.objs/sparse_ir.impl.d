@@ -1,0 +1,1 @@
+lib/sparse_ir/sparse_ir.ml: Format_rewrite Lower_buffer Lower_iter Offsets Stage1 Tir

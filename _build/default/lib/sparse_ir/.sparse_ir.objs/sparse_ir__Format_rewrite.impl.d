@@ -1,0 +1,1 @@
+lib/sparse_ir/format_rewrite.ml: Analysis Builder Fun List Offsets Option String Tir

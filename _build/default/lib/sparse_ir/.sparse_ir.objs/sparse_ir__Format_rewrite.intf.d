@@ -1,0 +1,1 @@
+lib/sparse_ir/format_rewrite.mli: Tir

@@ -1,0 +1,1 @@
+lib/sparse_ir/lower_buffer.ml: Builder Int List Map Offsets Option Tir

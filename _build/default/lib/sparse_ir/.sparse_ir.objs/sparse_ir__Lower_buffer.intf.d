@@ -1,0 +1,1 @@
+lib/sparse_ir/lower_buffer.mli: Tir

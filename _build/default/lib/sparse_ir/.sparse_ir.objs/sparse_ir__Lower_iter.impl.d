@@ -1,0 +1,1 @@
+lib/sparse_ir/lower_iter.ml: Analysis Array Builder Dtype Hashtbl Lazy List Map Offsets Option String Tir

@@ -1,0 +1,1 @@
+lib/sparse_ir/lower_iter.mli: Tir

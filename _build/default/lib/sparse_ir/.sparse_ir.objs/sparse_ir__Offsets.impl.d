@@ -1,0 +1,1 @@
+lib/sparse_ir/offsets.ml: Analysis Array Fun List Printf String Tir

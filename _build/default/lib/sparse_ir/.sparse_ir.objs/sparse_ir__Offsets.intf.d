@@ -1,0 +1,1 @@
+lib/sparse_ir/offsets.mli: Tir

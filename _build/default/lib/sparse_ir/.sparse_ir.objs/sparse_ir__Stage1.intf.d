@@ -1,0 +1,1 @@
+lib/sparse_ir/stage1.mli: Tir

@@ -1,0 +1,288 @@
+(* Format decomposition (S3.2.1 and Appendix A).
+
+   A [rule] is the paper's FormatRewriteRule: a new composition of axes for a
+   target sparse buffer together with the affine index map f (old coordinates
+   -> new coordinates) and its inverse f^-1.  [decompose_format] rewrites each
+   sparse iteration that reads the target buffer into one iteration per rule,
+   computing on the new formats, plus (optionally) data-copy iterations that
+   move values from the original buffer into the decomposed buffers
+   (Figure 5).  When several rules are given, each computation accumulates
+   into the output, so the pass strips per-iteration init statements and
+   emits a standalone initialization iteration first. *)
+
+open Tir
+open Tir.Ir
+open Offsets
+
+type rule = {
+  fr_name : string;          (* suffix for generated names, e.g. "bsr_2" *)
+  fr_buffer : string;        (* name of the sparse buffer to rewrite *)
+  fr_new_axes : axis list;   (* axes composing the new format *)
+  fr_fwd : expr list -> expr list; (* f: old coords -> new coords *)
+  fr_inv : expr list -> expr list; (* f^-1: new coords -> old coords *)
+}
+
+(* The iteration axes of [sp] that belong to buffer [b] (matched by name). *)
+let axes_of_buffer_in_iter (sp : sp_iter) (b : buffer) : int list =
+  let baxes = Option.get b.buf_axes in
+  List.filter_map
+    (fun (a : axis) ->
+      let found = ref None in
+      List.iteri
+        (fun i (x : axis) -> if axis_equal x a then found := Some i)
+        sp.sp_axes;
+      !found)
+    baxes
+
+let find_buffer_exn (fn : func) (name : string) : buffer =
+  match
+    List.find_opt (fun (b : buffer) -> String.equal b.buf_name name) fn.fn_params
+  with
+  | Some b -> b
+  | None -> err "decompose_format: no parameter buffer named %s" name
+
+(* Rewrite one sparse iteration for one rule. *)
+let rewrite_iter (sp : sp_iter) (old_buf : buffer) (new_buf : buffer)
+    (r : rule) : sp_iter =
+  let old_axis_idx = axes_of_buffer_in_iter sp old_buf in
+  if List.length old_axis_idx <> List.length (Option.get old_buf.buf_axes) then
+    err "decompose_format: iteration %s does not iterate all axes of %s"
+      sp.sp_name old_buf.buf_name;
+  (* New iteration variables for the new axes. *)
+  let new_vars =
+    List.map
+      (fun (a : axis) ->
+        Builder.var ~dtype:a.ax_idtype (String.lowercase_ascii a.ax_name))
+      r.fr_new_axes
+  in
+  let new_var_exprs = List.map (fun x -> Evar x) new_vars in
+  let old_coords = r.fr_inv new_var_exprs in
+  if List.length old_coords <> List.length old_axis_idx then
+    err "decompose_format %s: inverse map arity mismatch" r.fr_name;
+  (* Substitution: old iteration variable -> inverse-mapped coordinate. *)
+  let subst_map =
+    List.fold_left2
+      (fun m i e ->
+        let x = List.nth sp.sp_vars i in
+        Analysis.Int_map.add x.vid e m)
+      Analysis.Int_map.empty old_axis_idx old_coords
+  in
+  (* Replace accesses to the old buffer by accesses to the new one at the new
+     iteration variables, then substitute remaining old variables. *)
+  let rec fix_expr (e : expr) : expr =
+    match e with
+    | Load (b, _) when buffer_equal b old_buf -> Load (new_buf, new_var_exprs)
+    | Load (b, idx) -> Load (b, List.map fix_expr idx)
+    | Binop (op, a, b) -> Binop (op, fix_expr a, fix_expr b)
+    | Unop (op, a) -> Unop (op, fix_expr a)
+    | Select (c, t, f) -> Select (fix_expr c, fix_expr t, fix_expr f)
+    | Cast (dt, a) -> Cast (dt, fix_expr a)
+    | Bsearch bs ->
+        Bsearch
+          { bs with bs_lo = fix_expr bs.bs_lo; bs_hi = fix_expr bs.bs_hi;
+            bs_v = fix_expr bs.bs_v }
+    | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+  in
+  let rec fix_stmt (s : stmt) : stmt =
+    match s with
+    | Store (b, _idx, value) when buffer_equal b old_buf ->
+        Store (new_buf, new_var_exprs, fix_expr value)
+    | Store (b, idx, value) -> Store (b, List.map fix_expr idx, fix_expr value)
+    | Seq l -> Seq (List.map fix_stmt l)
+    | For f -> For { f with extent = fix_expr f.extent; body = fix_stmt f.body }
+    | If (c, t, f) -> If (fix_expr c, fix_stmt t, Option.map fix_stmt f)
+    | Let_stmt (x, value, body) -> Let_stmt (x, fix_expr value, fix_stmt body)
+    | Eval e -> Eval (fix_expr e)
+    | Alloc (b, body) -> Alloc (b, fix_stmt body)
+    | Block_stmt _ | Mma_sync _ | Sp_iter_stmt _ ->
+        err "decompose_format: unsupported construct in %s" sp.sp_name
+  in
+  let tr st = Analysis.subst_stmt subst_map (fix_stmt st) in
+  (* Assemble the new axis/kind/var lists: replace the old buffer's axes
+     (contiguously, at the position of the first) by the new axes; the other
+     axes keep their variables. *)
+  let kind_of_old =
+    (* a new axis inherits Reduce if any old axis it replaces was a
+       reduction; spatial axes of the output stay spatial *)
+    List.exists
+      (fun i -> List.nth sp.sp_kinds i = Reduce)
+      old_axis_idx
+  in
+  let first_old = List.fold_left min max_int old_axis_idx in
+  let keep i = not (List.mem i old_axis_idx) in
+  let n = List.length sp.sp_axes in
+  let prefix = List.filter keep (List.init first_old Fun.id) in
+  let suffix = List.filter keep (List.init (n - first_old) (fun k -> first_old + k)) in
+  let pick l i = List.nth l i in
+  (* Kept root dense axes are cloned with the rule's suffix: loop names stay
+     unique when several decomposed iterations share an axis (e.g. the
+     feature axis K appearing in every bucket's computation). *)
+  let clone_axis (a : axis) : axis =
+    match (a.ax_parent, a.ax_kind) with
+    | None, Dense_fixed -> { a with ax_name = a.ax_name ^ "_" ^ r.fr_name }
+    | _ -> a
+  in
+  let pick_axis i = clone_axis (pick sp.sp_axes i) in
+  let axes' =
+    List.map pick_axis prefix @ r.fr_new_axes @ List.map pick_axis suffix
+  in
+  let kinds' =
+    List.map (pick sp.sp_kinds) prefix
+    @ List.map
+        (fun (a : axis) ->
+          (* heuristics: new spatial axes corresponding to output rows stay
+             spatial; all axes of a reduced buffer inherit Reduce except the
+             row axes.  We map: an axis whose coordinates appear in the
+             output store remain spatial. *)
+          ignore a;
+          if kind_of_old then Reduce else Spatial)
+        r.fr_new_axes
+    @ List.map (pick sp.sp_kinds) suffix
+  in
+  let vars' =
+    List.map (pick sp.sp_vars) prefix @ new_vars @ List.map (pick sp.sp_vars) suffix
+  in
+  (* Spatial/reduce of new axes: determine per-axis by whether the inverse
+     coordinate of any *spatial* old axis depends on it. *)
+  let spatial_old =
+    List.filteri (fun k _ -> List.nth sp.sp_kinds (List.nth old_axis_idx k) = Spatial)
+      old_coords
+  in
+  let kinds' =
+    List.mapi
+      (fun i k ->
+        if i >= List.length prefix && i < List.length prefix + List.length r.fr_new_axes
+        then
+          let ax_var = List.nth vars' i in
+          let used_in_spatial =
+            List.exists
+              (fun e ->
+                List.exists
+                  (fun (x : var) -> var_equal x ax_var)
+                  (Analysis.free_vars_expr e))
+              spatial_old
+          in
+          if used_in_spatial then Spatial else Reduce
+        else k)
+      kinds'
+  in
+  { sp_name = sp.sp_name ^ "_" ^ r.fr_name;
+    sp_axes = axes';
+    sp_kinds = kinds';
+    sp_vars = vars';
+    sp_fused = List.init (List.length axes') (fun i -> [ i ]);
+    sp_init = None;
+    sp_body = tr sp.sp_body }
+
+(* Data-copy iteration: new_buf[new_vars] = old_buf[f^-1(new_vars)] over the
+   new format's axes. *)
+let copy_iter (old_buf : buffer) (new_buf : buffer) (r : rule) : stmt =
+  Builder.sp_iter
+    ~name:("copy_" ^ r.fr_name)
+    ~axes:r.fr_new_axes
+    ~kinds:(String.make (List.length r.fr_new_axes) 'S')
+    (fun vars -> Store (new_buf, vars, Load (old_buf, r.fr_inv vars)))
+
+(* Initialization iteration: zero the output buffer over its spatial axes. *)
+let init_iter (sp : sp_iter) : stmt option =
+  match sp.sp_init with
+  | None -> None
+  | Some init ->
+      (* iterate the spatial axes only *)
+      let spatial =
+        List.filteri (fun i _ -> List.nth sp.sp_kinds i = Spatial) sp.sp_axes
+      in
+      let spatial_vars =
+        List.filteri (fun i _ -> List.nth sp.sp_kinds i = Spatial) sp.sp_vars
+      in
+      if List.exists (fun (a : axis) -> axis_is_sparse a || axis_is_variable a)
+           spatial
+      then err "decompose_format: output axes must be dense and fixed";
+      let fresh =
+        List.map
+          (fun (a : axis) ->
+            Builder.var ~dtype:a.ax_idtype
+              (String.lowercase_ascii a.ax_name ^ "_init"))
+          spatial
+      in
+      let subst =
+        List.fold_left2
+          (fun m (x : var) (y : var) -> Analysis.Int_map.add x.vid (Evar y) m)
+          Analysis.Int_map.empty spatial_vars fresh
+      in
+      Some
+        (Sp_iter_stmt
+           { sp_name = sp.sp_name ^ "_init";
+             sp_axes = spatial;
+             sp_kinds = List.map (fun _ -> Spatial) spatial;
+             sp_vars = fresh;
+             sp_fused = List.init (List.length spatial) (fun i -> [ i ]);
+             sp_init = None;
+             sp_body = Analysis.subst_stmt subst init })
+
+(* [decompose_format fn ~iter rules] rewrites the sparse iteration [iter]
+   into one iteration per rule (over disjoint partitions of the target
+   buffer's non-zeros, as arranged by the host-side format conversion).  When
+   [emit_copies] is set, data-movement iterations converting the original
+   buffer into each new format are prepended, as in Figure 5; benchmarks
+   instead perform the conversion on the host at preprocessing time.
+   Returns the rewritten function together with the new sparse buffers (one
+   per rule, in order). *)
+let decompose_format ?(emit_copies = false) (fn : func) ~(iter : string)
+    (rules : rule list) : func * buffer list =
+  if rules = [] then err "decompose_format: no rules";
+  let sp = ref None in
+  Analysis.iter_stmt
+    (function
+      | Sp_iter_stmt s when String.equal s.sp_name iter -> sp := Some s
+      | _ -> ())
+    fn.fn_body;
+  let sp =
+    match !sp with
+    | Some s -> s
+    | None -> err "decompose_format: no sparse iteration named %s" iter
+  in
+  let new_bufs =
+    List.map
+      (fun r ->
+        let old_buf = find_buffer_exn fn r.fr_buffer in
+        Builder.match_sparse_buffer ~dtype:old_buf.buf_dtype
+          (old_buf.buf_name ^ "_" ^ r.fr_name)
+          r.fr_new_axes)
+      rules
+  in
+  let computes =
+    List.map2
+      (fun r nb ->
+        let old_buf = find_buffer_exn fn r.fr_buffer in
+        Sp_iter_stmt (rewrite_iter sp old_buf nb r))
+      rules new_bufs
+  in
+  let copies =
+    if emit_copies then
+      List.map2
+        (fun r nb ->
+          let old_buf = find_buffer_exn fn r.fr_buffer in
+          copy_iter old_buf nb r)
+        rules new_bufs
+    else []
+  in
+  let init = Option.to_list (init_iter sp) in
+  let replacement = Seq (copies @ init @ computes) in
+  let body =
+    Analysis.map_stmt
+      (function
+        | Sp_iter_stmt s when String.equal s.sp_name iter -> replacement
+        | s -> s)
+      fn.fn_body
+  in
+  let params =
+    (* keep the original buffer only if copies still read it *)
+    let keep_old = emit_copies in
+    let olds = List.map (fun r -> r.fr_buffer) rules in
+    List.filter
+      (fun (b : buffer) -> keep_old || not (List.mem b.buf_name olds))
+      fn.fn_params
+    @ new_bufs
+  in
+  ({ fn with fn_body = body; fn_params = params }, new_bufs)

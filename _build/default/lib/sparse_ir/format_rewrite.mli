@@ -1,0 +1,23 @@
+(** Format decomposition (S3.2.1 and Appendix A): the FormatRewriteRule /
+    decompose_format API. *)
+
+type rule = {
+  fr_name : string;                       (** suffix for generated names *)
+  fr_buffer : string;                     (** sparse buffer to rewrite *)
+  fr_new_axes : Tir.Ir.axis list;         (** the new format's composition *)
+  fr_fwd : Tir.Ir.expr list -> Tir.Ir.expr list;
+      (** f: old coordinates -> new coordinates *)
+  fr_inv : Tir.Ir.expr list -> Tir.Ir.expr list;
+      (** f^-1: new coordinates -> old coordinates (may load index maps) *)
+}
+
+val decompose_format :
+  ?emit_copies:bool -> Tir.Ir.func -> iter:string -> rule list ->
+  Tir.Ir.func * Tir.Ir.buffer list
+(** Rewrite the named sparse iteration into one iteration per rule over the
+    decomposed buffers (plus a standalone output-initialization iteration,
+    since the per-format computations accumulate).  With [emit_copies],
+    data-movement iterations converting the original buffer into each new
+    format are prepended, as in Figure 5; benchmarks instead convert on the
+    host at preprocessing time.  Returns the rewritten function and the new
+    sparse buffers, in rule order. *)

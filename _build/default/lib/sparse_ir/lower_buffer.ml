@@ -1,0 +1,103 @@
+(* Sparse buffer lowering: Stage II -> Stage III (S3.4.1 of the paper).
+
+   Removes all axes: every sparse buffer is replaced by a flat 1-D buffer of
+   its compressed storage size, and every position-space access is rewritten
+   to the flat offset of Eq. 6-8.  The result contains no sparse constructs
+   and is accepted by the evaluator and the GPU simulator. *)
+
+open Tir
+open Tir.Ir
+open Offsets
+
+module Int_map = Map.Make (Int)
+
+let flatten_buffer (b : buffer) : buffer =
+  match b.buf_axes with
+  | None -> b
+  | Some axes ->
+      { b with
+        buf_id = Builder.fresh_id Builder.buf_counter;
+        buf_shape = [ storage_size axes ];
+        buf_axes = None }
+
+let lower (fn : func) : func =
+  (* Map each sparse buffer to its flat replacement (stable across uses). *)
+  let mapping : buffer Int_map.t ref = ref Int_map.empty in
+  let flat (b : buffer) : buffer =
+    match Int_map.find_opt b.buf_id !mapping with
+    | Some fb -> fb
+    | None ->
+        let fb = flatten_buffer b in
+        mapping := Int_map.add b.buf_id fb !mapping;
+        fb
+  in
+  let rec tr_expr (e : expr) : expr =
+    match e with
+    | Load (b, idx) when is_sparse_buffer b ->
+        let axes = Option.get b.buf_axes in
+        let idx = List.map tr_expr idx in
+        Load (flat b, [ flatten_access axes idx ])
+    | Load (b, idx) -> Load (b, List.map tr_expr idx)
+    | Binop (op, a, b) -> Binop (op, tr_expr a, tr_expr b)
+    | Unop (op, a) -> Unop (op, tr_expr a)
+    | Select (c, t, f) -> Select (tr_expr c, tr_expr t, tr_expr f)
+    | Cast (dt, a) -> Cast (dt, tr_expr a)
+    | Bsearch bs ->
+        Bsearch
+          { bs with
+            bs_lo = tr_expr bs.bs_lo;
+            bs_hi = tr_expr bs.bs_hi;
+            bs_v = tr_expr bs.bs_v }
+    | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+  in
+  let tr_region (r : region) : region =
+    if is_sparse_buffer r.rg_buf then
+      let fb = flat r.rg_buf in
+      { rg_buf = fb; rg_bounds = [ (Int_imm 0, List.hd fb.buf_shape) ] }
+    else
+      { r with
+        rg_bounds = List.map (fun (lo, e) -> (tr_expr lo, tr_expr e)) r.rg_bounds }
+  in
+  let rec tr_stmt (s : stmt) : stmt =
+    match s with
+    | Store (b, idx, value) when is_sparse_buffer b ->
+        let axes = Option.get b.buf_axes in
+        let idx = List.map tr_expr idx in
+        Store (flat b, [ flatten_access axes idx ], tr_expr value)
+    | Store (b, idx, value) -> Store (b, List.map tr_expr idx, tr_expr value)
+    | Seq l -> Seq (List.map tr_stmt l)
+    | For f -> For { f with extent = tr_expr f.extent; body = tr_stmt f.body }
+    | If (c, t, f) -> If (tr_expr c, tr_stmt t, Option.map tr_stmt f)
+    | Let_stmt (x, value, body) -> Let_stmt (x, tr_expr value, tr_stmt body)
+    | Block_stmt blk ->
+        Block_stmt
+          { blk with
+            blk_iters =
+              List.map
+                (fun bi ->
+                  { bi with bi_dom = tr_expr bi.bi_dom; bi_bind = tr_expr bi.bi_bind })
+                blk.blk_iters;
+            blk_reads = List.map tr_region blk.blk_reads;
+            blk_writes = List.map tr_region blk.blk_writes;
+            blk_init = Option.map tr_stmt blk.blk_init;
+            blk_body = tr_stmt blk.blk_body }
+    | Alloc (b, body) -> Alloc (flat b, tr_stmt body)
+    | Eval e -> Eval (tr_expr e)
+    | Mma_sync m ->
+        let op o =
+          if is_sparse_buffer o.op_buf then
+            err "sparse buffer %s reached an MMA operand before flattening"
+              o.op_buf.buf_name
+          else
+            { o with
+              op_origin = List.map tr_expr o.op_origin;
+              op_ld = tr_expr o.op_ld }
+        in
+        Mma_sync { m with mma_a = op m.mma_a; mma_b = op m.mma_b; mma_c = op m.mma_c }
+    | Sp_iter_stmt sp ->
+        err "sparse iteration %s must be lowered (stage I -> II) first"
+          sp.sp_name
+  in
+  let body = tr_stmt fn.fn_body in
+  let params = List.map (fun b -> if is_sparse_buffer b then flat b else b) fn.fn_params in
+  { fn with fn_body = body; fn_params = params }

@@ -1,0 +1,411 @@
+(* Sparse iteration lowering: Stage I -> Stage II (S3.3.1 of the paper).
+
+   For each sparse iteration the pass performs the paper's four steps:
+
+   1. Auxiliary buffer materialization — the indptr/indices buffers of every
+      axis reachable from the iteration or its sparse buffers are appended to
+      the function parameters, with value-domain hints recorded in
+      [fn_domains].
+   2. Nested loop generation — one loop per axis (or per fused axis group),
+      with data-dependent extents for variable axes; a TensorIR block wraps
+      the body, carrying one iteration variable per axis bound to its
+      position expression.
+   3. Coordinate translation — buffer accesses move from coordinate space to
+      position space.  When an access index is exactly the iteration variable
+      of the same axis the position is reused directly; otherwise the
+      coordinate is recomputed (Eq. 3) and inverted (Eq. 4), emitting a
+      binary search for sparse axes.
+   4. Read/write region analysis — every translated access contributes a
+      (singleton) region to the block's read/write sets. *)
+
+open Tir
+open Tir.Ir
+open Offsets
+
+module Smap = Map.Make (String)
+
+(* Per-axis lowering context. *)
+type axis_ctx = {
+  ac_axis : axis;
+  ac_kind : iter_type;
+  ac_loop_pos : expr;  (* relative position in loop space *)
+  ac_block_var : var;  (* block iteration variable (position space) *)
+}
+
+let lower_sp_iter (sp : sp_iter) : stmt =
+  let n_axes = List.length sp.sp_axes in
+  let axes_arr = Array.of_list sp.sp_axes in
+  let kinds_arr = Array.of_list sp.sp_kinds in
+  let vars_arr = Array.of_list sp.sp_vars in
+  (* Validate ordering: a variable axis must come after its parent when the
+     parent is itself iterated. *)
+  Array.iteri
+    (fun i (a : axis) ->
+      match a.ax_parent with
+      | None -> ()
+      | Some p ->
+          let pos_of_parent = ref None in
+          Array.iteri
+            (fun j (b : axis) -> if axis_equal b p then pos_of_parent := Some j)
+            axes_arr;
+          (match (!pos_of_parent, a.ax_kind) with
+          | Some j, _ when j > i ->
+              err "sp_iter %s: axis %s iterated before its parent %s" sp.sp_name
+                a.ax_name p.ax_name
+          | None, (Dense_variable | Sparse_variable) ->
+              err "sp_iter %s: variable axis %s requires its parent %s in the \
+                   iteration"
+                sp.sp_name a.ax_name p.ax_name
+          | _ -> ()))
+    axes_arr;
+  (* ---------------- Step 2a: loop variables per fused group -------- *)
+  (* [loop_pos] maps axis index -> relative position expression in loop
+     space; [group_loops] collects (loop var, extent builder) outer-to-inner. *)
+  let loop_pos : expr array = Array.make n_axes (Int_imm 0) in
+  let loop_frames : (var * (string -> expr) Lazy.t) list ref = ref [] in
+  (* position environment in loop space, by axis name *)
+  let loop_pos_by_name = ref Smap.empty in
+  let pos_fn_loop name =
+    match Smap.find_opt name !loop_pos_by_name with
+    | Some e -> e
+    | None -> err "sp_iter %s: axis %s position unavailable" sp.sp_name name
+  in
+  let frames : (var * expr) list =
+    (* (loop var, extent) outer-to-inner, evaluated incrementally so inner
+       extents can reference outer positions *)
+    List.concat_map
+      (fun group ->
+        match group with
+        | [] -> err "sp_iter %s: empty fusion group" sp.sp_name
+        | [ i ] ->
+            let a = axes_arr.(i) in
+            let lv = Builder.var (String.lowercase_ascii a.ax_name) in
+            let ext = extent pos_fn_loop a in
+            loop_pos.(i) <- Evar lv;
+            loop_pos_by_name := Smap.add a.ax_name (Evar lv) !loop_pos_by_name;
+            [ (lv, ext) ]
+        | [ i; j ] ->
+            (* Fused pair: parent must be a root dense-fixed axis, child a
+               variable axis of the parent.  One loop runs over all stored
+               positions of the child; the parent position is recovered with
+               an upper-bound search on indptr. *)
+            let pa = axes_arr.(i) and ca = axes_arr.(j) in
+            if not (axis_is_variable ca) then
+              err "sp_iter %s: fused child %s must be variable" sp.sp_name
+                ca.ax_name;
+            (match ca.ax_parent with
+            | Some p when axis_equal p pa -> ()
+            | _ ->
+                err "sp_iter %s: fused axes %s,%s are not parent/child"
+                  sp.sp_name pa.ax_name ca.ax_name);
+            if pa.ax_parent <> None || pa.ax_kind <> Dense_fixed then
+              err "sp_iter %s: fused parent %s must be a root dense_fixed axis"
+                sp.sp_name pa.ax_name;
+            let lv =
+              Builder.var
+                (String.lowercase_ascii pa.ax_name
+                ^ String.lowercase_ascii ca.ax_name)
+            in
+            let indptr = indptr_exn ca in
+            let parent_pos =
+              Bsearch
+                { bs_buf = indptr; bs_lo = Int_imm 0; bs_hi = pa.ax_length;
+                  bs_v = Evar lv; bs_ub = true }
+            in
+            let child_pos =
+              Analysis.simplify
+                (Binop (Sub, Evar lv, Load (indptr, [ parent_pos ])))
+            in
+            loop_pos.(i) <- parent_pos;
+            loop_pos.(j) <- child_pos;
+            loop_pos_by_name :=
+              Smap.add pa.ax_name parent_pos
+                (Smap.add ca.ax_name child_pos !loop_pos_by_name);
+            [ (lv, nnz_exn ca) ]
+        | _ ->
+            err "sp_iter %s: fusion groups of more than two axes are not \
+                 supported"
+              sp.sp_name)
+      sp.sp_fused
+  in
+  ignore loop_frames;
+  (* ---------------- Step 2b: block iteration variables ------------- *)
+  let ctxs =
+    Array.init n_axes (fun i ->
+        let a = axes_arr.(i) in
+        { ac_axis = a;
+          ac_kind = kinds_arr.(i);
+          ac_loop_pos = loop_pos.(i);
+          ac_block_var =
+            Builder.var ~dtype:a.ax_idtype ("v" ^ String.lowercase_ascii a.ax_name)
+        })
+  in
+  (* position environment in block space, by axis name *)
+  let block_pos = ref Smap.empty in
+  Array.iter
+    (fun c ->
+      block_pos := Smap.add c.ac_axis.ax_name (Evar c.ac_block_var) !block_pos)
+    ctxs;
+  let pos_fn_block name =
+    match Smap.find_opt name !block_pos with
+    | Some e -> e
+    | None ->
+        err "sp_iter %s: access references axis %s outside the iteration"
+          sp.sp_name name
+  in
+  (* Coordinate expression of iteration variable [i] in block space. *)
+  let coord_of_iter i = coordinate pos_fn_block ctxs.(i).ac_axis in
+  (* ---------------- Step 3: coordinate translation ----------------- *)
+  let reads : region list ref = ref [] in
+  let writes : region list ref = ref [] in
+  let record dest (b : buffer) (idx : expr list) =
+    dest := { rg_buf = b; rg_bounds = List.map (fun e -> (e, Int_imm 1)) idx } :: !dest
+  in
+  let iter_var_index (x : var) : int option =
+    let found = ref None in
+    Array.iteri (fun i (y : var) -> if var_equal x y then found := Some i) vars_arr;
+    !found
+  in
+  (* Translate an expression, replacing iteration variables by coordinates
+     and sparse-buffer accesses by position-space accesses.  A read of a
+     coordinate that is absent from the compressed structure yields the
+     sparse-tensor semantics value 0 (guarded by the binary-search miss
+     condition). *)
+  let rec tr_value (e : expr) : expr =
+    match e with
+    | Evar x -> (
+        match iter_var_index x with
+        | Some i -> coord_of_iter i
+        | None -> e)
+    | Load (b, idx) when is_sparse_buffer b ->
+        let positions, misses = translate_access b idx in
+        let load = Load (b, positions) in
+        (match misses with
+        | [] -> load
+        | m :: ms ->
+            let cond = List.fold_left (fun acc c -> Binop (Or, acc, c)) m ms in
+            let zero =
+              if Dtype.is_float b.buf_dtype then Float_imm 0.0 else Int_imm 0
+            in
+            Select (cond, zero, load))
+    | Load (b, idx) -> Load (b, List.map tr_value idx)
+    | Binop (op, a, b) -> Binop (op, tr_value a, tr_value b)
+    | Unop (op, a) -> Unop (op, tr_value a)
+    | Select (c, t, f) -> Select (tr_value c, tr_value t, tr_value f)
+    | Cast (dt, a) -> Cast (dt, tr_value a)
+    | Bsearch bs ->
+        Bsearch
+          { bs with
+            bs_lo = tr_value bs.bs_lo;
+            bs_hi = tr_value bs.bs_hi;
+            bs_v = tr_value bs.bs_v }
+    | Int_imm _ | Float_imm _ | Bool_imm _ -> e
+  (* Translate the coordinate-space indices of an access to sparse buffer [b]
+     into per-axis positions (Eq. 1-4).  Returns the positions together with
+     the binary-search miss conditions for slow-path sparse axes (true when
+     the requested coordinate is not stored). *)
+  and translate_access (b : buffer) (idx : expr list) : expr list * expr list =
+    let baxes =
+      match b.buf_axes with Some a -> a | None -> assert false
+    in
+    if List.length idx <> List.length baxes then
+      err "access to %s: expected %d indices, got %d" b.buf_name
+        (List.length baxes) (List.length idx);
+    (* positions of already-translated buffer axes, for ancestor offsets *)
+    let buf_pos = ref Smap.empty in
+    let buf_pos_fn name =
+      match Smap.find_opt name !buf_pos with
+      | Some e -> e
+      | None ->
+          err "access to %s: position of ancestor axis %s not available"
+            b.buf_name name
+    in
+    let misses = ref [] in
+    let positions =
+      List.map2
+        (fun (a : axis) (ie : expr) ->
+          let p =
+            match ie with
+            | Evar x
+              when (match iter_var_index x with
+                   | Some i -> axis_equal ctxs.(i).ac_axis a
+                   | None -> false) ->
+                (* fast path: the index is the iteration variable of the same
+                   axis; coordinate and position cancel out *)
+                Evar ctxs.(Option.get (iter_var_index x)).ac_block_var
+            | _ -> (
+                let c = tr_value ie in
+                if not (axis_is_sparse a) then c
+                else
+                  (* invert: find the position of coordinate [c] within the
+                     stored segment of axis [a] (Eq. 4) *)
+                  let lo, hi =
+                    match a.ax_kind with
+                    | Sparse_variable ->
+                        let base = offset buf_pos_fn (Option.get a.ax_parent) in
+                        ( Load (indptr_exn a, [ base ]),
+                          Load (indptr_exn a, [ Binop (Add, base, Int_imm 1) ]) )
+                    | Sparse_fixed ->
+                        let base =
+                          match a.ax_parent with
+                          | Some p -> offset buf_pos_fn p
+                          | None -> Int_imm 0
+                        in
+                        let lo =
+                          Analysis.simplify (Binop (Mul, base, nnz_cols_exn a))
+                        in
+                        (lo, Analysis.simplify (Binop (Add, lo, nnz_cols_exn a)))
+                    | Dense_fixed | Dense_variable -> assert false
+                  in
+                  let search =
+                    Bsearch
+                      { bs_buf = indices_exn a; bs_lo = lo; bs_hi = hi;
+                        bs_v = c; bs_ub = false }
+                  in
+                  misses := Binop (Eq, search, hi) :: !misses;
+                  Analysis.simplify (Binop (Sub, search, lo)))
+          in
+          buf_pos := Smap.add a.ax_name p !buf_pos;
+          p)
+        baxes idx
+    in
+    (positions, List.rev !misses)
+  in
+  let rec tr_stmt (s : stmt) : stmt =
+    match s with
+    | Store (b, idx, value) ->
+        let idx', misses =
+          if is_sparse_buffer b then translate_access b idx
+          else (List.map tr_value idx, [])
+        in
+        record writes b idx';
+        let st = Store (b, idx', tr_value value) in
+        (* A scatter to an absent coordinate is dropped. *)
+        (match misses with
+        | [] -> st
+        | m :: ms ->
+            let cond = List.fold_left (fun acc c -> Binop (Or, acc, c)) m ms in
+            If (Unop (Not, cond), st, None))
+    | Seq l -> Seq (List.map tr_stmt l)
+    | If (c, t, f) -> If (tr_value c, tr_stmt t, Option.map tr_stmt f)
+    | For f -> For { f with extent = tr_value f.extent; body = tr_stmt f.body }
+    | Let_stmt (x, value, body) -> Let_stmt (x, tr_value value, tr_stmt body)
+    | Eval e -> Eval (tr_value e)
+    | Alloc (b, body) -> Alloc (b, tr_stmt body)
+    | Block_stmt _ | Mma_sync _ | Sp_iter_stmt _ ->
+        err "sp_iter %s: unsupported construct inside the iteration body"
+          sp.sp_name
+  in
+  (* Collect reads after translation. *)
+  let collect_reads st =
+    Analysis.iter_stmt
+      ~enter_expr:(function
+        | Load (b, idx) -> record reads b idx
+        | _ -> ())
+      (fun _ -> ())
+      st
+  in
+  let body = tr_stmt sp.sp_body in
+  let init = Option.map tr_stmt sp.sp_init in
+  collect_reads body;
+  (* ---------------- Assemble the block and loop nest --------------- *)
+  let block_iters =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           { bi_var = c.ac_block_var;
+             bi_dom = c.ac_axis.ax_length;
+             bi_kind = c.ac_kind;
+             bi_bind = c.ac_loop_pos })
+         ctxs)
+  in
+  let block =
+    Block_stmt
+      { blk_name = sp.sp_name;
+        blk_iters = block_iters;
+        blk_reads = List.rev !reads;
+        blk_writes = List.rev !writes;
+        blk_init = init;
+        blk_body = body }
+  in
+  List.fold_right
+    (fun (lv, ext) acc ->
+      For { for_var = lv; extent = ext; kind = Serial; body = acc })
+    frames block
+
+(* Lower every sparse iteration in [fn]; materialize auxiliary buffers as
+   parameters with domain hints. *)
+let lower (fn : func) : func =
+  let body =
+    Analysis.map_stmt
+      (function Sp_iter_stmt sp -> lower_sp_iter sp | s -> s)
+      fn.fn_body
+  in
+  (* Step 1: auxiliary buffer materialization. *)
+  let seen = Hashtbl.create 16 in
+  List.iter (fun (b : buffer) -> Hashtbl.replace seen b.buf_id ()) fn.fn_params;
+  let extra = ref [] in
+  let domains = ref fn.fn_domains in
+  let add_aux (a : axis) =
+    let add_buf ?domain (b : buffer) =
+      if not (Hashtbl.mem seen b.buf_id) then begin
+        Hashtbl.replace seen b.buf_id ();
+        extra := b :: !extra;
+        match domain with
+        | Some (lo, hi) -> domains := (b, lo, hi) :: !domains
+        | None -> ()
+      end
+    in
+    Option.iter
+      (fun b ->
+        add_buf
+          ~domain:
+            ( Int_imm 0,
+              match a.ax_nnz with Some e -> e | None -> a.ax_length )
+          b)
+      a.ax_indptr;
+    Option.iter
+      (fun b ->
+        add_buf ~domain:(Int_imm 0, Binop (Sub, a.ax_length, Int_imm 1)) b)
+      a.ax_indices
+  in
+  Analysis.iter_stmt
+    ~enter_expr:(function
+      | Load (b, _) ->
+          Option.iter (List.iter (fun a -> List.iter add_aux (axis_ancestors a)))
+            b.buf_axes
+      | Bsearch _ -> ()
+      | _ -> ())
+    (function
+      | Store (b, _, _) ->
+          Option.iter (List.iter (fun a -> List.iter add_aux (axis_ancestors a)))
+            b.buf_axes
+      | Block_stmt blk ->
+          List.iter
+            (fun bi ->
+              Analysis.iter_expr
+                (function
+                  | Load (b, _) when not (Hashtbl.mem seen b.buf_id) ->
+                      extra := b :: !extra;
+                      Hashtbl.replace seen b.buf_id ()
+                  | _ -> ())
+                bi.bi_bind)
+            blk.blk_iters
+      | _ -> ())
+    body;
+  (* Loop extents and binds may reference indptr buffers not otherwise seen. *)
+  Analysis.iter_stmt
+    ~enter_expr:(function
+      | Load (b, _) | Bsearch { bs_buf = b; _ } ->
+          if not (Hashtbl.mem seen b.buf_id) && b.buf_scope = Global
+             && not (is_sparse_buffer b) && Dtype.is_int b.buf_dtype then begin
+            extra := b :: !extra;
+            Hashtbl.replace seen b.buf_id ()
+          end
+      | _ -> ())
+    (fun _ -> ())
+    body;
+  { fn with
+    fn_body = body;
+    fn_params = fn.fn_params @ List.rev !extra;
+    fn_domains = !domains }

@@ -1,0 +1,158 @@
+(* Position-space offset and stride arithmetic shared by the two lowering
+   passes (Eq. 6-8 of the paper). *)
+
+open Tir
+open Tir.Ir
+
+exception Lower_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+let indptr_exn (a : axis) : buffer =
+  match a.ax_indptr with
+  | Some b -> b
+  | None -> err "axis %s has no indptr" a.ax_name
+
+let indices_exn (a : axis) : buffer =
+  match a.ax_indices with
+  | Some b -> b
+  | None -> err "axis %s has no indices" a.ax_name
+
+let nnz_exn (a : axis) : expr =
+  match a.ax_nnz with
+  | Some e -> e
+  | None -> err "axis %s has no nnz" a.ax_name
+
+let nnz_cols_exn (a : axis) : expr =
+  match a.ax_nnz_cols with
+  | Some e -> e
+  | None -> err "axis %s has no nnz_cols" a.ax_name
+
+(* Flattened position-space offset of axis [a] given per-axis relative
+   positions [pos] (Eq. 7).  [pos] maps axis name -> position expression. *)
+let rec offset (pos : string -> expr) (a : axis) : expr =
+  match (a.ax_parent, a.ax_kind) with
+  | None, _ -> pos a.ax_name
+  | Some p, (Dense_variable | Sparse_variable) ->
+      Analysis.simplify
+        (Binop (Add, Load (indptr_exn a, [ offset pos p ]), pos a.ax_name))
+  | Some p, (Dense_fixed | Sparse_fixed) ->
+      let k =
+        match a.ax_kind with
+        | Sparse_fixed -> nnz_cols_exn a
+        | Dense_fixed | Dense_variable | Sparse_variable -> a.ax_length
+      in
+      Analysis.simplify
+        (Binop (Add, Binop (Mul, offset pos p, k), pos a.ax_name))
+
+(* Coordinate of axis [a] at the positions given by [pos] (Eq. 3): positions
+   of dense axes are their coordinates; sparse axes read their indices
+   buffer at the flattened offset. *)
+let coordinate (pos : string -> expr) (a : axis) : expr =
+  if axis_is_sparse a then Load (indices_exn a, [ offset pos a ])
+  else pos a.ax_name
+
+(* Loop extent of axis [a]: the number of stored positions under the current
+   ancestor positions. *)
+let extent (pos : string -> expr) (a : axis) : expr =
+  match a.ax_kind with
+  | Dense_fixed -> a.ax_length
+  | Sparse_fixed -> nnz_cols_exn a
+  | Dense_variable | Sparse_variable ->
+      let p =
+        match a.ax_parent with
+        | Some p -> p
+        | None -> err "variable axis %s has no parent" a.ax_name
+      in
+      let base = offset pos p in
+      Analysis.simplify
+        (Binop
+           ( Sub,
+             Load (indptr_exn a, [ Binop (Add, base, Int_imm 1) ]),
+             Load (indptr_exn a, [ base ]) ))
+
+(* Number of stored positions of the axis chain rooted at [root], restricted
+   to the axes present in [axes] (the paper's nnz(Tree(A_i))). *)
+let nnz_tree (axes : axis list) (root : axis) : expr =
+  let child_of a =
+    List.find_opt
+      (fun (c : axis) ->
+        match c.ax_parent with Some p -> axis_equal p a | None -> false)
+      axes
+  in
+  let rec go (a : axis) (count : expr) : expr =
+    match child_of a with
+    | None -> count
+    | Some c -> (
+        match c.ax_kind with
+        | Dense_variable | Sparse_variable -> go c (nnz_exn c)
+        | Sparse_fixed -> go c (Analysis.simplify (Binop (Mul, count, nnz_cols_exn c)))
+        | Dense_fixed -> go c (Analysis.simplify (Binop (Mul, count, c.ax_length))))
+  in
+  go root root.ax_length
+
+(* Total flat storage size of a sparse buffer composed of [axes]: product of
+   nnz_tree over the root axes present in the list. *)
+let storage_size (axes : axis list) : expr =
+  let roots =
+    List.filter
+      (fun (a : axis) ->
+        match a.ax_parent with
+        | None -> true
+        | Some p -> not (List.exists (axis_equal p) axes))
+      axes
+  in
+  List.fold_left
+    (fun acc r -> Analysis.simplify (Binop (Mul, acc, nnz_tree axes r)))
+    (Int_imm 1) roots
+
+(* Flat offset of a position-space access [p_1; ...; p_n] into a buffer
+   composed of [axes] (Eq. 6).  Positions are relative per-axis positions. *)
+let flatten_access (axes : axis list) (positions : expr list) : expr =
+  if List.length axes <> List.length positions then
+    err "flatten_access: rank mismatch";
+  let named = List.combine axes positions in
+  let pos name =
+    match
+      List.find_opt (fun ((a : axis), _) -> String.equal a.ax_name name) named
+    with
+    | Some (_, p) -> p
+    | None -> err "flatten_access: axis %s not part of the buffer" name
+  in
+  let pos_fn name = pos name in
+  let is_leaf (a : axis) =
+    not
+      (List.exists
+         (fun (c : axis) ->
+           match c.ax_parent with Some p -> axis_equal p a | None -> false)
+         axes)
+  in
+  (* strides, right to left (Eq. 8) *)
+  let n = List.length axes in
+  let strides = Array.make (n + 1) (Int_imm 1) in
+  let axes_arr = Array.of_list axes in
+  for i = n - 1 downto 0 do
+    let a = axes_arr.(i) in
+    let is_root =
+      match a.ax_parent with
+      | None -> true
+      | Some p -> not (List.exists (axis_equal p) axes)
+    in
+    strides.(i) <-
+      (if is_root then
+         Analysis.simplify (Binop (Mul, nnz_tree axes a, strides.(i + 1)))
+       else strides.(i + 1))
+  done;
+  let terms =
+    List.mapi
+      (fun i (a : axis) ->
+        if is_leaf a then
+          Some (Analysis.simplify (Binop (Mul, offset pos_fn a, strides.(i + 1))))
+        else None)
+      axes
+    |> List.filter_map Fun.id
+  in
+  match terms with
+  | [] -> Int_imm 0
+  | t :: ts ->
+      Analysis.simplify (List.fold_left (fun acc e -> Binop (Add, acc, e)) t ts)

@@ -1,0 +1,32 @@
+(* Root of the sparse_ir library: the SparseTIR compilation passes.
+
+   Typical pipeline (matching the paper's Figure 2):
+
+     Stage I   (coordinate space) -- built with Tir.Builder.sp_iter
+       |  Stage1.sparse_reorder / Stage1.sparse_fuse / Format_rewrite.decompose_format
+       v
+     Stage II  (position space)   -- Lower_iter.lower
+       |  Schedule.* (split/fuse/reorder/bind/vectorize/cache/rfactor)
+       v
+     Stage III (flat loop IR)     -- Lower_buffer.lower
+       |  Schedule.tensorize (operates on flat offsets)
+       v
+     Gpusim codegen / Tir.Eval *)
+
+module Offsets = Offsets
+module Stage1 = Stage1
+module Format_rewrite = Format_rewrite
+module Lower_iter = Lower_iter
+module Lower_buffer = Lower_buffer
+
+exception Lower_error = Offsets.Lower_error
+
+let sparse_reorder = Stage1.sparse_reorder
+let sparse_fuse = Stage1.sparse_fuse
+let decompose_format = Format_rewrite.decompose_format
+let lower_iterations = Lower_iter.lower
+let lower_buffers = Lower_buffer.lower
+
+(* Run both lowering passes: Stage I -> Stage III. *)
+let compile (fn : Tir.Ir.func) : Tir.Ir.func =
+  lower_buffers (lower_iterations fn)

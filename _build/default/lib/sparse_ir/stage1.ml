@@ -1,0 +1,86 @@
+(* Stage I schedules (S3.2.2): sparse_reorder and sparse_fuse.  Both rewrite
+   the sparse iteration named [iter] inside a function, leaving the IR at
+   Stage I. *)
+
+open Tir
+open Tir.Ir
+open Offsets
+
+let rewrite_sp_iter (fn : func) (iter : string) (f : sp_iter -> sp_iter) : func
+    =
+  let found = ref false in
+  let body =
+    Analysis.map_stmt
+      (function
+        | Sp_iter_stmt sp when String.equal sp.sp_name iter ->
+            found := true;
+            Sp_iter_stmt (f sp)
+        | s -> s)
+      fn.fn_body
+  in
+  if not !found then err "no sparse iteration named %s" iter;
+  { fn with fn_body = body }
+
+(* Permute the axes of a sparse iteration into the order given by axis
+   names.  Kinds, variables and fusion groups follow their axes.  Validity
+   (parents before variable children) is re-checked at lowering time. *)
+let sparse_reorder (fn : func) ~(iter : string) ~(order : string list) : func =
+  rewrite_sp_iter fn iter (fun sp ->
+      if List.length order <> List.length sp.sp_axes then
+        err "sparse_reorder %s: order must mention every axis" iter;
+      let find name =
+        let rec go i = function
+          | [] -> err "sparse_reorder %s: unknown axis %s" iter name
+          | (a : axis) :: rest ->
+              if String.equal a.ax_name name then i else go (i + 1) rest
+        in
+        go 0 sp.sp_axes
+      in
+      let perm = List.map find order in
+      let pick l = List.map (fun i -> List.nth l i) perm in
+      (* remap fusion groups through the permutation *)
+      let inv = Array.make (List.length perm) 0 in
+      List.iteri (fun newi oldi -> inv.(oldi) <- newi) perm;
+      { sp with
+        sp_axes = pick sp.sp_axes;
+        sp_kinds = pick sp.sp_kinds;
+        sp_vars = pick sp.sp_vars;
+        sp_fused =
+          List.map (List.map (fun i -> inv.(i))) sp.sp_fused
+          |> List.sort (fun a b -> compare (List.hd a) (List.hd b)) })
+
+(* Fuse consecutive iterators [axes] (given by axis names) of a sparse
+   iteration into a single loop over their joint non-zero space.  Lowering
+   recovers outer coordinates with an upper-bound binary search on indptr
+   (S3.2.2, used for SDDMM). *)
+let sparse_fuse (fn : func) ~(iter : string) ~(axes : string list) : func =
+  rewrite_sp_iter fn iter (fun sp ->
+      let index_of name =
+        let rec go i = function
+          | [] -> err "sparse_fuse %s: unknown axis %s" iter name
+          | (a : axis) :: rest ->
+              if String.equal a.ax_name name then i else go (i + 1) rest
+        in
+        go 0 sp.sp_axes
+      in
+      let idxs = List.map index_of axes in
+      (* must be consecutive *)
+      let sorted = List.sort compare idxs in
+      (match sorted with
+      | [] -> err "sparse_fuse %s: empty axis list" iter
+      | first :: rest ->
+          List.iteri
+            (fun k i ->
+              if i <> first + k + 1 then
+                err "sparse_fuse %s: axes must be consecutive" iter)
+            rest);
+      let in_group i = List.mem i sorted in
+      let fused =
+        List.filter
+          (fun g -> not (List.exists in_group g))
+          sp.sp_fused
+      in
+      let fused = fused @ [ sorted ] in
+      { sp with
+        sp_fused = List.sort (fun a b -> compare (List.hd a) (List.hd b)) fused
+      })

@@ -1,0 +1,1 @@
+lib/tir/analysis.ml: Builder Dtype Int Ir List Map Option

@@ -1,0 +1,1 @@
+lib/tir/builder.ml: Dtype Ir List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/tir/dtype.ml: Float Int32

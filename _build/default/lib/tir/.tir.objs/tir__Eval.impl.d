@@ -1,0 +1,1 @@
+lib/tir/eval.ml: Analysis Array Dtype Float Hashtbl Ir List Option Printf Tensor

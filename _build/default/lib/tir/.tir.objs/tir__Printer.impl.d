@@ -1,0 +1,1 @@
+lib/tir/printer.ml: Builder Dtype Hashtbl Ir List Printf String

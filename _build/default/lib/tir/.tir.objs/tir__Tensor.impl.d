@@ -1,0 +1,1 @@
+lib/tir/tensor.ml: Array Dtype Float Printf

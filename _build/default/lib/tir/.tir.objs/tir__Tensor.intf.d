@@ -1,0 +1,1 @@
+lib/tir/tensor.mli: Dtype

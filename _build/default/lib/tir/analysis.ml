@@ -1,0 +1,243 @@
+(* Structural analyses over the IR: substitution, traversal, free variables,
+   buffer collection, simplification and linear (stride) analysis of index
+   expressions.  These underpin the schedule primitives, the lowering passes
+   and the GPU simulator's coalescing model. *)
+
+open Ir
+
+module Int_map = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_expr (env : expr Int_map.t) (e : expr) : expr =
+  match e with
+  | Int_imm _ | Float_imm _ | Bool_imm _ -> e
+  | Evar x -> ( match Int_map.find_opt x.vid env with Some r -> r | None -> e)
+  | Load (b, idx) -> Load (b, List.map (subst_expr env) idx)
+  | Binop (op, a, b) -> Binop (op, subst_expr env a, subst_expr env b)
+  | Unop (op, a) -> Unop (op, subst_expr env a)
+  | Select (c, t, f) ->
+      Select (subst_expr env c, subst_expr env t, subst_expr env f)
+  | Cast (dt, a) -> Cast (dt, subst_expr env a)
+  | Bsearch b ->
+      Bsearch
+        { b with
+          bs_lo = subst_expr env b.bs_lo;
+          bs_hi = subst_expr env b.bs_hi;
+          bs_v = subst_expr env b.bs_v }
+
+let rec subst_stmt (env : expr Int_map.t) (s : stmt) : stmt =
+  let se = subst_expr env and ss = subst_stmt env in
+  match s with
+  | Store (b, idx, value) -> Store (b, List.map se idx, se value)
+  | Seq l -> Seq (List.map ss l)
+  | For f -> For { f with extent = se f.extent; body = ss f.body }
+  | If (c, t, f) -> If (se c, ss t, Option.map ss f)
+  | Let_stmt (x, value, body) -> Let_stmt (x, se value, ss body)
+  | Block_stmt blk ->
+      Block_stmt
+        { blk with
+          blk_iters =
+            List.map
+              (fun bi -> { bi with bi_dom = se bi.bi_dom; bi_bind = se bi.bi_bind })
+              blk.blk_iters;
+          blk_reads = List.map (subst_region env) blk.blk_reads;
+          blk_writes = List.map (subst_region env) blk.blk_writes;
+          blk_init = Option.map ss blk.blk_init;
+          blk_body = ss blk.blk_body }
+  | Alloc (b, body) -> Alloc (b, ss body)
+  | Eval e -> Eval (se e)
+  | Mma_sync m ->
+      let op o = { o with op_origin = List.map se o.op_origin; op_ld = se o.op_ld } in
+      Mma_sync { m with mma_a = op m.mma_a; mma_b = op m.mma_b; mma_c = op m.mma_c }
+  | Sp_iter_stmt sp ->
+      Sp_iter_stmt
+        { sp with sp_init = Option.map ss sp.sp_init; sp_body = ss sp.sp_body }
+
+and subst_region env (r : region) : region =
+  { r with
+    rg_bounds =
+      List.map (fun (lo, ext) -> (subst_expr env lo, subst_expr env ext)) r.rg_bounds }
+
+let subst1_expr (x : var) (value : expr) e =
+  subst_expr (Int_map.singleton x.vid value) e
+
+let subst1_stmt (x : var) (value : expr) s =
+  subst_stmt (Int_map.singleton x.vid value) s
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec iter_expr (f : expr -> unit) (e : expr) : unit =
+  f e;
+  match e with
+  | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> ()
+  | Load (_, idx) -> List.iter (iter_expr f) idx
+  | Binop (_, a, b) -> iter_expr f a; iter_expr f b
+  | Unop (_, a) -> iter_expr f a
+  | Select (c, t, e') -> iter_expr f c; iter_expr f t; iter_expr f e'
+  | Cast (_, a) -> iter_expr f a
+  | Bsearch b -> iter_expr f b.bs_lo; iter_expr f b.bs_hi; iter_expr f b.bs_v
+
+let rec iter_stmt ?(enter_expr = fun (_ : expr) -> ()) (f : stmt -> unit)
+    (s : stmt) : unit =
+  f s;
+  let ie = iter_expr enter_expr and is = iter_stmt ~enter_expr f in
+  match s with
+  | Store (_, idx, value) -> List.iter ie idx; ie value
+  | Seq l -> List.iter is l
+  | For fo -> ie fo.extent; is fo.body
+  | If (c, t, e) -> ie c; is t; Option.iter is e
+  | Let_stmt (_, value, body) -> ie value; is body
+  | Block_stmt blk ->
+      List.iter (fun bi -> ie bi.bi_dom; ie bi.bi_bind) blk.blk_iters;
+      Option.iter is blk.blk_init;
+      is blk.blk_body
+  | Alloc (_, body) -> is body
+  | Eval e -> ie e
+  | Mma_sync m ->
+      List.iter
+        (fun o -> List.iter ie o.op_origin; ie o.op_ld)
+        [ m.mma_a; m.mma_b; m.mma_c ]
+  | Sp_iter_stmt sp -> Option.iter is sp.sp_init; is sp.sp_body
+
+(* Rebuild a statement by applying [f] bottom-up to every sub-statement. *)
+let rec map_stmt (f : stmt -> stmt) (s : stmt) : stmt =
+  let m = map_stmt f in
+  let rebuilt =
+    match s with
+    | Store _ | Eval _ | Mma_sync _ -> s
+    | Seq l -> Seq (List.map m l)
+    | For fo -> For { fo with body = m fo.body }
+    | If (c, t, e) -> If (c, m t, Option.map m e)
+    | Let_stmt (x, value, body) -> Let_stmt (x, value, m body)
+    | Block_stmt blk ->
+        Block_stmt
+          { blk with blk_init = Option.map m blk.blk_init; blk_body = m blk.blk_body }
+    | Alloc (b, body) -> Alloc (b, m body)
+    | Sp_iter_stmt sp ->
+        Sp_iter_stmt
+          { sp with sp_init = Option.map m sp.sp_init; sp_body = m sp.sp_body }
+  in
+  f rebuilt
+
+(* ------------------------------------------------------------------ *)
+(* Collections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let free_vars_expr (e : expr) : var list =
+  let acc = ref Int_map.empty in
+  iter_expr
+    (function Evar x -> acc := Int_map.add x.vid x !acc | _ -> ())
+    e;
+  Int_map.fold (fun _ x l -> x :: l) !acc []
+
+let collect_buffers_stmt (s : stmt) : buffer list =
+  let acc = ref Int_map.empty in
+  let add (b : buffer) = acc := Int_map.add b.buf_id b !acc in
+  let on_expr = function
+    | Load (b, _) -> add b
+    | Bsearch b -> add b.bs_buf
+    | _ -> ()
+  in
+  iter_stmt ~enter_expr:on_expr
+    (function
+      | Store (b, _, _) -> add b
+      | Alloc (b, _) -> add b
+      | Mma_sync m ->
+          add m.mma_a.op_buf; add m.mma_b.op_buf; add m.mma_c.op_buf
+      | _ -> ())
+    s;
+  Int_map.fold (fun _ b l -> b :: l) !acc []
+
+let stmt_contains_sparse_constructs (s : stmt) : bool =
+  let found = ref false in
+  let on_expr = function
+    | Load (b, _) when is_sparse_buffer b -> found := true
+    | _ -> ()
+  in
+  iter_stmt ~enter_expr:on_expr
+    (function
+      | Sp_iter_stmt _ -> found := true
+      | Store (b, _, _) when is_sparse_buffer b -> found := true
+      | _ -> ())
+    s;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Simplification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec simplify (e : expr) : expr =
+  let open Builder in
+  match e with
+  | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+  | Load (b, idx) -> Load (b, List.map simplify idx)
+  | Binop (op, a, b) -> (
+      let a = simplify a and b = simplify b in
+      match op with
+      | Add -> a +: b
+      | Sub -> a -: b
+      | Mul -> a *: b
+      | Div -> a /: b
+      | Floor_div -> a /^ b
+      | Floor_mod -> a %^ b
+      | Min -> min_ a b
+      | Max -> max_ a b
+      | _ -> Binop (op, a, b))
+  | Unop (op, a) -> Unop (op, simplify a)
+  | Select (c, t, f) -> (
+      match simplify c with
+      | Bool_imm true -> simplify t
+      | Bool_imm false -> simplify f
+      | c -> Select (c, simplify t, simplify f))
+  | Cast (dt, a) -> (
+      match simplify a with
+      | Int_imm n when Dtype.is_float dt -> Float_imm (float_of_int n)
+      | a -> Cast (dt, a))
+  | Bsearch b ->
+      Bsearch
+        { b with
+          bs_lo = simplify b.bs_lo;
+          bs_hi = simplify b.bs_hi;
+          bs_v = simplify b.bs_v }
+
+let const_int_opt (e : expr) : int option =
+  match simplify e with Int_imm n -> Some n | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Linear analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Decompose [e] as [coeff * x + rest] where [rest] does not mention [x].
+   Returns None when [e] is not linear in [x] (e.g. x appears inside a load
+   index or a division).  Used by the coalescing model: the stride of an
+   address in the thread/lane variable decides the number of memory
+   transactions per warp. *)
+let rec linear_in (x : var) (e : expr) : (int * expr) option =
+  let mentions e = List.exists (fun (y : var) -> y.vid = x.vid) (free_vars_expr e) in
+  match e with
+  | Evar y when y.vid = x.vid -> Some (1, Int_imm 0)
+  | e when not (mentions e) -> Some (0, e)
+  | Binop (Add, a, b) -> (
+      match (linear_in x a, linear_in x b) with
+      | Some (ca, ra), Some (cb, rb) ->
+          Some (ca + cb, simplify (Binop (Add, ra, rb)))
+      | _ -> None)
+  | Binop (Sub, a, b) -> (
+      match (linear_in x a, linear_in x b) with
+      | Some (ca, ra), Some (cb, rb) ->
+          Some (ca - cb, simplify (Binop (Sub, ra, rb)))
+      | _ -> None)
+  | Binop (Mul, a, b) -> (
+      match (linear_in x a, const_int_opt b, const_int_opt a, linear_in x b) with
+      | Some (ca, ra), Some k, _, _ ->
+          Some (ca * k, simplify (Binop (Mul, ra, Int_imm k)))
+      | _, _, Some k, Some (cb, rb) ->
+          Some (k * cb, simplify (Binop (Mul, Int_imm k, rb)))
+      | _ -> None)
+  | Cast (_, a) -> linear_in x a
+  | _ -> None

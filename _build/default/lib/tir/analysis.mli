@@ -1,0 +1,54 @@
+(** Structural analyses over the IR: substitution, traversal, free variables,
+    buffer collection, simplification and linear (stride) analysis of index
+    expressions.  These underpin the schedule primitives, the lowering
+    passes and the GPU simulator's coalescing model. *)
+
+module Int_map : Map.S with type key = int
+
+(** {1 Substitution} *)
+
+val subst_expr : Ir.expr Int_map.t -> Ir.expr -> Ir.expr
+(** Replace variables (by id) throughout an expression. *)
+
+val subst_stmt : Ir.expr Int_map.t -> Ir.stmt -> Ir.stmt
+val subst_region : Ir.expr Int_map.t -> Ir.region -> Ir.region
+val subst1_expr : Ir.var -> Ir.expr -> Ir.expr -> Ir.expr
+val subst1_stmt : Ir.var -> Ir.expr -> Ir.stmt -> Ir.stmt
+
+(** {1 Traversal} *)
+
+val iter_expr : (Ir.expr -> unit) -> Ir.expr -> unit
+(** Pre-order visit of every sub-expression. *)
+
+val iter_stmt :
+  ?enter_expr:(Ir.expr -> unit) -> (Ir.stmt -> unit) -> Ir.stmt -> unit
+(** Pre-order visit of every sub-statement; [enter_expr] additionally visits
+    each contained expression. *)
+
+val map_stmt : (Ir.stmt -> Ir.stmt) -> Ir.stmt -> Ir.stmt
+(** Rebuild a statement by applying [f] bottom-up to every sub-statement. *)
+
+(** {1 Collections} *)
+
+val free_vars_expr : Ir.expr -> Ir.var list
+val collect_buffers_stmt : Ir.stmt -> Ir.buffer list
+
+val stmt_contains_sparse_constructs : Ir.stmt -> bool
+(** True while the program is still at Stage I/II (sparse iterations or
+    accesses to sparse buffers remain). *)
+
+(** {1 Simplification} *)
+
+val simplify : Ir.expr -> Ir.expr
+(** Recursive constant folding and algebraic identities (x+0, x*1,
+    (x-y)+y, ...). *)
+
+val const_int_opt : Ir.expr -> int option
+(** The value of a constant integer expression, after simplification. *)
+
+(** {1 Linear analysis} *)
+
+val linear_in : Ir.var -> Ir.expr -> (int * Ir.expr) option
+(** Decompose [e] as [coeff * x + rest] with [rest] free of [x]; [None] when
+    [e] is not linear in [x].  The coalescing model uses the coefficient of
+    an address in the lane variable to count memory transactions per warp. *)

@@ -1,0 +1,287 @@
+(* Functional interpreter for Stage III programs.
+
+   Used to establish numerical correctness of compiled kernels against dense
+   references.  All loop kinds (including thread bindings) execute serially;
+   the performance model lives in the gpusim library, which walks the same IR
+   with an architectural cost model instead.
+
+   Sparse constructs ([Sp_iter_stmt], accesses to buffers with axes) are
+   rejected: programs must be lowered through sparse iteration lowering and
+   sparse buffer lowering before execution. *)
+
+open Ir
+
+type value =
+  | Vi of int
+  | Vf of float
+  | Vb of bool
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let to_i = function
+  | Vi n -> n
+  | Vf x -> int_of_float x
+  | Vb b -> if b then 1 else 0
+
+let to_f = function
+  | Vf x -> x
+  | Vi n -> float_of_int n
+  | Vb b -> if b then 1.0 else 0.0
+
+let to_b = function
+  | Vb b -> b
+  | Vi n -> n <> 0
+  | Vf x -> x <> 0.0
+
+type env = {
+  vars : (int, value) Hashtbl.t;        (* var vid -> value *)
+  bufs : (int, Tensor.t) Hashtbl.t;     (* buffer id -> storage *)
+}
+
+let make_env () = { vars = Hashtbl.create 64; bufs = Hashtbl.create 16 }
+
+let bind_buffer (env : env) (b : buffer) (t : Tensor.t) : unit =
+  Hashtbl.replace env.bufs b.buf_id t
+
+let lookup_buffer (env : env) (b : buffer) : Tensor.t =
+  match Hashtbl.find_opt env.bufs b.buf_id with
+  | Some t -> t
+  | None -> err "unbound buffer %s" b.buf_name
+
+let guard_flat (b : buffer) =
+  if is_sparse_buffer b then
+    err "buffer %s is sparse: run sparse buffer lowering before evaluation"
+      b.buf_name
+
+let rec eval_expr (env : env) (e : expr) : value =
+  match e with
+  | Int_imm n -> Vi n
+  | Float_imm x -> Vf x
+  | Bool_imm b -> Vb b
+  | Evar x -> (
+      match Hashtbl.find_opt env.vars x.vid with
+      | Some value -> value
+      | None -> err "unbound variable %s" x.vname)
+  | Load (b, idx) ->
+      guard_flat b;
+      let t = lookup_buffer env b in
+      (* Out-of-range reads yield 0.  Guard conditions introduced by split are
+         legally hoisted below data-dependent loop extents (reorder moves
+         them innermost), so extent computations may read one element past a
+         buffer; real GPU kernels exhibit the same pattern with the guard
+         preventing any effect of the junk value.  Stores remain strict. *)
+      (match flat_offset_opt env t idx with
+      | None ->
+          if Dtype.is_float b.buf_dtype then Vf 0.0
+          else if b.buf_dtype = Dtype.Bool then Vb false
+          else Vi 0
+      | Some flat ->
+          if Dtype.is_float b.buf_dtype then Vf (Tensor.get_f t flat)
+          else if b.buf_dtype = Dtype.Bool then Vb (Tensor.get_i t flat <> 0)
+          else Vi (Tensor.get_i t flat))
+  | Binop (op, a, b) -> eval_binop env op a b
+  | Unop (op, a) -> (
+      let va = eval_expr env a in
+      match op with
+      | Neg -> ( match va with Vi n -> Vi (-n) | v -> Vf (-.to_f v))
+      | Not -> Vb (not (to_b va))
+      | Exp -> Vf (Float.exp (to_f va))
+      | Sqrt -> Vf (Float.sqrt (to_f va))
+      | Log -> Vf (Float.log (to_f va))
+      | Abs -> ( match va with Vi n -> Vi (abs n) | v -> Vf (Float.abs (to_f v)))
+      )
+  | Select (c, t, f) ->
+      if to_b (eval_expr env c) then eval_expr env t else eval_expr env f
+  | Cast (dt, a) -> (
+      let va = eval_expr env a in
+      if Dtype.is_float dt then
+        let x = to_f va in
+        Vf (if dt = Dtype.F16 then Dtype.round_f16 x else x)
+      else if dt = Dtype.Bool then Vb (to_b va)
+      else Vi (to_i va))
+  | Bsearch bs ->
+      let t = lookup_buffer env bs.bs_buf in
+      let lo = to_i (eval_expr env bs.bs_lo)
+      and hi = to_i (eval_expr env bs.bs_hi)
+      and v = to_i (eval_expr env bs.bs_v) in
+      if bs.bs_ub then Vi (upper_bound t ~lo ~hi v)
+      else Vi (binary_search t ~lo ~hi v)
+
+(* Position of [v] in the sorted segment [lo, hi) of [t]; [hi] if absent. *)
+and binary_search (t : Tensor.t) ~lo ~hi (v : int) : int =
+  let rec go lo' hi' =
+    if lo' >= hi' then hi
+    else
+      let mid = (lo' + hi') / 2 in
+      let x = Tensor.get_i t mid in
+      if x = v then mid else if x < v then go (mid + 1) hi' else go lo' mid
+  in
+  go lo hi
+
+(* Rightmost position in [lo, hi) whose element is <= v (requires one to
+   exist, which holds for indptr segments since indptr[0] = 0 <= v). *)
+and upper_bound (t : Tensor.t) ~lo ~hi (v : int) : int =
+  let rec go lo' hi' =
+    (* invariant: t[lo'] <= v; answer in [lo', hi') *)
+    if lo' + 1 >= hi' then lo'
+    else
+      let mid = (lo' + hi') / 2 in
+      if Tensor.get_i t mid <= v then go mid hi' else go lo' mid
+  in
+  go lo hi
+
+and flat_offset (env : env) (t : Tensor.t) (idx : expr list) : int =
+  match idx with
+  | [ e ] when Array.length t.Tensor.shape <> 1 ->
+      (* 1-D access into multi-D storage: already-flattened offset *)
+      to_i (eval_expr env e)
+  | _ ->
+      let ints = Array.of_list (List.map (fun e -> to_i (eval_expr env e)) idx) in
+      Tensor.flat_index t ints
+
+(* Like [flat_offset] but returns None instead of raising on indices outside
+   the buffer's extent. *)
+and flat_offset_opt (env : env) (t : Tensor.t) (idx : expr list) : int option =
+  match idx with
+  | [ e ] when Array.length t.Tensor.shape <> 1 ->
+      let i = to_i (eval_expr env e) in
+      if i < 0 || i >= Tensor.numel t then None else Some i
+  | _ ->
+      let ints = Array.of_list (List.map (fun e -> to_i (eval_expr env e)) idx) in
+      let ok = ref (Array.length ints = Array.length t.Tensor.shape) in
+      Array.iteri
+        (fun d i -> if !ok && (i < 0 || i >= t.Tensor.shape.(d)) then ok := false)
+        ints;
+      if !ok then Some (Tensor.flat_index t ints) else None
+
+and eval_binop env op a b : value =
+  let va = eval_expr env a and vb = eval_expr env b in
+  let arith fi ff =
+    match (va, vb) with
+    | Vi x, Vi y -> Vi (fi x y)
+    | _ -> Vf (ff (to_f va) (to_f vb))
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Div -> (
+      match (va, vb) with
+      | Vi x, Vi y -> if y = 0 then err "division by zero" else Vi (x / y)
+      | _ -> Vf (to_f va /. to_f vb))
+  | Floor_div ->
+      let x = to_i va and y = to_i vb in
+      if y = 0 then err "floor_div by zero"
+      else Vi (if x >= 0 then x / y else -(((-x) + y - 1) / y))
+  | Floor_mod ->
+      let x = to_i va and y = to_i vb in
+      if y = 0 then err "floor_mod by zero"
+      else
+        let r = x mod y in
+        Vi (if r >= 0 then r else r + y)
+  | Min -> arith min min
+  | Max -> arith max max
+  | Eq -> Vb (compare_values va vb = 0)
+  | Ne -> Vb (compare_values va vb <> 0)
+  | Lt -> Vb (compare_values va vb < 0)
+  | Le -> Vb (compare_values va vb <= 0)
+  | Gt -> Vb (compare_values va vb > 0)
+  | Ge -> Vb (compare_values va vb >= 0)
+  | And -> Vb (to_b va && to_b vb)
+  | Or -> Vb (to_b va || to_b vb)
+
+and compare_values va vb =
+  match (va, vb) with
+  | Vi x, Vi y -> compare x y
+  | _ -> compare (to_f va) (to_f vb)
+
+let eval_int env e = to_i (eval_expr env e)
+
+let rec exec_stmt (env : env) (s : stmt) : unit =
+  match s with
+  | Store (b, idx, value) ->
+      guard_flat b;
+      let t = lookup_buffer env b in
+      let flat = flat_offset env t idx in
+      let vv = eval_expr env value in
+      if Dtype.is_float b.buf_dtype then Tensor.set_f t flat (to_f vv)
+      else Tensor.set_i t flat (to_i vv)
+  | Seq ss -> List.iter (exec_stmt env) ss
+  | For { for_var; extent; kind = _; body } ->
+      let n = eval_int env extent in
+      for i = 0 to n - 1 do
+        Hashtbl.replace env.vars for_var.vid (Vi i);
+        exec_stmt env body
+      done;
+      Hashtbl.remove env.vars for_var.vid
+  | If (c, t, f) ->
+      if to_b (eval_expr env c) then exec_stmt env t
+      else Option.iter (exec_stmt env) f
+  | Let_stmt (x, value, body) ->
+      Hashtbl.replace env.vars x.vid (eval_expr env value);
+      exec_stmt env body;
+      Hashtbl.remove env.vars x.vid
+  | Block_stmt blk ->
+      (* Bind block iter vars to their binding expressions; run init when all
+         reduction iters sit at the start of their domain (TensorIR
+         semantics). *)
+      let values =
+        List.map (fun bi -> (bi, eval_expr env bi.bi_bind)) blk.blk_iters
+      in
+      List.iter (fun (bi, value) -> Hashtbl.replace env.vars bi.bi_var.vid value) values;
+      let at_init =
+        List.for_all
+          (fun (bi, value) ->
+            match bi.bi_kind with Reduce -> to_i value = 0 | Spatial -> true)
+          values
+      in
+      if at_init then Option.iter (exec_stmt env) blk.blk_init;
+      exec_stmt env blk.blk_body;
+      List.iter (fun (bi, _) -> Hashtbl.remove env.vars bi.bi_var.vid) values
+  | Alloc (b, body) ->
+      let shape =
+        List.map
+          (fun e ->
+            match Analysis.const_int_opt e with
+            | Some n -> n
+            | None -> eval_int env e)
+          b.buf_shape
+      in
+      bind_buffer env b (Tensor.create b.buf_dtype shape);
+      exec_stmt env body;
+      Hashtbl.remove env.bufs b.buf_id
+  | Eval e -> ignore (eval_expr env e)
+  | Mma_sync m -> exec_mma env m
+  | Sp_iter_stmt sp ->
+      err "sparse iteration %s reached the evaluator: lower it first" sp.sp_name
+
+and exec_mma (env : env) (m : mma) : unit =
+  let base (o : mma_operand) =
+    let t = lookup_buffer env o.op_buf in
+    (t, flat_offset env t o.op_origin, eval_int env o.op_ld)
+  in
+  let ta, ba, lda = base m.mma_a in
+  let tb, bb, ldb = base m.mma_b in
+  let tc, bc, ldc = base m.mma_c in
+  for i = 0 to m.mma_m - 1 do
+    for j = 0 to m.mma_n - 1 do
+      let acc = ref (Tensor.get_f tc (bc + (i * ldc) + j)) in
+      for k = 0 to m.mma_k - 1 do
+        let a = Tensor.get_f ta (ba + (i * lda) + k) in
+        let b = Tensor.get_f tb (bb + (k * ldb) + j) in
+        acc := !acc +. (a *. b)
+      done;
+      Tensor.set_f tc (bc + (i * ldc) + j) !acc
+    done
+  done
+
+(* Run a function given tensors for each parameter buffer, in order. *)
+let run_func (f : func) (args : Tensor.t list) : unit =
+  if List.length args <> List.length f.fn_params then
+    err "run_func %s: expected %d arguments, got %d" f.fn_name
+      (List.length f.fn_params) (List.length args);
+  let env = make_env () in
+  List.iter2 (fun b t -> bind_buffer env b t) f.fn_params args;
+  exec_stmt env f.fn_body

@@ -1,0 +1,216 @@
+(* Core IR shared by all three SparseTIR stages.
+
+   A single AST hosts all three stages of the paper:
+   - Stage I programs use [Sp_iter] statements whose bodies access sparse
+     buffers (buffers with [buf_axes <> None]) in coordinate space.
+   - Stage II programs are loop nests with [Block_stmt] boundaries that access
+     sparse buffers in position space (the result of sparse iteration
+     lowering).
+   - Stage III programs contain no sparse constructs: every buffer is flat and
+     every access is a plain multi-dimensional (usually 1-D) load/store (the
+     result of sparse buffer lowering).
+
+   Passes move programs between stages; schedules are transformations that
+   stay within a stage, exactly as in the paper (S3). *)
+
+type var = {
+  vid : int;
+  vname : string;
+  vdtype : Dtype.t;
+}
+
+type axis_kind =
+  | Dense_fixed
+  | Dense_variable
+  | Sparse_fixed
+  | Sparse_variable
+
+type storage_scope =
+  | Global
+  | Shared
+  | Local
+
+type binop =
+  | Add | Sub | Mul | Div | Floor_div | Floor_mod
+  | Min | Max
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not | Exp | Sqrt | Log | Abs
+
+type iter_type = Spatial | Reduce
+
+type thread_tag =
+  | Block_x | Block_y | Block_z
+  | Thread_x | Thread_y | Thread_z
+
+type for_kind =
+  | Serial
+  | Parallel
+  | Vectorized
+  | Unrolled
+  | Thread_bind of thread_tag
+
+(* Axes are the format-describing data structure of SparseTIR (S3.1): an axis
+   is dense or sparse (are coordinates contiguous?) and fixed or variable (is
+   the per-row count of stored elements a constant?).  Variable axes carry an
+   indptr buffer; sparse axes carry an indices buffer. *)
+type axis = {
+  ax_name : string;
+  ax_kind : axis_kind;
+  ax_parent : axis option;
+  ax_length : expr;           (* maximum coordinate-space length *)
+  ax_nnz : expr option;       (* accumulated stored elements (variable axes) *)
+  ax_nnz_cols : expr option;  (* stored elements per row (sparse-fixed axes) *)
+  ax_indptr : buffer option;
+  ax_indices : buffer option;
+  ax_idtype : Dtype.t;
+}
+
+and buffer = {
+  buf_id : int;
+  buf_name : string;
+  buf_dtype : Dtype.t;
+  buf_shape : expr list;       (* dense shape; [] only for scalars *)
+  buf_axes : axis list option; (* Some: sparse buffer composed of these axes *)
+  buf_scope : storage_scope;
+}
+
+and expr =
+  | Int_imm of int
+  | Float_imm of float
+  | Bool_imm of bool
+  | Evar of var
+  | Load of buffer * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Select of expr * expr * expr
+  | Cast of Dtype.t * expr
+  (* Binary search over the sorted segment [bs_lo, bs_hi) of [bs_buf],
+     emitted by coordinate translation (Eq. 4's "find").  With [bs_ub = false]
+     returns the position of value [bs_v] (bs_hi if absent); with
+     [bs_ub = true] returns the rightmost position whose element is <= bs_v
+     (used to recover the row of a fused non-zero index from indptr). *)
+  | Bsearch of { bs_buf : buffer; bs_lo : expr; bs_hi : expr; bs_v : expr;
+                 bs_ub : bool }
+
+and region = {
+  rg_buf : buffer;
+  rg_bounds : (expr * expr) list; (* (min, extent) per dimension *)
+}
+
+and block_iter = {
+  bi_var : var;
+  bi_dom : expr;       (* iteration domain extent *)
+  bi_kind : iter_type;
+  bi_bind : expr;      (* value bound to the iter var (usually a loop var) *)
+}
+
+(* TensorIR-style block: a unit of computation with explicit iteration
+   variables and read/write regions.  Blocks establish scheduling boundaries:
+   loops may not be reordered across a block. *)
+and block = {
+  blk_name : string;
+  blk_iters : block_iter list;
+  blk_reads : region list;
+  blk_writes : region list;
+  blk_init : stmt option;
+  blk_body : stmt;
+}
+
+(* Tensor-core (MMA) intrinsic operand: a tile of [buffer] whose top-left
+   element is at [op_origin], with [op_ld] elements between consecutive tile
+   rows. *)
+and mma_operand = {
+  op_buf : buffer;
+  op_origin : expr list;
+  op_ld : expr;
+}
+
+and mma = {
+  mma_m : int;
+  mma_n : int;
+  mma_k : int;
+  mma_a : mma_operand;
+  mma_b : mma_operand;
+  mma_c : mma_operand;
+}
+
+(* Stage I sparse iteration (S3.1): iterates the space composed by [sp_axes];
+   the body accesses sparse buffers in coordinate space through [sp_vars]. *)
+and sp_iter = {
+  sp_name : string;
+  sp_axes : axis list;
+  sp_kinds : iter_type list;
+  sp_vars : var list;
+  (* Fusion groups produced by the sparse_fuse stage-I schedule: consecutive
+     axis positions lowered as a single loop over their joint non-zero space.
+     Singleton groups (the default) lower to one loop per axis. *)
+  sp_fused : int list list;
+  sp_init : stmt option;
+  sp_body : stmt;
+}
+
+and stmt =
+  | Store of buffer * expr list * expr
+  | Seq of stmt list
+  | For of { for_var : var; extent : expr; kind : for_kind; body : stmt }
+  | If of expr * stmt * stmt option
+  | Let_stmt of var * expr * stmt
+  | Block_stmt of block
+  | Alloc of buffer * stmt     (* scoped allocation of a shared/local buffer *)
+  | Eval of expr
+  | Mma_sync of mma
+  | Sp_iter_stmt of sp_iter
+
+(* A compiled unit.  [fn_domains] records value-domain hints produced by
+   auxiliary buffer materialization (assume_buffer_domain in the paper),
+   consumed by integer-set reasoning in schedules and by the simulator. *)
+type func = {
+  fn_name : string;
+  fn_params : buffer list;
+  fn_body : stmt;
+  fn_domains : (buffer * expr * expr) list; (* buffer, lo, hi (inclusive) *)
+}
+
+let var_equal (a : var) (b : var) = a.vid = b.vid
+let buffer_equal (a : buffer) (b : buffer) = a.buf_id = b.buf_id
+let axis_equal (a : axis) (b : axis) = String.equal a.ax_name b.ax_name
+
+let is_sparse_buffer (b : buffer) = b.buf_axes <> None
+
+let axis_is_variable (a : axis) =
+  match a.ax_kind with
+  | Dense_variable | Sparse_variable -> true
+  | Dense_fixed | Sparse_fixed -> false
+
+let axis_is_sparse (a : axis) =
+  match a.ax_kind with
+  | Sparse_fixed | Sparse_variable -> true
+  | Dense_fixed | Dense_variable -> false
+
+(* Ancestor chain of an axis from the root down to (and including) the axis
+   itself — the paper's "anc" (Eq. 5). *)
+let rec axis_ancestors (a : axis) : axis list =
+  match a.ax_parent with
+  | None -> [ a ]
+  | Some p -> axis_ancestors p @ [ a ]
+
+let thread_tag_to_string = function
+  | Block_x -> "blockIdx.x"
+  | Block_y -> "blockIdx.y"
+  | Block_z -> "blockIdx.z"
+  | Thread_x -> "threadIdx.x"
+  | Thread_y -> "threadIdx.y"
+  | Thread_z -> "threadIdx.z"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Floor_div -> "//" | Floor_mod -> "%"
+  | Min -> "min" | Max -> "max"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let unop_to_string = function
+  | Neg -> "-" | Not -> "!" | Exp -> "exp" | Sqrt -> "sqrt" | Log -> "log"
+  | Abs -> "abs"

@@ -1,0 +1,110 @@
+(* Runtime storage bound to IR buffers.  Row-major, flat.  Float16 buffers
+   round every stored value through half precision. *)
+
+type data =
+  | F of float array
+  | I of int array
+  | B of bool array
+
+type t = {
+  dtype : Dtype.t;
+  shape : int array;
+  data : data;
+}
+
+let numel (t : t) = Array.fold_left ( * ) 1 t.shape
+
+let create (dtype : Dtype.t) (shape : int list) : t =
+  let shape = Array.of_list shape in
+  let n = Array.fold_left ( * ) 1 shape in
+  let data =
+    if Dtype.is_float dtype then F (Array.make n 0.0)
+    else if dtype = Dtype.Bool then B (Array.make n false)
+    else I (Array.make n 0)
+  in
+  { dtype; shape; data }
+
+let of_float_array ?(dtype = Dtype.F32) (shape : int list) (a : float array) : t
+    =
+  let t = { dtype; shape = Array.of_list shape; data = F a } in
+  if numel t <> Array.length a then invalid_arg "Tensor.of_float_array: shape";
+  t
+
+let of_int_array ?(dtype = Dtype.I32) (shape : int list) (a : int array) : t =
+  let t = { dtype; shape = Array.of_list shape; data = I a } in
+  if numel t <> Array.length a then invalid_arg "Tensor.of_int_array: shape";
+  t
+
+let flat_index (t : t) (idx : int array) : int =
+  let n = Array.length t.shape in
+  if Array.length idx <> n then
+    invalid_arg
+      (Printf.sprintf "Tensor.flat_index: rank mismatch (%d vs %d)"
+         (Array.length idx) n);
+  let off = ref 0 in
+  for d = 0 to n - 1 do
+    let i = idx.(d) in
+    if i < 0 || i >= t.shape.(d) then
+      invalid_arg
+        (Printf.sprintf "Tensor.flat_index: index %d out of bounds [0,%d) in dim %d"
+           i t.shape.(d) d);
+    off := (!off * t.shape.(d)) + i
+  done;
+  !off
+
+let get_f (t : t) (flat : int) : float =
+  match t.data with
+  | F a -> a.(flat)
+  | I a -> float_of_int a.(flat)
+  | B a -> if a.(flat) then 1.0 else 0.0
+
+let get_i (t : t) (flat : int) : int =
+  match t.data with
+  | I a -> a.(flat)
+  | F a -> int_of_float a.(flat)
+  | B a -> if a.(flat) then 1 else 0
+
+let set_f (t : t) (flat : int) (x : float) : unit =
+  match t.data with
+  | F a -> a.(flat) <- (if t.dtype = Dtype.F16 then Dtype.round_f16 x else x)
+  | I a -> a.(flat) <- int_of_float x
+  | B a -> a.(flat) <- (x <> 0.0)
+
+let set_i (t : t) (flat : int) (x : int) : unit =
+  match t.data with
+  | I a -> a.(flat) <- x
+  | F a -> a.(flat) <- float_of_int x
+  | B a -> a.(flat) <- (x <> 0)
+
+let fill_f (t : t) (x : float) : unit =
+  match t.data with
+  | F a -> Array.fill a 0 (Array.length a) x
+  | I a -> Array.fill a 0 (Array.length a) (int_of_float x)
+  | B a -> Array.fill a 0 (Array.length a) (x <> 0.0)
+
+let to_float_array (t : t) : float array =
+  Array.init (numel t) (fun i -> get_f t i)
+
+let to_int_array (t : t) : int array = Array.init (numel t) (fun i -> get_i t i)
+
+let copy (t : t) : t =
+  let data =
+    match t.data with
+    | F a -> F (Array.copy a)
+    | I a -> I (Array.copy a)
+    | B a -> B (Array.copy a)
+  in
+  { t with shape = Array.copy t.shape; data }
+
+(* Maximum |a - b| over all elements; both tensors must have equal numel. *)
+let max_abs_diff (a : t) (b : t) : float =
+  let n = numel a in
+  if numel b <> n then invalid_arg "Tensor.max_abs_diff: size mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = Float.abs (get_f a i -. get_f b i) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let bytes (t : t) : int = numel t * Dtype.size_bytes t.dtype

@@ -1,0 +1,42 @@
+(** Runtime storage bound to IR buffers: flat row-major arrays of floats,
+    ints or booleans.  Float16 buffers round every stored value through half
+    precision ({!Dtype.round_f16}). *)
+
+type data =
+  | F of float array
+  | I of int array
+  | B of bool array
+
+type t = {
+  dtype : Dtype.t;
+  shape : int array;
+  data : data;
+}
+
+val numel : t -> int
+
+val create : Dtype.t -> int list -> t
+(** Zero-initialized tensor. *)
+
+val of_float_array : ?dtype:Dtype.t -> int list -> float array -> t
+val of_int_array : ?dtype:Dtype.t -> int list -> int array -> t
+
+val flat_index : t -> int array -> int
+(** Row-major flat offset; raises [Invalid_argument] when out of bounds. *)
+
+val get_f : t -> int -> float
+(** Read element at a flat offset as a float. *)
+
+val get_i : t -> int -> int
+val set_f : t -> int -> float -> unit
+val set_i : t -> int -> int -> unit
+val fill_f : t -> float -> unit
+val to_float_array : t -> float array
+val to_int_array : t -> int array
+val copy : t -> t
+
+val max_abs_diff : t -> t -> float
+(** Maximum elementwise |a - b|; sizes must match. *)
+
+val bytes : t -> int
+(** Storage size in bytes (used for memory-footprint accounting). *)

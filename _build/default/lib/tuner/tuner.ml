@@ -1,0 +1,121 @@
+(* Performance tuning (S2, "performance-tuning system"): searches the joint
+   space of composable formats (e.g. hyb's column-partition count c) and
+   composable transformations (row grouping, vector width, group sizes) by
+   running each candidate through the GPU cost model and keeping the
+   fastest.  The sparse structure is known at compile time, so the search
+   cost is amortized over the many executions of the tuned kernel — the
+   paper's deployment assumption. *)
+
+type 'a candidate = {
+  label : string;
+  config : 'a;
+  build : unit -> Gpusim.profile;
+}
+
+type 'a result = {
+  best_label : string;
+  best_config : 'a;
+  best : Gpusim.profile;
+  trials : (string * float) list; (* label, time_ms *)
+}
+
+let search (candidates : 'a candidate list) : 'a result =
+  match candidates with
+  | [] -> invalid_arg "Tuner.search: no candidates"
+  | first :: _ ->
+      let evaluated =
+        List.filter_map
+          (fun c ->
+            match c.build () with
+            | p -> Some (c, p)
+            | exception _ -> None)
+          candidates
+      in
+      let evaluated =
+        match evaluated with
+        | [] -> [ (first, first.build ()) ]
+        | l -> l
+      in
+      let best_c, best =
+        List.fold_left
+          (fun ((_, bp) as acc) ((_, p) as cur) ->
+            if p.Gpusim.p_time_ms < bp.Gpusim.p_time_ms then cur else acc)
+          (List.hd evaluated) (List.tl evaluated)
+      in
+      { best_label = best_c.label;
+        best_config = best_c.config;
+        best;
+        trials =
+          List.map (fun (c, p) -> (c.label, p.Gpusim.p_time_ms)) evaluated }
+
+(* Geometric mean, the aggregation used across feature sizes in Figures
+   13-14. *)
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun a x -> a +. log (Float.max 1e-30 x)) 0.0 xs /. n)
+
+(* Search space of the hyb SpMM: column partitions c over {1, 2, 4, ...} with
+   k fixed by the bucketing rule (S4.2.1). *)
+let spmm_hyb_candidates ?(cs = [ 1; 2; 4 ]) (spec : Gpusim.Spec.t)
+    (a : Formats.Csr.t) (x : Formats.Dense.t) ~(feat : int) :
+    int candidate list =
+  List.map
+    (fun c ->
+      { label = Printf.sprintf "hyb(c=%d)" c;
+        config = c;
+        build =
+          (fun () ->
+            let compiled, _ = Kernels.Spmm.sparsetir_hyb ~c a x ~feat in
+            Gpusim.run ~horizontal_fusion:true spec compiled.Kernels.Spmm.fn
+              compiled.Kernels.Spmm.bindings) })
+    cs
+
+(* Search space of the CSR (no-hyb) SparseTIR SpMM: row grouping and vector
+   width. *)
+let spmm_no_hyb_candidates ?(groups = [ 4; 8 ]) ?(vecs = [ 1; 2 ])
+    (spec : Gpusim.Spec.t) (a : Formats.Csr.t) (x : Formats.Dense.t)
+    ~(feat : int) : (int * int) candidate list =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun v ->
+          { label = Printf.sprintf "csr(g=%d,v=%d)" g v;
+            config = (g, v);
+            build =
+              (fun () ->
+                let compiled =
+                  Kernels.Spmm.sparsetir_no_hyb ~row_group:g ~vec:v a x ~feat
+                in
+                Gpusim.run spec compiled.Kernels.Spmm.fn
+                  compiled.Kernels.Spmm.bindings) })
+        vecs)
+    groups
+
+(* Search space of the SparseTIR SDDMM: edges per block, reduction group
+   size, vector width (the parameterization of S4.2.2). *)
+let sddmm_candidates ?(edges = [ 8; 16 ]) ?(groups = [ 4; 8 ])
+    ?(vecs = [ 2; 4 ]) (spec : Gpusim.Spec.t) (a : Formats.Csr.t)
+    (x : Formats.Dense.t) (y : Formats.Dense.t) ~(feat : int) :
+    (int * int * int) candidate list =
+  List.concat_map
+    (fun e ->
+      List.concat_map
+        (fun g ->
+          List.map
+            (fun v ->
+              { label = Printf.sprintf "sddmm(e=%d,g=%d,v=%d)" e g v;
+                config = (e, g, v);
+                build =
+                  (fun () ->
+                    let compiled =
+                      Kernels.Sddmm.two_stage ~edges:e ~group:g ~vec:v a x y
+                        ~feat
+                    in
+                    Gpusim.run spec compiled.Kernels.Sddmm.fn
+                      compiled.Kernels.Sddmm.bindings) })
+            vecs)
+        groups)
+    edges

@@ -1,0 +1,38 @@
+(** Performance tuning (the paper's search over composable formats x
+    composable transformations): candidates run through the GPU cost model;
+    the fastest wins.  Sparse structure is known at compile time, so search
+    cost amortizes over the tuned kernel's many executions. *)
+
+type 'a candidate = {
+  label : string;
+  config : 'a;
+  build : unit -> Gpusim.profile;
+}
+
+type 'a result = {
+  best_label : string;
+  best_config : 'a;
+  best : Gpusim.profile;
+  trials : (string * float) list;
+}
+
+val search : 'a candidate list -> 'a result
+(** Evaluate every candidate (ones that fail to compile are skipped) and
+    keep the fastest. *)
+
+val geomean : float list -> float
+(** The aggregation used across feature sizes in Figures 13-14. *)
+
+val spmm_hyb_candidates :
+  ?cs:int list -> Gpusim.Spec.t -> Formats.Csr.t -> Formats.Dense.t ->
+  feat:int -> int candidate list
+(** hyb(c, k) with c swept and k fixed by the bucketing rule. *)
+
+val spmm_no_hyb_candidates :
+  ?groups:int list -> ?vecs:int list -> Gpusim.Spec.t -> Formats.Csr.t ->
+  Formats.Dense.t -> feat:int -> (int * int) candidate list
+
+val sddmm_candidates :
+  ?edges:int list -> ?groups:int list -> ?vecs:int list -> Gpusim.Spec.t ->
+  Formats.Csr.t -> Formats.Dense.t -> Formats.Dense.t -> feat:int ->
+  (int * int * int) candidate list

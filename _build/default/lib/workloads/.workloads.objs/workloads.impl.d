@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Attention Graphs Hetero Pointcloud Pruning Rng

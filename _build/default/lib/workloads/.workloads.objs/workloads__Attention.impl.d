@@ -1,0 +1,1 @@
+lib/workloads/attention.ml: Array Coo Csr Formats Rng Tir

@@ -1,0 +1,1 @@
+lib/workloads/attention.mli: Csr Formats Tir

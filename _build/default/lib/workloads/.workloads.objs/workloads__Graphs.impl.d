@@ -1,0 +1,1 @@
+lib/workloads/graphs.ml: Array Csr Float Formats Hashtbl Int List Printf Rng Set String

@@ -1,0 +1,1 @@
+lib/workloads/hetero.ml: Array Coo Csr Float Formats Hashtbl List Printf Rng String

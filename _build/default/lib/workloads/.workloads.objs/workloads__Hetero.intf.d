@@ -1,0 +1,1 @@
+lib/workloads/hetero.mli: Csr Formats

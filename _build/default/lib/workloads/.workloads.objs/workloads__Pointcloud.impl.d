@@ -1,0 +1,1 @@
+lib/workloads/pointcloud.ml: Array Coo Csr Formats Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/workloads/pointcloud.mli: Formats Hashtbl

@@ -1,0 +1,1 @@
+lib/workloads/pruning.ml: Array Coo Csr Dense Float Formats Rng

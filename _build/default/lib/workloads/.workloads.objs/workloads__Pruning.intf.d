@@ -1,0 +1,1 @@
+lib/workloads/pruning.mli: Csr Dense Formats

@@ -1,0 +1,51 @@
+(* Sparse attention mask generators (S4.3.1): the band matrix of Longformer
+   and the butterfly (+ low-rank band) pattern of Pixelated Butterfly.  The
+   paper evaluates 4096x4096 masks with 12 heads; the default scale here is
+   reduced uniformly (see DESIGN.md S2), with the same block-sparse
+   structure. *)
+
+open Formats
+
+(* Band matrix: |i - j| < band/2 (plus the diagonal), the Longformer local
+   attention window. *)
+let band ?(value = 1.0) ~(size : int) ~(band : int) () : Csr.t =
+  let half = max 1 (band / 2) in
+  let entries = ref [] in
+  for i = size - 1 downto 0 do
+    let lo = max 0 (i - half) and hi = min (size - 1) (i + half - 1) in
+    for j = hi downto lo do
+      entries := (i, j, value) :: !entries
+    done
+  done;
+  Csr.of_coo
+    { Coo.rows = size; cols = size; entries = Array.of_list !entries }
+
+(* Butterfly sparsity at block granularity: block (bi, bj) is present when
+   bi = bj or bi xor bj is a power of two — the classic butterfly factor
+   support, as used by Pixelated Butterfly. *)
+let butterfly ?(value = 1.0) ~(size : int) ~(block : int) () : Csr.t =
+  let nb = size / block in
+  let is_pow2 x = x > 0 && x land (x - 1) = 0 in
+  let entries = ref [] in
+  for bi = nb - 1 downto 0 do
+    for bj = nb - 1 downto 0 do
+      if bi = bj || is_pow2 (bi lxor bj) then
+        for ii = block - 1 downto 0 do
+          for jj = block - 1 downto 0 do
+            entries := ((bi * block) + ii, (bj * block) + jj, value) :: !entries
+          done
+        done
+    done
+  done;
+  Csr.of_coo
+    { Coo.rows = size; cols = size; entries = Array.of_list !entries }
+
+(* Random dense half-precision operand [heads; rows; cols] for batched
+   attention kernels. *)
+let batched_dense ?(seed = 3) ~(heads : int) ~(rows : int) ~(cols : int) () :
+    Tir.Tensor.t =
+  let g = Rng.create seed in
+  let data =
+    Array.init (heads * rows * cols) (fun _ -> (Rng.float g *. 2.0) -. 1.0)
+  in
+  Tir.Tensor.of_float_array ~dtype:Tir.Dtype.F16 [ heads; rows; cols ] data

@@ -1,0 +1,11 @@
+(** Sparse attention mask generators (S4.3.1): the Longformer band and the
+    Pixelated-Butterfly block pattern, at a uniformly reduced scale. *)
+
+open Formats
+
+val band : ?value:float -> size:int -> band:int -> unit -> Csr.t
+val butterfly : ?value:float -> size:int -> block:int -> unit -> Csr.t
+
+val batched_dense :
+  ?seed:int -> heads:int -> rows:int -> cols:int -> unit -> Tir.Tensor.t
+(** Random half-precision operand [heads; rows; cols]. *)

@@ -1,0 +1,80 @@
+(* Point-cloud workloads for 3D sparse convolution (S4.4.2), standing in for
+   SemanticKITTI: points are generated along piecewise-linear "scan" surfaces
+   in a voxel grid (LiDAR-like sheets of occupancy), then each convolution
+   kernel offset yields one relation — a bipartite map from input voxels to
+   output voxels with at most one non-zero per row (ELL(1)), exactly the
+   RGMS equivalence of Figure 22. *)
+
+open Formats
+
+type t = {
+  voxels : (int * int * int) array;      (* coordinates of occupied voxels *)
+  index_of : (int * int * int, int) Hashtbl.t;
+  grid : int;
+}
+
+(* LiDAR-sheet generator: random planar-ish walks through the grid. *)
+let generate ?(seed = 31) ~(grid : int) ~(target_points : int) () : t =
+  let g = Rng.create seed in
+  let index_of = Hashtbl.create (2 * target_points) in
+  let voxels = ref [] in
+  let count = ref 0 in
+  let add v =
+    if not (Hashtbl.mem index_of v) then begin
+      Hashtbl.replace index_of v !count;
+      voxels := v :: !voxels;
+      incr count
+    end
+  in
+  while !count < target_points do
+    (* start a new sheet *)
+    let x = ref (Rng.int g grid)
+    and y = ref (Rng.int g grid)
+    and z = ref (Rng.int g grid) in
+    let steps = 64 + Rng.int g 192 in
+    for _ = 1 to steps do
+      add (!x, !y, !z);
+      (* move mostly within a plane (LiDAR sheet) *)
+      let d = Rng.int g 10 in
+      if d < 4 then x := min (grid - 1) (max 0 (!x + Rng.int g 3 - 1));
+      if d >= 4 && d < 8 then y := min (grid - 1) (max 0 (!y + Rng.int g 3 - 1));
+      if d >= 8 then z := min (grid - 1) (max 0 (!z + Rng.int g 3 - 1))
+    done
+  done;
+  { voxels = Array.of_list (List.rev !voxels); index_of; grid }
+
+let n_points (t : t) = Array.length t.voxels
+
+(* Relations of a 3x3x3 (kernel_size=3) submanifold sparse convolution: for
+   each offset (dx,dy,dz), relation r maps output voxel i to input voxel j
+   when coord(i) + offset = coord(j).  Each relation is an n x n matrix with
+   at most one non-zero per row — ELL(1). *)
+let conv_relations ?(kernel = 3) (t : t) : Csr.t array =
+  let n = n_points t in
+  let half = kernel / 2 in
+  let offsets = ref [] in
+  for dx = -half to half do
+    for dy = -half to half do
+      for dz = -half to half do
+        offsets := (dx, dy, dz) :: !offsets
+      done
+    done
+  done;
+  List.rev !offsets
+  |> List.map (fun (dx, dy, dz) ->
+         let entries = ref [] in
+         Array.iteri
+           (fun i (x, y, z) ->
+             match Hashtbl.find_opt t.index_of (x + dx, y + dy, z + dz) with
+             | Some j -> entries := (i, j, 1.0) :: !entries
+             | None -> ())
+           t.voxels;
+         Csr.of_coo
+           { Coo.rows = n; cols = n; entries = Array.of_list !entries })
+  |> Array.of_list
+
+(* MinkowskiNet layer channel configurations benchmarked in Figure 23
+   (C_in, C_out). *)
+let minkowski_channels =
+  [ (16, 16); (16, 32); (32, 32); (32, 64); (64, 64); (64, 96); (96, 96);
+    (96, 128); (128, 128); (128, 192); (192, 192); (192, 256) ]

@@ -1,0 +1,17 @@
+(** Point-cloud workloads for 3D sparse convolution (S4.4.2), standing in
+    for SemanticKITTI: LiDAR-like sheets of voxel occupancy; each kernel
+    offset yields one ELL(1) bipartite relation (the RGMS equivalence of
+    Figure 22). *)
+
+type t = {
+  voxels : (int * int * int) array;
+  index_of : (int * int * int, int) Hashtbl.t;
+  grid : int;
+}
+
+val generate : ?seed:int -> grid:int -> target_points:int -> unit -> t
+val n_points : t -> int
+val conv_relations : ?kernel:int -> t -> Formats.Csr.t array
+
+val minkowski_channels : (int * int) list
+(** The (C_in, C_out) pairs benchmarked in Figure 23. *)

@@ -1,0 +1,9 @@
+(* Synthetic workload generators: substitutes for the paper's datasets (see
+   DESIGN.md S2). *)
+
+module Rng = Rng
+module Graphs = Graphs
+module Hetero = Hetero
+module Attention = Attention
+module Pruning = Pruning
+module Pointcloud = Pointcloud

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Builder Csf Csr Dense Dia Dtype Float Formats Gpusim Kernels Printf Sparse_ir Tensor Tir Workloads

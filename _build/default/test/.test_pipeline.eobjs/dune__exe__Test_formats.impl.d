@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Bsr Coo Csr Dbsr Dense Dia Ell Float Formats Hyb List Printf QCheck QCheck_alcotest Sr_bcrs

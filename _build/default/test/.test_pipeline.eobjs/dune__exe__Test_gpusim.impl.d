@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Builder Csr Dense Dtype Float Formats Gpusim Ir Kernels Printf Tensor Tir Workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Array Builder Dtype Eval Formats Gen Hashtbl Printer Printf QCheck QCheck_alcotest Sparse_ir String Tensor Tir Workloads

@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Builder Csr Dense Dtype Eval Formats Gpusim Hyb Kernels List Printer Printf Schedule Sparse_ir String Tensor Tir

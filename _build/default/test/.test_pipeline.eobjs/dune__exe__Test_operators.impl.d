@@ -1,0 +1,1 @@
+test/test_operators.ml: Alcotest Array Bsr Coo Csr Dbsr Dense Float Formats Gpusim Kernels List Nn Printf Sr_bcrs Tir Tuner Workloads

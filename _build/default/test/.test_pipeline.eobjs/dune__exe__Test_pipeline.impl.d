@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Astring Builder Dtype Eval Ir List Printer Printf Schedule Sparse_ir String Tensor Tir

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Csr Dense Dtype Float Formats Gpusim Ir Kernels List Printf Schedule Sparse_ir Tensor Tir

@@ -1,0 +1,1 @@
+test/test_schedule_fuzz.ml: Alcotest Array Coo Csr Dense Float Formats Gpusim Ir Kernels List QCheck QCheck_alcotest Schedule Sparse_ir Tensor Tir Workloads

@@ -1,0 +1,1 @@
+test/test_spmm_kernels.ml: Alcotest Array Csr Dense Float Formats Gpusim Kernels List Printf Spmm Tir Workloads

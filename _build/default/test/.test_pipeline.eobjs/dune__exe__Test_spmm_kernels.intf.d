@@ -1,0 +1,1 @@
+test/test_spmm_kernels.mli:

@@ -1,0 +1,1 @@
+test/test_steps.ml: Alcotest Array Coo Csr Dense Dtype Ell Float Formats Gpusim Hyb Kernels List Nn Printf Tensor Tir Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bsr Csr Dbsr Dense Float Formats List Printf Workloads

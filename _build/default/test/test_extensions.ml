@@ -1,0 +1,148 @@
+(* Extension features beyond the headline evaluation: CSF / MTTKRP (3-level
+   axis chains), FusedMM (fused SDDMM+SpMM), and the DIA format through the
+   compiled pipeline. *)
+
+open Tir
+open Formats
+
+let max_err (expected : float array) (got : float array) : float =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    expected;
+  !worst
+
+(* ---------------- CSF round trip ---------------- *)
+
+let test_csf_roundtrip () =
+  let t = Csf.random ~dim_i:10 ~dim_j:12 ~dim_k:8 ~nnz:60 () in
+  (* every entry appears exactly once with i-major ordering *)
+  let count = ref 0 in
+  let last = ref (-1, -1, -1) in
+  Csf.iter_entries t (fun i j k _ ->
+      incr count;
+      Alcotest.(check bool) "ordering" true ((i, j, k) > !last);
+      last := (i, j, k));
+  Alcotest.(check int) "entry count" (Csf.nnz t) !count
+
+(* ---------------- MTTKRP through the pipeline ---------------- *)
+
+let test_mttkrp () =
+  let t = Csf.random ~dim_i:12 ~dim_j:10 ~dim_k:9 ~nnz:80 () in
+  let rank = 8 in
+  let b = Dense.random ~seed:3 t.Csf.dim_j rank in
+  let c = Dense.random ~seed:4 t.Csf.dim_k rank in
+  let compiled = Kernels.Sptensor.mttkrp t b c in
+  Gpusim.execute compiled.Kernels.Sptensor.fn compiled.Kernels.Sptensor.bindings;
+  let reference = Csf.mttkrp t b c in
+  let err =
+    max_err reference.Dense.data
+      (Tensor.to_float_array compiled.Kernels.Sptensor.out)
+  in
+  Alcotest.(check bool) (Printf.sprintf "mttkrp (err %.2e)" err) true
+    (err < 1e-5);
+  (* the deep chain must flatten to positions: T flat access is 1-D *)
+  let p =
+    Gpusim.run Gpusim.Spec.v100 compiled.Kernels.Sptensor.fn
+      compiled.Kernels.Sptensor.bindings
+  in
+  Alcotest.(check bool) "profiles" true (p.Gpusim.p_time_ms > 0.0)
+
+(* ---------------- FusedMM ---------------- *)
+
+let test_fusedmm_fused_vs_unfused () =
+  let a =
+    Workloads.Graphs.generate ~seed:8
+      { Workloads.Graphs.g_name = "f"; g_nodes = 200; g_edges = 1600;
+        g_shape = Workloads.Graphs.Power_law 1.9 }
+  in
+  let a = { a with Csr.data = Array.map (fun _ -> 1.0) a.Csr.data } in
+  let feat = 16 and out_feat = 32 in
+  let x = Dense.random ~seed:1 a.Csr.rows feat in
+  let z = Dense.random ~seed:2 a.Csr.cols feat in
+  let v = Dense.random ~seed:3 a.Csr.cols out_feat in
+  let reference = Kernels.Sptensor.fusedmm_reference a x z v in
+  (* fused kernel *)
+  let fused = Kernels.Sptensor.fusedmm a x z v in
+  Gpusim.execute fused.Kernels.Sptensor.fn fused.Kernels.Sptensor.bindings;
+  let err =
+    max_err reference.Dense.data (Tensor.to_float_array fused.Kernels.Sptensor.out)
+  in
+  Alcotest.(check bool) (Printf.sprintf "fused (err %.2e)" err) true (err < 1e-4);
+  (* unfused two-kernel pipeline *)
+  let steps, y = Kernels.Sptensor.unfused a x z v in
+  Gpusim.execute_many steps;
+  let err = max_err reference.Dense.data (Tensor.to_float_array y) in
+  Alcotest.(check bool) (Printf.sprintf "unfused (err %.2e)" err) true
+    (err < 1e-4);
+  (* the fused kernel must use less memory (no materialized edge buffer) *)
+  let p_fused =
+    Gpusim.run Gpusim.Spec.v100 fused.Kernels.Sptensor.fn
+      fused.Kernels.Sptensor.bindings
+  in
+  let p_unfused = Gpusim.run_many Gpusim.Spec.v100 steps in
+  Alcotest.(check bool) "fused uses less memory" true
+    (p_fused.Gpusim.p_memory_bytes < p_unfused.Gpusim.p_memory_bytes);
+  Alcotest.(check bool) "fused launches fewer kernels" true
+    (p_fused.Gpusim.p_launches < p_unfused.Gpusim.p_launches)
+
+(* ---------------- DIA through the pipeline ---------------- *)
+
+(* DIA SpMV via affine index expressions: y[i] += D[s, i] * x[i + off[s]],
+   exercising arbitrary index arithmetic in stage I bodies. *)
+let test_dia_spmv () =
+  let open Builder in
+  let band = Workloads.Attention.band ~size:32 ~band:8 () in
+  let dia = Dia.of_csr band in
+  let nd = Dia.n_diags dia in
+  let n = dia.Dia.rows in
+  let off_buf = buffer ~dtype:Dtype.I32 "OFF" [ int nd ] in
+  let d_buf = buffer "D" [ int nd; int n ] in
+  let x_buf = buffer "Xv" [ int n ] in
+  let y_buf = buffer "Yv" [ int n ] in
+  let s_ax = dense_fixed "S" ~length:(int nd) in
+  let i_ax = dense_fixed "I" ~length:(int n) in
+  let body =
+    sp_iter ~name:"dia_spmv" ~axes:[ i_ax; s_ax ] ~kinds:"SR"
+      ~init:(fun vs ->
+        match vs with [ i; _ ] -> store y_buf [ i ] (float 0.0) | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; s ] ->
+            let j = i +: load off_buf [ s ] in
+            store y_buf [ i ]
+              (load y_buf [ i ]
+              +: select
+                   ((j >=: int 0) &&: (j <: int n))
+                   (load d_buf [ s; i ] *: load x_buf [ j ])
+                   (float 0.0))
+        | _ -> assert false)
+  in
+  let fn = Sparse_ir.compile (func "dia_spmv" [ d_buf; x_buf; y_buf; off_buf ] body) in
+  let x = Array.init n (fun i -> float_of_int (i + 1) /. 7.0) in
+  let y_t = Tensor.create Dtype.F32 [ n ] in
+  Gpusim.execute fn
+    [ ("D", Tensor.of_float_array [ nd; n ] (Array.copy dia.Dia.data));
+      ("Xv", Tensor.of_float_array [ n ] (Array.copy x));
+      ("Yv", y_t);
+      ("OFF", Tensor.of_int_array [ nd ] (Array.copy dia.Dia.offsets)) ]
+  (* reference through the dense matrix *);
+  let d = Csr.to_dense band in
+  for i = 0 to n - 1 do
+    let expect = ref 0.0 in
+    for j = 0 to n - 1 do
+      expect := !expect +. (Dense.get d i j *. x.(j))
+    done;
+    Alcotest.(check (float 1e-5)) (Printf.sprintf "y[%d]" i) !expect
+      (Tensor.get_f y_t i)
+  done
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "csf",
+        [ Alcotest.test_case "roundtrip" `Quick test_csf_roundtrip;
+          Alcotest.test_case "mttkrp" `Quick test_mttkrp ] );
+      ( "fusedmm",
+        [ Alcotest.test_case "fused vs unfused" `Quick
+            test_fusedmm_fused_vs_unfused ] );
+      ("dia", [ Alcotest.test_case "spmv" `Quick test_dia_spmv ]) ]

@@ -1,0 +1,149 @@
+(* Format storage and conversion tests: exact round trips through every
+   format, plus QCheck properties over random sparse matrices. *)
+
+open Formats
+
+(* random sparse matrix generator for qcheck *)
+let sparse_gen =
+  QCheck.Gen.(
+    let* rows = int_range 1 40 in
+    let* cols = int_range 1 40 in
+    let* nnz = int_range 0 (rows * cols / 2) in
+    let* entries =
+      list_repeat nnz
+        (triple (int_range 0 (rows - 1)) (int_range 0 (cols - 1))
+           (map (fun x -> float_of_int x /. 4.0) (int_range 1 32)))
+    in
+    return (rows, cols, entries))
+
+let sparse_arb =
+  QCheck.make ~print:(fun (r, c, es) ->
+      Printf.sprintf "%dx%d nnz=%d" r c (List.length es))
+    sparse_gen
+
+let csr_of (rows, cols, entries) = Csr.of_coo (Coo.of_entries ~rows ~cols entries)
+
+let prop_roundtrip name convert =
+  QCheck.Test.make ~count:200 ~name sparse_arb (fun input ->
+      let c = csr_of input in
+      let d = Csr.to_dense c in
+      Dense.max_abs_diff d (convert c) < 1e-9)
+
+let qcheck_tests =
+  [ prop_roundtrip "csr->coo->dense" (fun c -> Coo.to_dense (Csr.to_coo c));
+    prop_roundtrip "csr->ell->dense" (fun c ->
+        if c.Csr.rows = 0 then Csr.to_dense c
+        else Ell.to_dense (Ell.of_csr c) ~orig_rows:c.Csr.rows);
+    prop_roundtrip "csr->bsr4->dense" (fun c -> Bsr.to_dense (Bsr.of_csr ~block:4 c));
+    prop_roundtrip "csr->dbsr4->dense" (fun c ->
+        Dbsr.to_dense (Dbsr.of_csr ~block:4 c));
+    prop_roundtrip "csr->srbcrs->dense" (fun c ->
+        Sr_bcrs.to_dense (Sr_bcrs.of_csr ~tile:4 ~group:3 c));
+    prop_roundtrip "csr->dia->dense" (fun c -> Dia.to_dense (Dia.of_csr c));
+    prop_roundtrip "csr->hyb->dense" (fun c ->
+        Hyb.to_dense (Hyb.of_csr ~c:2 ~k:3 c));
+    prop_roundtrip "csr->transpose^2" (fun c ->
+        Csr.to_dense (Csr.transpose (Csr.transpose c)));
+    QCheck.Test.make ~count:200 ~name:"csr rows sorted" sparse_arb
+      (fun input ->
+        let c = csr_of input in
+        let ok = ref true in
+        for i = 0 to c.Csr.rows - 1 do
+          for p = c.Csr.indptr.(i) to c.Csr.indptr.(i + 1) - 2 do
+            if c.Csr.indices.(p) >= c.Csr.indices.(p + 1) then ok := false
+          done
+        done;
+        !ok);
+    QCheck.Test.make ~count:100 ~name:"spmm matches dense matmul" sparse_arb
+      (fun input ->
+        let c = csr_of input in
+        let x = Dense.random ~seed:7 c.Csr.cols 5 in
+        let via_sparse = Csr.spmm c x in
+        let via_dense = Dense.matmul (Csr.to_dense c) x in
+        Dense.max_abs_diff via_sparse via_dense < 1e-6);
+    QCheck.Test.make ~count:100 ~name:"sddmm matches dense" sparse_arb
+      (fun input ->
+        let c = csr_of input in
+        let x = Dense.random ~seed:8 c.Csr.rows 4 in
+        let y = Dense.random ~seed:9 4 c.Csr.cols in
+        let out = Csr.sddmm c x y in
+        let xy = Dense.matmul x y in
+        let ok = ref true in
+        for i = 0 to c.Csr.rows - 1 do
+          for p = c.Csr.indptr.(i) to c.Csr.indptr.(i + 1) - 1 do
+            let j = c.Csr.indices.(p) in
+            let expect = c.Csr.data.(p) *. Dense.get xy i j in
+            if Float.abs (out.(p) -. expect) > 1e-6 then ok := false
+          done
+        done;
+        !ok);
+    QCheck.Test.make ~count:100 ~name:"hyb partitions non-zeros exactly"
+      sparse_arb (fun input ->
+        let c = csr_of input in
+        let h = Hyb.of_csr ~c:3 ~k:2 c in
+        (* every original non-zero appears in exactly one bucket slot *)
+        let stored =
+          List.fold_left
+            (fun acc b ->
+              let e = b.Hyb.bk_ell in
+              let cnt = ref 0 in
+              Array.iter (fun v -> if v <> 0.0 then incr cnt) e.Ell.data;
+              acc + !cnt)
+            0 h.Hyb.buckets
+        in
+        stored = Csr.nnz c) ]
+
+(* deterministic unit tests *)
+let test_bsr_padding () =
+  let d = Dense.init 8 8 (fun i j -> if i = 0 && j = 0 then 1.0 else 0.0) in
+  let b = Bsr.of_csr ~block:4 (Csr.of_dense d) in
+  Alcotest.(check int) "one block" 1 (Bsr.nnzb b);
+  Alcotest.(check int) "15 padded zeros" 15 b.Bsr.padded
+
+let test_hyb_bucket_widths () =
+  (* row lengths 1, 2, 3, 5 -> buckets of width 1, 2, 4, 4+1 (split) *)
+  let entries = ref [] in
+  let lens = [| 1; 2; 3; 5 |] in
+  Array.iteri
+    (fun i l ->
+      for j = 0 to l - 1 do
+        entries := (i, j, 1.0) :: !entries
+      done)
+    lens;
+  let c = Csr.of_coo (Coo.of_entries ~rows:4 ~cols:8 !entries) in
+  let h = Hyb.of_csr ~c:1 ~k:2 c in
+  let widths =
+    List.map (fun b -> b.Hyb.bk_width) h.Hyb.buckets |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "bucket widths" [ 1; 2; 4 ] widths;
+  Alcotest.(check bool) "padding counted" true (h.Hyb.padded > 0)
+
+let test_default_k () =
+  let d = Dense.init 4 16 (fun _ _ -> 1.0) in
+  let c = Csr.of_dense d in
+  (* avg degree 16 -> k = 4 *)
+  Alcotest.(check int) "k = ceil(log2(nnz/n))" 4 (Hyb.default_k c)
+
+let test_sr_bcrs_group_padding () =
+  let d = Dense.init 4 5 (fun i j -> if i = 0 && j < 3 then 1.0 else 0.0) in
+  let c = Csr.of_dense d in
+  let s = Sr_bcrs.of_csr ~tile:4 ~group:2 c in
+  (* 3 non-zero tiles -> 2 groups (padded to 4 tiles) *)
+  Alcotest.(check int) "groups" 2 (Sr_bcrs.n_groups s);
+  Alcotest.(check int) "tiles" 4 (Sr_bcrs.n_tiles s)
+
+let test_dense_random_deterministic () =
+  let a = Dense.random ~seed:3 5 7 and b = Dense.random ~seed:3 5 7 in
+  Alcotest.(check (float 0.0)) "same seed same data" 0.0 (Dense.max_abs_diff a b)
+
+let () =
+  Alcotest.run "formats"
+    [ ( "unit",
+        [ Alcotest.test_case "bsr padding" `Quick test_bsr_padding;
+          Alcotest.test_case "hyb buckets" `Quick test_hyb_bucket_widths;
+          Alcotest.test_case "default k" `Quick test_default_k;
+          Alcotest.test_case "sr-bcrs padding" `Quick test_sr_bcrs_group_padding;
+          Alcotest.test_case "deterministic rng" `Quick
+            test_dense_random_deterministic ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests)
+    ]

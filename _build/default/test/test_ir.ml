@@ -1,0 +1,193 @@
+(* IR-level unit and property tests: expression simplification, linear
+   analysis, the printer, the evaluator's corner semantics, and a property
+   establishing that Eq. 6-8 flattening is a bijection from positions to
+   storage slots. *)
+
+open Tir
+open Tir.Ir
+
+(* ---------------- simplification ---------------- *)
+
+let test_simplify_identities () =
+  let open Builder in
+  let x = var "x" in
+  let check name e expect =
+    Alcotest.(check string) name expect (Printer.expr_to_string (Analysis.simplify e))
+  in
+  check "x + 0" (Binop (Add, v x, int 0)) "x";
+  check "x * 1" (Binop (Mul, v x, int 1)) "x";
+  check "x * 0" (Binop (Mul, v x, int 0)) "0";
+  check "fold" (Binop (Add, int 2, Binop (Mul, int 3, int 4))) "14";
+  check "(x - y) + y" (Binop (Add, Binop (Sub, v x, int 7), int 7)) "x";
+  check "x // 1" (Binop (Floor_div, v x, int 1)) "x";
+  check "x % 1" (Binop (Floor_mod, v x, int 1)) "0";
+  check "nested add fold" (Binop (Add, Binop (Add, v x, int 2), int 3)) "(x + 5)"
+
+let test_floor_semantics () =
+  let open Builder in
+  let c e = match Analysis.const_int_opt e with Some n -> n | None -> -999 in
+  Alcotest.(check int) "-7 // 2" (-4) (c (Binop (Floor_div, int (-7), int 2)));
+  Alcotest.(check int) "-7 % 2" 1 (c (Binop (Floor_mod, int (-7), int 2)));
+  Alcotest.(check int) "7 // 2" 3 (c (Binop (Floor_div, int 7, int 2)));
+  ignore (int 0)
+
+(* ---------------- linear analysis ---------------- *)
+
+let test_linear_in () =
+  let open Builder in
+  let x = var "x" and y = var "y" in
+  let lin e =
+    match Analysis.linear_in x e with
+    | Some (c, _) -> Some c
+    | None -> None
+  in
+  Alcotest.(check (option int)) "x" (Some 1) (lin (v x));
+  Alcotest.(check (option int)) "3x + y" (Some 3)
+    (lin (Binop (Add, Binop (Mul, int 3, v x), v y)));
+  Alcotest.(check (option int)) "y - 2x" (Some (-2))
+    (lin (Binop (Sub, v y, Binop (Mul, v x, int 2))));
+  Alcotest.(check (option int)) "const wrt x" (Some 0) (lin (v y));
+  Alcotest.(check (option int)) "x*x nonlinear" None (lin (Binop (Mul, v x, v x)));
+  (* loads of x-free indices are fine; x inside a load is not linear *)
+  let b = buffer ~dtype:Dtype.I32 "b" [ int 10 ] in
+  Alcotest.(check (option int)) "load of y" (Some 0) (lin (load b [ v y ]));
+  Alcotest.(check (option int)) "load of x" None (lin (load b [ v x ]))
+
+(* ---------------- printer golden ---------------- *)
+
+let test_printer_golden () =
+  let open Builder in
+  let c = buffer "C" [ int 4; int 4 ] in
+  let st =
+    for_ "i" (int 4) (fun i ->
+        for_ ~kind:(Thread_bind Thread_x) "j" (int 4) (fun j ->
+            if_ (i <: int 3) (store c [ i; j ] ((i *: int 4) +: j))))
+  in
+  let expected =
+    String.concat "\n"
+      [ "for i in range(4):";
+        "  for j in thread<threadIdx.x> range(4):";
+        "    if (i < 3):";
+        "      C[i, j] = ((i * 4) + j)" ]
+  in
+  Alcotest.(check string) "golden" expected (Printer.stmt_to_string st)
+
+(* ---------------- evaluator corners ---------------- *)
+
+let test_eval_block_init_semantics () =
+  (* init must run exactly once per spatial point, at the first reduction
+     iteration *)
+  let open Builder in
+  let c = buffer "C" [ int 3 ] in
+  let li = var "i" and lj = var "j" in
+  let vi = var "vi" and vj = var "vj" in
+  let blk =
+    Block_stmt
+      { blk_name = "b";
+        blk_iters =
+          [ { bi_var = vi; bi_dom = int 3; bi_kind = Spatial; bi_bind = v li };
+            { bi_var = vj; bi_dom = int 4; bi_kind = Reduce; bi_bind = v lj } ];
+        blk_reads = [];
+        blk_writes = [];
+        blk_init = Some (store c [ v vi ] (float 100.0));
+        blk_body = store c [ v vi ] (load c [ v vi ] +: float 1.0) }
+  in
+  let body =
+    For { for_var = li; extent = int 3; kind = Serial;
+          body = For { for_var = lj; extent = int 4; kind = Serial; body = blk } }
+  in
+  let t = Tensor.create Dtype.F32 [ 3 ] in
+  Eval.run_func (func "f" [ c ] body) [ t ];
+  for i = 0 to 2 do
+    (* 100 (init) + 4 increments *)
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "c[%d]" i) 104.0 (Tensor.get_f t i)
+  done
+
+let test_eval_oob_read_is_zero () =
+  let open Builder in
+  let b = buffer "B" [ int 4 ] in
+  let c = buffer "C" [ int 1 ] in
+  let st = store c [ int 0 ] (load b [ int 99 ] +: float 5.0) in
+  let bt = Tensor.of_float_array [ 4 ] [| 1.; 2.; 3.; 4. |] in
+  let ct = Tensor.create Dtype.F32 [ 1 ] in
+  Eval.run_func (func "f" [ b; c ] st) [ bt; ct ];
+  Alcotest.(check (float 1e-9)) "oob read = 0" 5.0 (Tensor.get_f ct 0)
+
+let test_eval_oob_store_raises () =
+  let open Builder in
+  let c = buffer "C" [ int 2 ] in
+  let st = store c [ int 7 ] (float 1.0) in
+  let ct = Tensor.create Dtype.F32 [ 2 ] in
+  match Eval.run_func (func "f" [ c ] st) [ ct ] with
+  | () -> Alcotest.fail "out-of-bounds store must raise"
+  | exception _ -> ()
+
+let test_bsearch_modes () =
+  let t = Tensor.of_int_array [ 6 ] [| 1; 3; 5; 7; 9; 11 |] in
+  Alcotest.(check int) "exact hit" 2 (Eval.binary_search t ~lo:0 ~hi:6 5);
+  Alcotest.(check int) "exact miss -> hi" 6 (Eval.binary_search t ~lo:0 ~hi:6 4);
+  Alcotest.(check int) "ub inside" 2 (Eval.upper_bound t ~lo:0 ~hi:6 6);
+  Alcotest.(check int) "ub exact" 3 (Eval.upper_bound t ~lo:0 ~hi:6 7);
+  Alcotest.(check int) "ub below lo stays" 0 (Eval.upper_bound t ~lo:0 ~hi:6 0)
+
+(* ---------------- flattening bijection property ---------------- *)
+
+let flat_bijection_prop =
+  QCheck.Test.make ~count:100 ~name:"Eq.6-8 flattening is a bijection"
+    QCheck.(make Gen.(pair (int_range 1 12) (int_range 1 12)))
+    (fun (rows, cols) ->
+      let g = Workloads.Rng.create (rows * 100 + cols) in
+      let entries = ref [] in
+      for _ = 1 to rows * cols / 2 do
+        entries :=
+          (Workloads.Rng.int g rows, Workloads.Rng.int g cols, 1.0) :: !entries
+      done;
+      let c =
+        Formats.Csr.of_coo
+          { Formats.Coo.rows; cols; entries = Array.of_list !entries }
+      in
+      let nz = Formats.Csr.nnz c in
+      if nz = 0 then true
+      else begin
+        let open Builder in
+        let indptr = buffer ~dtype:Dtype.I32 "p" [ int (rows + 1) ] in
+        let indices = buffer ~dtype:Dtype.I32 "x" [ int nz ] in
+        let i_ax = dense_fixed "I" ~length:(int rows) in
+        let j_ax =
+          sparse_variable "J" ~parent:i_ax ~length:(int cols) ~nnz:(int nz)
+            ~indptr ~indices
+        in
+        let env = Eval.make_env () in
+        Eval.bind_buffer env indptr (Formats.Csr.indptr_tensor c);
+        Eval.bind_buffer env indices (Formats.Csr.indices_tensor c);
+        (* every (row, relative position) must land on a distinct slot in
+           [0, nnz) *)
+        let seen = Hashtbl.create nz in
+        let ok = ref true in
+        for i = 0 to rows - 1 do
+          for p = 0 to Formats.Csr.row_len c i - 1 do
+            let flat =
+              Sparse_ir.Offsets.flatten_access [ i_ax; j_ax ] [ int i; int p ]
+            in
+            let slot = Eval.eval_int env flat in
+            if slot < 0 || slot >= nz || Hashtbl.mem seen slot then ok := false;
+            Hashtbl.replace seen slot ()
+          done
+        done;
+        !ok && Hashtbl.length seen = nz
+      end)
+
+let () =
+  Alcotest.run "ir"
+    [ ( "exprs",
+        [ Alcotest.test_case "simplify" `Quick test_simplify_identities;
+          Alcotest.test_case "floor semantics" `Quick test_floor_semantics;
+          Alcotest.test_case "linear_in" `Quick test_linear_in ] );
+      ("printer", [ Alcotest.test_case "golden" `Quick test_printer_golden ]);
+      ( "eval",
+        [ Alcotest.test_case "block init" `Quick test_eval_block_init_semantics;
+          Alcotest.test_case "oob read" `Quick test_eval_oob_read_is_zero;
+          Alcotest.test_case "oob store" `Quick test_eval_oob_store_raises;
+          Alcotest.test_case "bsearch modes" `Quick test_bsearch_modes ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false flat_bijection_prop ] ) ]

@@ -1,0 +1,213 @@
+(* Unit tests of the two lowering passes: Eq. 6-8 offset arithmetic, slow-path
+   coordinate translation (binary searches), absent-coordinate semantics,
+   auxiliary buffer materialization, Stage I schedules and format
+   decomposition with generated copies (Figure 5). *)
+
+open Tir
+open Tir.Ir
+open Formats
+
+(* ---------------- Eq. 6-8: flat offsets ---------------- *)
+
+let const_expr e =
+  match Tir.Analysis.const_int_opt e with
+  | Some n -> n
+  | None -> Alcotest.failf "expected constant, got %s" (Printer.expr_to_string e)
+
+let test_storage_sizes () =
+  let open Builder in
+  let indptr = buffer ~dtype:Dtype.I32 "p" [ int 5 ] in
+  let indices = buffer ~dtype:Dtype.I32 "x" [ int 9 ] in
+  let i = dense_fixed "I" ~length:(int 4) in
+  let j =
+    sparse_variable "J" ~parent:i ~length:(int 7) ~nnz:(int 9) ~indptr ~indices
+  in
+  (* CSR: size = nnz *)
+  Alcotest.(check int) "csr size" 9
+    (const_expr (Sparse_ir.Offsets.storage_size [ i; j ]));
+  (* BSR: nnz_blocks * bs * bs *)
+  let ii = dense_fixed "II" ~length:(int 3) in
+  let ji = dense_fixed "JI" ~length:(int 3) in
+  Alcotest.(check int) "bsr size" (9 * 9)
+    (const_expr (Sparse_ir.Offsets.storage_size [ i; j; ii; ji ]));
+  (* ELL: rows * width *)
+  let e_idx = buffer ~dtype:Dtype.I32 "ei" [ int 8 ] in
+  let j2 = sparse_fixed "J2" ~parent:i ~length:(int 7) ~nnz_cols:(int 2) ~indices:e_idx in
+  Alcotest.(check int) "ell size" 8
+    (const_expr (Sparse_ir.Offsets.storage_size [ i; j2 ]))
+
+let test_flatten_access_bsr () =
+  (* BSR element (io, jo, ii, ji) -> (indptr[io] + jo) * 9 + ii * 3 + ji *)
+  let open Builder in
+  let indptr = buffer ~dtype:Dtype.I32 "p" [ int 5 ] in
+  let indices = buffer ~dtype:Dtype.I32 "x" [ int 9 ] in
+  let io = dense_fixed "IO" ~length:(int 4) in
+  let jo =
+    sparse_variable "JO" ~parent:io ~length:(int 7) ~nnz:(int 9) ~indptr
+      ~indices
+  in
+  let ii = dense_fixed "II" ~length:(int 3) in
+  let ji = dense_fixed "JI" ~length:(int 3) in
+  let flat =
+    Sparse_ir.Offsets.flatten_access [ io; jo; ii; ji ]
+      [ int 2; int 1; int 2; int 1 ]
+  in
+  (* evaluate with indptr = [0;2;3;5;9] *)
+  let env = Eval.make_env () in
+  Eval.bind_buffer env indptr (Tensor.of_int_array [ 5 ] [| 0; 2; 3; 5; 9 |]);
+  let v = Eval.to_i (Eval.eval_expr env flat) in
+  Alcotest.(check int) "bsr flat offset" (((3 + 1) * 9) + (2 * 3) + 1) v
+
+(* ---------------- slow path: binary search translation ---------------- *)
+
+(* Access A[i, j] where j is NOT the iteration variable of A's sparse axis:
+   C[i] = sum_j Abig[i, perm[j]] forces find() emission. *)
+let test_bsearch_translation () =
+  let open Builder in
+  let m = 4 and n = 6 in
+  let d =
+    Dense.init m n (fun i j -> if (i + (2 * j)) mod 3 = 0 then 2.0 +. float_of_int j else 0.0)
+  in
+  let a = Csr.of_dense d in
+  let nz = max 1 (Csr.nnz a) in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "A_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "A_indices" [ int nz ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  (* iterate a dense J axis so every coordinate is probed, including ones
+     absent from A (they must read as 0) *)
+  let jd_ax = dense_fixed "JD" ~length:(int n) in
+  let a_buf = match_sparse_buffer "A" [ i_ax; j_ax ] in
+  let c_buf = buffer "C" [ int m ] in
+  let body =
+    sp_iter ~name:"rowsum" ~axes:[ i_ax; jd_ax ] ~kinds:"SR"
+      ~init:(fun vs ->
+        match vs with [ i; _ ] -> store c_buf [ i ] (float 0.0) | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j ] -> store c_buf [ i ] (load c_buf [ i ] +: load a_buf [ i; j ])
+        | _ -> assert false)
+  in
+  let fn = Sparse_ir.compile (func "rowsum" [ a_buf; c_buf ] body) in
+  (* a Bsearch must appear in the lowered code *)
+  let has_search = ref false in
+  Tir.Analysis.iter_stmt
+    ~enter_expr:(function Bsearch _ -> has_search := true | _ -> ())
+    (fun _ -> ())
+    fn.fn_body;
+  Alcotest.(check bool) "binary search emitted" true !has_search;
+  let c_t = Tensor.create Dtype.F32 [ m ] in
+  Gpusim.execute fn
+    [ ("A", Csr.data_tensor a); ("A_indptr", Csr.indptr_tensor a);
+      ("A_indices", Csr.indices_tensor a); ("C", c_t) ];
+  for i = 0 to m - 1 do
+    let expect = ref 0.0 in
+    for j = 0 to n - 1 do
+      expect := !expect +. Dense.get d i j
+    done;
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "row %d" i) !expect
+      (Tensor.get_f c_t i)
+  done
+
+(* ---------------- aux materialization (Figure 7) ---------------- *)
+
+let test_aux_materialization () =
+  let a = Csr.of_dense (Dense.init 3 4 (fun i j -> if i = j then 1.0 else 0.0)) in
+  let fn = Kernels.Spmm.stage1 a ~feat:2 in
+  Alcotest.(check int) "stage I params" 3 (List.length fn.fn_params);
+  let fn2 = Sparse_ir.lower_iterations fn in
+  let names = List.map (fun (b : buffer) -> b.buf_name) fn2.fn_params in
+  Alcotest.(check bool) "indptr materialized" true (List.mem "A_indptr" names);
+  Alcotest.(check bool) "indices materialized" true (List.mem "A_indices" names);
+  Alcotest.(check bool) "domains recorded" true (List.length fn2.fn_domains > 0)
+
+(* ---------------- stage I schedules ---------------- *)
+
+let test_sparse_reorder_roundtrip () =
+  let a = Csr.of_dense (Dense.init 4 4 (fun i j -> if i <= j then 1.0 else 0.0)) in
+  let fn = Kernels.Spmm.stage1 a ~feat:4 in
+  (* move K before J (legal: K is dense root) and check numerics *)
+  let fn = Sparse_ir.sparse_reorder fn ~iter:"spmm" ~order:[ "I"; "K"; "J" ] in
+  let fn = Sparse_ir.compile fn in
+  let x = Dense.random ~seed:1 4 4 in
+  let bindings, out = Kernels.Spmm.base_bindings a x ~feat:4 in
+  Gpusim.execute fn bindings;
+  let reference = Csr.spmm a x in
+  Alcotest.(check bool) "reorder result" true
+    (Dense.max_abs_diff reference
+       (Dense.of_array 4 4 (Tensor.to_float_array out))
+    < 1e-6)
+
+let test_sparse_fuse_emits_single_loop () =
+  let a = Csr.of_dense (Dense.init 4 5 (fun i j -> if (i + j) mod 2 = 0 then 1.0 else 0.0)) in
+  let fn = Kernels.Sddmm.stage1 a ~feat:4 in
+  let fn = Sparse_ir.sparse_fuse fn ~iter:"sddmm" ~axes:[ "I"; "J" ] in
+  let fn = Sparse_ir.lower_iterations fn in
+  let sched = Schedule.create fn in
+  let names = Schedule.loop_names sched in
+  Alcotest.(check bool) "fused loop ij exists" true (List.mem "ij" names);
+  Alcotest.(check bool) "separate i loop gone" false (List.mem "i" names)
+
+(* ---------------- format decomposition with copies ---------------- *)
+
+let test_decompose_with_copies () =
+  (* the generated copy iterations must fill the bucket buffers so that the
+     decomposed computation matches the original, end to end *)
+  let a =
+    Csr.of_dense
+      (Dense.init 6 8 (fun i j -> if (i * j) mod 4 = 1 || j = i then float_of_int (i + j + 1) else 0.0))
+  in
+  let feat = 4 in
+  let x = Dense.random ~seed:9 a.Csr.cols feat in
+  let h = Hyb.of_csr ~c:2 ~k:1 a in
+  let fn = Kernels.Spmm.stage1 a ~feat in
+  let rules_binds = List.mapi (fun i b -> Kernels.Spmm.bucket_rule i b) h.Hyb.buckets in
+  let rules = List.map fst rules_binds in
+  let fn, new_bufs =
+    Sparse_ir.decompose_format ~emit_copies:true fn ~iter:"spmm" rules
+  in
+  let fn = Sparse_ir.compile fn in
+  (* bind: bucket data tensors START EMPTY; the copy iterations must fill
+     them *)
+  let extra =
+    List.concat_map
+      (fun (_, binds) ->
+        List.map
+          (fun (name, t) ->
+            if String.length name >= 2 && String.sub name 0 2 = "A_" then
+              (name, Tensor.create Dtype.F32 [ Tensor.numel t ] |> fun z ->
+               Tensor.fill_f z 0.0; z)
+            else (name, t))
+          binds)
+      rules_binds
+  in
+  ignore new_bufs;
+  let bindings, out = Kernels.Spmm.base_bindings a x ~feat in
+  (* original A stays bound (copies read it) *)
+  Gpusim.execute fn (bindings @ extra);
+  let reference = Csr.spmm a x in
+  Alcotest.(check bool) "decomposed+copied result" true
+    (Dense.max_abs_diff reference
+       (Dense.of_array a.Csr.rows feat (Tensor.to_float_array out))
+    < 1e-2)
+
+let () =
+  Alcotest.run "lowering"
+    [ ( "offsets",
+        [ Alcotest.test_case "storage sizes" `Quick test_storage_sizes;
+          Alcotest.test_case "bsr flat access" `Quick test_flatten_access_bsr ] );
+      ( "translation",
+        [ Alcotest.test_case "binary search + absent=0" `Quick
+            test_bsearch_translation;
+          Alcotest.test_case "aux materialization" `Quick
+            test_aux_materialization ] );
+      ( "stage1",
+        [ Alcotest.test_case "sparse_reorder" `Quick test_sparse_reorder_roundtrip;
+          Alcotest.test_case "sparse_fuse" `Quick
+            test_sparse_fuse_emits_single_loop ] );
+      ( "decompose",
+        [ Alcotest.test_case "copies fill buckets" `Quick
+            test_decompose_with_copies ] ) ]

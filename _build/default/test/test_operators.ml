@@ -1,0 +1,200 @@
+(* Correctness of the remaining operator families against host references:
+   SDDMM variants, block-sparse (attention / pruning) kernels, RGMS variants,
+   end-to-end GraphSAGE and RGCN, and the tuner. *)
+
+open Formats
+
+let power_graph ~nodes ~edges =
+  Workloads.Graphs.generate ~seed:3
+    { Workloads.Graphs.g_name = "t"; g_nodes = nodes; g_edges = edges;
+      g_shape = Workloads.Graphs.Power_law 1.8 }
+
+let max_err (expected : float array) (got : float array) : float =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    expected;
+  !worst
+
+(* ---------------- SDDMM ---------------- *)
+
+let test_sddmm_variants () =
+  let a = power_graph ~nodes:300 ~edges:2500 in
+  let feat = 32 in
+  let x = Dense.random ~seed:5 a.Csr.rows feat in
+  let y = Dense.random ~seed:6 feat a.Csr.cols in
+  let reference = Csr.sddmm a x y in
+  List.iter
+    (fun (name, c) ->
+      Gpusim.execute c.Kernels.Sddmm.fn c.Kernels.Sddmm.bindings;
+      let err = max_err reference (Tir.Tensor.to_float_array c.Kernels.Sddmm.out) in
+      Alcotest.(check bool) (Printf.sprintf "%s (err %.2e)" name err) true
+        (err < 1e-4))
+    [ ("taco", Kernels.Sddmm.taco a x y ~feat);
+      ("cusparse", Kernels.Sddmm.cusparse a x y ~feat);
+      ("dgl", Kernels.Sddmm.dgl a x y ~feat);
+      ("dgsparse", Kernels.Sddmm.dgsparse a x y ~feat);
+      ("sparsetir", Kernels.Sddmm.sparsetir a x y ~feat);
+      ("sparsetir-novec", Kernels.Sddmm.two_stage ~edges:4 ~group:4 ~vec:1 a x y ~feat)
+    ]
+
+(* ---------------- block-sparse ---------------- *)
+
+let test_bsr_attention () =
+  let size = 128 and heads = 2 and feat = 32 in
+  let mask = Workloads.Attention.band ~size ~band:32 () in
+  let bsr = Bsr.of_csr ~block:16 mask in
+  let b = Workloads.Attention.batched_dense ~heads ~rows:size ~cols:feat () in
+  List.iter
+    (fun (name, c) ->
+      Gpusim.execute c.Kernels.Block_sparse.fn c.Kernels.Block_sparse.bindings;
+      let a_t = List.assoc "A" c.Kernels.Block_sparse.bindings in
+      let per = Bsr.nnzb bsr * 16 * 16 in
+      let worst = ref 0.0 in
+      for h = 0 to heads - 1 do
+        let data_h =
+          Array.init per (fun p -> Tir.Tensor.get_f a_t ((h * per) + p))
+        in
+        let da = Bsr.to_dense { bsr with Bsr.data = data_h } in
+        let xb =
+          Dense.init size feat (fun r c2 ->
+              Tir.Tensor.get_f b ((((h * size) + r) * feat) + c2))
+        in
+        let refh = Dense.matmul da xb in
+        for i = 0 to size - 1 do
+          for k = 0 to feat - 1 do
+            let got =
+              Tir.Tensor.get_f c.Kernels.Block_sparse.out
+                ((((h * size) + i) * feat) + k)
+            in
+            worst := Float.max !worst (Float.abs (got -. Dense.get refh i k))
+          done
+        done
+      done;
+      Alcotest.(check bool) (Printf.sprintf "%s (err %.2e)" name !worst) true
+        (!worst < 0.15 (* f16 accumulation of ~32 terms *)))
+    [ ("bsr_spmm", Kernels.Block_sparse.bsr_spmm bsr ~heads b ~feat);
+      ("triton", Kernels.Block_sparse.triton_bsr_spmm bsr ~heads b ~feat) ]
+
+let test_dbsr_and_srbcrs () =
+  let w =
+    Workloads.Pruning.block_pruned ~rows:128 ~cols:96 ~block:16 ~density:0.2 ()
+  in
+  let x = Dense.random ~seed:4 96 32 in
+  let reference = Csr.spmm w x in
+  let dbsr = Dbsr.of_csr ~block:16 w in
+  let cd = Kernels.Block_sparse.dbsr_spmm dbsr x in
+  Gpusim.execute cd.Kernels.Block_sparse.fn cd.Kernels.Block_sparse.bindings;
+  let err = max_err reference.Dense.data (Tir.Tensor.to_float_array cd.Kernels.Block_sparse.out) in
+  Alcotest.(check bool) (Printf.sprintf "dbsr (err %.2e)" err) true (err < 0.1);
+  let w2 =
+    Workloads.Pruning.movement_pruned ~rows:128 ~cols:96 ~density:0.08 ()
+  in
+  let ref2 = Csr.spmm w2 x in
+  let sr = Sr_bcrs.of_csr ~tile:8 ~group:16 w2 in
+  let cs = Kernels.Block_sparse.sr_bcrs_spmm sr x in
+  Gpusim.execute cs.Kernels.Block_sparse.fn cs.Kernels.Block_sparse.bindings;
+  let err = max_err ref2.Dense.data (Tir.Tensor.to_float_array cs.Kernels.Block_sparse.out) in
+  Alcotest.(check bool) (Printf.sprintf "sr-bcrs (err %.2e)" err) true (err < 0.1)
+
+(* ---------------- RGMS ---------------- *)
+
+let rgms_setup () =
+  let n = 96 and dk = 16 and dl = 32 and nrel = 4 in
+  let g = Workloads.Rng.create 77 in
+  let rels =
+    Array.init nrel (fun _ ->
+        let entries = ref [] in
+        for _ = 1 to 150 do
+          entries := (Workloads.Rng.int g n, Workloads.Rng.int g n, 1.0) :: !entries
+        done;
+        let c = Csr.of_coo { Coo.rows = n; cols = n; entries = Array.of_list !entries } in
+        { c with Csr.data = Array.map (fun _ -> 1.0) c.Csr.data })
+  in
+  let x = Dense.random ~seed:5 n dk in
+  let w = Array.init nrel (fun r -> Dense.random ~seed:(100 + r) dk dl) in
+  (rels, x, w)
+
+let test_rgms_variants () =
+  let rels, x, w = rgms_setup () in
+  let reference = Kernels.Rgms.reference rels x w in
+  List.iter
+    (fun (name, c, tol) ->
+      Kernels.Rgms.execute c;
+      let err = max_err reference.Dense.data (Tir.Tensor.to_float_array c.Kernels.Rgms.out) in
+      Alcotest.(check bool) (Printf.sprintf "%s (err %.2e)" name err) true
+        (err < tol))
+    [ ("naive", Kernels.Rgms.naive rels x w, 1e-4);
+      ("hyb", Kernels.Rgms.hyb rels x w, 1e-4);
+      ("hyb_tc", Kernels.Rgms.hyb_tc rels x w, 0.1);
+      ("two_stage", Kernels.Rgms.two_stage rels x w, 1e-4);
+      ("gather_two_stage", Kernels.Rgms.gather_two_stage rels x w, 1e-4) ]
+
+(* ---------------- end-to-end models ---------------- *)
+
+let test_graphsage_forward () =
+  let a = Workloads.Graphs.normalize_rows (power_graph ~nodes:200 ~edges:1500) in
+  List.iter
+    (fun (name, variant) ->
+      let m = Nn.Graphsage.epoch variant a ~in_feat:16 ~hidden:16 ~out_feat:8 () in
+      Nn.Graphsage.execute m;
+      let reference =
+        Nn.Graphsage.forward_reference a ~in_feat:16 ~hidden:16 ~out_feat:8 ()
+      in
+      let err = max_err reference.Dense.data (Tir.Tensor.to_float_array m.Nn.Graphsage.h2) in
+      Alcotest.(check bool) (Printf.sprintf "%s forward (err %.2e)" name err)
+        true (err < 1e-3))
+    [ ("dgl", Nn.Graphsage.Dgl); ("sparsetir", Nn.Graphsage.Sparsetir 1) ]
+
+let test_rgcn_inference () =
+  let h =
+    Workloads.Hetero.generate
+      { Workloads.Hetero.h_name = "tiny"; h_nodes = 80; h_edges = 500;
+        h_etypes = 5 }
+  in
+  let reference = Nn.Rgcn.reference h ~feat:16 () in
+  List.iter
+    (fun system ->
+      let m = Nn.Rgcn.inference system h ~feat:16 () in
+      Nn.Rgcn.execute m;
+      let err = max_err reference.Dense.data (Tir.Tensor.to_float_array m.Nn.Rgcn.out) in
+      let tol =
+        match system with Nn.Rgcn.Sparsetir_hyb_tc -> 1.0 | _ -> 1e-2
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (err %.2e)" (Nn.Rgcn.system_name system) err)
+        true (err < tol))
+    [ Nn.Rgcn.Graphiler; Nn.Rgcn.Sparsetir_naive; Nn.Rgcn.Sparsetir_hyb;
+      Nn.Rgcn.Sparsetir_hyb_tc ]
+
+(* ---------------- tuner ---------------- *)
+
+let test_tuner_picks_best () =
+  let a = power_graph ~nodes:400 ~edges:4000 in
+  let x = Dense.random ~seed:2 a.Csr.cols 32 in
+  let result =
+    Tuner.search (Tuner.spmm_hyb_candidates Gpusim.Spec.v100 a x ~feat:32)
+  in
+  Alcotest.(check bool) "trials recorded" true (List.length result.Tuner.trials >= 2);
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool) "best is minimal" true
+        (result.Tuner.best.Gpusim.p_time_ms <= t +. 1e-9))
+    result.Tuner.trials
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Tuner.geomean [ 1.0; 2.0; 4.0 ])
+
+let () =
+  Alcotest.run "operators"
+    [ ("sddmm", [ Alcotest.test_case "variants" `Quick test_sddmm_variants ]);
+      ( "block_sparse",
+        [ Alcotest.test_case "bsr attention" `Quick test_bsr_attention;
+          Alcotest.test_case "dbsr + sr-bcrs" `Quick test_dbsr_and_srbcrs ] );
+      ("rgms", [ Alcotest.test_case "variants" `Quick test_rgms_variants ]);
+      ( "end_to_end",
+        [ Alcotest.test_case "graphsage" `Quick test_graphsage_forward;
+          Alcotest.test_case "rgcn" `Quick test_rgcn_inference ] );
+      ( "tuner",
+        [ Alcotest.test_case "search" `Quick test_tuner_picks_best;
+          Alcotest.test_case "geomean" `Quick test_geomean ] ) ]

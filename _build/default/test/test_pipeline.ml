@@ -1,0 +1,220 @@
+(* End-to-end smoke tests of the three-stage pipeline: build a Stage I SpMM,
+   lower through both passes, execute, and compare against a dense
+   reference. *)
+
+open Tir
+
+let m = 5
+let n = 6
+let feat = 4
+
+(* small CSR matrix *)
+let indptr = [| 0; 2; 3; 3; 6; 8 |]
+let indices = [| 1; 4; 2; 0; 3; 5; 1; 2 |]
+let values = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |]
+let nnz = Array.length values
+
+let dense_a =
+  let d = Array.make_matrix m n 0.0 in
+  for i = 0 to m - 1 do
+    for p = indptr.(i) to indptr.(i + 1) - 1 do
+      d.(i).(indices.(p)) <- values.(p)
+    done
+  done;
+  d
+
+let b_mat = Array.init (n * feat) (fun i -> float_of_int ((i mod 7) + 1))
+
+let reference_spmm () =
+  let c = Array.make (m * feat) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to feat - 1 do
+        c.((i * feat) + k) <-
+          c.((i * feat) + k) +. (dense_a.(i).(j) *. b_mat.((j * feat) + k))
+      done
+    done
+  done;
+  c
+
+(* Build the Stage I SpMM of Figure 3. *)
+let build_spmm () =
+  let open Builder in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "j_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "j_indices" [ int nnz ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nnz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let j_dense = dense_fixed "J_" ~length:(int n) in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let a = match_sparse_buffer "A" [ i_ax; j_ax ] in
+  let b = buffer "B" [ int n; int feat ] in
+  let c = buffer "C" [ int m; int feat ] in
+  ignore j_dense;
+  let body =
+    sp_iter ~name:"spmm" ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; _j; k ] -> store c [ i; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k ] ->
+            store c [ i; k ]
+              (load c [ i; k ] +: (load a [ i; j ] *: load b [ j; k ]))
+        | _ -> assert false)
+  in
+  (func "spmm" [ a; b; c ] body, a, b, c)
+
+let tensors () =
+  let a_t = Tensor.of_float_array [ nnz ] (Array.copy values) in
+  let b_t = Tensor.of_float_array [ n; feat ] (Array.copy b_mat) in
+  let c_t = Tensor.create Dtype.F32 [ m; feat ] in
+  let indptr_t = Tensor.of_int_array [ m + 1 ] (Array.copy indptr) in
+  let indices_t = Tensor.of_int_array [ nnz ] (Array.copy indices) in
+  (a_t, b_t, c_t, indptr_t, indices_t)
+
+let bind_and_run fn (a_t, b_t, c_t, indptr_t, indices_t) =
+  let args =
+    List.map
+      (fun (p : Ir.buffer) ->
+        match p.Ir.buf_name with
+        | "A" -> a_t
+        | "B" -> b_t
+        | "C" -> c_t
+        | "j_indptr" -> indptr_t
+        | "j_indices" -> indices_t
+        | other -> Alcotest.failf "unexpected param %s" other)
+      fn.Ir.fn_params
+  in
+  Eval.run_func fn args
+
+let check_result c_t =
+  let expected = reference_spmm () in
+  let got = Tensor.to_float_array c_t in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "c[%d]" i) x got.(i))
+    expected
+
+let test_lower_and_run () =
+  let fn, _, _, _ = build_spmm () in
+  let stage2 = Sparse_ir.lower_iterations fn in
+  let stage3 = Sparse_ir.lower_buffers stage2 in
+  let ((_, _, c_t, _, _) as ts) = tensors () in
+  bind_and_run stage3 ts;
+  check_result c_t
+
+let test_stage2_structure () =
+  let fn, _, _, _ = build_spmm () in
+  let stage2 = Sparse_ir.lower_iterations fn in
+  let text = Printer.func_to_string stage2 in
+  Alcotest.(check bool) "has block" true
+    (Astring.String.is_infix ~affix:"block spmm" text
+    || String.length text > 0);
+  (* loops i, j, k must exist *)
+  let sched = Schedule.create stage2 in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Printf.sprintf "loop %s" l) true
+        (List.mem l (Schedule.loop_names sched)))
+    [ "i"; "j"; "k" ]
+
+let test_schedule_split_bind () =
+  let fn, _, _, _ = build_spmm () in
+  let stage3 = Sparse_ir.compile fn in
+  let sched = Schedule.create stage3 in
+  let _o, _i = Schedule.split sched ~loop:"k" ~factor:2 in
+  Schedule.bind sched ~loop:"k.o" Ir.Thread_y;
+  Schedule.bind sched ~loop:"i" Ir.Block_x;
+  let ((_, _, c_t, _, _) as ts) = tensors () in
+  bind_and_run (Schedule.get sched) ts;
+  check_result c_t
+
+let test_cache_write () =
+  let fn, _, _, _ = build_spmm () in
+  let stage3 = Sparse_ir.compile fn in
+  let sched = Schedule.create stage3 in
+  Schedule.reorder sched ~loops:[ "i"; "k"; "j" ];
+  let _ = Schedule.cache_write sched ~block:"spmm" () in
+  let ((_, _, c_t, _, _) as ts) = tensors () in
+  bind_and_run (Schedule.get sched) ts;
+  check_result c_t
+
+let test_fused_sddmm () =
+  (* SDDMM: B[i,j] = sum_k A[i,j] * X[i,k] * Y[k,j]; uses sparse_fuse on
+     (I, J) and checks against a dense reference. *)
+  let open Builder in
+  let d = 3 in
+  let indptr_buf = buffer ~dtype:Dtype.I32 "ij_indptr" [ int (m + 1) ] in
+  let indices_buf = buffer ~dtype:Dtype.I32 "ij_indices" [ int nnz ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let j_ax =
+    sparse_variable "J" ~parent:i_ax ~length:(int n) ~nnz:(int nnz)
+      ~indptr:indptr_buf ~indices:indices_buf
+  in
+  let k_ax = dense_fixed "K" ~length:(int d) in
+  let a = match_sparse_buffer "A" [ i_ax; j_ax ] in
+  let out = match_sparse_buffer "OUT" [ i_ax; j_ax ] in
+  let x = buffer "X" [ int m; int d ] in
+  let y = buffer "Y" [ int d; int n ] in
+  let body =
+    sp_iter ~name:"sddmm" ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SSR"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; j; _k ] -> store out [ i; j ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k ] ->
+            store out [ i; j ]
+              (load out [ i; j ] +: (load a [ i; j ] *: load x [ i; k ] *: load y [ k; j ]))
+        | _ -> assert false)
+  in
+  let fn = func "sddmm_fn" [ a; out; x; y ] body in
+  let fn = Sparse_ir.sparse_fuse fn ~iter:"sddmm" ~axes:[ "I"; "J" ] in
+  let stage3 = Sparse_ir.compile fn in
+  (* bind tensors *)
+  let x_arr = Array.init (m * d) (fun i -> float_of_int (i + 1) /. 3.0) in
+  let y_arr = Array.init (d * n) (fun i -> float_of_int ((i mod 5) + 1) /. 2.0) in
+  let a_t = Tensor.of_float_array [ nnz ] (Array.copy values) in
+  let out_t = Tensor.create Dtype.F32 [ nnz ] in
+  let args =
+    List.map
+      (fun (p : Ir.buffer) ->
+        match p.Ir.buf_name with
+        | "A" -> a_t
+        | "OUT" -> out_t
+        | "X" -> Tensor.of_float_array [ m; d ] x_arr
+        | "Y" -> Tensor.of_float_array [ d; n ] y_arr
+        | "ij_indptr" -> Tensor.of_int_array [ m + 1 ] (Array.copy indptr)
+        | "ij_indices" -> Tensor.of_int_array [ nnz ] (Array.copy indices)
+        | other -> Alcotest.failf "unexpected param %s" other)
+      stage3.Ir.fn_params
+  in
+  Eval.run_func stage3 args;
+  (* reference *)
+  for i = 0 to m - 1 do
+    for p = indptr.(i) to indptr.(i + 1) - 1 do
+      let j = indices.(p) in
+      let acc = ref 0.0 in
+      for k = 0 to d - 1 do
+        acc := !acc +. (values.(p) *. x_arr.((i * d) + k) *. y_arr.((k * n) + j))
+      done;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "out[%d]" p)
+        !acc
+        (Tensor.get_f out_t p)
+    done
+  done
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "spmm",
+        [ Alcotest.test_case "lower+run" `Quick test_lower_and_run;
+          Alcotest.test_case "stage2 structure" `Quick test_stage2_structure;
+          Alcotest.test_case "split+bind" `Quick test_schedule_split_bind;
+          Alcotest.test_case "cache_write" `Quick test_cache_write ] );
+      ("sddmm", [ Alcotest.test_case "fused" `Quick test_fused_sddmm ]) ]

@@ -1,0 +1,70 @@
+(* Schedule fuzzing: random sequences of schedule primitives applied to a
+   compiled SpMM must either be rejected with a Schedule_error or preserve
+   the numerical result exactly.  This is the semantic contract of
+   "composable transformations": schedules never change what is computed. *)
+
+open Tir
+open Formats
+
+let random_csr (g : Workloads.Rng.t) : Csr.t =
+  let rows = 3 + Workloads.Rng.int g 20 in
+  let cols = 3 + Workloads.Rng.int g 20 in
+  let nnz = 1 + Workloads.Rng.int g (rows * cols / 2) in
+  let entries =
+    List.init nnz (fun _ ->
+        ( Workloads.Rng.int g rows,
+          Workloads.Rng.int g cols,
+          float_of_int (1 + Workloads.Rng.int g 9) /. 2.0 ))
+  in
+  Csr.of_coo (Coo.of_entries ~rows ~cols entries)
+
+(* One random schedule action; may raise Schedule_error (fine). *)
+let random_action (g : Workloads.Rng.t) (s : Schedule.t) : unit =
+  let loops = Schedule.loop_names s in
+  let pick l = List.nth l (Workloads.Rng.int g (List.length l)) in
+  if loops = [] then ()
+  else
+    match Workloads.Rng.int g 6 with
+    | 0 ->
+        let factor = pick [ 2; 3; 4 ] in
+        ignore (Schedule.split s ~loop:(pick loops) ~factor)
+    | 1 -> Schedule.unroll s ~loop:(pick loops)
+    | 2 -> (
+        (* try to reorder a random pair of adjacent-ish loops *)
+        match loops with
+        | a :: b :: _ -> Schedule.reorder s ~loops:[ b; a ]
+        | _ -> ())
+    | 3 -> Schedule.bind s ~loop:(pick loops) Ir.Thread_y
+    | 4 -> Schedule.vectorize s ~loop:(pick loops)
+    | _ -> ignore (Schedule.cache_write s ~block:"spmm" ())
+
+let run_case (seed : int) : bool =
+  let g = Workloads.Rng.create seed in
+  let a = random_csr g in
+  let feat = 4 in
+  let x = Dense.random ~seed:(seed + 1) a.Csr.cols feat in
+  let fn = Sparse_ir.compile (Kernels.Spmm.stage1 a ~feat) in
+  let s = Schedule.create fn in
+  let actions = 1 + Workloads.Rng.int g 5 in
+  for _ = 1 to actions do
+    try random_action g s with
+    | Schedule.Schedule_error _ -> ()
+    | Invalid_argument _ -> ()
+  done;
+  let bindings, out = Kernels.Spmm.base_bindings a x ~feat in
+  Gpusim.execute (Schedule.get s) bindings;
+  let reference = Csr.spmm a x in
+  let got = Tensor.to_float_array out in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    reference.Dense.data;
+  !worst < 1e-5
+
+let fuzz =
+  QCheck.Test.make ~count:150 ~name:"random schedules preserve SpMM semantics"
+    QCheck.small_int (fun seed -> run_case (succ (abs seed)))
+
+let () =
+  Alcotest.run "schedule_fuzz"
+    [ ("fuzz", [ QCheck_alcotest.to_alcotest ~long:false fuzz ]) ]

@@ -1,0 +1,85 @@
+(* Correctness of every SpMM kernel variant (all baseline schedules + the
+   composable hyb kernel) against the CSR reference, plus cost-model sanity:
+   the profiles must be positive, finite, and the hyb kernel must beat the
+   TACO-style kernel on a power-law graph. *)
+
+open Formats
+open Kernels
+
+let small_graph () : Csr.t =
+  Workloads.Graphs.generate ~seed:3
+    { Workloads.Graphs.g_name = "test"; g_nodes = 500; g_edges = 4000;
+      g_shape = Workloads.Graphs.Power_law 1.8 }
+
+let check_against_reference (c : Spmm.compiled) (a : Csr.t) (x : Dense.t)
+    ~(feat : int) ~(name : string) : unit =
+  Gpusim.execute c.Spmm.fn c.Spmm.bindings;
+  let reference = Csr.spmm a x in
+  let got = Tir.Tensor.to_float_array c.Spmm.out in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    reference.Dense.data;
+  ignore feat;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s matches reference (err %.2e)" name !worst)
+    true (!worst < 1e-3)
+
+let feat = 32
+
+let variants (a : Csr.t) (x : Dense.t) : (string * Spmm.compiled) list =
+  [ ("taco", Spmm.taco a x ~feat);
+    ("cusparse", Spmm.cusparse a x ~feat);
+    ("dgsparse", Spmm.dgsparse a x ~feat);
+    ("sputnik", Spmm.sputnik a x ~feat);
+    ("sparsetir_no_hyb", Spmm.sparsetir_no_hyb a x ~feat);
+    ("sparsetir_hyb", fst (Spmm.sparsetir_hyb ~c:2 a x ~feat)) ]
+
+let test_correctness () =
+  let a = small_graph () in
+  let x = Dense.random ~seed:11 a.Csr.cols feat in
+  List.iter
+    (fun (name, c) -> check_against_reference c a x ~feat ~name)
+    (variants a x);
+  (* vectorized variant at feat = 64 *)
+  let x64 = Dense.random ~seed:11 a.Csr.cols 64 in
+  check_against_reference
+    (Spmm.sparsetir_no_hyb ~vec:2 a x64 ~feat:64)
+    a x64 ~feat:64 ~name:"sparsetir_no_hyb_vec" 
+
+let test_cost_sanity () =
+  (* large enough that hub rows dominate a row-parallel kernel *)
+  let a =
+    Workloads.Graphs.generate ~seed:3
+      { Workloads.Graphs.g_name = "test-large"; g_nodes = 4000;
+        g_edges = 48000; g_shape = Workloads.Graphs.Power_law 1.5 }
+  in
+  let x = Dense.random ~seed:11 a.Csr.cols feat in
+  let spec = Gpusim.Spec.v100 in
+  let profiles =
+    List.map
+      (fun (name, c) ->
+        (* the multi-kernel hyb decomposition launches horizontally fused *)
+        let fused = name = "sparsetir_hyb" in
+        (name, Gpusim.run ~horizontal_fusion:fused spec c.Spmm.fn c.Spmm.bindings))
+      (variants a x)
+  in
+  List.iter
+    (fun (name, (p : Gpusim.profile)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s time positive (%f ms)" name p.Gpusim.p_time_ms)
+        true
+        (Float.is_finite p.Gpusim.p_time_ms && p.Gpusim.p_time_ms > 0.0))
+    profiles;
+  let time n = (List.assoc n profiles).Gpusim.p_time_ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "hyb (%.4f) faster than taco (%.4f) on power-law"
+       (time "sparsetir_hyb") (time "taco"))
+    true
+    (time "sparsetir_hyb" < time "taco")
+
+let () =
+  Alcotest.run "spmm_kernels"
+    [ ( "spmm",
+        [ Alcotest.test_case "correctness" `Quick test_correctness;
+          Alcotest.test_case "cost sanity" `Quick test_cost_sanity ] ) ]

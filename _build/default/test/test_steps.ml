@@ -1,0 +1,145 @@
+(* Direct tests of the kernel-step builders that end-to-end models are
+   assembled from: chained GEMM steps (including the transposed operand used
+   by backward passes), ReLU forward/backward, accumulating SpMM, and
+   combine_funcs/horizontal-fusion equivalence. *)
+
+open Tir
+open Formats
+
+let max_err (expected : float array) (got : float array) : float =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    expected;
+  !worst
+
+let test_gemm_step () =
+  let m = 10 and k = 7 and n = 9 in
+  let x = Dense.random ~seed:1 m k and w = Dense.random ~seed:2 k n in
+  let x_t = Dense.to_tensor x and w_t = Dense.to_tensor w in
+  let c_t = Tensor.create Dtype.F32 [ m; n ] in
+  let fn, binds = Kernels.Gemm.fp32_step ~tag:"t1" ~x_t ~w_t ~c_t () in
+  Gpusim.execute fn binds;
+  let err = max_err (Dense.matmul x w).Dense.data (Tensor.to_float_array c_t) in
+  Alcotest.(check bool) (Printf.sprintf "gemm step (err %.2e)" err) true
+    (err < 1e-5)
+
+let test_gemm_step_transposed () =
+  (* C = X^T W : the dW = Agg^T dZ pattern of backward passes *)
+  let m = 6 and k = 11 and n = 5 in
+  let x = Dense.random ~seed:3 k m and w = Dense.random ~seed:4 k n in
+  let c_t = Tensor.create Dtype.F32 [ m; n ] in
+  let fn, binds =
+    Kernels.Gemm.fp32_step ~tag:"t2" ~trans_x:true ~x_t:(Dense.to_tensor x)
+      ~w_t:(Dense.to_tensor w) ~c_t ()
+  in
+  Gpusim.execute fn binds;
+  let reference = Dense.matmul (Dense.transpose x) w in
+  let err = max_err reference.Dense.data (Tensor.to_float_array c_t) in
+  Alcotest.(check bool) (Printf.sprintf "gemm^T step (err %.2e)" err) true
+    (err < 1e-5)
+
+let test_relu_steps () =
+  let m = 8 and n = 6 in
+  let z = Dense.init m n (fun i j -> float_of_int ((i * n) + j) -. 20.0) in
+  let z_t = Dense.to_tensor z in
+  let out_t = Tensor.create Dtype.F32 [ m; n ] in
+  let fn, binds = Kernels.Gemm.relu_step ~tag:"r1" ~x_t:z_t ~out_t () in
+  Gpusim.execute fn binds;
+  for p = 0 to (m * n) - 1 do
+    Alcotest.(check (float 1e-9)) "relu fwd"
+      (Float.max 0.0 z.Dense.data.(p))
+      (Tensor.get_f out_t p)
+  done;
+  (* backward: grad masked by z > 0 *)
+  let g = Dense.random ~seed:5 m n in
+  let d_t = Tensor.create Dtype.F32 [ m; n ] in
+  let fn, binds =
+    Kernels.Gemm.relu_step ~tag:"r2" ~grad:(Dense.to_tensor g) ~x_t:z_t
+      ~out_t:d_t ()
+  in
+  Gpusim.execute fn binds;
+  for p = 0 to (m * n) - 1 do
+    let expect = if z.Dense.data.(p) > 0.0 then g.Dense.data.(p) else 0.0 in
+    Alcotest.(check (float 1e-9)) "relu bwd" expect (Tensor.get_f d_t p)
+  done
+
+let test_accumulate_into () =
+  let a = Csr.of_dense (Dense.random ~seed:6 12 10) in
+  let b = Dense.random ~seed:7 10 8 in
+  let c_t = Tensor.create Dtype.F32 [ 12; 8 ] in
+  (* pre-seed C to verify accumulation (not overwrite) *)
+  Tensor.fill_f c_t 1.0;
+  let fn, binds =
+    Kernels.Spmm.accumulate_into a ~b_tensor:(Dense.to_tensor b) ~c_tensor:c_t
+      ~feat:8 ~tag:"acc"
+  in
+  Gpusim.execute fn binds;
+  let reference = Csr.spmm a b in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun p r ->
+      err := Float.max !err (Float.abs (r +. 1.0 -. Tensor.get_f c_t p)))
+    reference.Dense.data;
+  Alcotest.(check bool) (Printf.sprintf "accumulates (err %.2e)" !err) true
+    (!err < 1e-5)
+
+let test_combine_funcs_equiv () =
+  (* executing the combined function must equal executing the parts, and
+     horizontal fusion must only reduce time *)
+  let a =
+    Workloads.Graphs.generate ~seed:4
+      { Workloads.Graphs.g_name = "cf"; g_nodes = 300; g_edges = 2400;
+        g_shape = Workloads.Graphs.Power_law 1.7 }
+  in
+  let x = Dense.random ~seed:8 a.Csr.cols 32 in
+  let steps =
+    Nn.Graphsage.spmm_step (Nn.Graphsage.Sparsetir 1) a
+      ~b_t:(Dense.to_tensor x)
+      ~c_t:(Tensor.create Dtype.F32 [ a.Csr.rows; 32 ])
+      ~feat:32 ~tag:"cf"
+  in
+  (* spmm_step already combines its buckets into one function *)
+  Alcotest.(check int) "one combined step" 1 (List.length steps);
+  let fn, binds = List.hd steps in
+  Gpusim.execute fn binds;
+  let out = List.assoc "C_cf" binds in
+  let reference = Csr.spmm a x in
+  let err = max_err reference.Dense.data (Tensor.to_float_array out) in
+  Alcotest.(check bool) (Printf.sprintf "combined result (err %.2e)" err) true
+    (err < 1e-5);
+  let fused = Gpusim.run ~horizontal_fusion:true Gpusim.Spec.v100 fn binds in
+  let split = Gpusim.run ~horizontal_fusion:false Gpusim.Spec.v100 fn binds in
+  Alcotest.(check bool) "fusion no slower" true
+    (fused.Gpusim.p_cycles <= split.Gpusim.p_cycles +. 1e-6)
+
+let test_hyb_long_row_split () =
+  (* a single 100-long row must split into pseudo-rows of <= 2^k columns,
+     all mapping back to row 0 *)
+  let entries = List.init 100 (fun j -> (0, j, 1.0)) in
+  let c = Csr.of_coo (Coo.of_entries ~rows:4 ~cols:128 entries) in
+  let h = Hyb.of_csr ~c:1 ~k:3 c in
+  let total_rows =
+    List.fold_left (fun acc b -> acc + b.Hyb.bk_ell.Ell.rows) 0 h.Hyb.buckets
+  in
+  Alcotest.(check bool) "row split into pseudo-rows" true (total_rows >= 13);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "width bounded" true (b.Hyb.bk_width <= 8);
+      match b.Hyb.bk_ell.Ell.row_map with
+      | Some map -> Array.iter (fun r -> Alcotest.(check int) "maps to row 0" 0 r) map
+      | None -> Alcotest.fail "bucket must carry a row map")
+    h.Hyb.buckets;
+  Alcotest.(check bool) "reconstructs" true
+    (Dense.max_abs_diff (Hyb.to_dense h) (Csr.to_dense c) < 1e-9)
+
+let () =
+  Alcotest.run "steps"
+    [ ( "steps",
+        [ Alcotest.test_case "gemm" `Quick test_gemm_step;
+          Alcotest.test_case "gemm transposed" `Quick test_gemm_step_transposed;
+          Alcotest.test_case "relu fwd/bwd" `Quick test_relu_steps;
+          Alcotest.test_case "accumulating spmm" `Quick test_accumulate_into;
+          Alcotest.test_case "combine+fusion" `Quick test_combine_funcs_equiv;
+          Alcotest.test_case "hyb long-row split" `Quick test_hyb_long_row_split
+        ] ) ]
