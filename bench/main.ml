@@ -23,7 +23,8 @@ let experiments ~full : (string * (unit -> unit)) list =
     ("table2", Rgms_bench.table2);
     ("fig20", fun () -> Rgms_bench.fig20 ~full ());
     ("fig23", fun () -> Rgms_bench.fig23 ~full ());
-    ("ablations", Ablation_bench.run) ]
+    ("ablations", Ablation_bench.run);
+    ("pipeline", Pipeline_bench.run) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)
 
@@ -166,4 +167,6 @@ let () =
       Printf.printf "[%s completed in %.1fs]\n%!" name
         (Unix.gettimeofday () -. t0))
     to_run;
+  Report.header "Compilation pipeline summary (all experiments)";
+  print_string (Pipeline.report ());
   if (not no_bechamel) && selected = [] then run_bechamel ()

@@ -1,0 +1,38 @@
+(* Compilation-pipeline instrumentation: per-pass wall time and IR growth for
+   a representative kernel build, and the compile cache's effect on a tuner
+   search that rebuilds identical candidates (the deployment loop of S2: the
+   sparse structure is fixed, so repeated searches over the same matrix
+   re-compile the same Stage I func + schedule trace). *)
+
+open Formats
+
+let run () : unit =
+  Report.header "Pipeline: per-pass instrumentation and compile cache";
+  Pipeline.reset ();
+  let g =
+    Workloads.Graphs.generate ~seed:3
+      { Workloads.Graphs.g_name = "pipe"; g_nodes = 300; g_edges = 2400;
+        g_shape = Workloads.Graphs.Power_law 1.8 }
+  in
+  let feat = 32 in
+  let x = Dense.random ~seed:11 g.Csr.cols feat in
+
+  Report.subheader "per-pass stats: hyb SpMM (decompose + lower + schedule)";
+  let compiled, _ = Kernels.Spmm.sparsetir_hyb ~c:2 g x ~feat in
+  ignore compiled.Kernels.Spmm.fn;
+  (match Pipeline.last_stats () with
+  | Some st -> print_string (Pipeline.stats_to_string st)
+  | None -> print_endline "(no pipeline runs recorded)");
+
+  Report.subheader "compile cache across repeated tuner searches";
+  let spec = Gpusim.Spec.v100 in
+  let search () = Tuner.search (Tuner.spmm_hyb_candidates spec g x ~feat) in
+  let r1 = search () in
+  Printf.printf "search 1 (cold): best %s; cache %d hits / %d misses\n"
+    r1.Tuner.best_label r1.Tuner.cache_hits r1.Tuner.cache_misses;
+  let r2 = search () in
+  Printf.printf "search 2 (warm): best %s; cache %d hits / %d misses\n"
+    r2.Tuner.best_label r2.Tuner.cache_hits r2.Tuner.cache_misses;
+
+  Report.subheader "aggregate pass table";
+  print_string (Pipeline.report ())

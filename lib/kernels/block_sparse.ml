@@ -105,8 +105,12 @@ let schedule_bsr_spmm (fn : Ir.func) (a : Bsr.t) ~(feat : int) ~(staged : bool)
 
 let bsr_spmm ?(staged = true) (a : Bsr.t) ~(heads : int) (b : Tensor.t)
     ~(feat : int) : compiled =
-  let fn = Sparse_ir.compile (bsr_spmm_stage1 a ~heads ~feat) in
-  let fn = schedule_bsr_spmm fn a ~feat ~staged ~block:"bsrmm" in
+  let fn =
+    Pipeline.compile ~name:"bsr_spmm"
+      ~trace:(Printf.sprintf "bsr_spmm(staged=%b,tile_n=%d)" staged (min 16 feat))
+      (fun fn -> schedule_bsr_spmm fn a ~feat ~staged ~block:"bsrmm")
+      (bsr_spmm_stage1 a ~heads ~feat)
+  in
   let bindings, out = bsr_spmm_bindings a ~heads b in
   { fn; bindings; out }
 
@@ -152,17 +156,23 @@ let csr_spmm_batched (a : Csr.t) ~(heads : int) (b : Tensor.t) ~(feat : int) :
               +: (f32 (load a_buf [ h; i; j ]) *: f32 (load b_buf [ h; j; k ])))
         | _ -> assert false)
   in
-  let fn = Sparse_ir.compile (func "spmm" [ a_buf; b_buf; c_buf ] body) in
-  let sched = Schedule.create fn in
   let tx = min 32 feat in
-  let _ = Schedule.split sched ~loop:"k" ~factor:tx in
-  let _ = Schedule.split sched ~loop:"i" ~factor:8 in
-  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
-  ignore (Schedule.cache_write sched ~block:"spmm" ());
-  Schedule.bind sched ~loop:"h" Ir.Block_y;
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
-  Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"csr_spmm_batched"
+      ~trace:(Printf.sprintf "csr_batched(tx=%d,row_group=8)" tx)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"k" ~factor:tx in
+        let _ = Schedule.split sched ~loop:"i" ~factor:8 in
+        Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+        ignore (Schedule.cache_write sched ~block:"spmm" ());
+        Schedule.bind sched ~loop:"h" Ir.Block_y;
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+        Schedule.get sched)
+      (func "spmm" [ a_buf; b_buf; c_buf ] body)
+  in
   (* per-head CSR values *)
   let g = Workloads_stub.rng 23 in
   let vals = Array.init (heads * nz) (fun _ -> (g () *. 2.0) -. 1.0) in
@@ -174,7 +184,7 @@ let csr_spmm_batched (a : Csr.t) ~(heads : int) (b : Tensor.t) ~(feat : int) :
       ("B", b);
       ("C", c) ]
   in
-  { fn = Schedule.get sched; bindings; out = c }
+  { fn; bindings; out = c }
 
 (* ------------------------------------------------------------------ *)
 (* Batched BSR SDDMM: OUT[h,io,jo,ii,ji] = sum_k X[h,i,k] Y[h,k,j]      *)
@@ -223,19 +233,23 @@ let bsr_sddmm ?(staged = true) (a : Bsr.t) ~(heads : int) ~(feat : int)
                  *: f32 (load y_buf [ h; k; (jo *: int bs) +: ji ])))
         | _ -> assert false)
   in
-  let fn =
-    Sparse_ir.compile (func "bsddmm" [ out_buf; x_buf; y_buf ] body)
-  in
-  let sched = Schedule.create fn in
   let tile_k = min 16 feat in
-  let _ = Schedule.split sched ~loop:"k" ~factor:tile_k in
-  Schedule.reorder sched ~loops:[ "jo"; "k.o"; "ii"; "ji"; "k.i" ];
-  if staged then
-    ignore (Schedule.cache_read sched ~block:"bsddmm" ~buf:"X" ~at:"ii");
-  Schedule.tensorize sched ~block:"bsddmm" ~m_loop:"ii" ~n_loop:"ji"
-    ~k_loop:"k.i";
-  Schedule.bind sched ~loop:"h" Ir.Block_y;
-  Schedule.bind sched ~loop:"io" Ir.Block_x;
+  let fn =
+    Pipeline.compile ~name:"bsr_sddmm"
+      ~trace:(Printf.sprintf "bsr_sddmm(staged=%b,tile_k=%d)" staged tile_k)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"k" ~factor:tile_k in
+        Schedule.reorder sched ~loops:[ "jo"; "k.o"; "ii"; "ji"; "k.i" ];
+        if staged then
+          ignore (Schedule.cache_read sched ~block:"bsddmm" ~buf:"X" ~at:"ii");
+        Schedule.tensorize sched ~block:"bsddmm" ~m_loop:"ii" ~n_loop:"ji"
+          ~k_loop:"k.i";
+        Schedule.bind sched ~loop:"h" Ir.Block_y;
+        Schedule.bind sched ~loop:"io" Ir.Block_x;
+        Schedule.get sched)
+      (func "bsddmm" [ out_buf; x_buf; y_buf ] body)
+  in
   let out =
     Tensor.create Dtype.F32 [ max 1 (heads * Bsr.nnzb a * bs * bs) ]
   in
@@ -246,7 +260,7 @@ let bsr_sddmm ?(staged = true) (a : Bsr.t) ~(heads : int) ~(feat : int)
       ("X", x);
       ("Y", y) ]
   in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* ------------------------------------------------------------------ *)
 (* DBSR SpMM (Figure 17): skip all-zero block rows                      *)
@@ -292,17 +306,23 @@ let dbsr_spmm ?(staged = true) (w : Dbsr.t) (x : Dense.t) : compiled =
                  *: f32 (load x_buf [ (jo *: int bs) +: ji; k ])))
         | _ -> assert false)
   in
-  let fn = Sparse_ir.compile (func "dbsrmm" [ w_buf; x_buf; c_buf ] body) in
-  let sched = Schedule.create fn in
   let tile_n = min 16 feat in
-  let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
-  Schedule.reorder sched ~loops:[ "k.o"; "jo"; "ii"; "k.i"; "ji" ];
-  if staged then
-    ignore (Schedule.cache_read sched ~block:"dbsrmm" ~buf:"X" ~at:"ii");
-  Schedule.tensorize sched ~block:"dbsrmm" ~m_loop:"ii" ~n_loop:"k.i"
-    ~k_loop:"ji";
-  Schedule.bind sched ~loop:"r" Ir.Block_x;
-  Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+  let fn =
+    Pipeline.compile ~name:"dbsr_spmm"
+      ~trace:(Printf.sprintf "dbsr(staged=%b,tile_n=%d)" staged tile_n)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
+        Schedule.reorder sched ~loops:[ "k.o"; "jo"; "ii"; "k.i"; "ji" ];
+        if staged then
+          ignore (Schedule.cache_read sched ~block:"dbsrmm" ~buf:"X" ~at:"ii");
+        Schedule.tensorize sched ~block:"dbsrmm" ~m_loop:"ii" ~n_loop:"k.i"
+          ~k_loop:"ji";
+        Schedule.bind sched ~loop:"r" Ir.Block_x;
+        Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+        Schedule.get sched)
+      (func "dbsrmm" [ w_buf; x_buf; c_buf ] body)
+  in
   let c = Tensor.create Dtype.F32 [ b.Bsr.rows; feat ] in
   let xt =
     Tensor.of_float_array ~dtype:Dtype.F16 [ b.Bsr.cols; feat ]
@@ -317,7 +337,7 @@ let dbsr_spmm ?(staged = true) (w : Dbsr.t) (x : Dense.t) : compiled =
       ("X", xt);
       ("C", c) ]
   in
-  { fn = Schedule.get sched; bindings; out = c }
+  { fn; bindings; out = c }
 
 (* Plain BSR SpMM over a single (non-batched) matrix, for the Figure 17
    BSR-vs-DBSR comparison: every block row gets a thread block, empty or
@@ -376,16 +396,22 @@ let sr_bcrs_spmm (w : Sr_bcrs.t) (x : Dense.t) : compiled =
               +: (f32 (load w_buf [ s; gq; tr; gk ]) *: f32 (load x_buf [ col; k ])))
         | _ -> assert false)
   in
-  let fn = Sparse_ir.compile (func "srbcrs" [ w_buf; x_buf; c_buf ] body) in
-  let sched = Schedule.create fn in
   let tile_n = min 16 feat in
-  let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
-  Schedule.reorder sched ~loops:[ "k.o"; "g"; "tr"; "k.i"; "gk" ];
-  ignore (Schedule.cache_read sched ~block:"srbcrs" ~buf:"X" ~at:"tr");
-  Schedule.tensorize sched ~block:"srbcrs" ~m_loop:"tr" ~n_loop:"k.i"
-    ~k_loop:"gk";
-  Schedule.bind sched ~loop:"s" Ir.Block_x;
-  Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+  let fn =
+    Pipeline.compile ~name:"sr_bcrs_spmm"
+      ~trace:(Printf.sprintf "sr_bcrs(tile_n=%d)" tile_n)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"k" ~factor:tile_n in
+        Schedule.reorder sched ~loops:[ "k.o"; "g"; "tr"; "k.i"; "gk" ];
+        ignore (Schedule.cache_read sched ~block:"srbcrs" ~buf:"X" ~at:"tr");
+        Schedule.tensorize sched ~block:"srbcrs" ~m_loop:"tr" ~n_loop:"k.i"
+          ~k_loop:"gk";
+        Schedule.bind sched ~loop:"s" Ir.Block_x;
+        Schedule.bind sched ~loop:"k.o" Ir.Block_y;
+        Schedule.get sched)
+      (func "srbcrs" [ w_buf; x_buf; c_buf ] body)
+  in
   let c = Tensor.create Dtype.F32 [ w.Sr_bcrs.rows; feat ] in
   let xt =
     Tensor.of_float_array ~dtype:Dtype.F16 [ w.Sr_bcrs.cols; feat ]
@@ -398,4 +424,4 @@ let sr_bcrs_spmm (w : Sr_bcrs.t) (x : Dense.t) : compiled =
       ("X", xt);
       ("C", c) ]
   in
-  { fn = Schedule.get sched; bindings; out = c }
+  { fn; bindings; out = c }

@@ -54,39 +54,49 @@ let cublas_tc (x : Dense.t) (w : Dense.t) : compiled =
   if k <> w.Dense.rows then invalid_arg "Gemm.cublas_tc: shape mismatch";
   if m mod 16 <> 0 || n mod 16 <> 0 || k mod 16 <> 0 then
     invalid_arg "Gemm.cublas_tc: dimensions must be multiples of 16";
-  let fn = Sparse_ir.compile (stage1 ~m ~n ~k ~dtype:Dtype.F16) in
-  let sched = Schedule.create fn in
-  let _ = Schedule.split sched ~loop:"i" ~factor:16 in
-  let _ = Schedule.split sched ~loop:"jd" ~factor:16 in
-  let _ = Schedule.split sched ~loop:"k" ~factor:16 in
-  Schedule.reorder sched
-    ~loops:[ "i.o"; "jd.o"; "k.o"; "i.i"; "jd.i"; "k.i" ];
-  (* stage X and W tiles in shared memory, reused across the 16x16 MMA *)
-  let _ = Schedule.cache_read sched ~block:"gemm" ~buf:"X" ~at:"i.i" in
-  let _ = Schedule.cache_read sched ~block:"gemm" ~buf:"W" ~at:"i.i" in
-  Schedule.tensorize sched ~block:"gemm" ~m_loop:"i.i" ~n_loop:"jd.i"
-    ~k_loop:"k.i";
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"jd.o" Ir.Block_y;
+  let fn =
+    Pipeline.compile ~name:"cublas_tc_gemm" ~trace:"cublas_tc(tile=16)"
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"i" ~factor:16 in
+        let _ = Schedule.split sched ~loop:"jd" ~factor:16 in
+        let _ = Schedule.split sched ~loop:"k" ~factor:16 in
+        Schedule.reorder sched
+          ~loops:[ "i.o"; "jd.o"; "k.o"; "i.i"; "jd.i"; "k.i" ];
+        (* stage X and W tiles in shared memory, reused across the 16x16 MMA *)
+        let _ = Schedule.cache_read sched ~block:"gemm" ~buf:"X" ~at:"i.i" in
+        let _ = Schedule.cache_read sched ~block:"gemm" ~buf:"W" ~at:"i.i" in
+        Schedule.tensorize sched ~block:"gemm" ~m_loop:"i.i" ~n_loop:"jd.i"
+          ~k_loop:"k.i";
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"jd.o" Ir.Block_y;
+        Schedule.get sched)
+      (stage1 ~m ~n ~k ~dtype:Dtype.F16)
+  in
   let bindings, out = bindings_of x w ~dtype:Dtype.F16 in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* fp32 CUDA-core GEMM: classic two-level tiling without tensor cores. *)
 let cublas_fp32 (x : Dense.t) (w : Dense.t) : compiled =
   let m = x.Dense.rows and k = x.Dense.cols and n = w.Dense.cols in
   if k <> w.Dense.rows then invalid_arg "Gemm.cublas_fp32: shape mismatch";
-  let fn = Sparse_ir.compile (stage1 ~m ~n ~k ~dtype:Dtype.F32) in
-  let sched = Schedule.create fn in
-  let _ = Schedule.split sched ~loop:"i" ~factor:8 in
-  let _ = Schedule.split sched ~loop:"jd" ~factor:32 in
-  Schedule.reorder sched ~loops:[ "i.o"; "jd.o"; "i.i"; "jd.i"; "k" ];
-  ignore (Schedule.cache_write sched ~block:"gemm" ());
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"jd.o" Ir.Block_y;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
-  Schedule.bind sched ~loop:"jd.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"cublas_fp32_gemm" ~trace:"cublas_fp32(ty=8,tx=32)"
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"i" ~factor:8 in
+        let _ = Schedule.split sched ~loop:"jd" ~factor:32 in
+        Schedule.reorder sched ~loops:[ "i.o"; "jd.o"; "i.i"; "jd.i"; "k" ];
+        ignore (Schedule.cache_write sched ~block:"gemm" ());
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"jd.o" Ir.Block_y;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.bind sched ~loop:"jd.i" Ir.Thread_x;
+        Schedule.get sched)
+      (stage1 ~m ~n ~k ~dtype:Dtype.F32)
+  in
   let bindings, out = bindings_of x w ~dtype:Dtype.F32 in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* Low-level fp32 GEMM step over existing tensors, with optional transpose of
    the first operand: C = op(X) W, op(X) = X or X^T.  Used to chain GEMMs in
@@ -119,21 +129,25 @@ let fp32_step ~(tag : string) ?(trans_x = false) ~(x_t : Tensor.t)
         | _ -> assert false)
   in
   let fn =
-    Sparse_ir.compile (func ("gemm_" ^ tag) [ x_buf; w_buf; c_buf ] body)
+    Pipeline.compile ~name:"fp32_step_gemm"
+      ~trace:
+        (Printf.sprintf "fp32_step(trans_x=%b,ty=8,tx=%d)" trans_x (min 32 n))
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let li = "i_" ^ tag and lj = "jg_" ^ tag and lk = "kg_" ^ tag in
+        let _ = Schedule.split sched ~loop:li ~factor:8 in
+        let _ = Schedule.split sched ~loop:lj ~factor:(min 32 n) in
+        Schedule.reorder sched
+          ~loops:[ li ^ ".o"; lj ^ ".o"; li ^ ".i"; lj ^ ".i"; lk ];
+        ignore (Schedule.cache_write sched ~block:("gemm_" ^ tag) ());
+        Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+        Schedule.bind sched ~loop:(lj ^ ".o") Ir.Block_y;
+        Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+        Schedule.bind sched ~loop:(lj ^ ".i") Ir.Thread_x;
+        Schedule.get sched)
+      (func ("gemm_" ^ tag) [ x_buf; w_buf; c_buf ] body)
   in
-  let sched = Schedule.create fn in
-  let li = "i_" ^ tag and lj = "jg_" ^ tag and lk = "kg_" ^ tag in
-  let _ = Schedule.split sched ~loop:li ~factor:8 in
-  let _ = Schedule.split sched ~loop:lj ~factor:(min 32 n) in
-  Schedule.reorder sched
-    ~loops:[ li ^ ".o"; lj ^ ".o"; li ^ ".i"; lj ^ ".i"; lk ];
-  ignore (Schedule.cache_write sched ~block:("gemm_" ^ tag) ());
-  Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
-  Schedule.bind sched ~loop:(lj ^ ".o") Ir.Block_y;
-  Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
-  Schedule.bind sched ~loop:(lj ^ ".i") Ir.Thread_x;
-  ( Schedule.get sched,
-    [ ("X_" ^ tag, x_t); ("W_" ^ tag, w_t); ("C_" ^ tag, c_t) ] )
+  (fn, [ ("X_" ^ tag, x_t); ("W_" ^ tag, w_t); ("C_" ^ tag, c_t) ])
 
 (* Elementwise ReLU step: out = max(x, 0); with [grad] it instead computes
    out = grad masked by x > 0 (the ReLU backward). *)
@@ -178,4 +192,8 @@ let relu_step ~(tag : string) ?grad ~(x_t : Tensor.t) ~(out_t : Tensor.t) () :
         ( [ x_buf; g_buf; out_buf ],
           [ ("X_" ^ tag, x_t); ("G_" ^ tag, g); ("O_" ^ tag, out_t) ] )
   in
-  (func ("relu_" ^ tag) params body, binds)
+  (* hand-built flat func: run an empty flat-stage pipeline to verify it *)
+  let fn =
+    Pipeline.run ~start:Pipeline.Flat [] (func ("relu_" ^ tag) params body)
+  in
+  (fn, binds)

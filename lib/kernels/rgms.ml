@@ -121,16 +121,23 @@ let naive (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) : compiled =
   in
   (* reorder so the output row axis is outermost (grid) and the relation is a
      serial reduction inside *)
-  let fn = func "rgms" [ x_buf; w_buf; y_buf ] body in
-  let fn = Sparse_ir.sparse_reorder fn ~iter:"rgms" ~order:[ "REL"; "I"; "J"; "K"; "L" ] in
-  let fn = Sparse_ir.compile fn in
-  let sched = Schedule.create fn in
   let tx = min 32 dl in
-  let _ = Schedule.split sched ~loop:"l" ~factor:tx in
-  Schedule.reorder sched ~loops:[ "i"; "l.o"; "l.i"; "rel"; "j"; "k" ];
-  ignore (Schedule.cache_write sched ~block:"rgms" ());
-  Schedule.bind sched ~loop:"i" Ir.Block_x;
-  Schedule.bind sched ~loop:"l.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile
+      ~coord:
+        [ Pipeline.Pass.sparse_reorder ~iter:"rgms"
+            ~order:[ "REL"; "I"; "J"; "K"; "L" ] ]
+      ~name:"naive_rgms" ~trace:(Printf.sprintf "naive(tx=%d)" tx)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"l" ~factor:tx in
+        Schedule.reorder sched ~loops:[ "i"; "l.o"; "l.i"; "rel"; "j"; "k" ];
+        ignore (Schedule.cache_write sched ~block:"rgms" ());
+        Schedule.bind sched ~loop:"i" Ir.Block_x;
+        Schedule.bind sched ~loop:"l.i" Ir.Thread_x;
+        Schedule.get sched)
+      (func "rgms" [ x_buf; w_buf; y_buf ] body)
+  in
   let y = Tensor.create Dtype.F32 [ n; dl ] in
   let bindings =
     [ ("A_indptr", Tensor.of_int_array [ (r * n) + 1 ] indptr_arr);
@@ -139,7 +146,7 @@ let naive (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) : compiled =
       ("W", w_tensor w);
       ("Y", y) ]
   in
-  { steps = [ (Schedule.get sched, bindings) ]; out = y }
+  { steps = [ (fn, bindings) ]; out = y }
 
 (* ------------------------------------------------------------------ *)
 (* SparseTIR(hyb): per-(relation, bucket) ELL kernels, CUDA cores       *)
@@ -216,14 +223,17 @@ let hyb ?(k = 5) (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
           | [ i; l ] -> store y_buf [ i; l ] (float 0.0)
           | _ -> assert false)
     in
-    let fn = Sparse_ir.compile (func "y_init" [ y_buf ] body) in
-    let sched = Schedule.create fn in
-    let _ = Schedule.split sched ~loop:"i_init" ~factor:8 in
-    let _ = Schedule.split sched ~loop:"l_init" ~factor:(min 32 dl) in
-    Schedule.bind sched ~loop:"i_init.o" Ir.Block_x;
-    Schedule.bind sched ~loop:"i_init.i" Ir.Thread_y;
-    Schedule.bind sched ~loop:"l_init.i" Ir.Thread_x;
-    Schedule.get sched
+    Pipeline.compile ~name:"y_init"
+      ~trace:(Printf.sprintf "y_init(ty=8,tx=%d)" (min 32 dl))
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"i_init" ~factor:8 in
+        let _ = Schedule.split sched ~loop:"l_init" ~factor:(min 32 dl) in
+        Schedule.bind sched ~loop:"i_init.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i_init.i" Ir.Thread_y;
+        Schedule.bind sched ~loop:"l_init.i" Ir.Thread_x;
+        Schedule.get sched)
+      (func "y_init" [ y_buf ] body)
   in
   (* each bucket compiled and scheduled as its own kernel *)
   let bucket_fns =
@@ -258,22 +268,26 @@ let hyb ?(k = 5) (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
                     +: (load x_buf [ jb'; k' ] *: load w_buf [ int rel; k'; l' ]))
               | _ -> assert false)
         in
-        let fn =
-          Sparse_ir.compile (func ("rgms_" ^ tag) [ x_buf; w_buf; y_buf ] body)
-        in
-        let sched = Schedule.create fn in
-        let li = "ib_" ^ tag and lj = "jb_" ^ tag in
-        let lk = "kx_" ^ tag and ll = "lx_" ^ tag in
         let tx = min 32 dl in
-        let _ = Schedule.split sched ~loop:ll ~factor:tx in
         let rows_per_block = max 1 (32 / b.Hyb.bk_width) in
-        let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
-        Schedule.reorder sched ~loops:[ li ^ ".i"; ll ^ ".o"; ll ^ ".i"; lj; lk ];
-        ignore (Schedule.cache_write sched ~block:("rgms_" ^ tag) ());
-        Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
-        Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
-        Schedule.bind sched ~loop:(ll ^ ".i") Ir.Thread_x;
-        Schedule.get sched)
+        Pipeline.compile ~name:"hyb_rgms_bucket"
+          ~trace:
+            (Printf.sprintf "hyb_bucket(%s,rows=%d,tx=%d)" tag rows_per_block
+               tx)
+          (fun fn ->
+            let sched = Schedule.create fn in
+            let li = "ib_" ^ tag and lj = "jb_" ^ tag in
+            let lk = "kx_" ^ tag and ll = "lx_" ^ tag in
+            let _ = Schedule.split sched ~loop:ll ~factor:tx in
+            let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
+            Schedule.reorder sched
+              ~loops:[ li ^ ".i"; ll ^ ".o"; ll ^ ".i"; lj; lk ];
+            ignore (Schedule.cache_write sched ~block:("rgms_" ^ tag) ());
+            Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+            Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+            Schedule.bind sched ~loop:(ll ^ ".i") Ir.Thread_x;
+            Schedule.get sched)
+          (func ("rgms_" ^ tag) [ x_buf; w_buf; y_buf ] body))
       buckets
   in
   let fn = combine_funcs "rgms_hyb" (init_fn :: bucket_fns) in
@@ -451,10 +465,12 @@ let hyb_tc ?(k = 5) (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
                       (Seq [ w_copy; x_gather; p_zero; mma_sweep; scatter ]))) })
       buckets
   in
+  (* hand-built flat func: run an empty flat-stage pipeline to verify it *)
   let fn =
-    func "rgms_hyb_tc"
-      ([ x_buf; w_buf; y_buf ] @ List.rev !aux_params)
-      (Seq (init_kernel :: bucket_kernels))
+    Pipeline.run ~start:Pipeline.Flat []
+      (func "rgms_hyb_tc"
+         ([ x_buf; w_buf; y_buf ] @ List.rev !aux_params)
+         (Seq (init_kernel :: bucket_kernels)))
   in
   let y = Tensor.create Dtype.F32 [ n; dl ] in
   let x16 =
@@ -495,7 +511,8 @@ let zero_kernel (y_t : Tensor.t) ~(n : int) ~(l : int) :
                         body = store y_buf [ (v bi *: int 8) +: v ti; v lv ] (float 0.0) },
                     None ) } }
   in
-  (func "y_zero" [ y_buf ] body, [ ("Y", y_t) ])
+  (Pipeline.run ~start:Pipeline.Flat [] (func "y_zero" [ y_buf ] body),
+   [ ("Y", y_t) ])
 
 (* Graphiler / DGL strategy for RGCN: per relation, T_r = X W_r as a dense
    GEMM materialized in HBM, then Y += A_r T_r as an SpMM.  [launch_overhead]
@@ -562,15 +579,17 @@ let gather_two_stage (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
         let xg_buf = buffer ("XG_" ^ tag) [ int ne_pad; int dk ] in
         let t = var "t" and kk = var "k" in
         let gather_fn =
-          func ("gather_" ^ tag) [ x_buf; xg_buf; inmap ]
-            (For
-               { for_var = t; extent = int ne; kind = Thread_bind Block_x;
-                 body =
-                   For
-                     { for_var = kk; extent = int dk; kind = Thread_bind Thread_x;
-                       body =
-                         store xg_buf [ v t; v kk ]
-                           (load x_buf [ load inmap [ v t ]; v kk ]) } })
+          Pipeline.run ~start:Pipeline.Flat []
+            (func ("gather_" ^ tag) [ x_buf; xg_buf; inmap ]
+               (For
+                  { for_var = t; extent = int ne; kind = Thread_bind Block_x;
+                    body =
+                      For
+                        { for_var = kk; extent = int dk;
+                          kind = Thread_bind Thread_x;
+                          body =
+                            store xg_buf [ v t; v kk ]
+                              (load x_buf [ load inmap [ v t ]; v kk ]) } }))
         in
         steps :=
           ( gather_fn,
@@ -599,16 +618,18 @@ let gather_two_stage (rels : Csr.t array) (x : Dense.t) (w : Dense.t array) :
         let y_buf = buffer "Y" [ int n; int dl ] in
         let t2 = var "t" and ll = var "l" in
         let scatter_fn =
-          func ("scatter_" ^ tag) [ t_buf; y_buf; outmap ]
-            (For
-               { for_var = t2; extent = int ne; kind = Thread_bind Block_x;
-                 body =
-                   For
-                     { for_var = ll; extent = int dl; kind = Thread_bind Thread_x;
-                       body =
-                         (let yi = [ load outmap [ v t2 ]; v ll ] in
-                          store y_buf yi
-                            (load y_buf yi +: load t_buf [ v t2; v ll ])) } })
+          Pipeline.run ~start:Pipeline.Flat []
+            (func ("scatter_" ^ tag) [ t_buf; y_buf; outmap ]
+               (For
+                  { for_var = t2; extent = int ne; kind = Thread_bind Block_x;
+                    body =
+                      For
+                        { for_var = ll; extent = int dl;
+                          kind = Thread_bind Thread_x;
+                          body =
+                            (let yi = [ load outmap [ v t2 ]; v ll ] in
+                             store y_buf yi
+                               (load y_buf yi +: load t_buf [ v t2; v ll ])) } }))
         in
         steps :=
           ( scatter_fn,

@@ -2,7 +2,7 @@
    positions of A.  The SparseTIR kernel composes the stage-I sparse_fuse
    schedule (iterate non-zeros directly) with stage-II rfactor (PRedS-style
    two-stage reduction) and vectorized loads; the baselines are restricted
-   subsets of that space. *)
+   subsets of that space.  All variants compile through [Pipeline.compile]. *)
 
 open Tir
 open Formats
@@ -56,42 +56,59 @@ let base_bindings (a : Csr.t) (x : Dense.t) (y : Dense.t) :
       ("OUT", out) ],
     out )
 
+let fuse_ij = Pipeline.Pass.sparse_fuse ~iter:"sddmm" ~axes:[ "I"; "J" ]
+
 (* TACO-style: no fusion (row per thread, divergent edge loop), serial
    reduction per thread. *)
 let taco (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
   ignore feat;
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
-  let _ = Schedule.split sched ~loop:"i" ~factor:32 in
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"taco_sddmm" ~trace:"taco(rows=32)"
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"i" ~factor:32 in
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_x;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x y in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* cuSPARSE-style constSDDMM: row-per-thread without fusion or staging; low
    performance on highly sparse matrices (S4.2.2). *)
 let cusparse (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
   ignore feat;
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
-  let _ = Schedule.split sched ~loop:"i" ~factor:16 in
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"cusparse_sddmm" ~trace:"cusparse(rows=16)"
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"i" ~factor:16 in
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_x;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x y in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* DGL / FeatGraph: stage-I fusion (edge-per-thread, perfect balance),
    serial reduction, no vectorization.  The Figure 14 baseline. *)
 let dgl (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
   ignore feat;
-  let fn = Sparse_ir.sparse_fuse (stage1 a ~feat) ~iter:"sddmm" ~axes:[ "I"; "J" ] in
-  let fn = Sparse_ir.compile fn in
-  let sched = Schedule.create fn in
-  let _ = Schedule.split sched ~loop:"ij" ~factor:32 in
-  Schedule.bind sched ~loop:"ij.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"ij.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~coord:[ fuse_ij ] ~name:"dgl_sddmm"
+      ~trace:"dgl(edges=32)"
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"ij" ~factor:32 in
+        Schedule.bind sched ~loop:"ij.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"ij.i" Ir.Thread_x;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x y in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* PRedS (dgSPARSE) and the SparseTIR-tuned kernel: fusion + two-stage
    reduction (rfactor) with the feature loop spread over threads, plus
@@ -101,20 +118,25 @@ let two_stage ?(edges = 8) ?(group = 8) ?(vec = 2) (a : Csr.t) (x : Dense.t)
     (y : Dense.t) ~(feat : int) : compiled =
   let vec = if feat mod (group * vec) = 0 then vec else 1 in
   let group = if feat mod (group * vec) = 0 then group else min group feat in
-  let fn = Sparse_ir.sparse_fuse (stage1 a ~feat) ~iter:"sddmm" ~axes:[ "I"; "J" ] in
-  let fn = Sparse_ir.compile fn in
-  let sched = Schedule.create fn in
-  (* k -> [k.o.o serial][k.o.i = intra-group][k.i vectorized] *)
-  let _ = Schedule.split sched ~loop:"k" ~factor:vec in
-  if vec > 1 then Schedule.vectorize sched ~loop:"k.i";
-  let _ = Schedule.split sched ~loop:"k.o" ~factor:group in
-  let _ = Schedule.rfactor sched ~block:"sddmm" ~loop:"k.o.i" () in
-  Schedule.bind sched ~loop:"k.o.i" Ir.Thread_x;
-  let _ = Schedule.split sched ~loop:"ij" ~factor:edges in
-  Schedule.bind sched ~loop:"ij.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"ij.i" Ir.Thread_y;
+  let fn =
+    Pipeline.compile ~coord:[ fuse_ij ] ~name:"two_stage_sddmm"
+      ~trace:(Printf.sprintf "two_stage(edges=%d,group=%d,vec=%d)" edges group vec)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        (* k -> [k.o.o serial][k.o.i = intra-group][k.i vectorized] *)
+        let _ = Schedule.split sched ~loop:"k" ~factor:vec in
+        if vec > 1 then Schedule.vectorize sched ~loop:"k.i";
+        let _ = Schedule.split sched ~loop:"k.o" ~factor:group in
+        let _ = Schedule.rfactor sched ~block:"sddmm" ~loop:"k.o.i" () in
+        Schedule.bind sched ~loop:"k.o.i" Ir.Thread_x;
+        let _ = Schedule.split sched ~loop:"ij" ~factor:edges in
+        Schedule.bind sched ~loop:"ij.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"ij.i" Ir.Thread_y;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x y in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 let dgsparse (a : Csr.t) (x : Dense.t) (y : Dense.t) ~(feat : int) : compiled =
   two_stage ~edges:8 ~group:8 ~vec:2 a x y ~feat

@@ -3,7 +3,11 @@
    produced by format decomposition.
 
    Every function returns a compiled Stage III function together with the
-   tensor bindings for its parameters; the output buffer is named "C". *)
+   tensor bindings for its parameters; the output buffer is named "C".
+   Compilation goes through [Pipeline.compile]: the two lowering passes plus
+   a flat-stage schedule pass, verified at each stage boundary and memoized
+   in the compile cache (the trace strings encode every schedule
+   parameter). *)
 
 open Tir
 open Formats
@@ -81,67 +85,89 @@ let feature_loops ~(vec : int) =
    result (C is read-modified-written in global memory every reduction step)
    and no unrolling, because the provenance-graph IR cannot express them. *)
 let taco (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
   let tx = min 32 feat in
-  map_feature sched ~tx ~vec:1;
-  let _ = Schedule.split sched ~loop:"i" ~factor:8 in
-  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
-  (* no cache_write: the accumulation target stays in global memory *)
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
-  Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"taco_spmm" ~trace:(Printf.sprintf "taco(tx=%d)" tx)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        map_feature sched ~tx ~vec:1;
+        let _ = Schedule.split sched ~loop:"i" ~factor:8 in
+        Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+        (* no cache_write: the accumulation target stays in global memory *)
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x ~feat in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* cuSPARSE-style CSRMM: one row per block, features across threads,
    register accumulation. *)
 let cusparse (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
   let tx = min 32 feat in
-  map_feature sched ~tx ~vec:1;
-  Schedule.reorder sched ~loops:[ "k.o"; "k.i"; "j" ];
-  ignore (Schedule.cache_write sched ~block:"spmm" ());
-  Schedule.bind sched ~loop:"i" Ir.Block_x;
+  let fn =
+    Pipeline.compile ~name:"cusparse_spmm"
+      ~trace:(Printf.sprintf "cusparse(tx=%d)" tx)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        map_feature sched ~tx ~vec:1;
+        Schedule.reorder sched ~loops:[ "k.o"; "k.i"; "j" ];
+        ignore (Schedule.cache_write sched ~block:"spmm" ());
+        Schedule.bind sched ~loop:"i" Ir.Block_x;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x ~feat in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* GE-SpMM (dgSPARSE): row groups per block + coalesced feature access +
    register accumulation. *)
 let dgsparse ?(row_group = 8) (a : Csr.t) (x : Dense.t) ~(feat : int) :
     compiled =
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
   let tx = min 32 feat in
-  map_feature sched ~tx ~vec:1;
-  let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
-  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
-  ignore (Schedule.cache_write sched ~block:"spmm" ());
-  (* GE-SpMM unrolls the non-zero loop after staging indices *)
-  Schedule.unroll sched ~loop:"j";
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let fn =
+    Pipeline.compile ~name:"dgsparse_spmm"
+      ~trace:(Printf.sprintf "dgsparse(tx=%d,row_group=%d)" tx row_group)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        map_feature sched ~tx ~vec:1;
+        let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+        Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+        ignore (Schedule.cache_write sched ~block:"spmm" ());
+        (* GE-SpMM unrolls the non-zero loop after staging indices *)
+        Schedule.unroll sched ~loop:"j";
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x ~feat in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* Sputnik: subwarp tiling with vectorized (float4) feature loads. *)
 let sputnik ?(row_group = 4) (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled
     =
   let vec = if feat mod 4 = 0 then 4 else 1 in
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
-  (* k -> [k.o = tx][k.i vectorized] *)
-  let _, _ = Schedule.split sched ~loop:"k" ~factor:vec in
-  if vec > 1 then Schedule.vectorize sched ~loop:"k.i";
-  Schedule.bind sched ~loop:"k.o" Ir.Thread_x;
-  let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
-  Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "j" ];
-  ignore (Schedule.cache_write sched ~block:"spmm" ());
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let fn =
+    Pipeline.compile ~name:"sputnik_spmm"
+      ~trace:(Printf.sprintf "sputnik(vec=%d,row_group=%d)" vec row_group)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        (* k -> [k.o = tx][k.i vectorized] *)
+        let _, _ = Schedule.split sched ~loop:"k" ~factor:vec in
+        if vec > 1 then Schedule.vectorize sched ~loop:"k.i";
+        Schedule.bind sched ~loop:"k.o" Ir.Thread_x;
+        let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+        Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "j" ];
+        ignore (Schedule.cache_write sched ~block:"spmm" ());
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x ~feat in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* SparseTIR without format decomposition: the best CSR schedule in the
    tuning space (GE-SpMM-style grouping + unrolled reduction + optional
@@ -150,17 +176,24 @@ let sparsetir_no_hyb ?(row_group = 8) ?(vec = 1) (a : Csr.t) (x : Dense.t)
     ~(feat : int) : compiled =
   let vec = if feat mod (32 * vec) = 0 then vec else 1 in
   let tx = min 32 (feat / vec) in
-  let fn = Sparse_ir.compile (stage1 a ~feat) in
-  let sched = Schedule.create fn in
-  map_feature sched ~tx ~vec;
-  let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
-  Schedule.reorder sched ~loops:(("i.i" :: feature_loops ~vec) @ [ "j" ]);
-  ignore (Schedule.cache_write sched ~block:"spmm" ());
-  Schedule.unroll sched ~loop:"j";
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+  let fn =
+    Pipeline.compile ~name:"sparsetir_no_hyb_spmm"
+      ~trace:
+        (Printf.sprintf "no_hyb(tx=%d,vec=%d,row_group=%d)" tx vec row_group)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        map_feature sched ~tx ~vec;
+        let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+        Schedule.reorder sched ~loops:(("i.i" :: feature_loops ~vec) @ [ "j" ]);
+        ignore (Schedule.cache_write sched ~block:"spmm" ());
+        Schedule.unroll sched ~loop:"j";
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.get sched)
+      (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x ~feat in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* ------------------------------------------------------------------ *)
 (* Composable-format hyb(c, k) kernel (Figures 5 and 11)               *)
@@ -202,6 +235,18 @@ let bucket_rule (idx : int) (b : Hyb.bucket) :
   in
   (rule, binds)
 
+(* Cache-key fragment for a hyb decomposition: the bucket shapes (partition,
+   width, rows) are baked into the rewritten func, so they must appear in
+   the pass trace. *)
+let hyb_trace ~c ~k (h : Hyb.t) : string =
+  Printf.sprintf "hyb(c=%d,k=%d,buckets=[%s])" c k
+    (String.concat ";"
+       (List.map
+          (fun (b : Hyb.bucket) ->
+            Printf.sprintf "p%d:w%d:r%d" b.Hyb.bk_part b.Hyb.bk_width
+              b.Hyb.bk_ell.Ell.rows)
+          h.Hyb.buckets))
+
 (* The hyb(c, k) SpMM: decompose the CSR iteration into per-bucket ELL
    iterations, then schedule each bucket so a thread block processes 2^k
    non-zeros (2^{k-i} rows of bucket width 2^i). *)
@@ -209,43 +254,54 @@ let sparsetir_hyb ?(c = 1) ?k (a : Csr.t) (x : Dense.t) ~(feat : int) :
     compiled * Hyb.t =
   let k = match k with Some k -> k | None -> Hyb.default_k a in
   let h = Hyb.of_csr ~c ~k a in
-  let fn = stage1 a ~feat in
   let rules_binds = List.mapi bucket_rule h.Hyb.buckets in
   let rules = List.map fst rules_binds in
   let extra_binds = List.concat_map snd rules_binds in
-  let fn, _bufs = Sparse_ir.decompose_format fn ~iter:"spmm" rules in
-  let fn = Sparse_ir.compile fn in
-  let sched = Schedule.create fn in
-  (* init kernel: parallelize over rows and features *)
-  let _ = Schedule.split sched ~loop:"i" ~factor:(min 8 a.Csr.rows) in
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
-  let tx0 = min 32 feat in
-  let _ = Schedule.split sched ~loop:"k" ~factor:tx0 in
-  Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
-  (* per-bucket schedules *)
-  List.iter2
-    (fun (rule : Sparse_ir.Format_rewrite.rule) (b : Hyb.bucket) ->
-      let tag = rule.Sparse_ir.Format_rewrite.fr_name in
-      let li = "i_" ^ tag and lj = "j_" ^ tag in
-      let width = b.Hyb.bk_width in
-      let rows_per_block = max 1 ((1 lsl k) / width) in
-      let lk = "k_" ^ tag in
-      let tx = min 32 feat in
-      let _ = Schedule.split sched ~loop:lk ~factor:tx in
-      Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
-      let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
-      Schedule.reorder sched
-        ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
-      ignore (Schedule.cache_write sched ~block:("spmm_" ^ tag) ());
-      Schedule.unroll sched ~loop:lj;
-      Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
-      Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y)
-    rules h.Hyb.buckets;
+  let decompose =
+    Pipeline.Pass.coord ~name:"decompose_format" ~trace:(hyb_trace ~c ~k h)
+      (fun fn ->
+        let fn, _bufs = Sparse_ir.decompose_format fn ~iter:"spmm" rules in
+        fn)
+  in
+  let schedule fn =
+    let sched = Schedule.create fn in
+    (* init kernel: parallelize over rows and features *)
+    let _ = Schedule.split sched ~loop:"i" ~factor:(min 8 a.Csr.rows) in
+    Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+    Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+    let tx0 = min 32 feat in
+    let _ = Schedule.split sched ~loop:"k" ~factor:tx0 in
+    Schedule.bind sched ~loop:"k.i" Ir.Thread_x;
+    (* per-bucket schedules *)
+    List.iter2
+      (fun (rule : Sparse_ir.Format_rewrite.rule) (b : Hyb.bucket) ->
+        let tag = rule.Sparse_ir.Format_rewrite.fr_name in
+        let li = "i_" ^ tag and lj = "j_" ^ tag in
+        let width = b.Hyb.bk_width in
+        let rows_per_block = max 1 ((1 lsl k) / width) in
+        let lk = "k_" ^ tag in
+        let tx = min 32 feat in
+        let _ = Schedule.split sched ~loop:lk ~factor:tx in
+        Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
+        let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
+        Schedule.reorder sched
+          ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
+        ignore (Schedule.cache_write sched ~block:("spmm_" ^ tag) ());
+        Schedule.unroll sched ~loop:lj;
+        Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+        Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y)
+      rules h.Hyb.buckets;
+    Schedule.get sched
+  in
+  let fn =
+    Pipeline.compile ~coord:[ decompose ] ~name:"hyb_spmm"
+      ~trace:(Printf.sprintf "hyb_sched(feat=%d,k=%d)" feat k)
+      schedule (stage1 a ~feat)
+  in
   let bindings, out = base_bindings a x ~feat in
   (* the original A data buffer is gone after decomposition *)
   let bindings = List.filter (fun (n, _) -> n <> "A") bindings in
-  ({ fn = Schedule.get sched; bindings = bindings @ extra_binds; out }, h)
+  ({ fn; bindings = bindings @ extra_binds; out }, h)
 
 (* Accumulating SpMM (no output init): C += A * B with B supplied as an
    existing tensor.  Used by the two-stage RGMS pipelines, where each
@@ -277,17 +333,23 @@ let accumulate_into ?(row_group = 8) (a : Csr.t) ~(b_tensor : Tensor.t)
               (load c_buf [ i; k ] +: (load a_buf [ i; j ] *: load b_buf [ j; k ]))
         | _ -> assert false)
   in
-  let fn = Sparse_ir.compile (func ("spmm_" ^ tag) [ a_buf; b_buf; c_buf ] body) in
-  let sched = Schedule.create fn in
-  let li = "i_" ^ tag and lj = "j_" ^ tag and lk = "k_" ^ tag in
   let tx = min 32 feat in
-  let _ = Schedule.split sched ~loop:lk ~factor:tx in
-  let _ = Schedule.split sched ~loop:li ~factor:row_group in
-  Schedule.reorder sched ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
-  ignore (Schedule.cache_write sched ~block:("spmm_" ^ tag) ());
-  Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
-  Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
-  Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"accumulate_spmm"
+      ~trace:(Printf.sprintf "accumulate(tx=%d,row_group=%d)" tx row_group)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let li = "i_" ^ tag and lj = "j_" ^ tag and lk = "k_" ^ tag in
+        let _ = Schedule.split sched ~loop:lk ~factor:tx in
+        let _ = Schedule.split sched ~loop:li ~factor:row_group in
+        Schedule.reorder sched ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
+        ignore (Schedule.cache_write sched ~block:("spmm_" ^ tag) ());
+        Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+        Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+        Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
+        Schedule.get sched)
+      (func ("spmm_" ^ tag) [ a_buf; b_buf; c_buf ] body)
+  in
   let bindings =
     [ ("A_" ^ tag, Csr.data_tensor a);
       ("Ai_" ^ tag, Csr.indptr_tensor a);
@@ -295,4 +357,4 @@ let accumulate_into ?(row_group = 8) (a : Csr.t) ~(b_tensor : Tensor.t)
       ("B_" ^ tag, b_tensor);
       ("C", c_tensor) ]
   in
-  (Schedule.get sched, bindings)
+  (fn, bindings)

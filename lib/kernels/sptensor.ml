@@ -73,16 +73,21 @@ let bindings_of (t : Csf.t) (b : Dense.t) (c : Dense.t) :
    accumulation over the two reduction levels. *)
 let mttkrp (t : Csf.t) (b : Dense.t) (c : Dense.t) : compiled =
   let rank = b.Dense.cols in
-  let fn = Sparse_ir.compile (mttkrp_stage1 t ~rank) in
-  let sched = Schedule.create fn in
   let tx = min 32 rank in
-  let _ = Schedule.split sched ~loop:"r" ~factor:tx in
-  Schedule.reorder sched ~loops:[ "r.o"; "r.i"; "j"; "k" ];
-  ignore (Schedule.cache_write sched ~block:"mttkrp" ());
-  Schedule.bind sched ~loop:"i" Ir.Block_x;
-  Schedule.bind sched ~loop:"r.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"mttkrp" ~trace:(Printf.sprintf "mttkrp(tx=%d)" tx)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"r" ~factor:tx in
+        Schedule.reorder sched ~loops:[ "r.o"; "r.i"; "j"; "k" ];
+        ignore (Schedule.cache_write sched ~block:"mttkrp" ());
+        Schedule.bind sched ~loop:"i" Ir.Block_x;
+        Schedule.bind sched ~loop:"r.i" Ir.Thread_x;
+        Schedule.get sched)
+      (mttkrp_stage1 t ~rank)
+  in
   let bindings, out = bindings_of t b c in
-  { fn = Schedule.get sched; bindings; out }
+  { fn; bindings; out }
 
 (* ------------------------------------------------------------------ *)
 (* FusedMM (Rahman et al.): SDDMM fused with SpMM.                     *)
@@ -127,16 +132,21 @@ let fusedmm_stage1 (a : Csr.t) ~(feat : int) ~(out_feat : int) : Ir.func =
 
 let fusedmm (a : Csr.t) (x : Dense.t) (z : Dense.t) (v : Dense.t) : compiled =
   let feat = x.Dense.cols and out_feat = v.Dense.cols in
-  let fn = Sparse_ir.compile (fusedmm_stage1 a ~feat ~out_feat) in
-  let sched = Schedule.create fn in
   let tx = min 32 out_feat in
-  let _ = Schedule.split sched ~loop:"l" ~factor:tx in
-  let _ = Schedule.split sched ~loop:"i" ~factor:4 in
-  Schedule.reorder sched ~loops:[ "i.i"; "l.o"; "l.i"; "j"; "k" ];
-  ignore (Schedule.cache_write sched ~block:"fusedmm" ());
-  Schedule.bind sched ~loop:"i.o" Ir.Block_x;
-  Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
-  Schedule.bind sched ~loop:"l.i" Ir.Thread_x;
+  let fn =
+    Pipeline.compile ~name:"fusedmm" ~trace:(Printf.sprintf "fusedmm(tx=%d)" tx)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        let _ = Schedule.split sched ~loop:"l" ~factor:tx in
+        let _ = Schedule.split sched ~loop:"i" ~factor:4 in
+        Schedule.reorder sched ~loops:[ "i.i"; "l.o"; "l.i"; "j"; "k" ];
+        ignore (Schedule.cache_write sched ~block:"fusedmm" ());
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.bind sched ~loop:"l.i" Ir.Thread_x;
+        Schedule.get sched)
+      (fusedmm_stage1 a ~feat ~out_feat)
+  in
   let y = Tensor.create Dtype.F32 [ a.Csr.rows; out_feat ] in
   let bindings =
     [ ("X", Dense.to_tensor x); ("Z", Dense.to_tensor z);
@@ -144,7 +154,7 @@ let fusedmm (a : Csr.t) (x : Dense.t) (z : Dense.t) (v : Dense.t) : compiled =
       ("A_indptr", Csr.indptr_tensor a);
       ("A_indices", Csr.indices_tensor a) ]
   in
-  { fn = Schedule.get sched; bindings; out = y }
+  { fn; bindings; out = y }
 
 (* Host reference for FusedMM. *)
 let fusedmm_reference (a : Csr.t) (x : Dense.t) (z : Dense.t) (v : Dense.t) :

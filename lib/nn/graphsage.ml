@@ -72,23 +72,31 @@ let spmm_step (variant : spmm_variant) (a : Csr.t) ~(b_t : Tensor.t)
                       +: (load a_sb [ ib'; jb' ] *: load b_buf [ jb'; k' ]))
                 | _ -> assert false)
           in
-          let fn =
-            Sparse_ir.compile (func ("spmm_" ^ btag) [ a_sb; b_buf; c_buf ] body)
-          in
-          let sched = Schedule.create fn in
-          let li = "ib_" ^ btag and lj = "jb_" ^ btag and lk = "kx_" ^ btag in
           let tx = min 32 feat in
-          let _ = Schedule.split sched ~loop:lk ~factor:tx in
           let rows_per_block = max 1 ((1 lsl k) / b.Hyb.bk_width) in
-          let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
-          Schedule.reorder sched
-            ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
-          ignore (Schedule.cache_write sched ~block:("spmm_" ^ btag) ());
-          Schedule.unroll sched ~loop:lj;
-          Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
-          Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
-          Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
-          ( Schedule.get sched,
+          let fn =
+            Pipeline.compile ~name:"graphsage_spmm"
+              ~trace:
+                (Printf.sprintf "sage_bucket(%s,rows=%d,tx=%d)" btag
+                   rows_per_block tx)
+              (fun fn ->
+                let sched = Schedule.create fn in
+                let li = "ib_" ^ btag
+                and lj = "jb_" ^ btag
+                and lk = "kx_" ^ btag in
+                let _ = Schedule.split sched ~loop:lk ~factor:tx in
+                let _ = Schedule.split sched ~loop:li ~factor:rows_per_block in
+                Schedule.reorder sched
+                  ~loops:[ li ^ ".i"; lk ^ ".o"; lk ^ ".i"; lj ];
+                ignore (Schedule.cache_write sched ~block:("spmm_" ^ btag) ());
+                Schedule.unroll sched ~loop:lj;
+                Schedule.bind sched ~loop:(li ^ ".o") Ir.Block_x;
+                Schedule.bind sched ~loop:(li ^ ".i") Ir.Thread_y;
+                Schedule.bind sched ~loop:(lk ^ ".i") Ir.Thread_x;
+                Schedule.get sched)
+              (func ("spmm_" ^ btag) [ a_sb; b_buf; c_buf ] body)
+          in
+          ( fn,
             [ ("A_" ^ btag, Ell.data_tensor e);
               ("rm_" ^ btag, Ell.row_map_tensor e);
               ("ei_" ^ btag, Ell.indices_tensor e);
@@ -124,7 +132,9 @@ let zero_step ~(tag : string) (t : Tensor.t) : Ir.func * Gpusim.bindings =
                         body = store buf [ row; v jv ] (float 0.0) },
                     None ) } }
   in
-  (func ("zero_" ^ tag) [ buf ] body, [ ("Z_" ^ tag, t) ])
+  (* hand-built flat func: run an empty flat-stage pipeline to verify it *)
+  let fn = Pipeline.run ~start:Pipeline.Flat [] (func ("zero_" ^ tag) [ buf ] body) in
+  (fn, [ ("Z_" ^ tag, t) ])
 
 (* One training epoch (forward + backward) of the 2-layer model. *)
 let epoch (variant : spmm_variant) (a : Csr.t) ~(in_feat : int)

@@ -1,0 +1,43 @@
+(* Compile cache: memoizes [Pipeline.run] results.
+
+   The key is the printed Stage I func concatenated with the pipeline's
+   schedule trace.  [Tir.Printer] output is purely name-based — internal
+   variable and buffer ids never appear — so structurally identical funcs
+   built by separate [Builder] invocations (fresh id counters) print
+   identically, which is exactly the structural-hash behaviour the tuner
+   needs when it rebuilds the same candidate.  Pass traces must encode every
+   parameter a transform closes over; see [Pass.t]. *)
+
+open Tir
+
+type t = {
+  table : (string, Ir.func) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let key (fn : Ir.func) ~(trace : string) : string =
+  Printer.func_to_string fn ^ "\n#schedule-trace: " ^ trace
+
+let find (t : t) (k : string) : Ir.func option =
+  match Hashtbl.find_opt t.table k with
+  | Some fn ->
+      t.hits <- t.hits + 1;
+      Some fn
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add (t : t) (k : string) (fn : Ir.func) : unit =
+  Hashtbl.replace t.table k fn
+
+let hits (t : t) = t.hits
+let misses (t : t) = t.misses
+let size (t : t) = Hashtbl.length t.table
+
+let clear (t : t) =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,63 @@
+(* A compilation pass with an explicit stage contract.
+
+   The paper's Figure 2 pipeline moves a func through three representations:
+   Stage I (coordinate space, [Sp_iter_stmt]), Stage II (position space,
+   loop nests with [Block_stmt]) and Stage III (flat loop IR, no sparse
+   constructs).  A [Pass.t] names one transformation step together with the
+   stage it consumes and the stage it produces, so the driver can check
+   contracts between passes and the verifier knows which invariants apply. *)
+
+open Tir
+
+type stage = Coord | Position | Flat
+
+let stage_to_string = function
+  | Coord -> "coord"
+  | Position -> "position"
+  | Flat -> "flat"
+
+type t = {
+  p_name : string;
+  (* Cache-key fragment.  Must encode every parameter the transform closes
+     over (split factors, bucket shapes, tags, ...): two pipelines whose
+     input funcs print identically and whose traces are equal are assumed
+     to produce identical output. *)
+  p_trace : string;
+  p_input : stage;
+  p_output : stage;
+  p_transform : Ir.func -> Ir.func;
+}
+
+let v ~name ?trace ~input ~output transform =
+  {
+    p_name = name;
+    p_trace = (match trace with Some t -> t | None -> name);
+    p_input = input;
+    p_output = output;
+    p_transform = transform;
+  }
+
+(* The two lowering passes of the paper (Fig. 2). *)
+let lower_iterations =
+  v ~name:"lower_iterations" ~input:Coord ~output:Position
+    Sparse_ir.Lower_iter.lower
+
+let lower_buffers =
+  v ~name:"lower_buffers" ~input:Position ~output:Flat Sparse_ir.Lower_buffer.lower
+
+(* Within-stage rewrites.  [coord] wraps Stage I schedules
+   (sparse_reorder / sparse_fuse / decompose_format); [schedule] wraps the
+   loop-level schedules kernels apply to the flat Stage III func. *)
+let coord ~name ?trace f = v ~name ?trace ~input:Coord ~output:Coord f
+let position ~name ?trace f = v ~name ?trace ~input:Position ~output:Position f
+let schedule ~name ?trace f = v ~name ?trace ~input:Flat ~output:Flat f
+
+let sparse_reorder ~iter ~order =
+  coord ~name:"sparse_reorder"
+    ~trace:(Printf.sprintf "sparse_reorder(%s:%s)" iter (String.concat "," order))
+    (fun fn -> Sparse_ir.Stage1.sparse_reorder fn ~iter ~order)
+
+let sparse_fuse ~iter ~axes =
+  coord ~name:"sparse_fuse"
+    ~trace:(Printf.sprintf "sparse_fuse(%s:%s)" iter (String.concat "," axes))
+    (fun fn -> Sparse_ir.Stage1.sparse_fuse fn ~iter ~axes)

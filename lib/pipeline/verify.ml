@@ -1,0 +1,263 @@
+(* Inter-pass IR verifier.
+
+   Run by [Pipeline.run] at every stage boundary.  The invariants are
+   stage-aware:
+
+   - every stage: axis parent chains are acyclic; every variable is bound
+     (by a loop, let, block iterator or sparse iteration) before use.
+   - position and flat: every accessed global buffer is declared — a func
+     parameter, a format auxiliary (indptr/indices of a declared sparse
+     buffer's axes) or a scoped [Alloc].  (Not checked in coordinate space:
+     stage I bodies may reference auxiliary buffers that iteration lowering
+     materializes into parameters later.)
+   - position: no [Sp_iter_stmt] remains after iteration lowering.
+   - flat: no sparse constructs at all — no sparse params, no sparse
+     buffer accesses, no sparse iterations. *)
+
+open Tir
+open Tir.Ir
+
+exception
+  Verify_error of {
+    ve_pass : string;    (* pass after which verification failed *)
+    ve_stage : Pass.stage;
+    ve_message : string;
+    ve_excerpt : string; (* leading lines of the printed offending func *)
+  }
+
+let excerpt ?(max_lines = 14) (fn : func) : string =
+  let s = try Printer.func_to_string fn with _ -> "<unprintable func>" in
+  let lines = String.split_on_char '\n' s in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> [ "  ..." ]
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  String.concat "\n" (take max_lines lines)
+
+let to_string = function
+  | Verify_error e ->
+      Printf.sprintf "IR verification failed after pass '%s' (%s stage): %s\n%s"
+        e.ve_pass
+        (Pass.stage_to_string e.ve_stage)
+        e.ve_message e.ve_excerpt
+  | exn -> Printexc.to_string exn
+
+let fail ~pass ~stage ~fn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Verify_error
+           {
+             ve_pass = pass;
+             ve_stage = stage;
+             ve_message = msg;
+             ve_excerpt = excerpt fn;
+           }))
+    fmt
+
+module Int_set = Set.Make (Int)
+module Str_set = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Axis parent chains                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Directly-mentioned axes: sparse-buffer compositions and sparse
+   iterations.  Parents are reached by the acyclicity walk itself, which
+   must not assume termination of [axis_ancestors]. *)
+let direct_axes (fn : func) : axis list =
+  let acc = ref [] in
+  let add_buf (b : buffer) =
+    match b.buf_axes with Some axes -> acc := axes @ !acc | None -> ()
+  in
+  List.iter add_buf fn.fn_params;
+  let on_expr = function
+    | Load (b, _) -> add_buf b
+    | Bsearch b -> add_buf b.bs_buf
+    | _ -> ()
+  in
+  Analysis.iter_stmt ~enter_expr:on_expr
+    (function
+      | Store (b, _, _) | Alloc (b, _) -> add_buf b
+      | Sp_iter_stmt sp -> acc := sp.sp_axes @ !acc
+      | _ -> ())
+    fn.fn_body;
+  !acc
+
+let check_axes ~pass ~stage (fn : func) : unit =
+  let check_one (a : axis) =
+    let rec go seen (x : axis) =
+      if Str_set.mem x.ax_name seen then
+        fail ~pass ~stage ~fn
+          "axis '%s' has a cyclic parent chain (revisits '%s')" a.ax_name
+          x.ax_name
+      else
+        match x.ax_parent with
+        | None -> ()
+        | Some p -> go (Str_set.add x.ax_name seen) p
+    in
+    go Str_set.empty a
+  in
+  List.iter check_one (direct_axes fn)
+
+(* ------------------------------------------------------------------ *)
+(* Variables bound before use                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_vars ~pass ~stage (fn : func) : unit =
+  let chk_expr env e =
+    List.iter
+      (fun (v : var) ->
+        if not (Int_set.mem v.vid env) then
+          fail ~pass ~stage ~fn "variable '%s' is used before being bound"
+            v.vname)
+      (Analysis.free_vars_expr e)
+  in
+  let rec chk env (s : stmt) =
+    match s with
+    | Store (_, idx, value) ->
+        List.iter (chk_expr env) idx;
+        chk_expr env value
+    | Seq l -> List.iter (chk env) l
+    | For f ->
+        chk_expr env f.extent;
+        chk (Int_set.add f.for_var.vid env) f.body
+    | If (c, t, e) ->
+        chk_expr env c;
+        chk env t;
+        Option.iter (chk env) e
+    | Let_stmt (x, value, body) ->
+        chk_expr env value;
+        chk (Int_set.add x.vid env) body
+    | Block_stmt blk ->
+        List.iter
+          (fun bi ->
+            chk_expr env bi.bi_dom;
+            chk_expr env bi.bi_bind)
+          blk.blk_iters;
+        let env' =
+          List.fold_left
+            (fun acc bi -> Int_set.add bi.bi_var.vid acc)
+            env blk.blk_iters
+        in
+        List.iter
+          (fun (r : region) ->
+            List.iter
+              (fun (lo, ext) ->
+                chk_expr env' lo;
+                chk_expr env' ext)
+              r.rg_bounds)
+          (blk.blk_reads @ blk.blk_writes);
+        Option.iter (chk env') blk.blk_init;
+        chk env' blk.blk_body
+    | Alloc (_, body) -> chk env body
+    | Eval e -> chk_expr env e
+    | Mma_sync m ->
+        List.iter
+          (fun o ->
+            List.iter (chk_expr env) o.op_origin;
+            chk_expr env o.op_ld)
+          [ m.mma_a; m.mma_b; m.mma_c ]
+    | Sp_iter_stmt sp ->
+        let env' =
+          List.fold_left
+            (fun acc (v : var) -> Int_set.add v.vid acc)
+            env sp.sp_vars
+        in
+        Option.iter (chk env') sp.sp_init;
+        chk env' sp.sp_body
+  in
+  chk Int_set.empty fn.fn_body
+
+(* ------------------------------------------------------------------ *)
+(* Buffer declarations (position / flat stages)                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_buffers ~pass ~stage (fn : func) : unit =
+  (* Format auxiliaries of any axis reachable from a declared or accessed
+     sparse buffer are implicitly declared. *)
+  let aux_ids = ref Int_set.empty in
+  let add_axis_aux (a : axis) =
+    List.iter
+      (fun (anc : axis) ->
+        Option.iter
+          (fun (b : buffer) -> aux_ids := Int_set.add b.buf_id !aux_ids)
+          anc.ax_indptr;
+        Option.iter
+          (fun (b : buffer) -> aux_ids := Int_set.add b.buf_id !aux_ids)
+          anc.ax_indices)
+      (axis_ancestors a)
+  in
+  let add_buf_aux (b : buffer) =
+    match b.buf_axes with Some axes -> List.iter add_axis_aux axes | None -> ()
+  in
+  List.iter add_buf_aux fn.fn_params;
+  let accessed = Analysis.collect_buffers_stmt fn.fn_body in
+  List.iter add_buf_aux accessed;
+  let param_ids =
+    List.fold_left
+      (fun acc (b : buffer) -> Int_set.add b.buf_id acc)
+      Int_set.empty fn.fn_params
+  in
+  let alloc_ids = ref Int_set.empty in
+  Analysis.iter_stmt
+    (function
+      | Alloc (b, _) -> alloc_ids := Int_set.add b.buf_id !alloc_ids
+      | _ -> ())
+    fn.fn_body;
+  List.iter
+    (fun (b : buffer) ->
+      let declared =
+        Int_set.mem b.buf_id param_ids
+        || Int_set.mem b.buf_id !aux_ids
+        || Int_set.mem b.buf_id !alloc_ids
+      in
+      if not declared then
+        fail ~pass ~stage ~fn
+          "buffer '%s' is accessed but not declared (not a parameter, a \
+           format auxiliary, or a scoped allocation)"
+          b.buf_name)
+    accessed
+
+(* ------------------------------------------------------------------ *)
+(* Stage-exit checks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_no_sp_iter ~pass ~stage (fn : func) : unit =
+  Analysis.iter_stmt
+    (function
+      | Sp_iter_stmt sp ->
+          fail ~pass ~stage ~fn
+            "sparse iteration '%s' survived iteration lowering" sp.sp_name
+      | _ -> ())
+    fn.fn_body
+
+let check_no_sparse ~pass ~stage (fn : func) : unit =
+  List.iter
+    (fun (b : buffer) ->
+      if is_sparse_buffer b then
+        fail ~pass ~stage ~fn
+          "sparse parameter '%s' survived buffer lowering" b.buf_name)
+    fn.fn_params;
+  if Analysis.stmt_contains_sparse_constructs fn.fn_body then
+    fail ~pass ~stage ~fn
+      "sparse constructs (sparse iteration or sparse buffer access) remain \
+       after buffer lowering"
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check ~(pass : string) (stage : Pass.stage) (fn : func) : unit =
+  (* acyclicity first: the buffer check walks ancestor chains *)
+  check_axes ~pass ~stage fn;
+  check_vars ~pass ~stage fn;
+  match stage with
+  | Pass.Coord -> ()
+  | Pass.Position ->
+      check_no_sp_iter ~pass ~stage fn;
+      check_buffers ~pass ~stage fn
+  | Pass.Flat ->
+      check_buffers ~pass ~stage fn;
+      check_no_sparse ~pass ~stage fn

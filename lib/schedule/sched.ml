@@ -307,8 +307,12 @@ let rewrite_at_chain_top (s : t) ~chain_vars ?(required = []) ~block_name
     | None -> false
   in
   let done_ = ref false in
+  (* Only a For may anchor the chain: anchoring at a guard If would let the
+     wrapper sequence statements (write-backs) outside the guard, executing
+     them for iterations the guard excludes. *)
+  let is_for = function For _ -> true | _ -> false in
   let rec go st =
-    if (not !done_) && chain_ok st then begin
+    if (not !done_) && is_for st && chain_ok st then begin
       done_ := true;
       wrap st
     end

@@ -191,10 +191,19 @@ let axis_is_sparse (a : axis) =
 
 (* Ancestor chain of an axis from the root down to (and including) the axis
    itself — the paper's "anc" (Eq. 5). *)
-let rec axis_ancestors (a : axis) : axis list =
-  match a.ax_parent with
-  | None -> [ a ]
-  | Some p -> axis_ancestors p @ [ a ]
+(* Ancestors from the root down to [a].  Stops at the first revisited axis so
+   that a (malformed) cyclic parent chain can still be printed and reported
+   by the verifier instead of looping forever. *)
+let axis_ancestors (a : axis) : axis list =
+  let rec go seen (x : axis) acc =
+    if List.exists (fun (y : axis) -> String.equal y.ax_name x.ax_name) seen
+    then acc
+    else
+      match x.ax_parent with
+      | None -> x :: acc
+      | Some p -> go (x :: seen) p (x :: acc)
+  in
+  go [] a []
 
 let thread_tag_to_string = function
   | Block_x -> "blockIdx.x"

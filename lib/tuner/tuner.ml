@@ -17,12 +17,15 @@ type 'a result = {
   best_config : 'a;
   best : Gpusim.profile;
   trials : (string * float) list; (* label, time_ms *)
+  cache_hits : int; (* compile-cache hits incurred by this search *)
+  cache_misses : int; (* compile-cache misses incurred by this search *)
 }
 
 let search (candidates : 'a candidate list) : 'a result =
   match candidates with
   | [] -> invalid_arg "Tuner.search: no candidates"
   | first :: _ ->
+      let hits0 = Pipeline.cache_hits () and misses0 = Pipeline.cache_misses () in
       let evaluated =
         List.filter_map
           (fun c ->
@@ -46,7 +49,9 @@ let search (candidates : 'a candidate list) : 'a result =
         best_config = best_c.config;
         best;
         trials =
-          List.map (fun (c, p) -> (c.label, p.Gpusim.p_time_ms)) evaluated }
+          List.map (fun (c, p) -> (c.label, p.Gpusim.p_time_ms)) evaluated;
+        cache_hits = Pipeline.cache_hits () - hits0;
+        cache_misses = Pipeline.cache_misses () - misses0 }
 
 (* Geometric mean, the aggregation used across feature sizes in Figures
    13-14. *)

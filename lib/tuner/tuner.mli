@@ -14,6 +14,8 @@ type 'a result = {
   best_config : 'a;
   best : Gpusim.profile;
   trials : (string * float) list;
+  cache_hits : int;  (** compile-cache hits incurred by this search *)
+  cache_misses : int;  (** compile-cache misses incurred by this search *)
 }
 
 val search : 'a candidate list -> 'a result

@@ -1,0 +1,77 @@
+(* Compile cache: identical Stage I func + schedule trace is served from the
+   cache (and evaluates identically); a differing schedule trace misses. *)
+
+open Formats
+
+let graph () =
+  Workloads.Graphs.generate ~seed:7
+    { Workloads.Graphs.g_name = "cache"; g_nodes = 120; g_edges = 700;
+      g_shape = Workloads.Graphs.Power_law 1.8 }
+
+(* Key stability: the same Stage I func built twice by separate Builder
+   invocations (fresh internal ids) must produce the same cache key. *)
+let test_key_structural () =
+  let a = graph () in
+  let k1 = Pipeline.Cache.key (Kernels.Spmm.stage1 a ~feat:16) ~trace:"t" in
+  let k2 = Pipeline.Cache.key (Kernels.Spmm.stage1 a ~feat:16) ~trace:"t" in
+  Alcotest.(check string) "keys agree across builds" k1 k2;
+  let k3 = Pipeline.Cache.key (Kernels.Spmm.stage1 a ~feat:32) ~trace:"t" in
+  Alcotest.(check bool) "different func, different key" false (String.equal k1 k3)
+
+let test_hit_same_trace () =
+  Pipeline.reset ();
+  let a = graph () in
+  let feat = 16 in
+  let x = Dense.random ~seed:2 a.Csr.cols feat in
+  let c1 = Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:1 a x ~feat in
+  Alcotest.(check int) "cold build misses" 1 (Pipeline.cache_misses ());
+  Alcotest.(check int) "cold build has no hits" 0 (Pipeline.cache_hits ());
+  let c2 = Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:1 a x ~feat in
+  Alcotest.(check int) "identical rebuild hits" 1 (Pipeline.cache_hits ());
+  Alcotest.(check int) "no extra miss" 1 (Pipeline.cache_misses ());
+  (* the cached func evaluates identically *)
+  Gpusim.execute c1.Kernels.Spmm.fn c1.Kernels.Spmm.bindings;
+  let out1 = Tir.Tensor.to_float_array c1.Kernels.Spmm.out in
+  Gpusim.execute c2.Kernels.Spmm.fn c2.Kernels.Spmm.bindings;
+  let out2 = Tir.Tensor.to_float_array c2.Kernels.Spmm.out in
+  Alcotest.(check bool) "cached func evaluates identically" true (out1 = out2)
+
+let test_miss_different_trace () =
+  Pipeline.reset ();
+  let a = graph () in
+  let feat = 16 in
+  let x = Dense.random ~seed:2 a.Csr.cols feat in
+  ignore (Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:1 a x ~feat);
+  ignore (Kernels.Spmm.sparsetir_no_hyb ~row_group:8 ~vec:1 a x ~feat);
+  Alcotest.(check int) "different schedule trace misses" 2
+    (Pipeline.cache_misses ());
+  Alcotest.(check int) "and never hits" 0 (Pipeline.cache_hits ())
+
+(* Run (not just build) the tuner path: repeated searches over the same
+   matrix hit the cache. *)
+let test_tuner_search_hits () =
+  Pipeline.reset ();
+  let a = graph () in
+  let feat = 16 in
+  let x = Dense.random ~seed:3 a.Csr.cols feat in
+  let search () =
+    Tuner.search (Tuner.spmm_no_hyb_candidates Gpusim.Spec.v100 a x ~feat)
+  in
+  let r1 = search () in
+  Alcotest.(check bool) "cold search misses" true (r1.Tuner.cache_misses > 0);
+  let r2 = search () in
+  Alcotest.(check int) "warm search misses nothing" 0 r2.Tuner.cache_misses;
+  (* every candidate build is served from the cache the second time *)
+  Alcotest.(check int) "warm search is fully cached"
+    (List.length r2.Tuner.trials) r2.Tuner.cache_hits;
+  Alcotest.(check string) "same winner" r1.Tuner.best_label r2.Tuner.best_label
+
+let () =
+  Alcotest.run "cache"
+    [ ( "compile_cache",
+        [ Alcotest.test_case "structural key" `Quick test_key_structural;
+          Alcotest.test_case "hit on same trace" `Quick test_hit_same_trace;
+          Alcotest.test_case "miss on different trace" `Quick
+            test_miss_different_trace;
+          Alcotest.test_case "tuner search hits" `Quick test_tuner_search_hits ]
+      ) ]

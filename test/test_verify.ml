@@ -1,0 +1,144 @@
+(* Inter-pass IR verifier: each class of malformed IR must raise
+   [Pipeline.Verify_error] naming the offending pass, and the full SpMM
+   pipeline must pass verification at every stage boundary. *)
+
+open Tir
+open Formats
+
+let small_graph () =
+  Workloads.Graphs.generate ~seed:9
+    { Workloads.Graphs.g_name = "verify"; g_nodes = 60; g_edges = 300;
+      g_shape = Workloads.Graphs.Power_law 1.8 }
+
+let contains ~sub s = Astring.String.is_infix ~affix:sub s
+
+(* A flat func using a loop variable that no loop binds. *)
+let test_unbound_var () =
+  let open Builder in
+  let b = buffer "B" [ int 4 ] in
+  let i = var "i" and j = var "j" in
+  let body =
+    Ir.For
+      { for_var = i; extent = int 4; kind = Ir.Serial;
+        body = store b [ v j ] (float 0.0) }
+  in
+  let fn = func "bad_unbound" [ b ] body in
+  match Pipeline.run ~use_cache:false ~start:Pipeline.Flat [] fn with
+  | _ -> Alcotest.fail "expected Verify_error"
+  | exception Pipeline.Verify_error { ve_pass; ve_message; _ } ->
+      Alcotest.(check string) "failing pass" "<pipeline input>" ve_pass;
+      Alcotest.(check bool) "names the variable" true
+        (contains ~sub:"'j'" ve_message)
+
+(* A schedule pass that introduces an access to an undeclared buffer: the
+   error must name that pass. *)
+let test_undeclared_buffer () =
+  let open Builder in
+  let a = buffer "A" [ int 4 ] in
+  let i = var "i" in
+  let ok_body =
+    Ir.For
+      { for_var = i; extent = int 4; kind = Ir.Serial;
+        body = store a [ v i ] (float 1.0) }
+  in
+  let fn = func "ok" [ a ] ok_body in
+  let bad_pass =
+    Pipeline.Pass.schedule ~name:"bad_sched" (fun f ->
+        let ghost = buffer "GHOST" [ int 4 ] in
+        let body =
+          Ir.For
+            { for_var = i; extent = int 4; kind = Ir.Serial;
+              body = store a [ v i ] (load ghost [ v i ]) }
+        in
+        { f with Ir.fn_body = body })
+  in
+  match Pipeline.run ~use_cache:false ~start:Pipeline.Flat [ bad_pass ] fn with
+  | _ -> Alcotest.fail "expected Verify_error"
+  | exception Pipeline.Verify_error { ve_pass; ve_message; _ } ->
+      Alcotest.(check string) "failing pass" "bad_sched" ve_pass;
+      Alcotest.(check bool) "names the buffer" true
+        (contains ~sub:"'GHOST'" ve_message)
+
+(* A pass claiming Flat output while leaving stage I constructs behind. *)
+let test_leftover_sparse () =
+  let a = small_graph () in
+  let stage1 = Kernels.Spmm.stage1 a ~feat:4 in
+  let bad_pass = Pipeline.Pass.schedule ~name:"bad_lower" (fun _ -> stage1) in
+  match
+    Pipeline.run ~use_cache:false
+      [ Pipeline.Pass.lower_iterations; Pipeline.Pass.lower_buffers; bad_pass ]
+      stage1
+  with
+  | _ -> Alcotest.fail "expected Verify_error"
+  | exception Pipeline.Verify_error { ve_pass; ve_message; _ } ->
+      Alcotest.(check string) "failing pass" "bad_lower" ve_pass;
+      Alcotest.(check bool) "mentions sparse leftovers" true
+        (contains ~sub:"sparse" ve_message)
+
+(* A cyclic axis parent chain must be rejected (the lowering passes would
+   not terminate on it). *)
+let test_cyclic_axes () =
+  let rec ax_a =
+    { Ir.ax_name = "CA"; ax_kind = Ir.Dense_fixed; ax_parent = Some ax_b;
+      ax_length = Ir.Int_imm 4; ax_nnz = None; ax_nnz_cols = None;
+      ax_indptr = None; ax_indices = None; ax_idtype = Dtype.I32 }
+  and ax_b =
+    { Ir.ax_name = "CB"; ax_kind = Ir.Dense_fixed; ax_parent = Some ax_a;
+      ax_length = Ir.Int_imm 4; ax_nnz = None; ax_nnz_cols = None;
+      ax_indptr = None; ax_indices = None; ax_idtype = Dtype.I32 }
+  in
+  let cyc =
+    { Ir.buf_id = -1; buf_name = "CYC"; buf_dtype = Dtype.F32;
+      buf_shape = [ Ir.Int_imm 4 ]; buf_axes = Some [ ax_a ];
+      buf_scope = Ir.Global }
+  in
+  let fn = Builder.func "bad_cycle" [ cyc ] (Ir.Eval (Ir.Int_imm 0)) in
+  match Pipeline.run ~use_cache:false [] fn with
+  | _ -> Alcotest.fail "expected Verify_error"
+  | exception Pipeline.Verify_error { ve_message; _ } ->
+      Alcotest.(check bool) "mentions the cycle" true
+        (contains ~sub:"cyclic" ve_message)
+
+(* Feeding a position-stage pass a coordinate-stage func violates the stage
+   contract. *)
+let test_stage_contract_mismatch () =
+  let a = small_graph () in
+  let stage1 = Kernels.Spmm.stage1 a ~feat:4 in
+  match Pipeline.run ~use_cache:false [ Pipeline.Pass.lower_buffers ] stage1 with
+  | _ -> Alcotest.fail "expected Verify_error"
+  | exception Pipeline.Verify_error { ve_pass; ve_message; _ } ->
+      Alcotest.(check string) "failing pass" "lower_buffers" ve_pass;
+      Alcotest.(check bool) "mentions the contract" true
+        (contains ~sub:"stage contract" ve_message)
+
+(* The real SpMM pipeline verifies at every boundary, ending sparse-free. *)
+let test_spmm_pipeline_clean () =
+  let a = small_graph () in
+  let feat = 8 in
+  let flat = Pipeline.lower ~use_cache:false (Kernels.Spmm.stage1 a ~feat) in
+  Alcotest.(check bool) "no sparse constructs in stage III" false
+    (Analysis.stmt_contains_sparse_constructs flat.Ir.fn_body);
+  (* a scheduled kernel build also verifies end to end *)
+  let x = Dense.random ~seed:4 a.Csr.cols feat in
+  let compiled = Kernels.Spmm.taco a x ~feat in
+  Gpusim.execute compiled.Kernels.Spmm.fn compiled.Kernels.Spmm.bindings;
+  let reference = Csr.spmm a x in
+  let got = Tensor.to_float_array compiled.Kernels.Spmm.out in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    reference.Dense.data;
+  Alcotest.(check bool) "verified kernel computes SpMM" true (!worst < 1e-4)
+
+let () =
+  Alcotest.run "verify"
+    [ ( "verifier",
+        [ Alcotest.test_case "unbound variable" `Quick test_unbound_var;
+          Alcotest.test_case "undeclared buffer" `Quick test_undeclared_buffer;
+          Alcotest.test_case "leftover sparse constructs" `Quick
+            test_leftover_sparse;
+          Alcotest.test_case "cyclic axis chain" `Quick test_cyclic_axes;
+          Alcotest.test_case "stage contract mismatch" `Quick
+            test_stage_contract_mismatch;
+          Alcotest.test_case "spmm pipeline verifies clean" `Quick
+            test_spmm_pipeline_clean ] ) ]
