@@ -1,0 +1,129 @@
+(* Interpreter-vs-compiled throughput on the bechamel kernel set.
+
+   Each kernel is built once through the pipeline (codegen happens there and
+   is excluded from the timed region), then executed under both engines with
+   adaptive iteration counts.  Prints the per-kernel comparison and writes
+   BENCH_engine.json so the perf trajectory is tracked across PRs. *)
+
+open Formats
+
+type case = { ck_name : string; ck_run : Engine.kind -> unit }
+
+let cases () : case list =
+  let graph =
+    Workloads.Graphs.generate ~seed:3
+      { Workloads.Graphs.g_name = "bench"; g_nodes = 300; g_edges = 2400;
+        g_shape = Workloads.Graphs.Power_law 1.8 }
+  in
+  let feat = 32 in
+  let x = Dense.random ~seed:11 graph.Csr.cols feat in
+  let exec (c : Kernels.Spmm.compiled) engine =
+    Gpusim.execute ~engine c.Kernels.Spmm.fn c.Kernels.Spmm.bindings
+  in
+  let exec_bs (c : Kernels.Block_sparse.compiled) engine =
+    Gpusim.execute ~engine c.Kernels.Block_sparse.fn
+      c.Kernels.Block_sparse.bindings
+  in
+  let spmm_hyb, _ = Kernels.Spmm.sparsetir_hyb ~c:1 graph x ~feat in
+  let spmm_csr = Kernels.Spmm.dgsparse graph x ~feat in
+  let xs = Dense.random ~seed:5 graph.Csr.rows feat in
+  let ys = Dense.random ~seed:6 feat graph.Csr.cols in
+  let sddmm = Kernels.Sddmm.sparsetir graph xs ys ~feat in
+  let mask = Workloads.Attention.band ~size:128 ~band:32 () in
+  let battn =
+    Kernels.Block_sparse.bsr_spmm (Bsr.of_csr ~block:16 mask) ~heads:2
+      (Workloads.Attention.batched_dense ~heads:2 ~rows:128 ~cols:32 ())
+      ~feat:32
+  in
+  let w =
+    Workloads.Pruning.movement_pruned ~rows:128 ~cols:96 ~density:0.08 ()
+  in
+  let srb =
+    Kernels.Block_sparse.sr_bcrs_spmm
+      (Sr_bcrs.of_csr ~tile:8 ~group:16 w)
+      (Dense.random ~seed:4 96 32)
+  in
+  let dbsr_w =
+    Workloads.Pruning.block_pruned ~rows:128 ~cols:96 ~block:16 ~density:0.2 ()
+  in
+  let dbsr =
+    Kernels.Block_sparse.dbsr_spmm
+      (Dbsr.of_csr ~block:16 dbsr_w)
+      (Dense.random ~seed:4 96 32)
+  in
+  let hetero =
+    Workloads.Hetero.generate
+      { Workloads.Hetero.h_name = "bench"; h_nodes = 64; h_edges = 600;
+        h_etypes = 4 }
+  in
+  let x_h = Dense.random ~seed:3 64 16 in
+  let w_h = Array.init 4 (fun r -> Dense.random ~seed:(50 + r) 16 16) in
+  let rgms = Kernels.Rgms.hyb_tc hetero.Workloads.Hetero.relations x_h w_h in
+  let cloud = Workloads.Pointcloud.generate ~grid:16 ~target_points:300 () in
+  let conv_rels = Workloads.Pointcloud.conv_relations cloud in
+  let npts = Workloads.Pointcloud.n_points cloud in
+  let conv =
+    Kernels.Rgms.gather_two_stage conv_rels
+      (Dense.random ~seed:3 npts 16)
+      (Array.init (Array.length conv_rels) (fun r ->
+           Dense.random ~seed:r 16 16))
+  in
+  let gsage =
+    Nn.Graphsage.epoch Nn.Graphsage.Dgl graph ~in_feat:16 ~hidden:16
+      ~out_feat:8 ()
+  in
+  [ { ck_name = "spmm_hyb"; ck_run = exec spmm_hyb };
+    { ck_name = "spmm_csr"; ck_run = exec spmm_csr };
+    { ck_name = "sddmm";
+      ck_run =
+        (fun engine ->
+          Gpusim.execute ~engine sddmm.Kernels.Sddmm.fn
+            sddmm.Kernels.Sddmm.bindings) };
+    { ck_name = "attention_bsr"; ck_run = exec_bs battn };
+    { ck_name = "dbsr"; ck_run = exec_bs dbsr };
+    { ck_name = "srbcrs"; ck_run = exec_bs srb };
+    { ck_name = "rgms_hyb_tc";
+      ck_run = (fun engine -> Kernels.Rgms.execute ~engine rgms) };
+    { ck_name = "sparse_conv";
+      ck_run = (fun engine -> Kernels.Rgms.execute ~engine conv) };
+    { ck_name = "graphsage_epoch";
+      ck_run = (fun engine -> Nn.Graphsage.execute ~engine gsage) } ]
+
+(* ns/iter with an adaptive iteration count: one untimed warm-up run (also
+   forces codegen for the compiled engine), then enough iterations to fill
+   the time budget. *)
+let time_ns ~(budget : float) (f : unit -> unit) : float =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let iters = max 3 (int_of_float (budget /. Float.max once 1e-9)) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let run ?(full = false) () =
+  Report.header "Engine: interpreter vs compiled closures (wall clock)";
+  let budget = if full then 0.5 else 0.05 in
+  let rows = ref [] and speedups = ref [] in
+  Printf.printf "%-20s %14s %14s %9s\n" "kernel" "interp ns/it" "compiled ns/it"
+    "speedup";
+  List.iter
+    (fun c ->
+      let interp_ns = time_ns ~budget (fun () -> c.ck_run Engine.Interp) in
+      let compiled_ns = time_ns ~budget (fun () -> c.ck_run Engine.Compiled) in
+      let speedup = interp_ns /. compiled_ns in
+      Printf.printf "%-20s %14.0f %14.0f %8.2fx\n%!" c.ck_name interp_ns
+        compiled_ns speedup;
+      speedups := speedup :: !speedups;
+      rows :=
+        (c.ck_name, "compiled", compiled_ns, speedup)
+        :: (c.ck_name, "interp", interp_ns, 1.0)
+        :: !rows)
+    (cases ());
+  let geomean_speedup = Report.geomean !speedups in
+  Printf.printf "geomean speedup: %.2fx (compiled vs interp)\n" geomean_speedup;
+  Report.write_engine_json ~path:"BENCH_engine.json" ~geomean_speedup
+    (List.rev !rows)

@@ -1,13 +1,15 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md S4 for the experiment index), then runs Bechamel
    wall-clock micro-benchmarks of representative kernels executing on the
-   functional interpreter.
+   selected engine (compiled closures by default; see DESIGN.md S3c).
 
    Usage:
      dune exec bench/main.exe                 -- all experiments, quick scale
      dune exec bench/main.exe -- --full       -- paper-scale sweep (slower)
      dune exec bench/main.exe -- fig13 fig20  -- selected experiments
-     dune exec bench/main.exe -- --no-bechamel *)
+     dune exec bench/main.exe -- engine       -- interp-vs-compiled comparison
+     dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- --engine=interp  -- run on the interpreter *)
 
 open Formats
 
@@ -24,7 +26,8 @@ let experiments ~full : (string * (unit -> unit)) list =
     ("fig20", fun () -> Rgms_bench.fig20 ~full ());
     ("fig23", fun () -> Rgms_bench.fig23 ~full ());
     ("ablations", Ablation_bench.run);
-    ("pipeline", Pipeline_bench.run) ]
+    ("pipeline", Pipeline_bench.run);
+    ("engine", fun () -> Engine_bench.run ~full ()) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)
 
@@ -119,7 +122,9 @@ let bechamel_tests () =
       (Staged.stage (fun () -> Kernels.Rgms.execute conv)) ]
 
 let run_bechamel () =
-  Report.header "Bechamel: interpreter wall-clock of representative kernels";
+  Report.header
+    (Printf.sprintf "Bechamel: %s-engine wall-clock of representative kernels"
+       (Engine.kind_to_string !Engine.default_kind));
   let open Bechamel in
   let benchmark test =
     let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -148,6 +153,16 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in
+  (* --engine=interp|compiled selects the execution backend for every
+     correctness run in the harness (the engine experiment still times both) *)
+  List.iter
+    (fun a ->
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--engine" ->
+          Engine.default_kind :=
+            Engine.kind_of_string (String.sub a (i + 1) (String.length a - i - 1))
+      | _ -> ())
+    args;
   let selected =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
@@ -157,9 +172,10 @@ let () =
     else List.filter (fun (n, _) -> List.mem n selected) exps
   in
   Printf.printf
-    "SparseTIR reproduction benchmarks (%s scale)\nSimulated GPUs: V100, \
-     RTX3070 (see DESIGN.md for the substitution rationale)\n"
-    (if full then "paper" else "quick");
+    "SparseTIR reproduction benchmarks (%s scale, %s engine)\nSimulated GPUs: \
+     V100, RTX3070 (see DESIGN.md for the substitution rationale)\n"
+    (if full then "paper" else "quick")
+    (Engine.kind_to_string !Engine.default_kind);
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in

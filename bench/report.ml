@@ -43,3 +43,26 @@ let lookup (s : store) ~row ~system : float =
   match Hashtbl.find_opt s (row ^ "|" ^ system) with
   | Some t -> t
   | None -> Float.nan
+
+(* Machine-readable engine-bench output, tracked across PRs (the perf
+   trajectory should not live only in stdout).  Rows are
+   (kernel, engine, ns/iter, speedup-vs-interp); written by hand to keep the
+   harness free of JSON dependencies. *)
+let write_engine_json ~(path : string) ~(geomean_speedup : float)
+    (rows : (string * string * float * float) list) : unit =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"engine\",\n";
+  Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" geomean_speedup;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (kernel, engine, ns, speedup) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"engine\": %S, \"ns_per_iter\": %.1f, \
+         \"speedup\": %.4f}%s\n"
+        kernel engine ns speedup
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

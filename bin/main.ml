@@ -35,6 +35,15 @@ let spec_of = function
   | "rtx3070" -> Gpusim.Spec.rtx3070
   | _ -> Gpusim.Spec.v100
 
+let engine_arg =
+  let doc = "Execution engine for correctness runs: $(b,compiled) (closure \
+             codegen, the default) or $(b,interp) (tree-walking \
+             interpreter)." in
+  Arg.(value
+      & opt (enum [ ("compiled", Engine.Compiled); ("interp", Engine.Interp) ])
+          Engine.Compiled
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let show graph feat op stage =
   let a = Workloads.Graphs.by_name graph in
   let fn =
@@ -50,11 +59,12 @@ let show graph feat op stage =
   in
   print_endline (Tir.Printer.func_to_string fn)
 
-let run graph feat op gpu system =
+let run graph feat op gpu system engine =
+  Engine.default_kind := engine;
   let a = Workloads.Graphs.by_name graph in
   let spec = spec_of gpu in
   let x = Dense.random ~seed:11 a.Csr.cols feat in
-  let profile =
+  let profile, fn, bindings =
     match (op, system) with
     | "sddmm", _ ->
         let xs = Dense.random ~seed:5 a.Csr.rows feat in
@@ -66,13 +76,15 @@ let run graph feat op gpu system =
           | "taco" -> Kernels.Sddmm.taco a xs ys ~feat
           | _ -> Kernels.Sddmm.sparsetir a xs ys ~feat
         in
-        Gpusim.run spec c.Kernels.Sddmm.fn c.Kernels.Sddmm.bindings
+        ( Gpusim.run spec c.Kernels.Sddmm.fn c.Kernels.Sddmm.bindings,
+          c.Kernels.Sddmm.fn, c.Kernels.Sddmm.bindings )
     | _, "hyb" ->
         let c, h = Kernels.Spmm.sparsetir_hyb a x ~feat in
         Printf.printf "hyb: %d buckets, %.1f%% padding\n"
           (List.length h.Hyb.buckets) (Hyb.padding_pct h);
-        Gpusim.run ~horizontal_fusion:true spec c.Kernels.Spmm.fn
-          c.Kernels.Spmm.bindings
+        ( Gpusim.run ~horizontal_fusion:true spec c.Kernels.Spmm.fn
+            c.Kernels.Spmm.bindings,
+          c.Kernels.Spmm.fn, c.Kernels.Spmm.bindings )
     | _, sys ->
         let c =
           match sys with
@@ -82,10 +94,19 @@ let run graph feat op gpu system =
           | "taco" -> Kernels.Spmm.taco a x ~feat
           | _ -> Kernels.Spmm.sparsetir_no_hyb a x ~feat
         in
-        Gpusim.run spec c.Kernels.Spmm.fn c.Kernels.Spmm.bindings
+        ( Gpusim.run spec c.Kernels.Spmm.fn c.Kernels.Spmm.bindings,
+          c.Kernels.Spmm.fn, c.Kernels.Spmm.bindings )
   in
   Printf.printf "%s %s on %s (%s, d=%d): %s\n" system op graph gpu feat
-    (Gpusim.pp_profile profile)
+    (Gpusim.pp_profile profile);
+  (* functional execution through the selected engine, timed for reference
+     (the simulated profile above is the paper-facing number) *)
+  Gpusim.execute ~engine fn bindings;
+  let t0 = Unix.gettimeofday () in
+  Gpusim.execute ~engine fn bindings;
+  Printf.printf "functional run (%s engine): %.3f ms\n"
+    (Engine.kind_to_string engine)
+    ((Unix.gettimeofday () -. t0) *. 1000.0)
 
 let system_arg =
   let doc = "Kernel strategy: cusparse, dgsparse, sputnik, taco, no-hyb, \
@@ -98,7 +119,9 @@ let show_cmd =
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Profile one kernel on a simulated GPU")
-    Term.(const run $ graph_arg $ feat_arg $ op_arg $ gpu_arg $ system_arg)
+    Term.(
+      const run $ graph_arg $ feat_arg $ op_arg $ gpu_arg $ system_arg
+      $ engine_arg)
 
 let main_cmd =
   let doc = "SparseTIR (OCaml reproduction) command-line tools" in

@@ -1,0 +1,649 @@
+(* Compiled execution engine for Stage III programs.
+
+   An ahead-of-time closure compiler: a verified flat func is translated once
+   into nested native OCaml closures, then invoked per execution.  Where the
+   tree-walking interpreter ([Tir.Eval]) pays a Hashtbl lookup and a boxed
+   [value]-variant dispatch per expression node per iteration, the compiled
+   form resolves every variable to a pre-allocated slot in an unboxed
+   int/float/bool array at compile time and monomorphizes dtype dispatch into
+   separate int and float code paths, so the hot loop is plain array
+   arithmetic behind indirect calls.
+
+   Semantics are exactly those of [Tir.Eval] (the differential harness in
+   test/test_engine.ml and the schedule fuzzer enforce this):
+   - out-of-range reads yield 0 / false (guards hoisted below data-dependent
+     extents legally probe one element past a buffer); stores are strict;
+   - a single index into multi-dimensional storage is an already-flattened
+     offset;
+   - int/int arithmetic stays integral, anything else is computed in floats;
+   - F16 buffers round every store through half precision;
+   - binary search and MMA call the same [Tir.Prims] the interpreter uses.
+
+   Compiled artifacts are memoized per func (physical identity): the pipeline
+   registers its output here as a terminal codegen stage, so re-executing a
+   cached kernel compiles nothing. *)
+
+open Tir
+open Tir.Ir
+
+(* Static (compile-time) failures: sparse constructs that should have been
+   lowered away, unbound variables or buffers.  The interpreter reports the
+   same conditions at runtime as [Eval.Eval_error]. *)
+exception Compile_error of string
+
+let cerr fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* Runtime failures raise [Eval.Eval_error] for parity with the interpreter. *)
+let rerr fmt = Printf.ksprintf (fun s -> raise (Eval.Eval_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state: pre-sized slot arrays, no lookup on the hot path      *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  ints : int array;
+  floats : float array;
+  bools : bool array;
+  bufs : Tensor.t array; (* parameter slots first, then Alloc slots *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time context                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type slot = Si of int | Sf of int | Sb of int
+
+module Imap = Map.Make (Int)
+
+(* Lexical scope: variable id -> typed slot, buffer id -> buffer slot.
+   Immutable maps threaded through compilation give shadowing and unbound-use
+   detection for free. *)
+type scope = { sc_vars : slot Imap.t; sc_bufs : int Imap.t }
+
+let empty_scope = { sc_vars = Imap.empty; sc_bufs = Imap.empty }
+
+(* Slot high-water marks; binding sites each get a fresh slot (the arrays
+   stay tiny — one slot per loop/let/block-iter in the func). *)
+type ctx = {
+  mutable n_i : int;
+  mutable n_f : int;
+  mutable n_b : int;
+  mutable n_bufs : int;
+}
+
+let fresh_i ctx = let s = ctx.n_i in ctx.n_i <- s + 1; s
+let fresh_f ctx = let s = ctx.n_f in ctx.n_f <- s + 1; s
+let fresh_b ctx = let s = ctx.n_b in ctx.n_b <- s + 1; s
+let fresh_buf ctx = let s = ctx.n_bufs in ctx.n_bufs <- s + 1; s
+
+let bind_var scope (x : var) (s : slot) =
+  { scope with sc_vars = Imap.add x.vid s scope.sc_vars }
+
+let bind_buf scope (b : buffer) (s : int) =
+  { scope with sc_bufs = Imap.add b.buf_id s scope.sc_bufs }
+
+let buf_slot scope (b : buffer) : int =
+  match Imap.find_opt b.buf_id scope.sc_bufs with
+  | Some s -> s
+  | None -> cerr "unbound buffer %s" b.buf_name
+
+let guard_flat (b : buffer) =
+  if is_sparse_buffer b then
+    cerr "buffer %s is sparse: run sparse buffer lowering before codegen"
+      b.buf_name
+
+(* ------------------------------------------------------------------ *)
+(* Typed compiled expressions                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cexpr =
+  | CI of (state -> int)
+  | CF of (state -> float)
+  | CB of (state -> bool)
+
+(* Coercions mirror [Eval.to_i]/[to_f]/[to_b], monomorphized at compile
+   time. *)
+let as_i = function
+  | CI f -> f
+  | CF f -> fun st -> int_of_float (f st)
+  | CB f -> fun st -> if f st then 1 else 0
+
+let as_f = function
+  | CF f -> f
+  | CI f -> fun st -> float_of_int (f st)
+  | CB f -> fun st -> if f st then 1.0 else 0.0
+
+let as_b = function
+  | CB f -> f
+  | CI f -> fun st -> f st <> 0
+  | CF f -> fun st -> f st <> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Flat offsets                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Relaxed offset (loads): -1 signals out-of-range, which reads as 0.
+   Mirrors [Eval.flat_offset_opt]: a single index is an already-flattened
+   offset checked against numel (for rank-1 storage that coincides with the
+   per-dim check); multi indices must match the runtime rank and stay within
+   each dimension. *)
+let compile_offset_opt compile (idx : expr list) : state -> Tensor.t -> int =
+  match idx with
+  | [ e ] ->
+      let f = as_i (compile e) in
+      fun st t ->
+        let i = f st in
+        if i < 0 || i >= Tensor.numel t then -1 else i
+  | _ ->
+      let fs = Array.of_list (List.map (fun e -> as_i (compile e)) idx) in
+      let rank = Array.length fs in
+      fun st t ->
+        if Array.length t.Tensor.shape <> rank then -1
+        else begin
+          let off = ref 0 and ok = ref true in
+          for d = 0 to rank - 1 do
+            let i = fs.(d) st in
+            if i < 0 || i >= t.Tensor.shape.(d) then ok := false
+            else if !ok then off := (!off * t.Tensor.shape.(d)) + i
+          done;
+          if !ok then !off else -1
+        end
+
+(* Strict offset (stores, MMA origins): mirrors [Eval.flat_offset].  A single
+   index into multi-dimensional storage passes through unchecked (an
+   already-flattened offset); everything else bounds-checks and raises. *)
+let compile_offset_strict (name : string) compile (idx : expr list) :
+    state -> Tensor.t -> int =
+  match idx with
+  | [ e ] ->
+      let f = as_i (compile e) in
+      fun st t ->
+        let i = f st in
+        if Array.length t.Tensor.shape <> 1 then i
+        else if i < 0 || i >= t.Tensor.shape.(0) then
+          invalid_arg
+            (Printf.sprintf "%s: index %d out of bounds [0,%d)" name i
+               t.Tensor.shape.(0))
+        else i
+  | _ ->
+      let fs = Array.of_list (List.map (fun e -> as_i (compile e)) idx) in
+      let rank = Array.length fs in
+      fun st t ->
+        if Array.length t.Tensor.shape <> rank then
+          invalid_arg
+            (Printf.sprintf "%s: rank mismatch (%d vs %d)" name rank
+               (Array.length t.Tensor.shape));
+        let off = ref 0 in
+        for d = 0 to rank - 1 do
+          let i = fs.(d) st in
+          if i < 0 || i >= t.Tensor.shape.(d) then
+            invalid_arg
+              (Printf.sprintf "%s: index %d out of bounds [0,%d) in dim %d"
+                 name i t.Tensor.shape.(d) d);
+          off := (!off * t.Tensor.shape.(d)) + i
+        done;
+        !off
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_expr (ctx : ctx) (scope : scope) (e : expr) : cexpr =
+  match e with
+  | Int_imm n -> CI (fun _ -> n)
+  | Float_imm x -> CF (fun _ -> x)
+  | Bool_imm b -> CB (fun _ -> b)
+  | Evar x -> (
+      match Imap.find_opt x.vid scope.sc_vars with
+      | Some (Si s) -> CI (fun st -> st.ints.(s))
+      | Some (Sf s) -> CF (fun st -> st.floats.(s))
+      | Some (Sb s) -> CB (fun st -> st.bools.(s))
+      | None -> cerr "unbound variable %s" x.vname)
+  | Load (b, idx) ->
+      guard_flat b;
+      let slot = buf_slot scope b in
+      let off = compile_offset_opt (compile_expr ctx scope) idx in
+      if Dtype.is_float b.buf_dtype then
+        CF
+          (fun st ->
+            let t = st.bufs.(slot) in
+            let i = off st t in
+            if i < 0 then 0.0 else Tensor.get_f t i)
+      else if b.buf_dtype = Dtype.Bool then
+        CB
+          (fun st ->
+            let t = st.bufs.(slot) in
+            let i = off st t in
+            i >= 0 && Tensor.get_i t i <> 0)
+      else
+        CI
+          (fun st ->
+            let t = st.bufs.(slot) in
+            let i = off st t in
+            if i < 0 then 0 else Tensor.get_i t i)
+  | Binop (op, a, b) -> compile_binop ctx scope op a b
+  | Unop (op, a) -> (
+      let ca = compile_expr ctx scope a in
+      match op with
+      | Neg -> (
+          match ca with
+          | CI f -> CI (fun st -> -f st)
+          | c ->
+              let f = as_f c in
+              CF (fun st -> -.f st))
+      | Not ->
+          let f = as_b ca in
+          CB (fun st -> not (f st))
+      | Exp ->
+          let f = as_f ca in
+          CF (fun st -> Float.exp (f st))
+      | Sqrt ->
+          let f = as_f ca in
+          CF (fun st -> Float.sqrt (f st))
+      | Log ->
+          let f = as_f ca in
+          CF (fun st -> Float.log (f st))
+      | Abs -> (
+          match ca with
+          | CI f -> CI (fun st -> abs (f st))
+          | c ->
+              let f = as_f c in
+              CF (fun st -> Float.abs (f st))))
+  | Select (c, t, f) -> (
+      let fc = as_b (compile_expr ctx scope c) in
+      let ct = compile_expr ctx scope t and cf = compile_expr ctx scope f in
+      match (ct, cf) with
+      | CB ft, CB ff -> CB (fun st -> if fc st then ft st else ff st)
+      | CI ft, CI ff -> CI (fun st -> if fc st then ft st else ff st)
+      | _ ->
+          let ft = as_f ct and ff = as_f cf in
+          CF (fun st -> if fc st then ft st else ff st))
+  | Cast (dt, a) ->
+      let ca = compile_expr ctx scope a in
+      if Dtype.is_float dt then
+        let f = as_f ca in
+        if dt = Dtype.F16 then CF (fun st -> Dtype.round_f16 (f st)) else CF f
+      else if dt = Dtype.Bool then CB (as_b ca)
+      else CI (as_i ca)
+  | Bsearch bs ->
+      let slot = buf_slot scope bs.bs_buf in
+      let flo = as_i (compile_expr ctx scope bs.bs_lo)
+      and fhi = as_i (compile_expr ctx scope bs.bs_hi)
+      and fv = as_i (compile_expr ctx scope bs.bs_v) in
+      if bs.bs_ub then
+        CI
+          (fun st ->
+            Prims.upper_bound st.bufs.(slot) ~lo:(flo st) ~hi:(fhi st) (fv st))
+      else
+        CI
+          (fun st ->
+            Prims.binary_search st.bufs.(slot) ~lo:(flo st) ~hi:(fhi st)
+              (fv st))
+
+and compile_binop ctx scope op a b : cexpr =
+  let ca = compile_expr ctx scope a and cb = compile_expr ctx scope b in
+  (* int/int stays integral; anything else computes in floats (Eval.arith) *)
+  let arith fi ff =
+    match (ca, cb) with
+    | CI fa, CI fb -> CI (fun st -> fi (fa st) (fb st))
+    | _ ->
+        let fa = as_f ca and fb = as_f cb in
+        CF (fun st -> ff (fa st) (fb st))
+  in
+  (* comparisons follow Eval.compare_values: int compare when both sides are
+     integral, polymorphic float compare (NaN-total) otherwise *)
+  let cmp (ii : int -> int -> bool) (fff : float -> float -> int)
+      (rel : int -> bool) =
+    match (ca, cb) with
+    | CI fa, CI fb -> CB (fun st -> ii (fa st) (fb st))
+    | _ ->
+        let fa = as_f ca and fb = as_f cb in
+        CB (fun st -> rel (fff (fa st) (fb st)))
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Div -> (
+      match (ca, cb) with
+      | CI fa, CI fb ->
+          CI
+            (fun st ->
+              let x = fa st in
+              let y = fb st in
+              if y = 0 then rerr "division by zero" else x / y)
+      | _ ->
+          let fa = as_f ca and fb = as_f cb in
+          CF (fun st -> fa st /. fb st))
+  | Floor_div ->
+      let fa = as_i ca and fb = as_i cb in
+      CI
+        (fun st ->
+          let x = fa st in
+          let y = fb st in
+          if y = 0 then rerr "floor_div by zero"
+          else if x >= 0 then x / y
+          else -((-x + y - 1) / y))
+  | Floor_mod ->
+      let fa = as_i ca and fb = as_i cb in
+      CI
+        (fun st ->
+          let x = fa st in
+          let y = fb st in
+          if y = 0 then rerr "floor_mod by zero"
+          else
+            let r = x mod y in
+            if r >= 0 then r else r + y)
+  | Min -> arith min Stdlib.min
+  | Max -> arith max Stdlib.max
+  | Eq -> cmp ( = ) Float.compare (fun c -> c = 0)
+  | Ne -> cmp ( <> ) Float.compare (fun c -> c <> 0)
+  | Lt -> cmp ( < ) Float.compare (fun c -> c < 0)
+  | Le -> cmp ( <= ) Float.compare (fun c -> c <= 0)
+  | Gt -> cmp ( > ) Float.compare (fun c -> c > 0)
+  | Ge -> cmp ( >= ) Float.compare (fun c -> c >= 0)
+  | And ->
+      let fa = as_b ca and fb = as_b cb in
+      (* both sides evaluate, as in the interpreter *)
+      CB
+        (fun st ->
+          let x = fa st in
+          let y = fb st in
+          x && y)
+  | Or ->
+      let fa = as_b ca and fb = as_b cb in
+      CB
+        (fun st ->
+          let x = fa st in
+          let y = fb st in
+          x || y)
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
+  match s with
+  | Store (b, idx, value) ->
+      guard_flat b;
+      let slot = buf_slot scope b in
+      let off =
+        compile_offset_strict
+          (Printf.sprintf "Engine: store %s" b.buf_name)
+          (compile_expr ctx scope) idx
+      in
+      if Dtype.is_float b.buf_dtype then
+        let fv = as_f (compile_expr ctx scope value) in
+        fun st ->
+          let t = st.bufs.(slot) in
+          let i = off st t in
+          Tensor.set_f t i (fv st)
+      else
+        let fv = as_i (compile_expr ctx scope value) in
+        fun st ->
+          let t = st.bufs.(slot) in
+          let i = off st t in
+          Tensor.set_i t i (fv st)
+  | Seq ss -> (
+      let fs = Array.of_list (List.map (compile_stmt ctx scope) ss) in
+      match fs with
+      | [||] -> fun _ -> ()
+      | [| f |] -> f
+      | [| f; g |] ->
+          fun st ->
+            f st;
+            g st
+      | _ ->
+          let n = Array.length fs in
+          fun st ->
+            for i = 0 to n - 1 do
+              fs.(i) st
+            done)
+  | For { for_var; extent; kind = _; body } ->
+      (* all loop kinds (including thread bindings) execute serially, as in
+         the interpreter; the loop body is compiled once and invoked per
+         iteration *)
+      let ext = as_i (compile_expr ctx scope extent) in
+      let slot = fresh_i ctx in
+      let fbody = compile_stmt ctx (bind_var scope for_var (Si slot)) body in
+      fun st ->
+        let n = ext st in
+        let a = st.ints in
+        for i = 0 to n - 1 do
+          a.(slot) <- i;
+          fbody st
+        done
+  | If (c, t, f) -> (
+      let fc = as_b (compile_expr ctx scope c) in
+      let ft = compile_stmt ctx scope t in
+      match f with
+      | None -> fun st -> if fc st then ft st
+      | Some f ->
+          let ff = compile_stmt ctx scope f in
+          fun st -> if fc st then ft st else ff st)
+  | Let_stmt (x, value, body) -> (
+      match compile_expr ctx scope value with
+      | CI f ->
+          let slot = fresh_i ctx in
+          let fbody = compile_stmt ctx (bind_var scope x (Si slot)) body in
+          fun st ->
+            st.ints.(slot) <- f st;
+            fbody st
+      | CF f ->
+          let slot = fresh_f ctx in
+          let fbody = compile_stmt ctx (bind_var scope x (Sf slot)) body in
+          fun st ->
+            st.floats.(slot) <- f st;
+            fbody st
+      | CB f ->
+          let slot = fresh_b ctx in
+          let fbody = compile_stmt ctx (bind_var scope x (Sb slot)) body in
+          fun st ->
+            st.bools.(slot) <- f st;
+            fbody st)
+  | Block_stmt blk ->
+      (* every bind evaluates in the enclosing scope (as in the interpreter,
+         which computes all values before installing any); init runs when all
+         reduction iters sit at the start of their domain *)
+      let binds =
+        List.map (fun bi -> (bi, compile_expr ctx scope bi.bi_bind))
+          blk.blk_iters
+      in
+      let scope', rev_set, rev_chk =
+        List.fold_left
+          (fun (sc, sets, chks) ((bi : block_iter), cv) ->
+            let sc', set, at_zero =
+              match cv with
+              | CI f ->
+                  let s = fresh_i ctx in
+                  ( bind_var sc bi.bi_var (Si s),
+                    (fun st -> st.ints.(s) <- f st),
+                    fun (st : state) -> st.ints.(s) = 0 )
+              | CF f ->
+                  let s = fresh_f ctx in
+                  ( bind_var sc bi.bi_var (Sf s),
+                    (fun st -> st.floats.(s) <- f st),
+                    fun (st : state) -> int_of_float st.floats.(s) = 0 )
+              | CB f ->
+                  let s = fresh_b ctx in
+                  ( bind_var sc bi.bi_var (Sb s),
+                    (fun st -> st.bools.(s) <- f st),
+                    fun (st : state) -> not st.bools.(s) )
+            in
+            let chks =
+              match bi.bi_kind with
+              | Reduce -> at_zero :: chks
+              | Spatial -> chks
+            in
+            (sc', set :: sets, chks))
+          (scope, [], []) binds
+      in
+      let setters = Array.of_list (List.rev rev_set) in
+      let checks = Array.of_list (List.rev rev_chk) in
+      let fbody = compile_stmt ctx scope' blk.blk_body in
+      let nset = Array.length setters and nchk = Array.length checks in
+      (match Option.map (compile_stmt ctx scope') blk.blk_init with
+      | None ->
+          fun st ->
+            for i = 0 to nset - 1 do
+              setters.(i) st
+            done;
+            fbody st
+      | Some finit ->
+          fun st ->
+            for i = 0 to nset - 1 do
+              setters.(i) st
+            done;
+            let at_init = ref true in
+            for i = 0 to nchk - 1 do
+              if not (checks.(i) st) then at_init := false
+            done;
+            if !at_init then finit st;
+            fbody st)
+  | Alloc (b, body) ->
+      let dims =
+        Array.of_list
+          (List.map
+             (fun e ->
+               match Analysis.const_int_opt e with
+               | Some n -> fun _ -> n
+               | None -> as_i (compile_expr ctx scope e))
+             b.buf_shape)
+      in
+      let slot = fresh_buf ctx in
+      let fbody = compile_stmt ctx (bind_buf scope b slot) body in
+      let dt = b.buf_dtype in
+      fun st ->
+        let shape = Array.to_list (Array.map (fun f -> f st) dims) in
+        st.bufs.(slot) <- Tensor.create dt shape;
+        fbody st
+  | Eval e -> (
+      match compile_expr ctx scope e with
+      | CI f -> fun st -> ignore (f st)
+      | CF f -> fun st -> ignore (f st)
+      | CB f -> fun st -> ignore (f st))
+  | Mma_sync m ->
+      let operand (o : mma_operand) =
+        ( buf_slot scope o.op_buf,
+          compile_offset_strict
+            (Printf.sprintf "Engine: mma %s" o.op_buf.buf_name)
+            (compile_expr ctx scope) o.op_origin,
+          as_i (compile_expr ctx scope o.op_ld) )
+      in
+      let sa, offa, lda = operand m.mma_a in
+      let sb, offb, ldb = operand m.mma_b in
+      let sc, offc, ldc = operand m.mma_c in
+      let mm = m.mma_m and nn = m.mma_n and kk = m.mma_k in
+      fun st ->
+        let ta = st.bufs.(sa) and tb = st.bufs.(sb) and tc = st.bufs.(sc) in
+        Prims.mma ~m:mm ~n:nn ~k:kk
+          (ta, offa st ta, lda st)
+          (tb, offb st tb, ldb st)
+          (tc, offc st tc, ldc st)
+  | Sp_iter_stmt sp ->
+      cerr "sparse iteration %s reached codegen: lower it first" sp.sp_name
+
+(* ------------------------------------------------------------------ *)
+(* Compiled artifacts                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  c_name : string;
+  c_slots : int * int * int; (* int / float / bool slot counts *)
+  c_run : Tensor.t list -> unit;
+}
+
+let name (c : compiled) = c.c_name
+let slot_counts (c : compiled) = c.c_slots
+
+let compile_count = ref 0
+
+(* A placeholder for not-yet-bound buffer slots; never read on valid
+   programs (every access compiles against a param or live Alloc slot). *)
+let null_tensor = lazy (Tensor.create Dtype.I32 [ 0 ])
+
+let compile (fn : func) : compiled =
+  incr compile_count;
+  let ctx = { n_i = 0; n_f = 0; n_b = 0; n_bufs = 0 } in
+  let scope =
+    List.fold_left
+      (fun sc b -> bind_buf sc b (fresh_buf ctx))
+      empty_scope fn.fn_params
+  in
+  let body = compile_stmt ctx scope fn.fn_body in
+  let n_params = List.length fn.fn_params in
+  let ni = ctx.n_i and nf = ctx.n_f and nb = ctx.n_b and nbufs = ctx.n_bufs in
+  let fname = fn.fn_name in
+  let run (args : Tensor.t list) : unit =
+    if List.length args <> n_params then
+      rerr "run %s: expected %d arguments, got %d" fname n_params
+        (List.length args);
+    let st =
+      {
+        ints = Array.make (max ni 1) 0;
+        floats = Array.make (max nf 1) 0.0;
+        bools = Array.make (max nb 1) false;
+        bufs = Array.make (max nbufs 1) (Lazy.force null_tensor);
+      }
+    in
+    List.iteri (fun i t -> st.bufs.(i) <- t) args;
+    body st
+  in
+  { c_name = fname; c_slots = (ni, nf, nb); c_run = run }
+
+let run (c : compiled) (args : Tensor.t list) : unit = c.c_run args
+
+(* ------------------------------------------------------------------ *)
+(* Artifact memo + engine selection                                     *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Interp | Compiled
+
+let kind_to_string = function Interp -> "interp" | Compiled -> "compiled"
+
+let kind_of_string = function
+  | "interp" | "eval" -> Interp
+  | "compiled" | "engine" -> Compiled
+  | s -> invalid_arg (Printf.sprintf "Engine.kind_of_string: %S" s)
+
+let default_kind : kind ref = ref Compiled
+
+(* Keyed on physical identity: the pipeline's compile cache returns the same
+   func value for identical (stage-I func, schedule trace) keys, so a warm
+   build or tuner search lands here without re-running codegen.  Structural
+   [Hashtbl.hash] is depth-limited, hence cheap even on large IR. *)
+module Memo = Hashtbl.Make (struct
+  type t = Ir.func
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let memo : compiled Memo.t = Memo.create 64
+
+let artifact (fn : func) : compiled =
+  match Memo.find_opt memo fn with
+  | Some c -> c
+  | None ->
+      let c = compile fn in
+      Memo.add memo fn c;
+      c
+
+(* Seed the memo with an artifact compiled earlier (the pipeline compile
+   cache stores artifacts alongside lowered IR and re-installs them on a
+   hit, so even an [Engine.reset] does not force recompilation of cached
+   kernels). *)
+let register (fn : func) (c : compiled) : unit =
+  if not (Memo.mem memo fn) then Memo.add memo fn c
+
+let compiles () = !compile_count
+let memo_size () = Memo.length memo
+
+let reset () =
+  Memo.reset memo;
+  compile_count := 0
+
+let execute ?kind (fn : func) (args : Tensor.t list) : unit =
+  match (match kind with Some k -> k | None -> !default_kind) with
+  | Interp -> Eval.run_func fn args
+  | Compiled -> (artifact fn).c_run args

@@ -1,0 +1,70 @@
+(** Compiled execution engine for Stage III programs.
+
+    An ahead-of-time closure compiler: a verified flat func is translated
+    once into nested native OCaml closures with variables resolved to
+    pre-allocated slot arrays and dtype dispatch monomorphized into unboxed
+    int/float paths, then invoked per execution.  Semantics are exactly those
+    of the tree-walking interpreter {!Tir.Eval} (enforced by the differential
+    harness in test/test_engine.ml); the win is throughput.  See DESIGN.md
+    §3c. *)
+
+exception Compile_error of string
+(** Static failure: a sparse construct that should have been lowered away, or
+    an unbound variable/buffer.  Runtime failures (division by zero, argument
+    arity, out-of-bounds stores) raise the same exceptions as the
+    interpreter. *)
+
+(** {1 Compiled artifacts} *)
+
+type compiled
+(** A Stage III func compiled to closures, ready to run any number of times
+    against different argument tensors. *)
+
+val compile : Tir.Ir.func -> compiled
+(** Translate a flat func to closures.  Raises {!Compile_error} on sparse
+    constructs or unbound names; performs no tensor work. *)
+
+val run : compiled -> Tir.Tensor.t list -> unit
+(** Execute against tensors for each parameter buffer, in order.  Raises
+    [Tir.Eval.Eval_error] on arity mismatch, like [Tir.Eval.run_func]. *)
+
+val name : compiled -> string
+
+val slot_counts : compiled -> int * int * int
+(** (int, float, bool) slot-array sizes — one slot per binding site. *)
+
+(** {1 Engine selection and memoized dispatch} *)
+
+type kind = Interp | Compiled
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind
+(** Accepts ["interp"]/["eval"] and ["compiled"]/["engine"]; raises
+    [Invalid_argument] otherwise. *)
+
+val default_kind : kind ref
+(** Engine used when callers do not pass [?kind]/[?engine] explicitly.
+    Defaults to [Compiled]; the [--engine] CLI flags set it. *)
+
+val artifact : Tir.Ir.func -> compiled
+(** Memoized {!compile}: keyed on the func's physical identity, so the
+    pipeline compile cache returning the same func value means a warm build
+    or tuner search compiles nothing. *)
+
+val register : Tir.Ir.func -> compiled -> unit
+(** Seed the memo with an artifact compiled earlier (no-op if the func is
+    already present).  Used by the pipeline compile cache on a hit. *)
+
+val execute : ?kind:kind -> Tir.Ir.func -> Tir.Tensor.t list -> unit
+(** Run a func through the selected engine ([!default_kind] when [?kind] is
+    omitted): [Interp] dispatches to [Tir.Eval.run_func], [Compiled] to the
+    memoized artifact. *)
+
+val compiles : unit -> int
+(** Number of codegen runs since the last {!reset} (memo hits excluded). *)
+
+val memo_size : unit -> int
+
+val reset : unit -> unit
+(** Drop memoized artifacts and zero the compile counter. *)

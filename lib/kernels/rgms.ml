@@ -27,7 +27,8 @@ type compiled = {
   out : Tensor.t; (* Y, n x l *)
 }
 
-let execute (c : compiled) : unit = Gpusim.execute_many c.steps
+let execute ?engine (c : compiled) : unit =
+  Gpusim.execute_many ?engine c.steps
 
 let profile ?(horizontal_fusion = false) spec (c : compiled) : Gpusim.profile =
   Gpusim.run_many ~horizontal_fusion spec c.steps

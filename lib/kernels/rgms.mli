@@ -10,7 +10,7 @@ type compiled = {
   out : Tir.Tensor.t; (** Y, n x l *)
 }
 
-val execute : compiled -> unit
+val execute : ?engine:Engine.kind -> compiled -> unit
 val profile : ?horizontal_fusion:bool -> Gpusim.Spec.t -> compiled -> Gpusim.profile
 
 val reference : Csr.t array -> Dense.t -> Dense.t array -> Dense.t

@@ -21,7 +21,7 @@ type t = {
   h2 : Tensor.t; (* final layer output *)
 }
 
-let execute (m : t) : unit = Gpusim.execute_many m.steps
+let execute ?engine (m : t) : unit = Gpusim.execute_many ?engine m.steps
 
 let profile ?(horizontal_fusion = false) spec (m : t) : Gpusim.profile =
   Gpusim.run_many ~horizontal_fusion spec m.steps

@@ -13,7 +13,7 @@ type t = {
   h2 : Tir.Tensor.t; (** final layer output *)
 }
 
-val execute : t -> unit
+val execute : ?engine:Engine.kind -> t -> unit
 val profile : ?horizontal_fusion:bool -> Gpusim.Spec.t -> t -> Gpusim.profile
 
 val spmm_step :

@@ -30,7 +30,7 @@ type t = {
   fused : bool; (* whether kernels launch horizontally fused *)
 }
 
-let execute (m : t) : unit = Gpusim.execute_many m.steps
+let execute ?engine (m : t) : unit = Gpusim.execute_many ?engine m.steps
 
 let profile spec (m : t) : Gpusim.profile =
   Gpusim.run_many ~horizontal_fusion:m.fused spec m.steps

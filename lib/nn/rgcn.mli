@@ -19,7 +19,7 @@ type t = {
   fused : bool;
 }
 
-val execute : t -> unit
+val execute : ?engine:Engine.kind -> t -> unit
 val profile : Gpusim.Spec.t -> t -> Gpusim.profile
 
 val layer :

@@ -6,12 +6,23 @@
    built by separate [Builder] invocations (fresh id counters) print
    identically, which is exactly the structural-hash behaviour the tuner
    needs when it rebuilds the same candidate.  Pass traces must encode every
-   parameter a transform closes over; see [Pass.t]. *)
+   parameter a transform closes over; see [Pass.t].
+
+   Each entry carries the lowered IR plus (when the pipeline ran with the
+   compiled engine) its codegen artifact, so a cache hit serves both: a warm
+   tuner search neither re-lowers nor re-compiles.  The artifact stored here
+   is physically the one in [Engine]'s identity-keyed memo — the entry keeps
+   it alive and lets a hit re-seed that memo after [Engine.reset]. *)
 
 open Tir
 
+type entry = {
+  e_ir : Ir.func;
+  mutable e_artifact : Engine.compiled option;
+}
+
 type t = {
-  table : (string, Ir.func) Hashtbl.t;
+  table : (string, entry) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
 }
@@ -21,17 +32,19 @@ let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
 let key (fn : Ir.func) ~(trace : string) : string =
   Printer.func_to_string fn ^ "\n#schedule-trace: " ^ trace
 
-let find (t : t) (k : string) : Ir.func option =
+let find (t : t) (k : string) : entry option =
   match Hashtbl.find_opt t.table k with
-  | Some fn ->
+  | Some e ->
       t.hits <- t.hits + 1;
-      Some fn
+      Some e
   | None ->
       t.misses <- t.misses + 1;
       None
 
-let add (t : t) (k : string) (fn : Ir.func) : unit =
-  Hashtbl.replace t.table k fn
+let add (t : t) (k : string) ?artifact (fn : Ir.func) : entry =
+  let e = { e_ir = fn; e_artifact = artifact } in
+  Hashtbl.replace t.table k e;
+  e
 
 let hits (t : t) = t.hits
 let misses (t : t) = t.misses

@@ -6,11 +6,18 @@
    nodes, loops, buffers) before and after.  Results are memoized in a
    process-wide compile cache keyed on the printed input func plus the
    pipeline's schedule trace, so tuner searches and bench sweeps that
-   rebuild identical candidates compile once. *)
+   rebuild identical candidates compile once.
+
+   When the pipeline ends at Stage III and the selected engine is
+   [Engine.Compiled] (the default), a terminal codegen stage translates the
+   flat func to native closures; the artifact is memoized in the compile
+   cache alongside the lowered IR, so warm builds neither re-lower nor
+   re-compile. *)
 
 module Pass = Pass
 module Verify = Verify
 module Cache = Cache
+module Engine = Engine
 
 open Tir
 
@@ -73,8 +80,18 @@ let trace_of (passes : Pass.t list) : string =
   String.concat ";" (List.map (fun (p : Pass.t) -> p.Pass.p_trace) passes)
 
 let run ?(verify = true) ?(use_cache = true) ?(dump_ir = false)
-    ?(start : stage = Coord) (passes : Pass.t list) (fn : Ir.func) : Ir.func =
+    ?(start : stage = Coord) ?engine (passes : Pass.t list) (fn : Ir.func) :
+    Ir.func =
   let t0 = Unix.gettimeofday () in
+  let engine =
+    match engine with Some k -> k | None -> !Engine.default_kind
+  in
+  (* Terminal codegen stage: only applies when the pipeline actually ends at
+     Stage III (its output stage is static — the last pass's contract). *)
+  let final_stage =
+    List.fold_left (fun _ (p : Pass.t) -> p.Pass.p_output) start passes
+  in
+  let codegen = engine = Engine.Compiled && final_stage = Flat in
   let dump tag f =
     if dump_ir then
       Printf.printf "=== %s: %s ===\n%s\n%!" fn.Ir.fn_name tag
@@ -118,18 +135,48 @@ let run ?(verify = true) ?(use_cache = true) ?(dump_ir = false)
     in
     (out, List.rev rev_stats)
   in
+  (* Time artifact generation as a pass of its own ([Engine.artifact] is
+     identity-memoized, so re-runs over a cached func cost a hash lookup). *)
+  let codegen_stat (f : Ir.func) : pass_stat =
+    let sz = measure f in
+    let t = Unix.gettimeofday () in
+    ignore (Engine.artifact f);
+    {
+      ps_name = "codegen";
+      ps_ms = (Unix.gettimeofday () -. t) *. 1000.0;
+      ps_before = sz;
+      ps_after = sz;
+    }
+  in
   let out, cached, pass_stats =
     if use_cache then begin
       let k = Cache.key fn ~trace:(trace_of passes) in
       match Cache.find shared_cache k with
-      | Some f -> (f, true, [])
+      | Some e ->
+          if codegen then (
+            match e.Cache.e_artifact with
+            | Some c ->
+                (* hit after an Engine.reset: re-seed the memo, recompile
+                   nothing *)
+                Engine.register e.Cache.e_ir c
+            | None ->
+                (* entry produced by an Interp run; compile once, keep it *)
+                e.Cache.e_artifact <- Some (Engine.artifact e.Cache.e_ir));
+          (e.Cache.e_ir, true, [])
       | None ->
           let f, ps = compile () in
-          Cache.add shared_cache k f;
+          let ps, artifact =
+            if codegen then
+              let st = codegen_stat f in
+              (ps @ [ st ], Some (Engine.artifact f))
+            else (ps, None)
+          in
+          ignore (Cache.add shared_cache k ?artifact f);
           (f, false, ps)
     end
     else
       let f, ps = compile () in
+      let ps = if codegen then ps @ [ codegen_stat f ] else ps in
       (f, false, ps)
   in
   history :=
@@ -147,15 +194,16 @@ let run ?(verify = true) ?(use_cache = true) ?(dump_ir = false)
 (* ------------------------------------------------------------------ *)
 
 (* Both lowering passes: Stage I -> Stage III, verified at each boundary. *)
-let lower ?verify ?use_cache ?dump_ir fn =
-  run ?verify ?use_cache ?dump_ir [ Pass.lower_iterations; Pass.lower_buffers ] fn
+let lower ?verify ?use_cache ?dump_ir ?engine fn =
+  run ?verify ?use_cache ?dump_ir ?engine
+    [ Pass.lower_iterations; Pass.lower_buffers ] fn
 
 (* The standard kernel pipeline: optional Stage I rewrites, the two
    lowering passes, then a flat-stage schedule.  [trace] must encode every
    parameter [sched] closes over. *)
-let compile ?verify ?use_cache ?dump_ir ?(coord = []) ~name ~trace
+let compile ?verify ?use_cache ?dump_ir ?engine ?(coord = []) ~name ~trace
     (sched : Ir.func -> Ir.func) (fn : Ir.func) : Ir.func =
-  run ?verify ?use_cache ?dump_ir
+  run ?verify ?use_cache ?dump_ir ?engine
     (coord
     @ [ Pass.lower_iterations; Pass.lower_buffers;
         Pass.schedule ~name ~trace sched ])

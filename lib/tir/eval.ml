@@ -106,31 +106,8 @@ let rec eval_expr (env : env) (e : expr) : value =
       let lo = to_i (eval_expr env bs.bs_lo)
       and hi = to_i (eval_expr env bs.bs_hi)
       and v = to_i (eval_expr env bs.bs_v) in
-      if bs.bs_ub then Vi (upper_bound t ~lo ~hi v)
-      else Vi (binary_search t ~lo ~hi v)
-
-(* Position of [v] in the sorted segment [lo, hi) of [t]; [hi] if absent. *)
-and binary_search (t : Tensor.t) ~lo ~hi (v : int) : int =
-  let rec go lo' hi' =
-    if lo' >= hi' then hi
-    else
-      let mid = (lo' + hi') / 2 in
-      let x = Tensor.get_i t mid in
-      if x = v then mid else if x < v then go (mid + 1) hi' else go lo' mid
-  in
-  go lo hi
-
-(* Rightmost position in [lo, hi) whose element is <= v (requires one to
-   exist, which holds for indptr segments since indptr[0] = 0 <= v). *)
-and upper_bound (t : Tensor.t) ~lo ~hi (v : int) : int =
-  let rec go lo' hi' =
-    (* invariant: t[lo'] <= v; answer in [lo', hi') *)
-    if lo' + 1 >= hi' then lo'
-    else
-      let mid = (lo' + hi') / 2 in
-      if Tensor.get_i t mid <= v then go mid hi' else go lo' mid
-  in
-  go lo hi
+      if bs.bs_ub then Vi (Prims.upper_bound t ~lo ~hi v)
+      else Vi (Prims.binary_search t ~lo ~hi v)
 
 and flat_offset (env : env) (t : Tensor.t) (idx : expr list) : int =
   match idx with
@@ -197,6 +174,11 @@ and compare_values va vb =
   | Vi x, Vi y -> compare x y
   | _ -> compare (to_f va) (to_f vb)
 
+(* Re-exported so existing callers keep working; the implementations are
+   shared with the compiled engine via [Prims]. *)
+let binary_search = Prims.binary_search
+let upper_bound = Prims.upper_bound
+
 let eval_int env e = to_i (eval_expr env e)
 
 let rec exec_stmt (env : env) (s : stmt) : unit =
@@ -262,20 +244,8 @@ and exec_mma (env : env) (m : mma) : unit =
     let t = lookup_buffer env o.op_buf in
     (t, flat_offset env t o.op_origin, eval_int env o.op_ld)
   in
-  let ta, ba, lda = base m.mma_a in
-  let tb, bb, ldb = base m.mma_b in
-  let tc, bc, ldc = base m.mma_c in
-  for i = 0 to m.mma_m - 1 do
-    for j = 0 to m.mma_n - 1 do
-      let acc = ref (Tensor.get_f tc (bc + (i * ldc) + j)) in
-      for k = 0 to m.mma_k - 1 do
-        let a = Tensor.get_f ta (ba + (i * lda) + k) in
-        let b = Tensor.get_f tb (bb + (k * ldb) + j) in
-        acc := !acc +. (a *. b)
-      done;
-      Tensor.set_f tc (bc + (i * ldc) + j) !acc
-    done
-  done
+  Prims.mma ~m:m.mma_m ~n:m.mma_n ~k:m.mma_k (base m.mma_a) (base m.mma_b)
+    (base m.mma_c)
 
 (* Run a function given tensors for each parameter buffer, in order. *)
 let run_func (f : func) (args : Tensor.t list) : unit =

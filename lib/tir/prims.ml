@@ -1,0 +1,49 @@
+(* Hot-path primitives shared by the two execution backends.
+
+   The tree-walking interpreter ([Tir.Eval]) and the compiled closure engine
+   ([Engine], lib/engine/) must agree exactly on the semantics of the binary
+   searches emitted by coordinate translation (Eq. 4's "find") and of the
+   tensor-core MMA intrinsic.  Keeping the single implementation here means
+   the two backends cannot drift. *)
+
+(* Position of [v] in the sorted segment [lo, hi) of [t]; [hi] if absent. *)
+let binary_search (t : Tensor.t) ~lo ~hi (v : int) : int =
+  let rec go lo' hi' =
+    if lo' >= hi' then hi
+    else
+      let mid = (lo' + hi') / 2 in
+      let x = Tensor.get_i t mid in
+      if x = v then mid else if x < v then go (mid + 1) hi' else go lo' mid
+  in
+  go lo hi
+
+(* Rightmost position in [lo, hi) whose element is <= v (requires one to
+   exist, which holds for indptr segments since indptr[0] = 0 <= v). *)
+let upper_bound (t : Tensor.t) ~lo ~hi (v : int) : int =
+  let rec go lo' hi' =
+    (* invariant: t[lo'] <= v; answer in [lo', hi') *)
+    if lo' + 1 >= hi' then lo'
+    else
+      let mid = (lo' + hi') / 2 in
+      if Tensor.get_i t mid <= v then go mid hi' else go lo' mid
+  in
+  go lo hi
+
+(* The MMA intrinsic's accumulating tile product: C += A * B over an
+   m x n x k tile, each operand a (tensor, flat origin, leading dimension)
+   triple. *)
+let mma ~(m : int) ~(n : int) ~(k : int)
+    ((ta, ba, lda) : Tensor.t * int * int)
+    ((tb, bb, ldb) : Tensor.t * int * int)
+    ((tc, bc, ldc) : Tensor.t * int * int) : unit =
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (Tensor.get_f tc (bc + (i * ldc) + j)) in
+      for k' = 0 to k - 1 do
+        let a = Tensor.get_f ta (ba + (i * lda) + k') in
+        let b = Tensor.get_f tb (bb + (k' * ldb) + j) in
+        acc := !acc +. (a *. b)
+      done;
+      Tensor.set_f tc (bc + (i * ldc) + j) !acc
+    done
+  done

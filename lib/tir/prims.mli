@@ -1,0 +1,17 @@
+(** Hot-path primitives shared by the tree-walking interpreter ({!Eval}) and
+    the compiled closure engine (lib/engine/), so the two backends cannot
+    drift semantically. *)
+
+val binary_search : Tensor.t -> lo:int -> hi:int -> int -> int
+(** Position of a value in the sorted segment [lo, hi); [hi] when absent
+    (Eq. 4's find). *)
+
+val upper_bound : Tensor.t -> lo:int -> hi:int -> int -> int
+(** Rightmost position in [lo, hi) whose element is <= the value (row
+    recovery from indptr for fused iterations). *)
+
+val mma :
+  m:int -> n:int -> k:int ->
+  Tensor.t * int * int -> Tensor.t * int * int -> Tensor.t * int * int -> unit
+(** Accumulating tile product C += A * B; each operand is a (tensor, flat
+    origin, leading dimension) triple. *)

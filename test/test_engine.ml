@@ -1,0 +1,242 @@
+(* Differential harness for the two execution engines.
+
+   Every kernel family in lib/kernels/ plus the GraphSAGE training epoch is
+   built twice and executed once under the tree-walking interpreter and once
+   under the compiled closure engine.  Both engines execute the identical
+   flat IR with identical operation order, so the outputs must agree
+   bit-for-bit — any divergence is a codegen bug, not float noise.
+
+   Also checks the codegen/cache contract: a warm tuner search is served
+   entirely from the compile cache and the engine memo, compiling nothing. *)
+
+open Formats
+
+(* Build fresh (steps, out) twice; run one under each engine; outputs must be
+   bit-identical.  The second build hits the pipeline compile cache, which is
+   part of the point: cached funcs execute like fresh ones. *)
+let check_pair (name : string)
+    (build : unit -> (Tir.Ir.func * Gpusim.bindings) list * Tir.Tensor.t) :
+    unit =
+  let run engine =
+    let steps, out = build () in
+    Gpusim.execute_many ~engine steps;
+    Tir.Tensor.to_float_array out
+  in
+  let interp = run Engine.Interp in
+  let compiled = run Engine.Compiled in
+  Alcotest.(check bool)
+    (name ^ ": engines agree bit-for-bit") true (interp = compiled)
+
+let single (c : unit -> Tir.Ir.func * Gpusim.bindings * Tir.Tensor.t) () =
+  let fn, bindings, out = c () in
+  ([ (fn, bindings) ], out)
+
+let graph () =
+  Workloads.Graphs.generate ~seed:5
+    { Workloads.Graphs.g_name = "engine"; g_nodes = 90; g_edges = 600;
+      g_shape = Workloads.Graphs.Power_law 1.8 }
+
+(* ---------------- SpMM ---------------- *)
+
+let test_spmm () =
+  let a = graph () in
+  let feat = 8 in
+  let x = Dense.random ~seed:2 a.Csr.cols feat in
+  let of_spmm (c : Kernels.Spmm.compiled) =
+    (c.Kernels.Spmm.fn, c.Kernels.Spmm.bindings, c.Kernels.Spmm.out)
+  in
+  List.iter
+    (fun (name, build) ->
+      check_pair ("spmm_" ^ name) (single (fun () -> of_spmm (build ()))))
+    [ ("taco", fun () -> Kernels.Spmm.taco a x ~feat);
+      ("cusparse", fun () -> Kernels.Spmm.cusparse a x ~feat);
+      ("dgsparse", fun () -> Kernels.Spmm.dgsparse a x ~feat);
+      ("sputnik", fun () -> Kernels.Spmm.sputnik a x ~feat);
+      ("no_hyb",
+       fun () -> Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:2 a x ~feat);
+      ("hyb", fun () -> fst (Kernels.Spmm.sparsetir_hyb ~c:2 a x ~feat)) ]
+
+(* ---------------- SDDMM ---------------- *)
+
+let test_sddmm () =
+  let a = graph () in
+  let feat = 8 in
+  let xs = Dense.random ~seed:3 a.Csr.rows feat in
+  let ys = Dense.random ~seed:4 feat a.Csr.cols in
+  let of_sddmm (c : Kernels.Sddmm.compiled) =
+    (c.Kernels.Sddmm.fn, c.Kernels.Sddmm.bindings, c.Kernels.Sddmm.out)
+  in
+  List.iter
+    (fun (name, build) ->
+      check_pair ("sddmm_" ^ name) (single (fun () -> of_sddmm (build ()))))
+    [ ("taco", fun () -> Kernels.Sddmm.taco a xs ys ~feat);
+      ("cusparse", fun () -> Kernels.Sddmm.cusparse a xs ys ~feat);
+      ("dgl", fun () -> Kernels.Sddmm.dgl a xs ys ~feat);
+      ("dgsparse", fun () -> Kernels.Sddmm.dgsparse a xs ys ~feat);
+      ("two_stage",
+       fun () -> Kernels.Sddmm.two_stage ~edges:2 ~group:4 a xs ys ~feat);
+      ("sparsetir", fun () -> Kernels.Sddmm.sparsetir a xs ys ~feat) ]
+
+(* ---------------- dense GEMM ---------------- *)
+
+let test_gemm () =
+  let x = Dense.random ~seed:7 32 16 in
+  let y = Dense.random ~seed:8 16 32 in
+  let of_gemm (c : Kernels.Gemm.compiled) =
+    (c.Kernels.Gemm.fn, c.Kernels.Gemm.bindings, c.Kernels.Gemm.out)
+  in
+  List.iter
+    (fun (name, build) ->
+      check_pair ("gemm_" ^ name) (single (fun () -> of_gemm (build ()))))
+    [ ("cublas_tc", fun () -> Kernels.Gemm.cublas_tc x y);
+      ("cublas_fp32", fun () -> Kernels.Gemm.cublas_fp32 x y) ]
+
+(* ---------------- block-sparse ---------------- *)
+
+let test_block_sparse () =
+  let mask = Workloads.Attention.band ~size:64 ~band:16 () in
+  let bsr = Bsr.of_csr ~block:16 mask in
+  let heads = 2 in
+  let xh = Workloads.Attention.batched_dense ~heads ~rows:64 ~cols:32 () in
+  let of_bs (c : Kernels.Block_sparse.compiled) =
+    ( c.Kernels.Block_sparse.fn,
+      c.Kernels.Block_sparse.bindings,
+      c.Kernels.Block_sparse.out )
+  in
+  let w =
+    Workloads.Pruning.movement_pruned ~rows:128 ~cols:96 ~density:0.08 ()
+  in
+  let dbsr_w =
+    Workloads.Pruning.block_pruned ~rows:128 ~cols:96 ~block:16 ~density:0.2 ()
+  in
+  let dense96 = Dense.random ~seed:4 96 32 in
+  List.iter
+    (fun (name, build) ->
+      check_pair ("block_sparse_" ^ name) (single (fun () -> of_bs (build ()))))
+    [ ("bsr_spmm", fun () -> Kernels.Block_sparse.bsr_spmm bsr ~heads xh ~feat:32);
+      ("triton_bsr_spmm",
+       fun () -> Kernels.Block_sparse.triton_bsr_spmm bsr ~heads xh ~feat:32);
+      ("csr_spmm_batched",
+       fun () -> Kernels.Block_sparse.csr_spmm_batched mask ~heads xh ~feat:32);
+      ("bsr_sddmm",
+       fun () ->
+         Kernels.Block_sparse.bsr_sddmm bsr ~heads ~feat:32 xh
+           (Workloads.Attention.batched_dense ~seed:9 ~heads ~rows:32 ~cols:64
+              ()));
+      ("dbsr_spmm",
+       fun () -> Kernels.Block_sparse.dbsr_spmm (Dbsr.of_csr ~block:16 dbsr_w) dense96);
+      ("bsr_spmm_single",
+       fun () ->
+         Kernels.Block_sparse.bsr_spmm_single (Bsr.of_csr ~block:16 dbsr_w) dense96);
+      ("sr_bcrs_spmm",
+       fun () ->
+         Kernels.Block_sparse.sr_bcrs_spmm (Sr_bcrs.of_csr ~tile:8 ~group:16 w)
+           dense96) ]
+
+(* ---------------- sparse tensors ---------------- *)
+
+let test_sptensor () =
+  let t = Csf.random ~dim_i:12 ~dim_j:10 ~dim_k:9 ~nnz:80 () in
+  let rank = 6 in
+  let b = Dense.random ~seed:3 t.Csf.dim_j rank in
+  let c = Dense.random ~seed:4 t.Csf.dim_k rank in
+  let of_sp (k : Kernels.Sptensor.compiled) =
+    (k.Kernels.Sptensor.fn, k.Kernels.Sptensor.bindings, k.Kernels.Sptensor.out)
+  in
+  check_pair "mttkrp" (single (fun () -> of_sp (Kernels.Sptensor.mttkrp t b c)));
+  let a = graph () in
+  let x = Dense.random ~seed:5 a.Csr.rows 8 in
+  let z = Dense.random ~seed:6 a.Csr.cols 8 in
+  let v = Dense.random ~seed:7 a.Csr.cols 4 in
+  check_pair "fusedmm"
+    (single (fun () -> of_sp (Kernels.Sptensor.fusedmm a x z v)));
+  check_pair "unfused_sddmm_spmm" (fun () -> Kernels.Sptensor.unfused a x z v)
+
+(* ---------------- RGMS / sparse conv ---------------- *)
+
+let test_rgms () =
+  let hetero =
+    Workloads.Hetero.generate
+      { Workloads.Hetero.h_name = "engine"; h_nodes = 48; h_edges = 400;
+        h_etypes = 3 }
+  in
+  let rels = hetero.Workloads.Hetero.relations in
+  let x = Dense.random ~seed:3 48 16 in
+  let w = Array.init 3 (fun r -> Dense.random ~seed:(50 + r) 16 16) in
+  List.iter
+    (fun (name, build) ->
+      check_pair ("rgms_" ^ name) (fun () ->
+          let c : Kernels.Rgms.compiled = build () in
+          (c.Kernels.Rgms.steps, c.Kernels.Rgms.out)))
+    [ ("naive", fun () -> Kernels.Rgms.naive rels x w);
+      ("hyb", fun () -> Kernels.Rgms.hyb rels x w);
+      ("hyb_tc", fun () -> Kernels.Rgms.hyb_tc rels x w);
+      ("two_stage", fun () -> Kernels.Rgms.two_stage rels x w);
+      ("gather_two_stage", fun () -> Kernels.Rgms.gather_two_stage rels x w) ]
+
+(* ---------------- GraphSAGE epoch ---------------- *)
+
+let test_graphsage () =
+  let a = graph () in
+  List.iter
+    (fun (name, variant) ->
+      check_pair ("graphsage_" ^ name) (fun () ->
+          let m =
+            Nn.Graphsage.epoch variant a ~in_feat:16 ~hidden:16 ~out_feat:8 ()
+          in
+          (m.Nn.Graphsage.steps, m.Nn.Graphsage.h2)))
+    [ ("dgl", Nn.Graphsage.Dgl); ("sparsetir", Nn.Graphsage.Sparsetir 1) ]
+
+(* ---------------- warm tuner compiles nothing ---------------- *)
+
+let test_warm_tuner_no_codegen () =
+  Pipeline.reset ();
+  Engine.reset ();
+  let a = graph () in
+  let feat = 16 in
+  let x = Dense.random ~seed:3 a.Csr.cols feat in
+  let search () =
+    Tuner.search (Tuner.spmm_no_hyb_candidates Gpusim.Spec.v100 a x ~feat)
+  in
+  let r1 = search () in
+  let after_cold = Engine.compiles () in
+  Alcotest.(check bool) "cold search compiles" true (after_cold > 0);
+  let r2 = search () in
+  Alcotest.(check int) "warm search compiles nothing" after_cold
+    (Engine.compiles ());
+  Alcotest.(check int) "warm search misses nothing" 0 r2.Tuner.cache_misses;
+  Alcotest.(check string) "same winner" r1.Tuner.best_label r2.Tuner.best_label
+
+(* A pipeline cache hit after Engine.reset re-seeds the engine memo from the
+   cached artifact instead of recompiling. *)
+let test_cache_reseeds_memo () =
+  Pipeline.reset ();
+  Engine.reset ();
+  let a = graph () in
+  let feat = 16 in
+  let x = Dense.random ~seed:2 a.Csr.cols feat in
+  ignore (Kernels.Spmm.dgsparse a x ~feat);
+  let cold = Engine.compiles () in
+  Engine.reset ();
+  let c = Kernels.Spmm.dgsparse a x ~feat in
+  Alcotest.(check int) "hit re-seeds, compiles nothing" 0 (Engine.compiles ());
+  (* and the re-seeded artifact actually executes *)
+  Gpusim.execute c.Kernels.Spmm.fn c.Kernels.Spmm.bindings;
+  Alcotest.(check int) "still nothing compiled" 0 (Engine.compiles ());
+  Alcotest.(check bool) "cold build did compile" true (cold > 0)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "differential",
+        [ Alcotest.test_case "spmm" `Quick test_spmm;
+          Alcotest.test_case "sddmm" `Quick test_sddmm;
+          Alcotest.test_case "gemm" `Quick test_gemm;
+          Alcotest.test_case "block_sparse" `Quick test_block_sparse;
+          Alcotest.test_case "sptensor" `Quick test_sptensor;
+          Alcotest.test_case "rgms" `Quick test_rgms;
+          Alcotest.test_case "graphsage" `Quick test_graphsage ] );
+      ( "codegen_cache",
+        [ Alcotest.test_case "warm tuner compiles nothing" `Quick
+            test_warm_tuner_no_codegen;
+          Alcotest.test_case "cache hit re-seeds engine memo" `Quick
+            test_cache_reseeds_memo ] ) ]

@@ -1,7 +1,13 @@
 (* Schedule fuzzing: random sequences of schedule primitives applied to a
-   compiled SpMM must either be rejected with a Schedule_error or preserve
+   compiled kernel must either be rejected with a Schedule_error or preserve
    the numerical result exactly.  This is the semantic contract of
-   "composable transformations": schedules never change what is computed. *)
+   "composable transformations": schedules never change what is computed.
+
+   Every case is also a differential test of the two execution engines: the
+   randomly scheduled func runs under both the tree-walking interpreter and
+   the compiled closure engine, and the outputs must agree element-wise (the
+   engines execute the identical flat IR, so they must produce bit-identical
+   floats) as well as match the dense host reference. *)
 
 open Tir
 open Formats
@@ -18,8 +24,10 @@ let random_csr (g : Workloads.Rng.t) : Csr.t =
   in
   Csr.of_coo (Coo.of_entries ~rows ~cols entries)
 
-(* One random schedule action; may raise Schedule_error (fine). *)
-let random_action (g : Workloads.Rng.t) (s : Schedule.t) : unit =
+(* One random schedule action; may raise Schedule_error (fine).  [block] is
+   the kernel's block name (cache_write needs it). *)
+let random_action ~(block : string) (g : Workloads.Rng.t) (s : Schedule.t) :
+    unit =
   let loops = Schedule.loop_names s in
   let pick l = List.nth l (Workloads.Rng.int g (List.length l)) in
   if loops = [] then ()
@@ -36,35 +44,82 @@ let random_action (g : Workloads.Rng.t) (s : Schedule.t) : unit =
         | _ -> ())
     | 3 -> Schedule.bind s ~loop:(pick loops) Ir.Thread_y
     | 4 -> Schedule.vectorize s ~loop:(pick loops)
-    | _ -> ignore (Schedule.cache_write s ~block:"spmm" ())
+    | _ -> ignore (Schedule.cache_write s ~block ())
 
-let run_case (seed : int) : bool =
+(* Apply 1-5 random actions to a freshly lowered func and return it. *)
+let random_schedule ~block (g : Workloads.Rng.t) (fn : Ir.func) : Ir.func =
+  let s = Schedule.create fn in
+  let actions = 1 + Workloads.Rng.int g 5 in
+  for _ = 1 to actions do
+    try random_action ~block g s with
+    | Schedule.Schedule_error _ -> ()
+    | Invalid_argument _ -> ()
+  done;
+  Schedule.get s
+
+let max_err (reference : float array) (got : float array) : float =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
+    reference;
+  !worst
+
+(* Run [fn] under both engines against fresh bindings and check (a) the two
+   engines agree bit-for-bit and (b) both match the host reference. *)
+let differential (fn : Ir.func) ~(bind : unit -> Gpusim.bindings * Tensor.t)
+    ~(reference : float array) : bool =
+  let run engine =
+    let bindings, out = bind () in
+    Gpusim.execute ~engine fn bindings;
+    Tensor.to_float_array out
+  in
+  let interp = run Engine.Interp in
+  let compiled = run Engine.Compiled in
+  interp = compiled
+  && max_err reference interp < 1e-5
+  && max_err reference compiled < 1e-5
+
+let spmm_case (seed : int) : bool =
   let g = Workloads.Rng.create seed in
   let a = random_csr g in
   let feat = 4 in
   let x = Dense.random ~seed:(seed + 1) a.Csr.cols feat in
-  let fn = Sparse_ir.compile (Kernels.Spmm.stage1 a ~feat) in
-  let s = Schedule.create fn in
-  let actions = 1 + Workloads.Rng.int g 5 in
-  for _ = 1 to actions do
-    try random_action g s with
-    | Schedule.Schedule_error _ -> ()
-    | Invalid_argument _ -> ()
-  done;
-  let bindings, out = Kernels.Spmm.base_bindings a x ~feat in
-  Gpusim.execute (Schedule.get s) bindings;
-  let reference = Csr.spmm a x in
-  let got = Tensor.to_float_array out in
-  let worst = ref 0.0 in
-  Array.iteri
-    (fun i r -> worst := Float.max !worst (Float.abs (r -. got.(i))))
-    reference.Dense.data;
-  !worst < 1e-5
+  let fn =
+    random_schedule ~block:"spmm" g
+      (Sparse_ir.compile (Kernels.Spmm.stage1 a ~feat))
+  in
+  differential fn
+    ~bind:(fun () -> Kernels.Spmm.base_bindings a x ~feat)
+    ~reference:(Csr.spmm a x).Dense.data
 
-let fuzz =
-  QCheck.Test.make ~count:150 ~name:"random schedules preserve SpMM semantics"
-    QCheck.small_int (fun seed -> run_case (succ (abs seed)))
+let sddmm_case (seed : int) : bool =
+  let g = Workloads.Rng.create seed in
+  let a = random_csr g in
+  let feat = 4 in
+  let x = Dense.random ~seed:(seed + 1) a.Csr.rows feat in
+  let y = Dense.random ~seed:(seed + 2) feat a.Csr.cols in
+  let fn =
+    random_schedule ~block:"sddmm" g
+      (Sparse_ir.compile (Kernels.Sddmm.stage1 a ~feat))
+  in
+  differential fn
+    ~bind:(fun () -> Kernels.Sddmm.base_bindings a x y)
+    ~reference:(Csr.sddmm a x y)
+
+let fuzz_spmm =
+  QCheck.Test.make ~count:150
+    ~name:"random SpMM schedules: engines agree and preserve semantics"
+    QCheck.small_int
+    (fun seed -> spmm_case (succ (abs seed)))
+
+let fuzz_sddmm =
+  QCheck.Test.make ~count:150
+    ~name:"random SDDMM schedules: engines agree and preserve semantics"
+    QCheck.small_int
+    (fun seed -> sddmm_case (succ (abs seed)))
 
 let () =
   Alcotest.run "schedule_fuzz"
-    [ ("fuzz", [ QCheck_alcotest.to_alcotest ~long:false fuzz ]) ]
+    [ ( "fuzz",
+        [ QCheck_alcotest.to_alcotest ~long:false fuzz_spmm;
+          QCheck_alcotest.to_alcotest ~long:false fuzz_sddmm ] ) ]
