@@ -106,6 +106,13 @@ let time_ns ~(budget : float) (f : unit -> unit) : float =
 
 let run ?(full = false) () =
   Report.header "Engine: interpreter vs compiled closures (wall clock)";
+  (* pinned to one domain: this bench isolates codegen throughput, and its
+     JSON feeds the CI trend check — parallel scaling is measured separately
+     by the [parallel] target *)
+  let saved_domains = Engine.num_domains () in
+  Engine.set_num_domains 1;
+  Fun.protect ~finally:(fun () -> Engine.set_num_domains saved_domains)
+  @@ fun () ->
   let budget = if full then 0.5 else 0.05 in
   let rows = ref [] and speedups = ref [] in
   Printf.printf "%-20s %14s %14s %9s\n" "kernel" "interp ns/it" "compiled ns/it"

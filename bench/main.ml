@@ -9,11 +9,13 @@
      dune exec bench/main.exe -- fig13 fig20  -- selected experiments
      dune exec bench/main.exe -- engine       -- interp-vs-compiled comparison
      dune exec bench/main.exe -- --no-bechamel
-     dune exec bench/main.exe -- --engine=interp  -- run on the interpreter *)
+     dune exec bench/main.exe -- --engine=interp  -- run on the interpreter
+     dune exec bench/main.exe -- parallel --domains=4
+                                              -- serial vs domains-parallel *)
 
 open Formats
 
-let experiments ~full : (string * (unit -> unit)) list =
+let experiments ~full ~domains : (string * (unit -> unit)) list =
   [ ("table1", Gnn_bench.table1);
     ("fig12", Gnn_bench.fig12);
     ("fig13", fun () -> Gnn_bench.fig13 ~full ());
@@ -27,7 +29,8 @@ let experiments ~full : (string * (unit -> unit)) list =
     ("fig23", fun () -> Rgms_bench.fig23 ~full ());
     ("ablations", Ablation_bench.run);
     ("pipeline", Pipeline_bench.run);
-    ("engine", fun () -> Engine_bench.run ~full ()) ]
+    ("engine", fun () -> Engine_bench.run ~full ());
+    ("parallel", fun () -> Parallel_bench.run ~full ~domains ()) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)
 
@@ -154,19 +157,25 @@ let () =
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   (* --engine=interp|compiled selects the execution backend for every
-     correctness run in the harness (the engine experiment still times both) *)
+     correctness run in the harness (the engine experiment still times both);
+     --domains=N sets the engine's domain budget and the parallel bench's
+     parallel leg *)
+  let domains = ref 0 in
   List.iter
     (fun a ->
       match String.index_opt a '=' with
       | Some i when String.sub a 0 i = "--engine" ->
           Engine.default_kind :=
             Engine.kind_of_string (String.sub a (i + 1) (String.length a - i - 1))
+      | Some i when String.sub a 0 i = "--domains" ->
+          domains := int_of_string (String.sub a (i + 1) (String.length a - i - 1))
       | _ -> ())
     args;
+  if !domains > 0 then Engine.set_num_domains !domains;
   let selected =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
-  let exps = experiments ~full in
+  let exps = experiments ~full ~domains:!domains in
   let to_run =
     if selected = [] then exps
     else List.filter (fun (n, _) -> List.mem n selected) exps

@@ -66,3 +66,26 @@ let write_engine_json ~(path : string) ~(geomean_speedup : float)
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
+
+(* Same shape for the serial-vs-parallel bench; rows are
+   (kernel, mode, ns/iter, speedup-vs-serial). *)
+let write_parallel_json ~(path : string) ~(domains : int)
+    ~(geomean_speedup : float) (rows : (string * string * float * float) list)
+    : unit =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"parallel\",\n";
+  Printf.fprintf oc "  \"domains\": %d,\n" domains;
+  Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" geomean_speedup;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (kernel, mode, ns, speedup) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"mode\": %S, \"ns_per_iter\": %.1f, \
+         \"speedup\": %.4f}%s\n"
+        kernel mode ns speedup
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

@@ -59,8 +59,15 @@ let show graph feat op stage =
   in
   print_endline (Tir.Printer.func_to_string fn)
 
-let run graph feat op gpu system engine =
+let domains_arg =
+  let doc = "Domain budget for thread-bound outer loops in the compiled \
+             engine (1 = serial; 0 = the machine's recommended count)." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let run graph feat op gpu system engine domains =
   Engine.default_kind := engine;
+  Engine.set_num_domains
+    (if domains <= 0 then Domain.recommended_domain_count () else domains);
   let a = Workloads.Graphs.by_name graph in
   let spec = spec_of gpu in
   let x = Dense.random ~seed:11 a.Csr.cols feat in
@@ -106,7 +113,12 @@ let run graph feat op gpu system engine =
   Gpusim.execute ~engine fn bindings;
   Printf.printf "functional run (%s engine): %.3f ms\n"
     (Engine.kind_to_string engine)
-    ((Unix.gettimeofday () -. t0) *. 1000.0)
+    ((Unix.gettimeofday () -. t0) *. 1000.0);
+  if engine = Engine.Compiled then
+    let art = Engine.artifact fn in
+    Printf.printf "parallel: domains=%d, parallel runs=%d, serial \
+                   fallbacks=%d\n"
+      (Engine.num_domains ()) (Engine.par_runs art) (Engine.fallback_runs art)
 
 let system_arg =
   let doc = "Kernel strategy: cusparse, dgsparse, sputnik, taco, no-hyb, \
@@ -121,7 +133,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Profile one kernel on a simulated GPU")
     Term.(
       const run $ graph_arg $ feat_arg $ op_arg $ gpu_arg $ system_arg
-      $ engine_arg)
+      $ engine_arg $ domains_arg)
 
 let main_cmd =
   let doc = "SparseTIR (OCaml reproduction) command-line tools" in

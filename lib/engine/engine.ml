@@ -47,6 +47,121 @@ type state = {
   bufs : Tensor.t array; (* parameter slots first, then Alloc slots *)
 }
 
+(* Per-domain replica: private slot arrays, shared tensors.  Workers write
+   only the buffer regions the disjointness analysis assigned to their
+   iterations; Allocs inside the parallel body overwrite the replica's slot,
+   so scratch buffers are domain-private too. *)
+let clone_state (st : state) : state =
+  {
+    ints = Array.copy st.ints;
+    floats = Array.copy st.floats;
+    bools = Array.copy st.bools;
+    bufs = Array.copy st.bufs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* How many domains a thread-bound outer loop may spread across.  Read at
+   execution time (not compile time) so memoized artifacts stay valid when
+   the knob changes between runs; 1 disables parallel execution. *)
+let num_domains_ref = ref (Domain.recommended_domain_count ())
+let num_domains () = !num_domains_ref
+let set_num_domains n = num_domains_ref := max 1 n
+
+(* A fixed pool of worker domains, grown lazily and kept for the process
+   lifetime: Domain.spawn per kernel launch costs more than an entire small
+   kernel, which would wreck tuner loops.  Workers idle on a condition
+   variable between parallel regions.  Regions are only ever opened from the
+   main domain (nested thread-bound loops compile serially), so one job slot
+   per worker suffices. *)
+module Pool = struct
+  type worker = {
+    w_mutex : Mutex.t;
+    w_cond : Condition.t;
+    mutable w_job : (unit -> unit) option;
+  }
+
+  let workers : worker array ref = ref [||]
+
+  let worker_loop (w : worker) () =
+    let rec loop () =
+      Mutex.lock w.w_mutex;
+      while w.w_job = None do
+        Condition.wait w.w_cond w.w_mutex
+      done;
+      let job = Option.get w.w_job in
+      w.w_job <- None;
+      Mutex.unlock w.w_mutex;
+      job ();
+      loop ()
+    in
+    loop ()
+
+  let ensure (extra : int) : unit =
+    let have = Array.length !workers in
+    if have < extra then begin
+      let fresh =
+        Array.init (extra - have) (fun _ ->
+            let w =
+              {
+                w_mutex = Mutex.create ();
+                w_cond = Condition.create ();
+                w_job = None;
+              }
+            in
+            ignore (Domain.spawn (worker_loop w) : unit Domain.t);
+            w)
+      in
+      workers := Array.append !workers fresh
+    end
+
+  let size () = Array.length !workers
+
+  (* Run [f 0] .. [f (k-1)] concurrently — [f 0] on the calling domain, the
+     rest on pool workers — and wait for all of them.  The first exception
+     any participant raises is re-raised here after the join. *)
+  let run_group (k : int) (f : int -> unit) : unit =
+    if k <= 1 then f 0
+    else begin
+      ensure (k - 1);
+      let m = Mutex.create () in
+      let done_cv = Condition.create () in
+      let pending = ref (k - 1) in
+      let first_exn = ref None in
+      let record_exn e =
+        Mutex.lock m;
+        if !first_exn = None then first_exn := Some e;
+        Mutex.unlock m
+      in
+      let job i () =
+        (try f i with e -> record_exn e);
+        Mutex.lock m;
+        decr pending;
+        if !pending = 0 then Condition.signal done_cv;
+        Mutex.unlock m
+      in
+      let ws = !workers in
+      for i = 1 to k - 1 do
+        let w = ws.(i - 1) in
+        Mutex.lock w.w_mutex;
+        w.w_job <- Some (job i);
+        Condition.signal w.w_cond;
+        Mutex.unlock w.w_mutex
+      done;
+      (try f 0 with e -> record_exn e);
+      Mutex.lock m;
+      while !pending > 0 do
+        Condition.wait done_cv m
+      done;
+      Mutex.unlock m;
+      match !first_exn with Some e -> raise e | None -> ()
+    end
+end
+
+let pool_size = Pool.size
+
 (* ------------------------------------------------------------------ *)
 (* Compile-time context                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -69,6 +184,14 @@ type ctx = {
   mutable n_f : int;
   mutable n_b : int;
   mutable n_bufs : int;
+  (* true while compiling the body of a domains-parallel loop: nested
+     thread-bound loops then compile serially (one level of parallelism) *)
+  mutable in_parallel : bool;
+  (* per-artifact run counters: executions that took the parallel path, and
+     executions of thread-bound block loops forced serial because
+     disjointness was unprovable *)
+  par_runs : int ref;
+  fallback_runs : int ref;
 }
 
 let fresh_i ctx = let s = ctx.n_i in ctx.n_i <- s + 1; s
@@ -399,20 +522,79 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
             for i = 0 to n - 1 do
               fs.(i) st
             done)
-  | For { for_var; extent; kind = _; body } ->
-      (* all loop kinds (including thread bindings) execute serially, as in
-         the interpreter; the loop body is compiled once and invoked per
-         iteration *)
+  | For { for_var; extent; kind; body } -> (
       let ext = as_i (compile_expr ctx scope extent) in
       let slot = fresh_i ctx in
-      let fbody = compile_stmt ctx (bind_var scope for_var (Si slot)) body in
-      fun st ->
+      let serial fbody st =
         let n = ext st in
         let a = st.ints in
         for i = 0 to n - 1 do
           a.(slot) <- i;
           fbody st
         done
+      in
+      match kind with
+      | Thread_bind (Block_x | Block_y | Block_z) when not ctx.in_parallel ->
+          if Analysis.loop_writes_disjoint for_var body then begin
+            (* iterations provably write disjoint buffer regions: spread them
+               across domains, each running the same compiled body against
+               its own state replica.  Work is handed out in contiguous
+               chunks through an atomic cursor so uneven iteration costs
+               (e.g. power-law row lengths) balance dynamically.  The
+               decision to actually go parallel is made per run, from the
+               current [num_domains]. *)
+            ctx.in_parallel <- true;
+            let fbody =
+              compile_stmt ctx (bind_var scope for_var (Si slot)) body
+            in
+            ctx.in_parallel <- false;
+            let fserial = serial fbody in
+            let par = ctx.par_runs in
+            fun st ->
+              let n = ext st in
+              let d = min !num_domains_ref n in
+              if d <= 1 then fserial st
+              else begin
+                incr par;
+                let states =
+                  Array.init d (fun i -> if i = 0 then st else clone_state st)
+                in
+                let grain = max 1 (n / (d * 4)) in
+                let cursor = Atomic.make 0 in
+                Pool.run_group d (fun w ->
+                    let stw = states.(w) in
+                    let a = stw.ints in
+                    let rec pull () =
+                      let start = Atomic.fetch_and_add cursor grain in
+                      if start < n then begin
+                        let stop = min n (start + grain) in
+                        for i = start to stop - 1 do
+                          a.(slot) <- i;
+                          fbody stw
+                        done;
+                        pull ()
+                      end
+                    in
+                    pull ())
+              end
+          end
+          else begin
+            (* unprovable write-disjointness: serial fallback, counted so
+               tests and the bench can see the analysis said no *)
+            let fbody =
+              compile_stmt ctx (bind_var scope for_var (Si slot)) body
+            in
+            let fserial = serial fbody in
+            let fellback = ctx.fallback_runs in
+            fun st ->
+              incr fellback;
+              fserial st
+          end
+      | _ ->
+          (* every other loop kind (and nested thread bindings) executes
+             serially, as in the interpreter; the body is compiled once and
+             invoked per iteration *)
+          serial (compile_stmt ctx (bind_var scope for_var (Si slot)) body))
   | If (c, t, f) -> (
       let fc = as_b (compile_expr ctx scope c) in
       let ft = compile_stmt ctx scope t in
@@ -461,9 +643,13 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
                     fun (st : state) -> st.ints.(s) = 0 )
               | CF f ->
                   let s = fresh_f ctx in
+                  (* the start of every iter domain is 0: compare the float
+                     value against it exactly (truncating through
+                     int_of_float would treat any bind in (-1, 1), e.g. 0.5,
+                     as the domain start and re-fire init mid-reduction) *)
                   ( bind_var sc bi.bi_var (Sf s),
                     (fun st -> st.floats.(s) <- f st),
-                    fun (st : state) -> int_of_float st.floats.(s) = 0 )
+                    fun (st : state) -> st.floats.(s) = 0.0 )
               | CB f ->
                   let s = fresh_b ctx in
                   ( bind_var sc bi.bi_var (Sb s),
@@ -551,10 +737,14 @@ type compiled = {
   c_name : string;
   c_slots : int * int * int; (* int / float / bool slot counts *)
   c_run : Tensor.t list -> unit;
+  c_par_runs : int ref; (* executions that took the domains-parallel path *)
+  c_fallback_runs : int ref; (* serial fallbacks on unprovable disjointness *)
 }
 
 let name (c : compiled) = c.c_name
 let slot_counts (c : compiled) = c.c_slots
+let par_runs (c : compiled) = !(c.c_par_runs)
+let fallback_runs (c : compiled) = !(c.c_fallback_runs)
 
 let compile_count = ref 0
 
@@ -564,7 +754,17 @@ let null_tensor = lazy (Tensor.create Dtype.I32 [ 0 ])
 
 let compile (fn : func) : compiled =
   incr compile_count;
-  let ctx = { n_i = 0; n_f = 0; n_b = 0; n_bufs = 0 } in
+  let ctx =
+    {
+      n_i = 0;
+      n_f = 0;
+      n_b = 0;
+      n_bufs = 0;
+      in_parallel = false;
+      par_runs = ref 0;
+      fallback_runs = ref 0;
+    }
+  in
   let scope =
     List.fold_left
       (fun sc b -> bind_buf sc b (fresh_buf ctx))
@@ -589,7 +789,13 @@ let compile (fn : func) : compiled =
     List.iteri (fun i t -> st.bufs.(i) <- t) args;
     body st
   in
-  { c_name = fname; c_slots = (ni, nf, nb); c_run = run }
+  {
+    c_name = fname;
+    c_slots = (ni, nf, nb);
+    c_run = run;
+    c_par_runs = ctx.par_runs;
+    c_fallback_runs = ctx.fallback_runs;
+  }
 
 let run (c : compiled) (args : Tensor.t list) : unit = c.c_run args
 
@@ -636,6 +842,10 @@ let artifact (fn : func) : compiled =
 let register (fn : func) (c : compiled) : unit =
   if not (Memo.mem memo fn) then Memo.add memo fn c
 
+(* Drop a memoized artifact (compile-cache eviction calls this so the memo
+   cannot outgrow the cache that feeds it). *)
+let unregister (fn : func) : unit = Memo.remove memo fn
+
 let compiles () = !compile_count
 let memo_size () = Memo.length memo
 
@@ -643,7 +853,16 @@ let reset () =
   Memo.reset memo;
   compile_count := 0
 
-let execute ?kind (fn : func) (args : Tensor.t list) : unit =
-  match (match kind with Some k -> k | None -> !default_kind) with
-  | Interp -> Eval.run_func fn args
-  | Compiled -> (artifact fn).c_run args
+let with_num_domains (d : int option) (f : unit -> 'a) : 'a =
+  match d with
+  | None -> f ()
+  | Some d ->
+      let saved = !num_domains_ref in
+      set_num_domains d;
+      Fun.protect ~finally:(fun () -> num_domains_ref := saved) f
+
+let execute ?kind ?num_domains (fn : func) (args : Tensor.t list) : unit =
+  with_num_domains num_domains (fun () ->
+      match (match kind with Some k -> k | None -> !default_kind) with
+      | Interp -> Eval.run_func fn args
+      | Compiled -> (artifact fn).c_run args)

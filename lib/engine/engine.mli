@@ -33,6 +33,36 @@ val name : compiled -> string
 val slot_counts : compiled -> int * int * int
 (** (int, float, bool) slot-array sizes — one slot per binding site. *)
 
+val par_runs : compiled -> int
+(** Executions of this artifact's thread-bound outer loops that took the
+    domains-parallel path (disjointness proven, [num_domains () > 1]). *)
+
+val fallback_runs : compiled -> int
+(** Executions of thread-bound outer loops forced serial because
+    write-disjointness could not be proven. *)
+
+(** {1 Domains-parallel execution}
+
+    Outer [For] loops bound to [Block_x]/[Block_y]/[Block_z] whose bodies
+    pass {!Tir.Analysis.loop_writes_disjoint} run their iterations across a
+    fixed pool of OCaml domains: each domain gets a private copy of the slot
+    arrays (tensors stay shared — the analysis guarantees write regions are
+    disjoint) and pulls contiguous iteration chunks from an atomic cursor.
+    Unprovable loops fall back to serial execution.  The domain count is read
+    per run, so memoized artifacts remain valid when the knob changes. *)
+
+val num_domains : unit -> int
+(** Current domain budget for parallel loops; [1] disables parallelism.
+    Initially [Domain.recommended_domain_count ()]. *)
+
+val set_num_domains : int -> unit
+(** Set the domain budget (clamped to at least 1).  Worker domains are
+    spawned lazily on first parallel run and kept for the process
+    lifetime. *)
+
+val pool_size : unit -> int
+(** Worker domains spawned so far (excludes the calling domain). *)
+
 (** {1 Engine selection and memoized dispatch} *)
 
 type kind = Interp | Compiled
@@ -56,10 +86,16 @@ val register : Tir.Ir.func -> compiled -> unit
 (** Seed the memo with an artifact compiled earlier (no-op if the func is
     already present).  Used by the pipeline compile cache on a hit. *)
 
-val execute : ?kind:kind -> Tir.Ir.func -> Tir.Tensor.t list -> unit
+val unregister : Tir.Ir.func -> unit
+(** Drop the memoized artifact for a func, if any.  The pipeline compile
+    cache calls this when it evicts an entry, keeping the memo bounded. *)
+
+val execute :
+  ?kind:kind -> ?num_domains:int -> Tir.Ir.func -> Tir.Tensor.t list -> unit
 (** Run a func through the selected engine ([!default_kind] when [?kind] is
     omitted): [Interp] dispatches to [Tir.Eval.run_func], [Compiled] to the
-    memoized artifact. *)
+    memoized artifact.  [?num_domains] overrides the domain budget for this
+    run only. *)
 
 val compiles : unit -> int
 (** Number of codegen runs since the last {!reset} (memo hits excluded). *)

@@ -262,9 +262,9 @@ let run ?(horizontal_fusion = false) ?(debug = false) (spec : Spec.t)
 (* Correctness run.  Dispatches through [Engine]: the compiled closure
    backend by default, or the tree-walking interpreter when [?engine] (or
    [Engine.default_kind]) selects it. *)
-let execute ?engine (fn : func) (bindings : bindings) : unit =
+let execute ?engine ?num_domains (fn : func) (bindings : bindings) : unit =
   let args = List.map (fun b -> find_binding bindings b) fn.fn_params in
-  Engine.execute ?kind:engine fn args
+  Engine.execute ?kind:engine ?num_domains fn args
 
 (* Multi-kernel composition (e.g. two-stage RGMS pipelines): sequential
    execution; cycles add, memory footprint counts each distinct tensor
@@ -303,5 +303,5 @@ let run_many ?(horizontal_fusion = false) (spec : Spec.t)
     p_memory_bytes = mem;
     p_smem_high = List.fold_left (fun a p -> max a p.p_smem_high) 0 profiles }
 
-let execute_many ?engine (steps : (func * bindings) list) : unit =
-  List.iter (fun (fn, b) -> execute ?engine fn b) steps
+let execute_many ?engine ?num_domains (steps : (func * bindings) list) : unit =
+  List.iter (fun (fn, b) -> execute ?engine ?num_domains fn b) steps

@@ -65,6 +65,12 @@ let history : stats list ref = ref []
 let shared_cache = Cache.create ()
 let cache_hits () = Cache.hits shared_cache
 let cache_misses () = Cache.misses shared_cache
+let cache_evictions () = Cache.evictions shared_cache
+
+(* Bound on the shared compile cache (entries; the paired Engine artifacts
+   are unregistered in the same step on eviction). *)
+let set_cache_capacity (c : int) = Cache.set_capacity shared_cache c
+let cache_capacity () = Cache.capacity shared_cache
 let all_stats () = List.rev !history
 let last_stats () = match !history with [] -> None | s :: _ -> Some s
 
@@ -80,9 +86,12 @@ let trace_of (passes : Pass.t list) : string =
   String.concat ";" (List.map (fun (p : Pass.t) -> p.Pass.p_trace) passes)
 
 let run ?(verify = true) ?(use_cache = true) ?(dump_ir = false)
-    ?(start : stage = Coord) ?engine (passes : Pass.t list) (fn : Ir.func) :
-    Ir.func =
+    ?(start : stage = Coord) ?engine ?num_domains (passes : Pass.t list)
+    (fn : Ir.func) : Ir.func =
   let t0 = Unix.gettimeofday () in
+  (* the domain budget is read by compiled artifacts at execution time, so
+     setting it here covers every later run of this pipeline's output *)
+  Option.iter Engine.set_num_domains num_domains;
   let engine =
     match engine with Some k -> k | None -> !Engine.default_kind
   in
@@ -194,16 +203,16 @@ let run ?(verify = true) ?(use_cache = true) ?(dump_ir = false)
 (* ------------------------------------------------------------------ *)
 
 (* Both lowering passes: Stage I -> Stage III, verified at each boundary. *)
-let lower ?verify ?use_cache ?dump_ir ?engine fn =
-  run ?verify ?use_cache ?dump_ir ?engine
+let lower ?verify ?use_cache ?dump_ir ?engine ?num_domains fn =
+  run ?verify ?use_cache ?dump_ir ?engine ?num_domains
     [ Pass.lower_iterations; Pass.lower_buffers ] fn
 
 (* The standard kernel pipeline: optional Stage I rewrites, the two
    lowering passes, then a flat-stage schedule.  [trace] must encode every
    parameter [sched] closes over. *)
-let compile ?verify ?use_cache ?dump_ir ?engine ?(coord = []) ~name ~trace
-    (sched : Ir.func -> Ir.func) (fn : Ir.func) : Ir.func =
-  run ?verify ?use_cache ?dump_ir ?engine
+let compile ?verify ?use_cache ?dump_ir ?engine ?num_domains ?(coord = [])
+    ~name ~trace (sched : Ir.func -> Ir.func) (fn : Ir.func) : Ir.func =
+  run ?verify ?use_cache ?dump_ir ?engine ?num_domains
     (coord
     @ [ Pass.lower_iterations; Pass.lower_buffers;
         Pass.schedule ~name ~trace sched ])
@@ -234,11 +243,11 @@ let report () : string =
   let compiles = List.filter (fun s -> not s.st_cached) runs in
   Printf.bprintf b
     "pipeline: %d runs (%d compiled, %d served from cache); compile cache: \
-     %d hits / %d misses, %d entries\n"
+     %d hits / %d misses / %d evictions, %d entries (capacity %d)\n"
     (List.length runs) (List.length compiles)
     (List.length runs - List.length compiles)
-    (cache_hits ()) (cache_misses ())
-    (Cache.size shared_cache);
+    (cache_hits ()) (cache_misses ()) (cache_evictions ())
+    (Cache.size shared_cache) (Cache.capacity shared_cache);
   let order = ref [] in
   let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter

@@ -212,6 +212,50 @@ let const_int_opt (e : expr) : int option =
 (* Linear analysis                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Conservative interval arithmetic over simplified index expressions.
+   [ienv] maps variable ids to inclusive [lo, hi] ranges (enclosing serial
+   loop vars with constant extents).  Returns None when the range cannot be
+   bounded. *)
+let rec interval (ienv : (int * int) Int_map.t) (e : expr) : (int * int) option
+    =
+  let fdiv a k = if a >= 0 then a / k else -(((-a) + k - 1) / k) in
+  match e with
+  | Int_imm n -> Some (n, n)
+  | Evar v -> Int_map.find_opt v.vid ienv
+  | Binop (Add, a, b) -> (
+      match (interval ienv a, interval ienv b) with
+      | Some (al, ah), Some (bl, bh) -> Some (al + bl, ah + bh)
+      | _ -> None)
+  | Binop (Sub, a, b) -> (
+      match (interval ienv a, interval ienv b) with
+      | Some (al, ah), Some (bl, bh) -> Some (al - bh, ah - bl)
+      | _ -> None)
+  | Binop (Mul, a, b) -> (
+      match (interval ienv a, interval ienv b) with
+      | Some (al, ah), Some (bl, bh) ->
+          let ps = [ al * bl; al * bh; ah * bl; ah * bh ] in
+          Some (List.fold_left min max_int ps, List.fold_left max min_int ps)
+      | _ -> None)
+  | Binop (Min, a, b) -> (
+      match (interval ienv a, interval ienv b) with
+      | Some (al, ah), Some (bl, bh) -> Some (min al bl, min ah bh)
+      | _ -> None)
+  | Binop (Max, a, b) -> (
+      match (interval ienv a, interval ienv b) with
+      | Some (al, ah), Some (bl, bh) -> Some (max al bl, max ah bh)
+      | _ -> None)
+  | Binop (Floor_div, a, Int_imm k) when k > 0 -> (
+      match interval ienv a with
+      | Some (al, ah) -> Some (fdiv al k, fdiv ah k)
+      | None -> None)
+  | Binop (Floor_mod, _, Int_imm k) when k > 0 -> Some (0, k - 1)
+  | Select (_, t, f) -> (
+      match (interval ienv t, interval ienv f) with
+      | Some (tl, th), Some (fl, fh) -> Some (min tl fl, max th fh)
+      | _ -> None)
+  | Cast (_, a) -> interval ienv a
+  | _ -> None
+
 (* Decompose [e] as [coeff * x + rest] where [rest] does not mention [x].
    Returns None when [e] is not linear in [x] (e.g. x appears inside a load
    index or a division).  Used by the coalescing model: the stride of an
@@ -241,3 +285,150 @@ let rec linear_in (x : var) (e : expr) : (int * expr) option =
       | _ -> None)
   | Cast (_, a) -> linear_in x a
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Write-disjointness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Can the iterations of [for x in range(n): body] run concurrently without
+   write conflicts?  We prove a strong sufficient condition: for every buffer
+   the body writes (and does not allocate locally), all accesses — loads and
+   stores alike, since a read of another iteration's write is also a race —
+   agree on a witness dimension [d] and positive coefficient [c] such that the
+   d-th index is [c * x + rest] with [rest] provably inside [0, c).  Distinct
+   iterations then touch disjoint index slabs.  Block-iter and let-bound
+   variables are substituted by their binding expressions first, so indices
+   are analyzed in terms of actual loop variables; enclosing constant-extent
+   loops contribute ranges for the residual interval check.  Anything we
+   cannot bound (bsearch or MMA tiles over a written buffer, non-linear or
+   unbounded indices, leftover sparse constructs) fails conservatively. *)
+let loop_writes_disjoint (x : var) (body : stmt) : bool =
+  let exception Not_disjoint in
+  let written : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let hazard : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let local : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* buf_id -> accesses, each an (index list, interval env) pair: the env in
+     scope at the access site bounds its residual expressions. *)
+  let accesses : (int, (expr list * (int * int) Int_map.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let add_access ienv (b : buffer) idx =
+    if not (Hashtbl.mem local b.buf_id) then
+      let l =
+        match Hashtbl.find_opt accesses b.buf_id with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add accesses b.buf_id l;
+            l
+      in
+      l := (idx, ienv) :: !l
+  in
+  let norm env e = simplify (subst_expr env e) in
+  (* Record every load / bsearch inside an (already substituted) expr. *)
+  let rec scan_expr ienv (e : expr) : unit =
+    (match e with
+    | Load (b, idx) -> add_access ienv b idx
+    | Bsearch bs ->
+        if not (Hashtbl.mem local bs.bs_buf.buf_id) then
+          Hashtbl.replace hazard bs.bs_buf.buf_id ()
+    | _ -> ());
+    match e with
+    | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> ()
+    | Load (_, idx) -> List.iter (scan_expr ienv) idx
+    | Binop (_, a, b) -> scan_expr ienv a; scan_expr ienv b
+    | Unop (_, a) -> scan_expr ienv a
+    | Select (c, t, f) -> scan_expr ienv c; scan_expr ienv t; scan_expr ienv f
+    | Cast (_, a) -> scan_expr ienv a
+    | Bsearch bs ->
+        scan_expr ienv bs.bs_lo; scan_expr ienv bs.bs_hi; scan_expr ienv bs.bs_v
+  in
+  let collect env ienv e = scan_expr ienv (norm env e) in
+  let rec walk env ienv (s : stmt) : unit =
+    match s with
+    | Store (b, idx, value) ->
+        let idx = List.map (norm env) idx in
+        if not (Hashtbl.mem local b.buf_id) then
+          Hashtbl.replace written b.buf_id ();
+        add_access ienv b idx;
+        List.iter (scan_expr ienv) idx;
+        collect env ienv value
+    | Seq l -> List.iter (walk env ienv) l
+    | For f ->
+        collect env ienv f.extent;
+        let ienv' =
+          match const_int_opt (norm env f.extent) with
+          | Some n when n > 0 -> Int_map.add f.for_var.vid (0, n - 1) ienv
+          | _ -> ienv
+        in
+        walk env ienv' f.body
+    | If (c, t, f) ->
+        collect env ienv c;
+        walk env ienv t;
+        Option.iter (walk env ienv) f
+    | Let_stmt (v, value, body) ->
+        collect env ienv value;
+        walk (Int_map.add v.vid (norm env value) env) ienv body
+    | Block_stmt blk ->
+        let env =
+          List.fold_left
+            (fun env bi ->
+              collect env ienv bi.bi_dom;
+              collect env ienv bi.bi_bind;
+              Int_map.add bi.bi_var.vid (norm env bi.bi_bind) env)
+            env blk.blk_iters
+        in
+        Option.iter (walk env ienv) blk.blk_init;
+        walk env ienv blk.blk_body
+    | Alloc (b, body) ->
+        Hashtbl.replace local b.buf_id ();
+        walk env ienv body
+    | Eval e -> collect env ienv e
+    | Mma_sync m ->
+        List.iter
+          (fun (o : mma_operand) ->
+            if not (Hashtbl.mem local o.op_buf.buf_id) then
+              Hashtbl.replace hazard o.op_buf.buf_id ();
+            List.iter (collect env ienv) o.op_origin;
+            collect env ienv o.op_ld)
+          [ m.mma_a; m.mma_b; m.mma_c ];
+        if not (Hashtbl.mem local m.mma_c.op_buf.buf_id) then
+          Hashtbl.replace written m.mma_c.op_buf.buf_id ()
+    | Sp_iter_stmt _ -> raise Not_disjoint
+  in
+  (* Witness dimensions for one access: dims whose index is [c * x + rest],
+     c > 0, with rest's interval inside [0, c). *)
+  let witnesses (idx, ienv) : (int * int) list =
+    List.concat
+      (List.mapi
+         (fun d e ->
+           match linear_in x e with
+           | Some (c, rest) when c > 0 -> (
+               match interval ienv (simplify rest) with
+               | Some (lo, hi) when lo >= 0 && hi < c -> [ (d, c) ]
+               | _ -> [])
+           | _ -> [])
+         idx)
+  in
+  try
+    walk Int_map.empty Int_map.empty body;
+    Hashtbl.iter
+      (fun id () ->
+        if Hashtbl.mem hazard id then raise Not_disjoint;
+        let accs =
+          match Hashtbl.find_opt accesses id with Some l -> !l | None -> []
+        in
+        match accs with
+        | [] -> raise Not_disjoint (* written via hazard-only paths *)
+        | first :: rest ->
+            let surviving =
+              List.fold_left
+                (fun cands acc ->
+                  let ws = witnesses acc in
+                  List.filter (fun w -> List.mem w ws) cands)
+                (witnesses first) rest
+            in
+            if surviving = [] then raise Not_disjoint)
+      written;
+    true
+  with Not_disjoint -> false

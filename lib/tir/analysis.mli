@@ -52,3 +52,14 @@ val linear_in : Ir.var -> Ir.expr -> (int * Ir.expr) option
 (** Decompose [e] as [coeff * x + rest] with [rest] free of [x]; [None] when
     [e] is not linear in [x].  The coalescing model uses the coefficient of
     an address in the lane variable to count memory transactions per warp. *)
+
+(** {1 Write-disjointness} *)
+
+val loop_writes_disjoint : Ir.var -> Ir.stmt -> bool
+(** [loop_writes_disjoint x body] holds when distinct values of the loop
+    variable [x] provably touch disjoint regions of every buffer [body]
+    writes (locally allocated buffers are private and exempt): all accesses
+    to a written buffer must agree on a dimension whose index is
+    [c * x + rest] with [c > 0] and [rest] bounded inside [[0, c)].  The
+    parallel executor uses this to decide whether a thread-bound outer loop
+    may run across domains; [false] is always safe (serial fallback). *)

@@ -214,9 +214,14 @@ let rec exec_stmt (env : env) (s : stmt) : unit =
       in
       List.iter (fun (bi, value) -> Hashtbl.replace env.vars bi.bi_var.vid value) values;
       let at_init =
+        (* domain starts are 0: compare exactly ([to_i] truncates, so a
+           float bind in (-1, 1) would wrongly count as the start and
+           re-fire init mid-reduction) *)
         List.for_all
           (fun (bi, value) ->
-            match bi.bi_kind with Reduce -> to_i value = 0 | Spatial -> true)
+            match bi.bi_kind with
+            | Reduce -> compare_values value (Vi 0) = 0
+            | Spatial -> true)
           values
       in
       if at_init then Option.iter (exec_stmt env) blk.blk_init;

@@ -66,6 +66,69 @@ let test_tuner_search_hits () =
     (List.length r2.Tuner.trials) r2.Tuner.cache_hits;
   Alcotest.(check string) "same winner" r1.Tuner.best_label r2.Tuner.best_label
 
+(* ---------------- LRU eviction ---------------- *)
+
+(* Tiny distinct Stage III funcs for populating a standalone cache. *)
+let mk_func name =
+  let open Tir.Builder in
+  let b = buffer ~dtype:Tir.Dtype.F32 name [ int 1 ] in
+  func name [ b ] (store b [ int 0 ] (float 0.0))
+
+let test_lru_order () =
+  let module C = Pipeline.Cache in
+  let t = C.create ~capacity:2 () in
+  ignore (C.add t "k1" (mk_func "lru1"));
+  ignore (C.add t "k2" (mk_func "lru2"));
+  (* touch k1 so k2 becomes least-recently-used *)
+  ignore (C.find t "k1");
+  ignore (C.add t "k3" (mk_func "lru3"));
+  Alcotest.(check int) "capacity bound respected" 2 (C.size t);
+  Alcotest.(check int) "one eviction counted" 1 (C.evictions t);
+  Alcotest.(check bool) "recently touched entry survives" true
+    (Option.is_some (C.find t "k1"));
+  Alcotest.(check bool) "LRU entry evicted" true
+    (Option.is_none (C.find t "k2"))
+
+(* Evicting a cache entry must also drop its paired artifact from the engine
+   memo, otherwise the memo grows without bound even though the cache is
+   capped. *)
+let test_evict_unregisters_artifact () =
+  Engine.reset ();
+  let module C = Pipeline.Cache in
+  let t = C.create ~capacity:1 () in
+  let f1 = mk_func "evict1" in
+  let a1 = Engine.artifact f1 in
+  ignore (C.add t "k1" ~artifact:a1 f1);
+  Alcotest.(check int) "artifact memoized" 1 (Engine.memo_size ());
+  ignore (C.add t "k2" (mk_func "evict2"));
+  Alcotest.(check int) "eviction drops the engine artifact" 0
+    (Engine.memo_size ())
+
+(* End-to-end through the pipeline's shared cache: with capacity 1 the second
+   schedule evicts the first, the resident entry still hits, and the evicted
+   one misses (and recompiles) on rebuild. *)
+let test_pipeline_capacity () =
+  Pipeline.reset ();
+  let saved = Pipeline.cache_capacity () in
+  Fun.protect
+    ~finally:(fun () -> Pipeline.set_cache_capacity saved)
+    (fun () ->
+      Pipeline.set_cache_capacity 1;
+      let a = graph () in
+      let feat = 16 in
+      let x = Dense.random ~seed:2 a.Csr.cols feat in
+      ignore (Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:1 a x ~feat);
+      ignore (Kernels.Spmm.sparsetir_no_hyb ~row_group:8 ~vec:1 a x ~feat);
+      Alcotest.(check int) "second schedule evicts the first" 1
+        (Pipeline.cache_evictions ());
+      ignore (Kernels.Spmm.sparsetir_no_hyb ~row_group:8 ~vec:1 a x ~feat);
+      Alcotest.(check int) "resident entry hits" 1 (Pipeline.cache_hits ());
+      ignore (Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:1 a x ~feat);
+      Alcotest.(check int) "evicted entry misses again" 3
+        (Pipeline.cache_misses ());
+      Alcotest.(check int) "and evicts the other" 2
+        (Pipeline.cache_evictions ()))
+
 let () =
   Alcotest.run "cache"
     [ ( "compile_cache",
@@ -74,4 +137,10 @@ let () =
           Alcotest.test_case "miss on different trace" `Quick
             test_miss_different_trace;
           Alcotest.test_case "tuner search hits" `Quick test_tuner_search_hits ]
-      ) ]
+      );
+      ( "lru",
+        [ Alcotest.test_case "LRU order" `Quick test_lru_order;
+          Alcotest.test_case "evict unregisters artifact" `Quick
+            test_evict_unregisters_artifact;
+          Alcotest.test_case "pipeline capacity bound" `Quick
+            test_pipeline_capacity ] ) ]

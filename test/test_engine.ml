@@ -187,6 +187,50 @@ let test_graphsage () =
           (m.Nn.Graphsage.steps, m.Nn.Graphsage.h2)))
     [ ("dgl", Nn.Graphsage.Dgl); ("sparsetir", Nn.Graphsage.Sparsetir 1) ]
 
+(* ---------------- reduction-init with float binds ---------------- *)
+
+(* Regression: a Reduce block iter bound to a non-integer float must not
+   re-fire the block init mid-reduction.  The domain-start check used to
+   truncate the bind through [int_of_float], so any value in (-1, 1) — e.g.
+   0.5 at r = 1 when the bind is r * 0.5 — counted as the domain start and
+   clobbered the partial sum.  With the exact comparison both engines
+   accumulate 1 + 2 + 3 + 4 = 10; the buggy check yields 9 (init re-fires at
+   r = 1, dropping A[0]). *)
+let test_float_reduction_init () =
+  let open Tir in
+  let open Builder in
+  let n = 4 in
+  let a_buf = buffer ~dtype:Dtype.F32 "A" [ int n ] in
+  let out_buf = buffer ~dtype:Dtype.F32 "Out" [ int 1 ] in
+  let body =
+    for_ "r" (int n) (fun r ->
+        let rf = fvar "rf" in
+        Ir.Block_stmt
+          { Ir.blk_name = "acc";
+            blk_iters =
+              [ { Ir.bi_var = rf;
+                  bi_dom = float (float_of_int n *. 0.5);
+                  bi_kind = Ir.Reduce;
+                  bi_bind = cast Dtype.F32 r *: float 0.5 } ];
+            blk_reads = [];
+            blk_writes = [];
+            blk_init = Some (store out_buf [ int 0 ] (float 0.0));
+            blk_body =
+              store out_buf [ int 0 ]
+                (load out_buf [ int 0 ] +: load a_buf [ r ]) })
+  in
+  let fn = func "float_reduce_init" [ a_buf; out_buf ] body in
+  let run engine =
+    let a = Tensor.of_float_array [ n ] [| 1.0; 2.0; 3.0; 4.0 |] in
+    let out = Tensor.create Dtype.F32 [ 1 ] in
+    Engine.execute ~kind:engine fn [ a; out ];
+    (Tensor.to_float_array out).(0)
+  in
+  Alcotest.(check (float 0.0))
+    "interp sums across the whole domain" 10.0 (run Engine.Interp);
+  Alcotest.(check (float 0.0))
+    "compiled sums across the whole domain" 10.0 (run Engine.Compiled)
+
 (* ---------------- warm tuner compiles nothing ---------------- *)
 
 let test_warm_tuner_no_codegen () =
@@ -234,7 +278,9 @@ let () =
           Alcotest.test_case "block_sparse" `Quick test_block_sparse;
           Alcotest.test_case "sptensor" `Quick test_sptensor;
           Alcotest.test_case "rgms" `Quick test_rgms;
-          Alcotest.test_case "graphsage" `Quick test_graphsage ] );
+          Alcotest.test_case "graphsage" `Quick test_graphsage;
+          Alcotest.test_case "float reduction init" `Quick
+            test_float_reduction_init ] );
       ( "codegen_cache",
         [ Alcotest.test_case "warm tuner compiles nothing" `Quick
             test_warm_tuner_no_codegen;

@@ -42,7 +42,11 @@ let random_action ~(block : string) (g : Workloads.Rng.t) (s : Schedule.t) :
         match loops with
         | a :: b :: _ -> Schedule.reorder s ~loops:[ b; a ]
         | _ -> ())
-    | 3 -> Schedule.bind s ~loop:(pick loops) Ir.Thread_y
+    | 3 ->
+        (* Block_x binds make the loop a candidate for the domains-parallel
+           executor; Thread_y binds stay serial.  Both must be semantically
+           invisible. *)
+        Schedule.bind s ~loop:(pick loops) (pick [ Ir.Thread_y; Ir.Block_x ])
     | 4 -> Schedule.vectorize s ~loop:(pick loops)
     | _ -> ignore (Schedule.cache_write s ~block ())
 
@@ -65,17 +69,23 @@ let max_err (reference : float array) (got : float array) : float =
   !worst
 
 (* Run [fn] under both engines against fresh bindings and check (a) the two
-   engines agree bit-for-bit and (b) both match the host reference. *)
+   engines agree bit-for-bit and (b) both match the host reference.  The
+   compiled engine runs twice: serially and with a 4-domain budget, so any
+   blockIdx-bound loop the analysis proves disjoint actually takes the
+   parallel path — its output must still be bit-identical to the serial
+   legs. *)
 let differential (fn : Ir.func) ~(bind : unit -> Gpusim.bindings * Tensor.t)
     ~(reference : float array) : bool =
-  let run engine =
+  let run ?num_domains engine =
     let bindings, out = bind () in
-    Gpusim.execute ~engine fn bindings;
+    Gpusim.execute ~engine ?num_domains fn bindings;
     Tensor.to_float_array out
   in
   let interp = run Engine.Interp in
-  let compiled = run Engine.Compiled in
+  let compiled = run ~num_domains:1 Engine.Compiled in
+  let parallel = run ~num_domains:4 Engine.Compiled in
   interp = compiled
+  && compiled = parallel
   && max_err reference interp < 1e-5
   && max_err reference compiled < 1e-5
 
@@ -118,8 +128,62 @@ let fuzz_sddmm =
     QCheck.small_int
     (fun seed -> sddmm_case (succ (abs seed)))
 
+(* ---------------- disjointness-driven dispatch ---------------- *)
+
+(* A blockIdx-bound loop writing C[i] — injective in the loop var — must be
+   proven disjoint and take the domains-parallel path when the budget allows
+   it, with the same result as any serial run. *)
+let test_parallel_provable () =
+  let open Builder in
+  let n = 64 in
+  let a_buf = buffer ~dtype:Dtype.F32 "A" [ int n ] in
+  let c_buf = buffer ~dtype:Dtype.F32 "C" [ int n ] in
+  let fn =
+    func "fuzz_par_provable" [ a_buf; c_buf ]
+      (for_ ~kind:(Ir.Thread_bind Ir.Block_x) "i" (int n) (fun i ->
+           store c_buf [ i ] (load a_buf [ i ] +: float 1.0)))
+  in
+  let a = Tensor.of_float_array [ n ] (Array.init n float_of_int) in
+  let c = Tensor.create Dtype.F32 [ n ] in
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ a; c ];
+  let art = Engine.artifact fn in
+  Alcotest.(check bool) "parallel path taken" true (Engine.par_runs art >= 1);
+  Alcotest.(check int) "no serial fallback" 0 (Engine.fallback_runs art);
+  Alcotest.(check bool) "parallel result correct" true
+    (Tensor.to_float_array c = Array.init n (fun i -> float_of_int i +. 1.0))
+
+(* Every iteration of this blockIdx-bound loop accumulates into C[0]: no
+   witness dimension exists, disjointness is unprovable, and the engine must
+   fall back to serial execution (keeping the reduction exact) instead of
+   racing domains over a shared cell. *)
+let test_parallel_fallback () =
+  let open Builder in
+  let n = 32 in
+  let a_buf = buffer ~dtype:Dtype.F32 "A" [ int n ] in
+  let c_buf = buffer ~dtype:Dtype.F32 "C" [ int 1 ] in
+  let fn =
+    func "fuzz_par_fallback" [ a_buf; c_buf ]
+      (for_ ~kind:(Ir.Thread_bind Ir.Block_x) "i" (int n) (fun i ->
+           store c_buf [ int 0 ] (load c_buf [ int 0 ] +: load a_buf [ i ])))
+  in
+  let a = Tensor.of_float_array [ n ] (Array.make n 1.0) in
+  let c = Tensor.create Dtype.F32 [ 1 ] in
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ a; c ];
+  let art = Engine.artifact fn in
+  Alcotest.(check int) "parallel path never taken" 0 (Engine.par_runs art);
+  Alcotest.(check bool) "serial fallback fired" true
+    (Engine.fallback_runs art >= 1);
+  Alcotest.(check (float 0.0))
+    "reduction still exact" (float_of_int n)
+    (Tensor.to_float_array c).(0)
+
 let () =
   Alcotest.run "schedule_fuzz"
     [ ( "fuzz",
         [ QCheck_alcotest.to_alcotest ~long:false fuzz_spmm;
-          QCheck_alcotest.to_alcotest ~long:false fuzz_sddmm ] ) ]
+          QCheck_alcotest.to_alcotest ~long:false fuzz_sddmm ] );
+      ( "parallel_dispatch",
+        [ Alcotest.test_case "provable loop runs parallel" `Quick
+            test_parallel_provable;
+          Alcotest.test_case "unprovable loop falls back" `Quick
+            test_parallel_fallback ] ) ]

@@ -1,0 +1,128 @@
+(* Engine-bench trend check: compare a fresh BENCH_engine.json against the
+   committed baseline and fail (exit 1) when any kernel's compiled speedup
+   regressed by more than the threshold.
+
+   The compared metric is the speedup-vs-interp column, not raw ns/iter:
+   both engines run on the same machine in the same process, so the ratio is
+   stable across hosts of different absolute speed — exactly what a CI
+   runner needs when the baseline file was written on a different box.
+
+   Usage: bench_trend BASELINE.json FRESH.json [--threshold=0.30]
+
+   The parser is deliberately matched to [Report.write_engine_json]'s
+   one-row-per-line output (this repo has no JSON dependency); unknown lines
+   are ignored. *)
+
+let field_str (line : string) (key : string) : string option =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match
+    String.length pat
+    |> fun plen ->
+    let rec find i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+      let rec close i =
+        if i >= String.length line then None
+        else if line.[i] = '"' then Some i
+        else close (i + 1)
+      in
+      Option.map (fun e -> String.sub line start (e - start)) (close start)
+
+let field_float (line : string) (key : string) : float option =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length line then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let is_num c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = 'e' in
+      let e = ref start in
+      while !e < String.length line && is_num line.[!e] do
+        incr e
+      done;
+      if !e = start then None
+      else float_of_string_opt (String.sub line start (!e - start))
+
+(* kernel -> speedup of its compiled row; plus the file's geomean *)
+let load (path : string) : (string * float) list * float =
+  let ic = open_in path in
+  let rows = ref [] and geomean = ref nan in
+  (try
+     while true do
+       let line = input_line ic in
+       (match field_float line "geomean_speedup" with
+       | Some g -> geomean := g
+       | None -> ());
+       match (field_str line "kernel", field_str line "engine") with
+       | Some k, Some "compiled" -> (
+           match field_float line "speedup" with
+           | Some s -> rows := (k, s) :: !rows
+           | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  (List.rev !rows, !geomean)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let threshold = ref 0.30 in
+  let files =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--threshold" ->
+            threshold :=
+              float_of_string (String.sub a (i + 1) (String.length a - i - 1));
+            false
+        | _ -> true)
+      args
+  in
+  match files with
+  | [ base_path; fresh_path ] ->
+      let base, base_geo = load base_path in
+      let fresh, fresh_geo = load fresh_path in
+      if base = [] then (
+        Printf.eprintf "bench_trend: no compiled rows in %s\n" base_path;
+        exit 2);
+      if fresh = [] then (
+        Printf.eprintf "bench_trend: no compiled rows in %s\n" fresh_path;
+        exit 2);
+      Printf.printf "%-20s %10s %10s %8s\n" "kernel" "baseline" "fresh"
+        "ratio";
+      let failures = ref 0 in
+      List.iter
+        (fun (k, b) ->
+          match List.assoc_opt k fresh with
+          | None ->
+              incr failures;
+              Printf.printf "%-20s %10.2f %10s  MISSING from fresh run\n" k b
+                "-"
+          | Some f ->
+              let ratio = f /. b in
+              let bad = ratio < 1.0 -. !threshold in
+              if bad then incr failures;
+              Printf.printf "%-20s %10.2f %10.2f %7.2f%s\n" k b f ratio
+                (if bad then "  REGRESSION" else ""))
+        base;
+      Printf.printf "geomean: baseline %.2fx -> fresh %.2fx (threshold: \
+                     fail below %.0f%% of baseline per kernel)\n"
+        base_geo fresh_geo
+        ((1.0 -. !threshold) *. 100.0);
+      if !failures > 0 then (
+        Printf.printf "bench_trend: %d kernel(s) regressed\n" !failures;
+        exit 1)
+      else Printf.printf "bench_trend: ok\n"
+  | _ ->
+      prerr_endline "usage: bench_trend BASELINE.json FRESH.json \
+                     [--threshold=0.30]";
+      exit 2
