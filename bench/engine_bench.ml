@@ -7,7 +7,14 @@
 
 open Formats
 
-type case = { ck_name : string; ck_run : Engine.kind -> unit }
+(* ck_fns: the stage-III funcs the kernel executes, so the per-kernel table
+   can show the fusion peephole's compile-time site counters next to the
+   timings (the acceptance gate wants them nonzero on MMA and SpMM). *)
+type case = {
+  ck_name : string;
+  ck_run : Engine.kind -> unit;
+  ck_fns : Tir.Ir.func list;
+}
 
 let cases () : case list =
   let graph =
@@ -72,22 +79,36 @@ let cases () : case list =
     Nn.Graphsage.epoch Nn.Graphsage.Dgl graph ~in_feat:16 ~hidden:16
       ~out_feat:8 ()
   in
-  [ { ck_name = "spmm_hyb"; ck_run = exec spmm_hyb };
-    { ck_name = "spmm_csr"; ck_run = exec spmm_csr };
+  [ { ck_name = "spmm_hyb";
+      ck_run = exec spmm_hyb;
+      ck_fns = [ spmm_hyb.Kernels.Spmm.fn ] };
+    { ck_name = "spmm_csr";
+      ck_run = exec spmm_csr;
+      ck_fns = [ spmm_csr.Kernels.Spmm.fn ] };
     { ck_name = "sddmm";
       ck_run =
         (fun engine ->
           Gpusim.execute ~engine sddmm.Kernels.Sddmm.fn
-            sddmm.Kernels.Sddmm.bindings) };
-    { ck_name = "attention_bsr"; ck_run = exec_bs battn };
-    { ck_name = "dbsr"; ck_run = exec_bs dbsr };
-    { ck_name = "srbcrs"; ck_run = exec_bs srb };
+            sddmm.Kernels.Sddmm.bindings);
+      ck_fns = [ sddmm.Kernels.Sddmm.fn ] };
+    { ck_name = "attention_bsr";
+      ck_run = exec_bs battn;
+      ck_fns = [ battn.Kernels.Block_sparse.fn ] };
+    { ck_name = "dbsr";
+      ck_run = exec_bs dbsr;
+      ck_fns = [ dbsr.Kernels.Block_sparse.fn ] };
+    { ck_name = "srbcrs";
+      ck_run = exec_bs srb;
+      ck_fns = [ srb.Kernels.Block_sparse.fn ] };
     { ck_name = "rgms_hyb_tc";
-      ck_run = (fun engine -> Kernels.Rgms.execute ~engine rgms) };
+      ck_run = (fun engine -> Kernels.Rgms.execute ~engine rgms);
+      ck_fns = List.map fst rgms.Kernels.Rgms.steps };
     { ck_name = "sparse_conv";
-      ck_run = (fun engine -> Kernels.Rgms.execute ~engine conv) };
+      ck_run = (fun engine -> Kernels.Rgms.execute ~engine conv);
+      ck_fns = List.map fst conv.Kernels.Rgms.steps };
     { ck_name = "graphsage_epoch";
-      ck_run = (fun engine -> Nn.Graphsage.execute ~engine gsage) } ]
+      ck_run = (fun engine -> Nn.Graphsage.execute ~engine gsage);
+      ck_fns = List.map fst gsage.Nn.Graphsage.steps } ]
 
 (* ns/iter with an adaptive iteration count: one untimed warm-up run (also
    forces codegen for the compiled engine), then enough iterations to fill
@@ -115,15 +136,26 @@ let run ?(full = false) () =
   @@ fun () ->
   let budget = if full then 0.5 else 0.05 in
   let rows = ref [] and speedups = ref [] in
-  Printf.printf "%-20s %14s %14s %9s\n" "kernel" "interp ns/it" "compiled ns/it"
-    "speedup";
+  Printf.printf "%-20s %14s %14s %9s %17s\n" "kernel" "interp ns/it"
+    "compiled ns/it" "speedup" "fused/hoist/lin";
   List.iter
     (fun c ->
       let interp_ns = time_ns ~budget (fun () -> c.ck_run Engine.Interp) in
       let compiled_ns = time_ns ~budget (fun () -> c.ck_run Engine.Compiled) in
       let speedup = interp_ns /. compiled_ns in
-      Printf.printf "%-20s %14.0f %14.0f %8.2fx\n%!" c.ck_name interp_ns
-        compiled_ns speedup;
+      (* the compiled leg's warm-up forced codegen, so the memoized artifacts
+         carry this kernel's fusion-site counters *)
+      let fused, hoisted, linear =
+        List.fold_left
+          (fun (f, h, l) fn ->
+            let a = Engine.artifact fn in
+            ( f + Engine.fused_sites a,
+              h + Engine.hoisted_sites a,
+              l + Engine.linear_sites a ))
+          (0, 0, 0) c.ck_fns
+      in
+      Printf.printf "%-20s %14.0f %14.0f %8.2fx %7d/%4d/%4d\n%!" c.ck_name
+        interp_ns compiled_ns speedup fused hoisted linear;
       speedups := speedup :: !speedups;
       rows :=
         (c.ck_name, "compiled", compiled_ns, speedup)

@@ -158,9 +158,11 @@ let () =
   let no_bechamel = List.mem "--no-bechamel" args in
   (* --engine=interp|compiled selects the execution backend for every
      correctness run in the harness (the engine experiment still times both);
-     --domains=N sets the engine's domain budget and the parallel bench's
-     parallel leg *)
-  let domains = ref 0 in
+     --domains=N sets the engine's domain budget (0 = auto, same convention
+     as Engine.set_num_domains — the single clamp) and the parallel bench's
+     parallel leg; --fusion=on|off toggles the engine's closure-fusion
+     peephole for every compile in the run *)
+  let domains = ref None in
   List.iter
     (fun a ->
       match String.index_opt a '=' with
@@ -168,23 +170,31 @@ let () =
           Engine.default_kind :=
             Engine.kind_of_string (String.sub a (i + 1) (String.length a - i - 1))
       | Some i when String.sub a 0 i = "--domains" ->
-          domains := int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+          domains :=
+            Some (int_of_string (String.sub a (i + 1) (String.length a - i - 1)))
+      | Some i when String.sub a 0 i = "--fusion" -> (
+          match String.sub a (i + 1) (String.length a - i - 1) with
+          | "on" | "true" | "1" -> Engine.set_fusion true
+          | "off" | "false" | "0" -> Engine.set_fusion false
+          | s -> invalid_arg (Printf.sprintf "--fusion=%s (want on|off)" s))
       | _ -> ())
     args;
-  if !domains > 0 then Engine.set_num_domains !domains;
+  Option.iter Engine.set_num_domains !domains;
   let selected =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
-  let exps = experiments ~full ~domains:!domains in
+  let exps = experiments ~full ~domains:(Option.value !domains ~default:0) in
   let to_run =
     if selected = [] then exps
     else List.filter (fun (n, _) -> List.mem n selected) exps
   in
   Printf.printf
-    "SparseTIR reproduction benchmarks (%s scale, %s engine)\nSimulated GPUs: \
-     V100, RTX3070 (see DESIGN.md for the substitution rationale)\n"
+    "SparseTIR reproduction benchmarks (%s scale, %s engine, fusion %s)\n\
+     Simulated GPUs: V100, RTX3070 (see DESIGN.md for the substitution \
+     rationale)\n"
     (if full then "paper" else "quick")
-    (Engine.kind_to_string !Engine.default_kind);
+    (Engine.kind_to_string !Engine.default_kind)
+    (if Engine.fusion () then "on" else "off");
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in

@@ -61,13 +61,22 @@ let show graph feat op stage =
 
 let domains_arg =
   let doc = "Domain budget for thread-bound outer loops in the compiled \
-             engine (1 = serial; 0 = the machine's recommended count)." in
+             engine (1 = serial; 0 = auto, the machine's recommended \
+             count)." in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
-let run graph feat op gpu system engine domains =
+let fusion_arg =
+  let doc = "Closure-fusion peephole in the compiled engine (fused \
+             accumulation stores, loop-invariant hoisting, strength-reduced \
+             linear offsets).  $(b,--fusion=false) compiles unfused \
+             closures." in
+  Arg.(value & opt bool true & info [ "fusion" ] ~docv:"BOOL" ~doc)
+
+let run graph feat op gpu system engine domains fusion =
   Engine.default_kind := engine;
-  Engine.set_num_domains
-    (if domains <= 0 then Domain.recommended_domain_count () else domains);
+  (* 0 = auto: Engine.set_num_domains owns the single clamp *)
+  Engine.set_num_domains domains;
+  Engine.set_fusion fusion;
   let a = Workloads.Graphs.by_name graph in
   let spec = spec_of gpu in
   let x = Dense.random ~seed:11 a.Csr.cols feat in
@@ -114,11 +123,17 @@ let run graph feat op gpu system engine domains =
   Printf.printf "functional run (%s engine): %.3f ms\n"
     (Engine.kind_to_string engine)
     ((Unix.gettimeofday () -. t0) *. 1000.0);
-  if engine = Engine.Compiled then
+  if engine = Engine.Compiled then begin
     let art = Engine.artifact fn in
     Printf.printf "parallel: domains=%d, parallel runs=%d, serial \
                    fallbacks=%d\n"
-      (Engine.num_domains ()) (Engine.par_runs art) (Engine.fallback_runs art)
+      (Engine.num_domains ()) (Engine.par_runs art) (Engine.fallback_runs art);
+    Printf.printf "fusion: %s, fused stores=%d, hoisted=%d, \
+                   strength-reduced=%d\n"
+      (if Engine.fusion () then "on" else "off")
+      (Engine.fused_sites art) (Engine.hoisted_sites art)
+      (Engine.linear_sites art)
+  end
 
 let system_arg =
   let doc = "Kernel strategy: cusparse, dgsparse, sputnik, taco, no-hyb, \
@@ -133,7 +148,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Profile one kernel on a simulated GPU")
     Term.(
       const run $ graph_arg $ feat_arg $ op_arg $ gpu_arg $ system_arg
-      $ engine_arg $ domains_arg)
+      $ engine_arg $ domains_arg $ fusion_arg)
 
 let main_cmd =
   let doc = "SparseTIR (OCaml reproduction) command-line tools" in

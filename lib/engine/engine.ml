@@ -65,10 +65,16 @@ let clone_state (st : state) : state =
 
 (* How many domains a thread-bound outer loop may spread across.  Read at
    execution time (not compile time) so memoized artifacts stay valid when
-   the knob changes between runs; 1 disables parallel execution. *)
+   the knob changes between runs; 1 disables parallel execution.  This is
+   the single clamp for the whole stack: every entry point (CLI --domains,
+   bench --domains=, ?num_domains) passes its value through unchanged, and
+   any [n <= 0] uniformly means "auto" — use the runtime's recommended
+   domain count. *)
 let num_domains_ref = ref (Domain.recommended_domain_count ())
 let num_domains () = !num_domains_ref
-let set_num_domains n = num_domains_ref := max 1 n
+
+let set_num_domains n =
+  num_domains_ref := (if n <= 0 then Domain.recommended_domain_count () else n)
 
 (* A fixed pool of worker domains, grown lazily and kept for the process
    lifetime: Domain.spawn per kernel launch costs more than an entire small
@@ -163,6 +169,18 @@ end
 let pool_size = Pool.size
 
 (* ------------------------------------------------------------------ *)
+(* Fusion peephole gate                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Read at compile time: fused and unfused artifacts are different closure
+   trees, so the knob cannot apply retroactively to memoized artifacts.  The
+   fuzzer differential-tests the two by compiling the same func once under
+   each setting (bypassing the memo via [compile]). *)
+let fusion_ref = ref true
+let set_fusion b = fusion_ref := b
+let fusion () = !fusion_ref
+
+(* ------------------------------------------------------------------ *)
 (* Compile-time context                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -192,6 +210,13 @@ type ctx = {
      disjointness was unprovable *)
   par_runs : int ref;
   fallback_runs : int ref;
+  (* per-artifact fusion-site counters (compile-time): stores fused into a
+     single load-accumulate closure, loop-invariant index expressions
+     hoisted into prologue slots, and linear indices strength-reduced into
+     running adds *)
+  mutable n_fused : int;
+  mutable n_hoisted : int;
+  mutable n_linear : int;
 }
 
 let fresh_i ctx = let s = ctx.n_i in ctx.n_i <- s + 1; s
@@ -485,9 +510,100 @@ and compile_binop ctx scope op a b : cexpr =
 (* Statement compilation                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Fused accumulation stores (fusion peephole, DESIGN.md §3e): a store of
+   the shape [C[i] <- C[i] + rhs] (either operand order) re-reads the cell
+   it is about to write.  Unfused, that costs two independent offset
+   computations (one relaxed for the load, one strict for the store) and an
+   extra closure hop; fused, the strict offset is computed once and the
+   cell updated in place.  Whenever the strict offset admits the store, the
+   relaxed load offset would have resolved to the same flat position, so
+   the fused form is bit-identical.  Only shapes whose unfused arithmetic
+   already runs entirely in the target dtype's lattice are fused: float
+   buffers always (the load forces the float path), int buffers only when
+   the rhs compiles integral (otherwise the unfused add runs in floats and
+   truncates), bool buffers never. *)
+let compile_store_fused (ctx : ctx) compile_rhs (b : buffer)
+    (idx : expr list) (value : expr) (off : state -> Tensor.t -> int)
+    (slot : int) : (state -> unit) option =
+  if not !fusion_ref then None
+  else
+    let same_cell (b2 : buffer) idx2 = b2.buf_id = b.buf_id && idx2 = idx in
+    let acc =
+      match value with
+      | Binop (Add, Load (b2, idx2), rhs) when same_cell b2 idx2 ->
+          Some (true, rhs)
+      | Binop (Add, rhs, Load (b2, idx2)) when same_cell b2 idx2 ->
+          Some (false, rhs)
+      | _ -> None
+    in
+    match acc with
+    | None -> None
+    | Some (load_left, rhs) ->
+        if Dtype.is_float b.buf_dtype then begin
+          ctx.n_fused <- ctx.n_fused + 1;
+          (* evaluation order matches the unfused [fa st +. fb st] closures:
+             the right operand of each add evaluates first *)
+          let mk frhs =
+            if load_left then fun st ->
+              let t = st.bufs.(slot) in
+              let i = off st t in
+              Tensor.set_f t i (Tensor.get_f t i +. frhs st)
+            else fun st ->
+              let t = st.bufs.(slot) in
+              let i = off st t in
+              let v = Tensor.get_f t i in
+              Tensor.set_f t i (frhs st +. v)
+          in
+          match rhs with
+          | Binop (Mul, x, y) -> (
+              match (compile_rhs x, compile_rhs y) with
+              | CI _, CI _ ->
+                  (* int*int product converts to float once, after the int
+                     multiply: keep the generic compiled rhs *)
+                  Some (mk (as_f (compile_rhs rhs)))
+              | cx, cy ->
+                  (* FMA shape: inline the multiply into the store closure *)
+                  let fx = as_f cx and fy = as_f cy in
+                  if load_left then
+                    Some
+                      (fun st ->
+                        let t = st.bufs.(slot) in
+                        let i = off st t in
+                        Tensor.set_f t i (Tensor.get_f t i +. (fx st *. fy st)))
+                  else
+                    Some
+                      (fun st ->
+                        let t = st.bufs.(slot) in
+                        let i = off st t in
+                        let v = Tensor.get_f t i in
+                        Tensor.set_f t i ((fx st *. fy st) +. v)))
+          | _ -> Some (mk (as_f (compile_rhs rhs)))
+        end
+        else if b.buf_dtype = Dtype.Bool then None
+        else
+          (* int accumulate: only when the rhs is integral (the unfused add
+             would otherwise run in floats and truncate on store) *)
+          match compile_rhs rhs with
+          | CI fr ->
+              ctx.n_fused <- ctx.n_fused + 1;
+              if load_left then
+                Some
+                  (fun st ->
+                    let t = st.bufs.(slot) in
+                    let i = off st t in
+                    Tensor.set_i t i (Tensor.get_i t i + fr st))
+              else
+                Some
+                  (fun st ->
+                    let t = st.bufs.(slot) in
+                    let i = off st t in
+                    let v = Tensor.get_i t i in
+                    Tensor.set_i t i (fr st + v))
+          | _ -> None
+
 let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
   match s with
-  | Store (b, idx, value) ->
+  | Store (b, idx, value) -> (
       guard_flat b;
       let slot = buf_slot scope b in
       let off =
@@ -495,18 +611,23 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
           (Printf.sprintf "Engine: store %s" b.buf_name)
           (compile_expr ctx scope) idx
       in
-      if Dtype.is_float b.buf_dtype then
-        let fv = as_f (compile_expr ctx scope value) in
-        fun st ->
-          let t = st.bufs.(slot) in
-          let i = off st t in
-          Tensor.set_f t i (fv st)
-      else
-        let fv = as_i (compile_expr ctx scope value) in
-        fun st ->
-          let t = st.bufs.(slot) in
-          let i = off st t in
-          Tensor.set_i t i (fv st)
+      match
+        compile_store_fused ctx (compile_expr ctx scope) b idx value off slot
+      with
+      | Some fused -> fused
+      | None ->
+          if Dtype.is_float b.buf_dtype then
+            let fv = as_f (compile_expr ctx scope value) in
+            fun st ->
+              let t = st.bufs.(slot) in
+              let i = off st t in
+              Tensor.set_f t i (fv st)
+          else
+            let fv = as_i (compile_expr ctx scope value) in
+            fun st ->
+              let t = st.bufs.(slot) in
+              let i = off st t in
+              Tensor.set_i t i (fv st))
   | Seq ss -> (
       let fs = Array.of_list (List.map (compile_stmt ctx scope) ss) in
       match fs with
@@ -525,76 +646,221 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
   | For { for_var; extent; kind; body } -> (
       let ext = as_i (compile_expr ctx scope extent) in
       let slot = fresh_i ctx in
-      let serial fbody st =
-        let n = ext st in
-        let a = st.ints in
-        for i = 0 to n - 1 do
-          a.(slot) <- i;
-          fbody st
+      (* Parallel eligibility is decided against the ORIGINAL body: the
+         peephole rewrites below replace exactly the linear index arithmetic
+         the disjointness proof needs as witnesses. *)
+      let disjoint =
+        match kind with
+        | Thread_bind (Block_x | Block_y | Block_z) when not ctx.in_parallel ->
+            Some (Analysis.loop_writes_disjoint for_var body)
+        | _ -> None
+      in
+      (* Fusion peephole (DESIGN.md §3e): rewrite the body so per-iteration
+         index arithmetic becomes slot reads.  Loop-invariant expressions
+         are evaluated by a prologue once per loop entry (hoisting); indices
+         linear in the loop var become running adds re-seeded per chunk
+         (strength reduction), so they survive the chunked parallel path.
+         Outside a parallel region the rewrite never descends into nested
+         blockIdx-bound loops: their disjointness analysis (and their own
+         peephole, at their level) must see original IR. *)
+      let into_block_binds = ctx.in_parallel in
+      let ok_in_scope (e : expr) =
+        List.for_all
+          (fun (v : var) ->
+            v.vid = for_var.vid || Imap.mem v.vid scope.sc_vars)
+          (Analysis.free_vars_expr e)
+        && List.for_all
+             (fun (b : buffer) ->
+               (not (is_sparse_buffer b)) && Imap.mem b.buf_id scope.sc_bufs)
+             (Analysis.buffers_of_expr e)
+      in
+      let body, body_scope, prologue, lin_inits, lin_steps =
+        if not !fusion_ref then
+          (body, bind_var scope for_var (Si slot), [], [], [])
+        else begin
+          (* candidates are all extracted from (and substituted into) the
+             original body in one pass, and compiled in the enclosing scope,
+             so one rewrite cannot invalidate another's pattern *)
+          let lins =
+            Analysis.linear_indices_of_loop ~into_block_binds for_var body
+            |> List.filter (fun (e, _, _) -> ok_in_scope e)
+            |> List.filter_map (fun (e, c, rest) ->
+                   match compile_expr ctx scope (Analysis.simplify rest) with
+                   | CI frest ->
+                       ctx.n_linear <- ctx.n_linear + 1;
+                       Some
+                         ( e,
+                           c,
+                           frest,
+                           fresh_i ctx (* rest slot *),
+                           fresh_i ctx (* running slot *),
+                           Builder.var "lin$off" )
+                   | _ -> None)
+          in
+          let invs =
+            Analysis.invariant_of_loop ~into_block_binds for_var body
+            |> List.filter ok_in_scope
+            |> List.map (fun e ->
+                   let setter, sl =
+                     match compile_expr ctx scope e with
+                     | CI f ->
+                         let s = fresh_i ctx in
+                         ((fun st -> st.ints.(s) <- f st), Si s)
+                     | CF f ->
+                         let s = fresh_f ctx in
+                         ((fun st -> st.floats.(s) <- f st), Sf s)
+                     | CB f ->
+                         let s = fresh_b ctx in
+                         ((fun st -> st.bools.(s) <- f st), Sb s)
+                   in
+                   ctx.n_hoisted <- ctx.n_hoisted + 1;
+                   (e, Builder.var "inv$off", setter, sl))
+          in
+          let subs =
+            List.map (fun (e, _, _, _, _, lv) -> (e, Evar lv)) lins
+            @ List.map (fun (e, hv, _, _) -> (e, Evar hv)) invs
+          in
+          let body =
+            if subs = [] then body
+            else Analysis.replace_exprs ~into_block_binds subs body
+          in
+          let sc =
+            List.fold_left
+              (fun sc (_, _, _, _, run_slot, lv) ->
+                bind_var sc lv (Si run_slot))
+              scope lins
+          in
+          let sc =
+            List.fold_left (fun sc (_, hv, _, sl) -> bind_var sc hv sl) sc invs
+          in
+          ( body,
+            bind_var sc for_var (Si slot),
+            List.map
+              (fun (_, _, frest, rest_slot, _, _) ->
+                fun st -> st.ints.(rest_slot) <- frest st)
+              lins
+            @ List.map (fun (_, _, setter, _) -> setter) invs,
+            List.map
+              (fun (_, c, _, rest_slot, run_slot, _) ->
+                fun st start ->
+                 st.ints.(run_slot) <- (c * start) + st.ints.(rest_slot))
+              lins,
+            List.map
+              (fun (_, c, _, _, run_slot, _) ->
+                fun st -> st.ints.(run_slot) <- st.ints.(run_slot) + c)
+              lins )
+        end
+      in
+      let prologue = Array.of_list prologue in
+      let nprol = Array.length prologue in
+      let run_prologue st =
+        for k = 0 to nprol - 1 do
+          prologue.(k) st
         done
       in
-      match kind with
-      | Thread_bind (Block_x | Block_y | Block_z) when not ctx.in_parallel ->
-          if Analysis.loop_writes_disjoint for_var body then begin
-            (* iterations provably write disjoint buffer regions: spread them
-               across domains, each running the same compiled body against
-               its own state replica.  Work is handed out in contiguous
-               chunks through an atomic cursor so uneven iteration costs
-               (e.g. power-law row lengths) balance dynamically.  The
-               decision to actually go parallel is made per run, from the
-               current [num_domains]. *)
-            ctx.in_parallel <- true;
-            let fbody =
-              compile_stmt ctx (bind_var scope for_var (Si slot)) body
-            in
-            ctx.in_parallel <- false;
-            let fserial = serial fbody in
-            let par = ctx.par_runs in
-            fun st ->
-              let n = ext st in
-              let d = min !num_domains_ref n in
-              if d <= 1 then fserial st
-              else begin
-                incr par;
-                let states =
-                  Array.init d (fun i -> if i = 0 then st else clone_state st)
-                in
-                let grain = max 1 (n / (d * 4)) in
-                let cursor = Atomic.make 0 in
-                Pool.run_group d (fun w ->
-                    let stw = states.(w) in
-                    let a = stw.ints in
-                    let rec pull () =
-                      let start = Atomic.fetch_and_add cursor grain in
-                      if start < n then begin
-                        let stop = min n (start + grain) in
-                        for i = start to stop - 1 do
-                          a.(slot) <- i;
-                          fbody stw
-                        done;
-                        pull ()
-                      end
-                    in
-                    pull ())
-              end
-          end
-          else begin
-            (* unprovable write-disjointness: serial fallback, counted so
-               tests and the bench can see the analysis said no *)
-            let fbody =
-              compile_stmt ctx (bind_var scope for_var (Si slot)) body
-            in
-            let fserial = serial fbody in
-            let fellback = ctx.fallback_runs in
-            fun st ->
-              incr fellback;
-              fserial st
-          end
-      | _ ->
+      let init_chunk =
+        match Array.of_list lin_inits with
+        | [||] -> fun _ _ -> ()
+        | [| f |] -> f
+        | fs ->
+            fun st start ->
+              for k = 0 to Array.length fs - 1 do
+                fs.(k) st start
+              done
+      in
+      let step =
+        match Array.of_list lin_steps with
+        | [||] -> None
+        | [| f |] -> Some f
+        | fs ->
+            Some
+              (fun st ->
+                for k = 0 to Array.length fs - 1 do
+                  fs.(k) st
+                done)
+      in
+      (* chunk runner: re-seeds every running offset at the chunk start, so
+         the same closure serves the serial loop (one chunk [0,n)) and the
+         atomic-cursor parallel chunks *)
+      let iterate fbody =
+        match step with
+        | None ->
+            fun st lo hi ->
+              let a = st.ints in
+              for i = lo to hi - 1 do
+                a.(slot) <- i;
+                fbody st
+              done
+        | Some stepf ->
+            fun st lo hi ->
+              init_chunk st lo;
+              let a = st.ints in
+              for i = lo to hi - 1 do
+                a.(slot) <- i;
+                fbody st;
+                stepf st
+              done
+      in
+      match disjoint with
+      | Some true ->
+          (* iterations provably write disjoint buffer regions: spread them
+             across domains, each running the same compiled body against
+             its own state replica.  Work is handed out in contiguous
+             chunks through an atomic cursor so uneven iteration costs
+             (e.g. power-law row lengths) balance dynamically.  The
+             decision to actually go parallel is made per run, from the
+             current [num_domains].  The prologue runs on the root state
+             BEFORE cloning, so hoisted slots propagate into every
+             per-domain replica. *)
+          ctx.in_parallel <- true;
+          let fbody = compile_stmt ctx body_scope body in
+          ctx.in_parallel <- false;
+          let iter = iterate fbody in
+          let par = ctx.par_runs in
+          fun st ->
+            let n = ext st in
+            run_prologue st;
+            let d = min !num_domains_ref n in
+            if d <= 1 then iter st 0 n
+            else begin
+              incr par;
+              let states =
+                Array.init d (fun i -> if i = 0 then st else clone_state st)
+              in
+              let grain = max 1 (n / (d * 4)) in
+              let cursor = Atomic.make 0 in
+              Pool.run_group d (fun w ->
+                  let stw = states.(w) in
+                  let rec pull () =
+                    let start = Atomic.fetch_and_add cursor grain in
+                    if start < n then begin
+                      iter stw start (min n (start + grain));
+                      pull ()
+                    end
+                  in
+                  pull ())
+            end
+      | Some false ->
+          (* unprovable write-disjointness: serial fallback, counted so
+             tests and the bench can see the analysis said no *)
+          let fbody = compile_stmt ctx body_scope body in
+          let iter = iterate fbody in
+          let fellback = ctx.fallback_runs in
+          fun st ->
+            incr fellback;
+            let n = ext st in
+            run_prologue st;
+            iter st 0 n
+      | None ->
           (* every other loop kind (and nested thread bindings) executes
              serially, as in the interpreter; the body is compiled once and
              invoked per iteration *)
-          serial (compile_stmt ctx (bind_var scope for_var (Si slot)) body))
+          let fbody = compile_stmt ctx body_scope body in
+          let iter = iterate fbody in
+          fun st ->
+            let n = ext st in
+            run_prologue st;
+            iter st 0 n)
   | If (c, t, f) -> (
       let fc = as_b (compile_expr ctx scope c) in
       let ft = compile_stmt ctx scope t in
@@ -739,14 +1005,28 @@ type compiled = {
   c_run : Tensor.t list -> unit;
   c_par_runs : int ref; (* executions that took the domains-parallel path *)
   c_fallback_runs : int ref; (* serial fallbacks on unprovable disjointness *)
+  (* fusion peephole sites, fixed at compile time *)
+  c_fused_sites : int; (* stores fused into load-accumulate closures *)
+  c_hoisted_sites : int; (* loop-invariant index exprs moved to prologues *)
+  c_linear_sites : int; (* linear indices strength-reduced to running adds *)
 }
 
 let name (c : compiled) = c.c_name
 let slot_counts (c : compiled) = c.c_slots
 let par_runs (c : compiled) = !(c.c_par_runs)
 let fallback_runs (c : compiled) = !(c.c_fallback_runs)
+let fused_sites (c : compiled) = c.c_fused_sites
+let hoisted_sites (c : compiled) = c.c_hoisted_sites
+let linear_sites (c : compiled) = c.c_linear_sites
 
 let compile_count = ref 0
+
+(* Process-wide fusion-site totals across every [compile] since [reset]
+   (Pipeline.report surfaces them next to the pass table). *)
+let total_fused = ref 0
+let total_hoisted = ref 0
+let total_linear = ref 0
+let fusion_totals () = (!total_fused, !total_hoisted, !total_linear)
 
 (* A placeholder for not-yet-bound buffer slots; never read on valid
    programs (every access compiles against a param or live Alloc slot). *)
@@ -763,6 +1043,9 @@ let compile (fn : func) : compiled =
       in_parallel = false;
       par_runs = ref 0;
       fallback_runs = ref 0;
+      n_fused = 0;
+      n_hoisted = 0;
+      n_linear = 0;
     }
   in
   let scope =
@@ -789,12 +1072,18 @@ let compile (fn : func) : compiled =
     List.iteri (fun i t -> st.bufs.(i) <- t) args;
     body st
   in
+  total_fused := !total_fused + ctx.n_fused;
+  total_hoisted := !total_hoisted + ctx.n_hoisted;
+  total_linear := !total_linear + ctx.n_linear;
   {
     c_name = fname;
     c_slots = (ni, nf, nb);
     c_run = run;
     c_par_runs = ctx.par_runs;
     c_fallback_runs = ctx.fallback_runs;
+    c_fused_sites = ctx.n_fused;
+    c_hoisted_sites = ctx.n_hoisted;
+    c_linear_sites = ctx.n_linear;
   }
 
 let run (c : compiled) (args : Tensor.t list) : unit = c.c_run args
@@ -851,7 +1140,10 @@ let memo_size () = Memo.length memo
 
 let reset () =
   Memo.reset memo;
-  compile_count := 0
+  compile_count := 0;
+  total_fused := 0;
+  total_hoisted := 0;
+  total_linear := 0
 
 let with_num_domains (d : int option) (f : unit -> 'a) : 'a =
   match d with

@@ -41,6 +41,42 @@ val fallback_runs : compiled -> int
 (** Executions of thread-bound outer loops forced serial because
     write-disjointness could not be proven. *)
 
+(** {1 Fusion peephole}
+
+    With fusion enabled (the default), codegen applies three rewrites, all
+    bit-identical to the unfused closures (see DESIGN.md §3e):
+    accumulating stores [C[i] <- C[i] + a *. b] fuse into a single
+    FMA-style closure computing one strict offset; loop-invariant buffer
+    index arithmetic ({!Tir.Analysis.invariant_of_loop}) is pre-evaluated
+    into slots once per loop entry; and indices linear in the loop var are
+    strength-reduced from a per-iteration multiply to a running add,
+    re-seeded per chunk so the rewrite composes with the domains-parallel
+    path (hoisted and running slots live in the per-domain state
+    replicas). *)
+
+val set_fusion : bool -> unit
+(** Enable/disable the peephole for subsequent {!compile}s (default
+    enabled).  Read at compile time, not run time: artifacts already
+    memoized keep the setting they were compiled under — differential
+    tests compile the same func once per setting via {!compile}. *)
+
+val fusion : unit -> bool
+(** Current fusion setting. *)
+
+val fused_sites : compiled -> int
+(** Stores fused into single load-accumulate closures, per artifact. *)
+
+val hoisted_sites : compiled -> int
+(** Loop-invariant index expressions hoisted into loop prologues. *)
+
+val linear_sites : compiled -> int
+(** Indices strength-reduced from per-iteration multiplies to running
+    adds. *)
+
+val fusion_totals : unit -> int * int * int
+(** Process-wide [(fused, hoisted, linear)] site totals across every
+    compile since the last {!reset}. *)
+
 (** {1 Domains-parallel execution}
 
     Outer [For] loops bound to [Block_x]/[Block_y]/[Block_z] whose bodies
@@ -56,9 +92,11 @@ val num_domains : unit -> int
     Initially [Domain.recommended_domain_count ()]. *)
 
 val set_num_domains : int -> unit
-(** Set the domain budget (clamped to at least 1).  Worker domains are
-    spawned lazily on first parallel run and kept for the process
-    lifetime. *)
+(** Set the domain budget.  This is the single clamp in the stack: any
+    value [<= 0] uniformly means "auto" ([Domain.recommended_domain_count]),
+    and the CLI [--domains], bench [--domains=] and [?num_domains] all pass
+    their value through here unchanged.  Worker domains are spawned lazily
+    on first parallel run and kept for the process lifetime. *)
 
 val pool_size : unit -> int
 (** Worker domains spawned so far (excludes the calling domain). *)

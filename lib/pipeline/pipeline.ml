@@ -248,6 +248,12 @@ let report () : string =
     (List.length runs - List.length compiles)
     (cache_hits ()) (cache_misses ()) (cache_evictions ())
     (Cache.size shared_cache) (Cache.capacity shared_cache);
+  (let fused, hoisted, linear = Engine.fusion_totals () in
+   Printf.bprintf b
+     "engine fusion (%s): %d fused stores, %d hoisted index exprs, %d \
+      strength-reduced offsets across %d compiles\n"
+     (if Engine.fusion () then "on" else "off")
+     fused hoisted linear (Engine.compiles ()));
   let order = ref [] in
   let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter

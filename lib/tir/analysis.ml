@@ -286,6 +286,264 @@ let rec linear_in (x : var) (e : expr) : (int * expr) option =
   | Cast (_, a) -> linear_in x a
   | _ -> None
 
+let buffers_of_expr (e : expr) : buffer list =
+  collect_buffers_stmt (Eval e)
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant index arithmetic                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+(* Variables bound anywhere inside [s] (loop vars, lets, block iters).  An
+   expression mentioning one of these cannot be evaluated before the
+   statement runs, so it is never loop-invariant from the outside. *)
+let inner_bound_vids (s : stmt) : Int_set.t =
+  let acc = ref Int_set.empty in
+  iter_stmt
+    (function
+      | For f -> acc := Int_set.add f.for_var.vid !acc
+      | Let_stmt (v, _, _) -> acc := Int_set.add v.vid !acc
+      | Block_stmt blk ->
+          List.iter
+            (fun bi -> acc := Int_set.add bi.bi_var.vid !acc)
+            blk.blk_iters
+      | _ -> ())
+    s;
+  !acc
+
+(* Buffers [s] may mutate (stores, MMA accumulators) or whose contents are
+   not stable across the statement (Alloc re-creates the tensor).  A hoisted
+   expression must not read any of these. *)
+let mutated_buf_ids (s : stmt) : Int_set.t =
+  let acc = ref Int_set.empty in
+  iter_stmt
+    (function
+      | Store (b, _, _) -> acc := Int_set.add b.buf_id !acc
+      | Alloc (b, _) -> acc := Int_set.add b.buf_id !acc
+      | Mma_sync m -> acc := Int_set.add m.mma_c.op_buf.buf_id !acc
+      | _ -> ())
+    s;
+  !acc
+
+(* Hoisting evaluates an expression unconditionally before the loop runs,
+   where the original site may have been guarded by an If or a zero-trip
+   loop.  Safe expressions therefore cannot raise: division only by nonzero
+   constants, no Bsearch (its segment bounds may probe outside the tensor),
+   no reads of buffers the statement mutates. *)
+let rec hoist_safe (inner : Int_set.t) (mutated : Int_set.t) (e : expr) : bool
+    =
+  let ok = hoist_safe inner mutated in
+  match e with
+  | Int_imm _ | Float_imm _ | Bool_imm _ -> true
+  | Evar v -> not (Int_set.mem v.vid inner)
+  | Load (b, idx) ->
+      (not (Int_set.mem b.buf_id mutated))
+      && (not (is_sparse_buffer b))
+      && List.for_all ok idx
+  | Binop ((Div | Floor_div | Floor_mod), a, b) ->
+      ok a && ok b
+      && (match const_int_opt b with
+         | Some k -> k <> 0
+         | None -> ( match b with Float_imm x -> x <> 0.0 | _ -> false))
+  | Binop (_, a, b) -> ok a && ok b
+  | Unop (_, a) -> ok a
+  | Select (c, t, f) -> ok c && ok t && ok f
+  | Cast (_, a) -> ok a
+  | Bsearch _ -> false
+
+(* Only expressions that actually do work earn a slot: immediates and lone
+   variables are already one closure call. *)
+let rec worth_hoisting (e : expr) : bool =
+  match e with
+  | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> false
+  | Load _ | Binop _ | Select _ | Bsearch _ -> true
+  | Unop (_, a) | Cast (_, a) -> worth_hoisting a
+
+(* Walk every buffer-index position in [s] ([Load]/[Store] indices, [Bsearch]
+   segment bounds and probe value, MMA origins and leading dimensions),
+   handing each index expression to [on_index].  With [into_block_binds =
+   false] the walk does not descend into nested blockIdx-bound loops: the
+   engine analyzes those for write-disjointness against their original
+   bodies, so they must stay untouched by enclosing rewrites. *)
+let iter_index_positions ~(into_block_binds : bool) (on_index : expr -> unit)
+    (s : stmt) : unit =
+  let rec in_expr (e : expr) : unit =
+    (match e with
+    | Load (_, idx) -> List.iter on_index idx
+    | Bsearch bs -> on_index bs.bs_lo; on_index bs.bs_hi; on_index bs.bs_v
+    | _ -> ());
+    match e with
+    | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> ()
+    | Load (_, idx) -> List.iter in_expr idx
+    | Binop (_, a, b) -> in_expr a; in_expr b
+    | Unop (_, a) -> in_expr a
+    | Select (c, t, f) -> in_expr c; in_expr t; in_expr f
+    | Cast (_, a) -> in_expr a
+    | Bsearch bs -> in_expr bs.bs_lo; in_expr bs.bs_hi; in_expr bs.bs_v
+  in
+  let rec go (s : stmt) : unit =
+    match s with
+    | Store (_, idx, value) ->
+        List.iter on_index idx;
+        List.iter in_expr idx;
+        in_expr value
+    | Seq l -> List.iter go l
+    | For f ->
+        if
+          into_block_binds
+          || not
+               (match f.kind with
+               | Thread_bind (Block_x | Block_y | Block_z) -> true
+               | _ -> false)
+        then (in_expr f.extent; go f.body)
+    | If (c, t, f) -> in_expr c; go t; Option.iter go f
+    | Let_stmt (_, value, body) -> in_expr value; go body
+    | Block_stmt blk ->
+        List.iter (fun bi -> in_expr bi.bi_dom; in_expr bi.bi_bind)
+          blk.blk_iters;
+        Option.iter go blk.blk_init;
+        go blk.blk_body
+    | Alloc (_, body) -> go body
+    | Eval e -> in_expr e
+    | Mma_sync m ->
+        List.iter
+          (fun (o : mma_operand) ->
+            List.iter on_index o.op_origin;
+            List.iter in_expr o.op_origin;
+            on_index o.op_ld;
+            in_expr o.op_ld)
+          [ m.mma_a; m.mma_b; m.mma_c ]
+    | Sp_iter_stmt sp -> Option.iter go sp.sp_init; go sp.sp_body
+  in
+  go s
+
+let invariant_of_loop ?(into_block_binds = true) (x : var) (body : stmt) :
+    expr list =
+  let inner = Int_set.add x.vid (inner_bound_vids body) in
+  let mutated = mutated_buf_ids body in
+  let out = ref [] in
+  let emit e = if not (List.mem e !out) then out := e :: !out in
+  (* maximal invariant sub-expressions: stop descending at the first
+     hoistable node *)
+  let rec collect (e : expr) : unit =
+    if hoist_safe inner mutated e && worth_hoisting e then emit e
+    else
+      match e with
+      | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> ()
+      | Load (_, idx) -> List.iter collect idx
+      | Binop (_, a, b) -> collect a; collect b
+      | Unop (_, a) -> collect a
+      | Select (c, t, f) -> collect c; collect t; collect f
+      | Cast (_, a) -> collect a
+      | Bsearch bs -> collect bs.bs_lo; collect bs.bs_hi; collect bs.bs_v
+  in
+  iter_index_positions ~into_block_binds collect body;
+  List.rev !out
+
+let linear_indices_of_loop ?(into_block_binds = true) (x : var) (body : stmt)
+    : (expr * int * expr) list =
+  let inner = Int_set.add x.vid (inner_bound_vids body) in
+  let mutated = mutated_buf_ids body in
+  let out = ref [] in
+  let on_index (e : expr) : unit =
+    match e with
+    | Evar _ -> ()
+    | _ -> (
+        match linear_in x e with
+        | Some (c, rest)
+          when c <> 0
+               && hoist_safe inner mutated rest
+               && hoist_safe (Int_set.remove x.vid inner) mutated e
+               && not (List.exists (fun (e', _, _) -> e' = e) !out) ->
+            out := (e, c, rest) :: !out
+        | _ -> ())
+  in
+  iter_index_positions ~into_block_binds on_index body;
+  List.rev !out
+
+let replace_exprs ?(into_block_binds = true) (subs : (expr * expr) list)
+    (s : stmt) : stmt =
+  let subs =
+    List.map
+      (fun (pat, rep) ->
+        ( pat,
+          rep,
+          List.map (fun (v : var) -> v.vid) (free_vars_expr pat) ))
+      subs
+  in
+  let rec rexpr (bound : Int_set.t) (e : expr) : expr =
+    match
+      List.find_opt
+        (fun (pat, _, fvs) ->
+          pat = e && not (List.exists (fun vid -> Int_set.mem vid bound) fvs))
+        subs
+    with
+    | Some (_, rep, _) -> rep
+    | None -> (
+        let re = rexpr bound in
+        match e with
+        | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+        | Load (b, idx) -> Load (b, List.map re idx)
+        | Binop (op, a, b) -> Binop (op, re a, re b)
+        | Unop (op, a) -> Unop (op, re a)
+        | Select (c, t, f) -> Select (re c, re t, re f)
+        | Cast (dt, a) -> Cast (dt, re a)
+        | Bsearch bs ->
+            Bsearch
+              { bs with
+                bs_lo = re bs.bs_lo;
+                bs_hi = re bs.bs_hi;
+                bs_v = re bs.bs_v })
+  in
+  let rec rstmt (bound : Int_set.t) (s : stmt) : stmt =
+    let re = rexpr bound and rs = rstmt bound in
+    match s with
+    | Store (b, idx, value) -> Store (b, List.map re idx, re value)
+    | Seq l -> Seq (List.map rs l)
+    | For f ->
+        if
+          (not into_block_binds)
+          && (match f.kind with
+             | Thread_bind (Block_x | Block_y | Block_z) -> true
+             | _ -> false)
+        then s
+        else
+          For
+            { f with
+              extent = re f.extent;
+              body = rstmt (Int_set.add f.for_var.vid bound) f.body }
+    | If (c, t, f) -> If (re c, rs t, Option.map rs f)
+    | Let_stmt (v, value, body) ->
+        Let_stmt (v, re value, rstmt (Int_set.add v.vid bound) body)
+    | Block_stmt blk ->
+        let bound' =
+          List.fold_left
+            (fun b bi -> Int_set.add bi.bi_var.vid b)
+            bound blk.blk_iters
+        in
+        Block_stmt
+          { blk with
+            blk_iters =
+              List.map
+                (fun bi -> { bi with bi_dom = re bi.bi_dom; bi_bind = re bi.bi_bind })
+                blk.blk_iters;
+            blk_init = Option.map (rstmt bound') blk.blk_init;
+            blk_body = rstmt bound' blk.blk_body }
+    | Alloc (b, body) -> Alloc (b, rs body)
+    | Eval e -> Eval (re e)
+    | Mma_sync m ->
+        let op o =
+          { o with op_origin = List.map re o.op_origin; op_ld = re o.op_ld }
+        in
+        Mma_sync
+          { m with mma_a = op m.mma_a; mma_b = op m.mma_b; mma_c = op m.mma_c }
+    | Sp_iter_stmt sp ->
+        Sp_iter_stmt
+          { sp with sp_init = Option.map rs sp.sp_init; sp_body = rs sp.sp_body }
+  in
+  rstmt Int_set.empty s
+
 (* ------------------------------------------------------------------ *)
 (* Write-disjointness                                                  *)
 (* ------------------------------------------------------------------ *)

@@ -33,6 +33,9 @@ val map_stmt : (Ir.stmt -> Ir.stmt) -> Ir.stmt -> Ir.stmt
 val free_vars_expr : Ir.expr -> Ir.var list
 val collect_buffers_stmt : Ir.stmt -> Ir.buffer list
 
+val buffers_of_expr : Ir.expr -> Ir.buffer list
+(** Every buffer an expression reads (loads and binary searches). *)
+
 val stmt_contains_sparse_constructs : Ir.stmt -> bool
 (** True while the program is still at Stage I/II (sparse iterations or
     accesses to sparse buffers remain). *)
@@ -52,6 +55,41 @@ val linear_in : Ir.var -> Ir.expr -> (int * Ir.expr) option
 (** Decompose [e] as [coeff * x + rest] with [rest] free of [x]; [None] when
     [e] is not linear in [x].  The coalescing model uses the coefficient of
     an address in the lane variable to count memory transactions per warp. *)
+
+(** {1 Loop-invariant index arithmetic}
+
+    Support for the compiled engine's fusion peephole (DESIGN.md §3e): the
+    engine pre-evaluates loop-invariant buffer index arithmetic into slots
+    once per entry of the enclosing loop, and strength-reduces indices that
+    are linear in the loop variable into running adds.  With
+    [into_block_binds = false] (the engine's setting outside parallel
+    regions) nested blockIdx-bound loops are left untouched, so the
+    write-disjointness analysis still sees their original bodies. *)
+
+val invariant_of_loop :
+  ?into_block_binds:bool -> Ir.var -> Ir.stmt -> Ir.expr list
+(** [invariant_of_loop x body] returns the maximal sub-expressions of buffer
+    index arithmetic in [body] (load/store indices, bsearch bounds, MMA
+    origins and strides) that are invariant across iterations of the loop
+    over [x]: they mention neither [x] nor any variable bound inside [body],
+    read no buffer [body] mutates, and cannot raise when evaluated
+    unconditionally (division only by nonzero constants, no [Bsearch]).
+    Immediates and lone variables are excluded (hoisting them saves
+    nothing).  Deduplicated, in first-occurrence order. *)
+
+val linear_indices_of_loop :
+  ?into_block_binds:bool -> Ir.var -> Ir.stmt -> (Ir.expr * int * Ir.expr) list
+(** Buffer index expressions in [body] of the form [c * x + rest] with
+    [c <> 0] and [rest] invariant per {!invariant_of_loop}'s rules; each
+    result is [(whole expression, c, rest)].  The engine replaces the
+    per-iteration multiply with a running add seeded from [rest]. *)
+
+val replace_exprs :
+  ?into_block_binds:bool -> (Ir.expr * Ir.expr) list -> Ir.stmt -> Ir.stmt
+(** Replace structurally-matching sub-expressions throughout a statement,
+    outermost-first.  A candidate is not replaced under a binder that
+    shadows one of its free variables, nor (with [into_block_binds = false])
+    inside a nested blockIdx-bound loop. *)
 
 (** {1 Write-disjointness} *)
 

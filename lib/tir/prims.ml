@@ -18,16 +18,22 @@ let binary_search (t : Tensor.t) ~lo ~hi (v : int) : int =
   go lo hi
 
 (* Rightmost position in [lo, hi) whose element is <= v (requires one to
-   exist, which holds for indptr segments since indptr[0] = 0 <= v). *)
+   exist, which holds for nonempty indptr segments since indptr[0] = 0 <= v).
+   An empty segment ([lo >= hi]) has no position at all: return [hi],
+   matching [binary_search]'s absent convention — the recursion's
+   "t[lo'] <= v" invariant was never established, so returning [lo] would
+   hand callers a bogus position outside the segment. *)
 let upper_bound (t : Tensor.t) ~lo ~hi (v : int) : int =
-  let rec go lo' hi' =
-    (* invariant: t[lo'] <= v; answer in [lo', hi') *)
-    if lo' + 1 >= hi' then lo'
-    else
-      let mid = (lo' + hi') / 2 in
-      if Tensor.get_i t mid <= v then go mid hi' else go lo' mid
-  in
-  go lo hi
+  if lo >= hi then hi
+  else
+    let rec go lo' hi' =
+      (* invariant: t[lo'] <= v; answer in [lo', hi') *)
+      if lo' + 1 >= hi' then lo'
+      else
+        let mid = (lo' + hi') / 2 in
+        if Tensor.get_i t mid <= v then go mid hi' else go lo' mid
+    in
+    go lo hi
 
 (* The MMA intrinsic's accumulating tile product: C += A * B over an
    m x n x k tile, each operand a (tensor, flat origin, leading dimension)

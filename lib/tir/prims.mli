@@ -8,7 +8,10 @@ val binary_search : Tensor.t -> lo:int -> hi:int -> int -> int
 
 val upper_bound : Tensor.t -> lo:int -> hi:int -> int -> int
 (** Rightmost position in [lo, hi) whose element is <= the value (row
-    recovery from indptr for fused iterations). *)
+    recovery from indptr for fused iterations).  Such a position exists for
+    every nonempty indptr segment (indptr[0] = 0); an empty segment
+    ([lo >= hi]) returns [hi], the same absent convention as
+    {!binary_search} — never a position outside the segment. *)
 
 val mma :
   m:int -> n:int -> k:int ->

@@ -231,6 +231,102 @@ let test_float_reduction_init () =
   Alcotest.(check (float 0.0))
     "compiled sums across the whole domain" 10.0 (run Engine.Compiled)
 
+(* ---------------- F16 cast rounding ---------------- *)
+
+(* Cast to F16 must round to nearest-even in BOTH engines.  The probe value
+   1 + 3*2^-11 sits exactly halfway between the two neighbouring half-
+   precision values 1 + 2^-10 and 1 + 2^-9: nearest-even picks 1 + 2^-9
+   (even mantissa), whereas truncation would keep 1 + 2^-10 — so an engine
+   that truncated would differ bit-for-bit. *)
+let test_f16_cast_rounding () =
+  let open Tir in
+  let open Builder in
+  let a_buf = buffer ~dtype:Dtype.F32 "A" [ int 1 ] in
+  let out_buf = buffer ~dtype:Dtype.F32 "Out" [ int 1 ] in
+  let body =
+    store out_buf [ int 0 ] (cast Dtype.F16 (load a_buf [ int 0 ]))
+  in
+  let fn = func "f16_cast" [ a_buf; out_buf ] body in
+  let v = 1.0 +. (3.0 *. (2.0 ** -11.0)) in
+  let expect = 1.0 +. (2.0 ** -9.0) in
+  let truncated = 1.0 +. (2.0 ** -10.0) in
+  Alcotest.(check bool) "probe distinguishes truncation" true
+    (expect <> truncated);
+  let run engine =
+    let a = Tensor.of_float_array [ 1 ] [| v |] in
+    let out = Tensor.create Dtype.F32 [ 1 ] in
+    Engine.execute ~kind:engine fn [ a; out ];
+    (Tensor.to_float_array out).(0)
+  in
+  Alcotest.(check (float 0.0))
+    "interp rounds to nearest even" expect (run Engine.Interp);
+  Alcotest.(check (float 0.0))
+    "compiled rounds to nearest even" expect (run Engine.Compiled)
+
+(* ---------------- fusion peephole ---------------- *)
+
+(* Fused and unfused artifacts of the same func must agree bit-for-bit, and
+   the SpMM shape must actually trigger the peephole (nonzero site
+   counters).  Compiles via [Engine.compile] directly: the fusion knob is
+   compile-time, so the memoized artifact must be bypassed. *)
+let test_fusion_differential () =
+  let a = graph () in
+  let feat = 8 in
+  let x = Dense.random ~seed:7 a.Csr.cols feat in
+  let run ~fusion =
+    Engine.set_fusion fusion;
+    Fun.protect ~finally:(fun () -> Engine.set_fusion true) @@ fun () ->
+    let c = Kernels.Spmm.dgsparse a x ~feat in
+    let fn = c.Kernels.Spmm.fn in
+    let art = Engine.compile fn in
+    Engine.run art
+      (List.map
+         (fun (b : Tir.Ir.buffer) ->
+           List.assoc b.Tir.Ir.buf_name c.Kernels.Spmm.bindings)
+         fn.Tir.Ir.fn_params);
+    (art, Tir.Tensor.to_float_array c.Kernels.Spmm.out)
+  in
+  let fused_art, fused = run ~fusion:true in
+  let unfused_art, unfused = run ~fusion:false in
+  Alcotest.(check bool) "fused = unfused bit-for-bit" true (fused = unfused);
+  Alcotest.(check bool)
+    "spmm triggers the peephole" true
+    (Engine.fused_sites fused_art > 0
+    && Engine.hoisted_sites fused_art + Engine.linear_sites fused_art > 0);
+  Alcotest.(check int)
+    "unfused artifact reports no sites" 0
+    (Engine.fused_sites unfused_art
+    + Engine.hoisted_sites unfused_art
+    + Engine.linear_sites unfused_art)
+
+(* An index expression that READS a buffer the loop body WRITES must not be
+   hoisted: its value changes between iterations.  The cursor pattern below
+   bumps Ptr[0] then stores through it — a stale hoist would land every
+   store on the same cell. *)
+let test_fusion_no_stale_hoist () =
+  let open Tir in
+  let open Builder in
+  let ptr = buffer ~dtype:Dtype.I32 "Ptr" [ int 1 ] in
+  let out = buffer ~dtype:Dtype.F32 "Out" [ int 4 ] in
+  let body =
+    for_ "i" (int 3) (fun _ ->
+        seq
+          [ store ptr [ int 0 ] (load ptr [ int 0 ] +: int 1);
+            store out [ load ptr [ int 0 ] ] (float 1.0) ])
+  in
+  let fn = func "cursor_scatter" [ ptr; out ] body in
+  let run engine =
+    let p = Tensor.create Dtype.I32 [ 1 ] in
+    let o = Tensor.create Dtype.F32 [ 4 ] in
+    Engine.execute ~kind:engine fn [ p; o ];
+    Tensor.to_float_array o
+  in
+  let interp = run Engine.Interp in
+  let compiled = run Engine.Compiled in
+  Alcotest.(check bool) "engines agree" true (interp = compiled);
+  Alcotest.(check (array (float 0.0)))
+    "cells 1..3 written once each" [| 0.0; 1.0; 1.0; 1.0 |] compiled
+
 (* ---------------- warm tuner compiles nothing ---------------- *)
 
 let test_warm_tuner_no_codegen () =
@@ -280,7 +376,13 @@ let () =
           Alcotest.test_case "rgms" `Quick test_rgms;
           Alcotest.test_case "graphsage" `Quick test_graphsage;
           Alcotest.test_case "float reduction init" `Quick
-            test_float_reduction_init ] );
+            test_float_reduction_init;
+          Alcotest.test_case "f16 cast rounding" `Quick test_f16_cast_rounding ] );
+      ( "fusion",
+        [ Alcotest.test_case "fused = unfused on spmm" `Quick
+            test_fusion_differential;
+          Alcotest.test_case "no stale hoist of written buffer" `Quick
+            test_fusion_no_stale_hoist ] );
       ( "codegen_cache",
         [ Alcotest.test_case "warm tuner compiles nothing" `Quick
             test_warm_tuner_no_codegen;

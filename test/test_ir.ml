@@ -128,7 +128,20 @@ let test_bsearch_modes () =
   Alcotest.(check int) "exact miss -> hi" 6 (Eval.binary_search t ~lo:0 ~hi:6 4);
   Alcotest.(check int) "ub inside" 2 (Eval.upper_bound t ~lo:0 ~hi:6 6);
   Alcotest.(check int) "ub exact" 3 (Eval.upper_bound t ~lo:0 ~hi:6 7);
-  Alcotest.(check int) "ub below lo stays" 0 (Eval.upper_bound t ~lo:0 ~hi:6 0)
+  Alcotest.(check int) "ub below lo stays" 0 (Eval.upper_bound t ~lo:0 ~hi:6 0);
+  (* empty segment: no position satisfies the invariant — [hi] (absent),
+     matching binary_search, never a bogus in-segment position *)
+  Alcotest.(check int) "ub empty segment" 3 (Eval.upper_bound t ~lo:3 ~hi:3 5);
+  Alcotest.(check int) "ub lo > hi" 2 (Eval.upper_bound t ~lo:4 ~hi:2 5);
+  Alcotest.(check int)
+    "bsearch empty segment" 3
+    (Eval.binary_search t ~lo:3 ~hi:3 7);
+  (* single-element segments: the lone position when its element <= v *)
+  Alcotest.(check int) "ub single hit" 2 (Eval.upper_bound t ~lo:2 ~hi:3 5);
+  Alcotest.(check int) "ub single above" 2 (Eval.upper_bound t ~lo:2 ~hi:3 99);
+  (* single element > v: the invariant never held; the current convention
+     returns lo (callers guarantee t[lo] <= v on nonempty segments) *)
+  Alcotest.(check int) "ub single below" 2 (Eval.upper_bound t ~lo:2 ~hi:3 1)
 
 (* ---------------- flattening bijection property ---------------- *)
 

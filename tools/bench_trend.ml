@@ -108,12 +108,30 @@ let () =
               Printf.printf "%-20s %10.2f %10s  MISSING from fresh run\n" k b
                 "-"
           | Some f ->
+              (* a NaN or non-positive measurement fails no [<] comparison,
+                 so it must be rejected explicitly rather than pass
+                 silently *)
               let ratio = f /. b in
-              let bad = ratio < 1.0 -. !threshold in
-              if bad then incr failures;
-              Printf.printf "%-20s %10.2f %10.2f %7.2f%s\n" k b f ratio
-                (if bad then "  REGRESSION" else ""))
+              if Float.is_nan ratio || b <= 0.0 || f <= 0.0 then begin
+                incr failures;
+                Printf.printf "%-20s %10.2f %10.2f %8s  INVALID measurement\n"
+                  k b f "-"
+              end
+              else begin
+                let bad = ratio < 1.0 -. !threshold in
+                if bad then incr failures;
+                Printf.printf "%-20s %10.2f %10.2f %7.2f%s\n" k b f ratio
+                  (if bad then "  REGRESSION" else "")
+              end)
         base;
+      (* kernels only present in the fresh run have no baseline to gate
+         against: report them so a silently-renamed kernel is visible *)
+      List.iter
+        (fun (k, f) ->
+          if not (List.mem_assoc k base) then
+            Printf.printf "%-20s %10s %10.2f %8s  NEW (no baseline)\n" k "-" f
+              "-")
+        fresh;
       Printf.printf "geomean: baseline %.2fx -> fresh %.2fx (threshold: \
                      fail below %.0f%% of baseline per kernel)\n"
         base_geo fresh_geo
