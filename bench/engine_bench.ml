@@ -136,13 +136,19 @@ let run ?(full = false) () =
   @@ fun () ->
   let budget = if full then 0.5 else 0.05 in
   let rows = ref [] and speedups = ref [] in
-  Printf.printf "%-20s %14s %14s %9s %17s\n" "kernel" "interp ns/it"
-    "compiled ns/it" "speedup" "fused/hoist/lin";
+  Printf.printf "%-20s %14s %14s %9s %17s  %s\n" "kernel" "interp ns/it"
+    "compiled ns/it" "speedup" "fused/hoist/lin" "fb reasons";
   List.iter
     (fun c ->
       let interp_ns = time_ns ~budget (fun () -> c.ck_run Engine.Interp) in
       let compiled_ns = time_ns ~budget (fun () -> c.ck_run Engine.Compiled) in
       let speedup = interp_ns /. compiled_ns in
+      (* one untimed probe run at two domains: the timed legs pin domains=1
+         where the parallel dispatch never fires, so this is what populates
+         the artifacts' fallback-reason counters for the last column *)
+      Engine.set_num_domains 2;
+      c.ck_run Engine.Compiled;
+      Engine.set_num_domains 1;
       (* the compiled leg's warm-up forced codegen, so the memoized artifacts
          carry this kernel's fusion-site counters *)
       let fused, hoisted, linear =
@@ -154,8 +160,20 @@ let run ?(full = false) () =
               l + Engine.linear_sites a ))
           (0, 0, 0) c.ck_fns
       in
-      Printf.printf "%-20s %14.0f %14.0f %8.2fx %7d/%4d/%4d\n%!" c.ck_name
-        interp_ns compiled_ns speedup fused hoisted linear;
+      let reasons =
+        List.fold_left
+          (fun acc fn ->
+            List.map2
+              (fun (l, n) (_, n') -> (l, n + n'))
+              acc
+              (Engine.fallback_reasons (Engine.artifact fn)))
+          (List.map (fun l -> (l, 0)) [ "indirect"; "bsearch"; "non-linear";
+                                        "no-witness" ])
+          c.ck_fns
+      in
+      Printf.printf "%-20s %14.0f %14.0f %8.2fx %7d/%4d/%4d  %s\n%!" c.ck_name
+        interp_ns compiled_ns speedup fused hoisted linear
+        (Engine.reasons_to_string reasons);
       speedups := speedup :: !speedups;
       rows :=
         (c.ck_name, "compiled", compiled_ns, speedup)

@@ -8,9 +8,13 @@
    promises the parallel schedule is invisible to results — and the timing
    rows land in BENCH_parallel.json.
 
-   Kernels whose disjointness is unprovable (e.g. hyb's scatter through the
-   bucket row map) are included deliberately: they exercise the serial
-   fallback, and their speedup hovers at 1x by construction.
+   Every case is expected to dispatch parallel: hyb's scatter through the
+   bucket row maps is proven by the gather witness plus the tensor facts the
+   format constructors declare (injective / non-decreasing bucket maps), so
+   the table asserts spmm_hyb runs with zero fallbacks.  The fb column and
+   the reasons column stay as regression tripwires — a nonzero fb with its
+   reason label is the first thing to look at when a schedule change
+   de-parallelizes a kernel.
 
    Note: speedups depend on the machine's core count; on a single-core host
    the parallel leg measures pool overhead (expect <= 1x). *)
@@ -68,8 +72,8 @@ let run ?(full = false) ?(domains = 0) () =
       cores;
   let budget = if full then 0.5 else 0.1 in
   let rows = ref [] and speedups = ref [] in
-  Printf.printf "%-20s %14s %14s %9s %5s %5s\n" "kernel" "serial ns/it"
-    "parallel ns/it" "speedup" "par" "fb";
+  Printf.printf "%-20s %14s %14s %9s %5s %5s  %s\n" "kernel" "serial ns/it"
+    "parallel ns/it" "speedup" "par" "fb" "reasons";
   List.iter
     (fun c ->
       let exec nd = Gpusim.execute ~num_domains:nd c.pk_fn c.pk_bindings in
@@ -85,9 +89,14 @@ let run ?(full = false) ?(domains = 0) () =
              c.pk_name domains);
       let art = Engine.artifact c.pk_fn in
       let speedup = serial_ns /. parallel_ns in
-      Printf.printf "%-20s %14.0f %14.0f %8.2fx %5d %5d\n%!" c.pk_name
+      Printf.printf "%-20s %14.0f %14.0f %8.2fx %5d %5d  %s\n%!" c.pk_name
         serial_ns parallel_ns speedup (Engine.par_runs art)
-        (Engine.fallback_runs art);
+        (Engine.fallback_runs art)
+        (Engine.reasons_to_string (Engine.fallback_reasons art));
+      if c.pk_name = "spmm_hyb" && Engine.par_runs art = 0 then
+        failwith
+          "parallel bench: spmm_hyb dispatched no parallel runs — the hyb \
+           gather witness or its tensor facts regressed";
       speedups := speedup :: !speedups;
       rows :=
         (c.pk_name, "parallel", parallel_ns, speedup)

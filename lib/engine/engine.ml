@@ -169,6 +169,83 @@ end
 let pool_size = Pool.size
 
 (* ------------------------------------------------------------------ *)
+(* Chunking and output tiling                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cache_line_bytes = 64
+
+(* Above this size a per-domain private copy of an output tensor costs more
+   to clone and stitch than the false sharing it avoids. *)
+let strip_numel_cap = 1 lsl 16
+
+(* Chunk grain for the atomic-cursor scheduler.  The old
+   [max 1 (n / (4 * d))] floor degenerated to single-iteration chunks
+   whenever [n < 4 * d] (n atomic fetches for n iterations) and let the
+   final fetch issue a 1-iteration straggler; the ceiling issues at most
+   [4 * d] chunks.  [align] rounds the grain up to an iteration multiple
+   whose output rows start on a cache-line boundary (1 when no tiling
+   applies); the grain is capped at one aligned per-domain share so small
+   loops still spread across every domain. *)
+let chunk_grain ~(n : int) ~(domains : int) ~(align : int) : int =
+  if n <= 0 then 1
+  else
+    let d = max 1 domains in
+    let align = max 1 align in
+    let round_up v = (v + align - 1) / align * align in
+    let per_domain = round_up ((n + d - 1) / d) in
+    let base = round_up (max 1 ((n + (4 * d) - 1) / (4 * d))) in
+    max align (min base per_domain)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Chunk boundaries for gather witnesses whose maps are only non-decreasing
+   (hyb's widest bucket maps repeat a row across the pseudo-rows a long row
+   was split into): start from uniform [grain]-sized cuts and push each cut
+   right until every map strictly increases across it, so every run of equal
+   map values — one output row — stays inside a single chunk. *)
+let aligned_bounds ~(n : int) ~(grain : int) (maps : (Tensor.t * int) list) :
+    int array =
+  let ok_cut b =
+    b >= n
+    || List.for_all
+         (fun (mt, c) ->
+           let p = c * b in
+           p >= Tensor.numel mt || Tensor.get_i mt (p - 1) < Tensor.get_i mt p)
+         maps
+  in
+  let bounds = ref [ 0 ] in
+  let cur = ref 0 in
+  while !cur < n do
+    let b = ref (min n (!cur + grain)) in
+    while not (ok_cut !b) do
+      incr b
+    done;
+    let b = min n !b in
+    bounds := b :: !bounds;
+    cur := b
+  done;
+  Array.of_list (List.rev !bounds)
+
+(* ------------------------------------------------------------------ *)
+(* Fallback reasons                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reason_labels = [| "indirect"; "bsearch"; "non-linear"; "no-witness" |]
+
+let reason_index = function
+  | Analysis.Fr_indirect -> 0
+  | Analysis.Fr_bsearch -> 1
+  | Analysis.Fr_non_linear -> 2
+  | Analysis.Fr_no_witness -> 3
+
+(* Process-wide run counters (per-artifact twins live in [ctx]); surfaced by
+   Pipeline.report and zeroed by [reset]. *)
+let total_par_runs = ref 0
+let total_fallback_runs = ref 0
+let total_tiled_runs = ref 0
+let total_reasons = Array.make (Array.length reason_labels) 0
+
+(* ------------------------------------------------------------------ *)
 (* Fusion peephole gate                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -210,6 +287,12 @@ type ctx = {
      disjointness was unprovable *)
   par_runs : int ref;
   fallback_runs : int ref;
+  (* fallback counts broken down by Analysis.fail_reason (indexed by
+     [reason_index]; runtime fact failures land on "indirect") *)
+  reasons : int array;
+  (* parallel runs that gave at least one narrow output a per-domain write
+     strip *)
+  tiled_runs : int ref;
   (* per-artifact fusion-site counters (compile-time): stores fused into a
      single load-accumulate closure, loop-invariant index expressions
      hoisted into prologue slots, and linear indices strength-reduced into
@@ -652,7 +735,7 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
       let disjoint =
         match kind with
         | Thread_bind (Block_x | Block_y | Block_z) when not ctx.in_parallel ->
-            Some (Analysis.loop_writes_disjoint for_var body)
+            Some (Analysis.loop_disjointness for_var body)
         | _ -> None
       in
       (* Fusion peephole (DESIGN.md §3e): rewrite the body so per-iteration
@@ -802,7 +885,7 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
               done
       in
       match disjoint with
-      | Some true ->
+      | Some (Analysis.Par ws) ->
           (* iterations provably write disjoint buffer regions: spread them
              across domains, each running the same compiled body against
              its own state replica.  Work is handed out in contiguous
@@ -812,42 +895,190 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
              current [num_domains].  The prologue runs on the root state
              BEFORE cloning, so hoisted slots propagate into every
              per-domain replica. *)
+          (* Gather witnesses name the map buffers whose runtime facts
+             (Tensor.Facts) decide per run whether the scatter is safe;
+             direct dimension-0 witnesses are candidates for per-domain
+             output strips.  Both resolve their buffer slots now. *)
+          let gathers =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun (_, w) ->
+                   match w with
+                   | Analysis.W_gather { map; coeff; _ } ->
+                       Some (buf_slot scope map, coeff)
+                   | Analysis.W_direct _ -> None)
+                 ws)
+          in
+          let strip_cands =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun ((b : buffer), w) ->
+                   match w with
+                   | Analysis.W_direct { dim = 0; coeff; arity = Some r } ->
+                       Some (buf_slot scope b, coeff, r)
+                   | _ -> None)
+                 ws)
+          in
           ctx.in_parallel <- true;
           let fbody = compile_stmt ctx body_scope body in
           ctx.in_parallel <- false;
           let iter = iterate fbody in
           let par = ctx.par_runs in
+          let fellback = ctx.fallback_runs in
+          let reasons = ctx.reasons in
+          let tiled = ctx.tiled_runs in
           fun st ->
             let n = ext st in
             run_prologue st;
             let d = min !num_domains_ref n in
             if d <= 1 then iter st 0 n
             else begin
-              incr par;
-              let states =
-                Array.init d (fun i -> if i = 0 then st else clone_state st)
-              in
-              let grain = max 1 (n / (d * 4)) in
-              let cursor = Atomic.make 0 in
-              Pool.run_group d (fun w ->
-                  let stw = states.(w) in
-                  let rec pull () =
-                    let start = Atomic.fetch_and_add cursor grain in
-                    if start < n then begin
-                      iter stw start (min n (start + grain));
-                      pull ()
-                    end
-                  in
-                  pull ())
+              (* runtime facts for every gather map: injective maps scatter
+                 to all-distinct rows (chunk anywhere); non-decreasing maps
+                 need chunk cuts aligned to strict increases; anything else
+                 forces the serial fallback for this run *)
+              let monotone = ref [] and provable = ref true in
+              List.iter
+                (fun (slot, c) ->
+                  let mt = st.bufs.(slot) in
+                  if Tensor.Facts.holds mt Tensor.Facts.Injective then ()
+                  else if Tensor.Facts.holds mt Tensor.Facts.Monotone_nd then
+                    monotone := (mt, c) :: !monotone
+                  else provable := false)
+                gathers;
+              if not !provable then begin
+                incr fellback;
+                incr total_fallback_runs;
+                reasons.(0) <- reasons.(0) + 1;
+                total_reasons.(0) <- total_reasons.(0) + 1;
+                iter st 0 n
+              end
+              else begin
+                incr par;
+                incr total_par_runs;
+                (* narrow direct-witness outputs: [u] flat elements per
+                   iteration, contiguous from flat position 0 (witness dim
+                   0), so chunks map to blit-able flat ranges *)
+                let narrow =
+                  List.filter_map
+                    (fun (slot, c, rank) ->
+                      let t = st.bufs.(slot) in
+                      let nm = Tensor.numel t in
+                      let units =
+                        if rank = 1 then Some c
+                        else if
+                          Array.length t.Tensor.shape = rank
+                          && t.Tensor.shape.(0) > 0
+                        then Some (c * (nm / t.Tensor.shape.(0)))
+                        else None
+                      in
+                      match units with
+                      | Some u
+                        when u * Dtype.size_bytes t.Tensor.dtype
+                             < cache_line_bytes ->
+                          Some (slot, u, t, nm)
+                      | _ -> None)
+                    strip_cands
+                in
+                (* align chunk cuts so each chunk's first output row starts
+                   on a cache-line boundary of every narrow output *)
+                let align =
+                  List.fold_left
+                    (fun acc (_, u, t, _) ->
+                      let epl =
+                        max 1
+                          (cache_line_bytes
+                          / Dtype.size_bytes t.Tensor.dtype)
+                      in
+                      let a = epl / gcd u epl in
+                      acc * a / gcd acc a)
+                    1 narrow
+                in
+                let grain = chunk_grain ~n ~domains:d ~align in
+                let bounds =
+                  match !monotone with
+                  | [] -> None
+                  | maps -> Some (aligned_bounds ~n ~grain maps)
+                in
+                let strips =
+                  List.filter (fun (_, _, _, nm) -> nm <= strip_numel_cap)
+                    narrow
+                in
+                let states =
+                  Array.init d (fun i -> if i = 0 then st else clone_state st)
+                in
+                let log_chunks = strips <> [] in
+                if log_chunks then begin
+                  incr tiled;
+                  incr total_tiled_runs;
+                  (* workers 1.. write private copies (worker 0 keeps the
+                     shared tensor: nothing else touches its cache lines);
+                     each copy carries the pre-loop values, so read-modify
+                     accumulations inside a worker's own slabs stay exact *)
+                  for w = 1 to d - 1 do
+                    List.iter
+                      (fun (slot, _, t, _) ->
+                        states.(w).bufs.(slot) <- Tensor.copy t)
+                      strips
+                  done
+                end;
+                let logs = Array.make (if log_chunks then d else 1) [] in
+                let next =
+                  match bounds with
+                  | None ->
+                      let cursor = Atomic.make 0 in
+                      fun () ->
+                        let s = Atomic.fetch_and_add cursor grain in
+                        if s >= n then None else Some (s, min n (s + grain))
+                  | Some b ->
+                      let cursor = Atomic.make 0 in
+                      let segs = Array.length b - 1 in
+                      fun () ->
+                        let k = Atomic.fetch_and_add cursor 1 in
+                        if k >= segs then None else Some (b.(k), b.(k + 1))
+                in
+                Pool.run_group d (fun w ->
+                    let stw = states.(w) in
+                    let rec pull () =
+                      match next () with
+                      | None -> ()
+                      | Some (lo, hi) ->
+                          if log_chunks && w > 0 then
+                            logs.(w) <- (lo, hi) :: logs.(w);
+                          iter stw lo hi;
+                          pull ()
+                    in
+                    pull ());
+                (* stitch: copy each worker's chunk regions back into the
+                   shared outputs (regions are disjoint across workers by
+                   the witness, so order does not matter) *)
+                List.iter
+                  (fun (slot, u, t, nm) ->
+                    for w = 1 to d - 1 do
+                      let src = states.(w).bufs.(slot) in
+                      List.iter
+                        (fun (lo, hi) ->
+                          let pos = lo * u in
+                          let len = min nm (hi * u) - pos in
+                          if len > 0 then Tensor.blit ~src ~dst:t ~pos ~len)
+                        logs.(w)
+                    done)
+                  strips
+              end
             end
-      | Some false ->
-          (* unprovable write-disjointness: serial fallback, counted so
-             tests and the bench can see the analysis said no *)
+      | Some (Analysis.Serial reason) ->
+          (* unprovable write-disjointness: serial fallback, counted (with
+             the analysis' reason) so tests and the bench can see why *)
           let fbody = compile_stmt ctx body_scope body in
           let iter = iterate fbody in
           let fellback = ctx.fallback_runs in
+          let reasons = ctx.reasons in
+          let ri = reason_index reason in
           fun st ->
             incr fellback;
+            incr total_fallback_runs;
+            reasons.(ri) <- reasons.(ri) + 1;
+            total_reasons.(ri) <- total_reasons.(ri) + 1;
             let n = ext st in
             run_prologue st;
             iter st 0 n
@@ -1005,6 +1236,8 @@ type compiled = {
   c_run : Tensor.t list -> unit;
   c_par_runs : int ref; (* executions that took the domains-parallel path *)
   c_fallback_runs : int ref; (* serial fallbacks on unprovable disjointness *)
+  c_reasons : int array; (* fallbacks by reason, indexed by [reason_index] *)
+  c_tiled_runs : int ref; (* parallel runs that tiled a narrow output *)
   (* fusion peephole sites, fixed at compile time *)
   c_fused_sites : int; (* stores fused into load-accumulate closures *)
   c_hoisted_sites : int; (* loop-invariant index exprs moved to prologues *)
@@ -1015,6 +1248,25 @@ let name (c : compiled) = c.c_name
 let slot_counts (c : compiled) = c.c_slots
 let par_runs (c : compiled) = !(c.c_par_runs)
 let fallback_runs (c : compiled) = !(c.c_fallback_runs)
+let tiled_runs (c : compiled) = !(c.c_tiled_runs)
+
+let fallback_reasons (c : compiled) : (string * int) list =
+  Array.to_list (Array.mapi (fun i n -> (reason_labels.(i), n)) c.c_reasons)
+
+let parallel_totals () =
+  (!total_par_runs, !total_fallback_runs, !total_tiled_runs)
+
+let reason_totals () : (string * int) list =
+  Array.to_list (Array.mapi (fun i n -> (reason_labels.(i), n)) total_reasons)
+
+(* One-line "label=n" rendering of the nonzero reason counters ("-" when all
+   are zero); shared by the CLI, the bench tables and Pipeline.report. *)
+let reasons_to_string (rs : (string * int) list) : string =
+  match List.filter (fun (_, n) -> n > 0) rs with
+  | [] -> "-"
+  | nz ->
+      String.concat ","
+        (List.map (fun (l, n) -> Printf.sprintf "%s=%d" l n) nz)
 let fused_sites (c : compiled) = c.c_fused_sites
 let hoisted_sites (c : compiled) = c.c_hoisted_sites
 let linear_sites (c : compiled) = c.c_linear_sites
@@ -1043,6 +1295,8 @@ let compile (fn : func) : compiled =
       in_parallel = false;
       par_runs = ref 0;
       fallback_runs = ref 0;
+      reasons = Array.make (Array.length reason_labels) 0;
+      tiled_runs = ref 0;
       n_fused = 0;
       n_hoisted = 0;
       n_linear = 0;
@@ -1081,6 +1335,8 @@ let compile (fn : func) : compiled =
     c_run = run;
     c_par_runs = ctx.par_runs;
     c_fallback_runs = ctx.fallback_runs;
+    c_reasons = ctx.reasons;
+    c_tiled_runs = ctx.tiled_runs;
     c_fused_sites = ctx.n_fused;
     c_hoisted_sites = ctx.n_hoisted;
     c_linear_sites = ctx.n_linear;
@@ -1143,7 +1399,11 @@ let reset () =
   compile_count := 0;
   total_fused := 0;
   total_hoisted := 0;
-  total_linear := 0
+  total_linear := 0;
+  total_par_runs := 0;
+  total_fallback_runs := 0;
+  total_tiled_runs := 0;
+  Array.fill total_reasons 0 (Array.length total_reasons) 0
 
 let with_num_domains (d : int option) (f : unit -> 'a) : 'a =
   match d with

@@ -41,6 +41,20 @@ val fallback_runs : compiled -> int
 (** Executions of thread-bound outer loops forced serial because
     write-disjointness could not be proven. *)
 
+val fallback_reasons : compiled -> (string * int) list
+(** {!fallback_runs} broken down by {!Tir.Analysis.fail_reason} label
+    (["indirect"], ["bsearch"], ["non-linear"], ["no-witness"]), in that
+    fixed order.  Runtime tensor-fact failures on a gather witness count
+    under ["indirect"]. *)
+
+val tiled_runs : compiled -> int
+(** Parallel runs in which at least one narrow output buffer was given
+    per-domain write strips (private copies stitched after the join). *)
+
+val reasons_to_string : (string * int) list -> string
+(** Compact ["label=n,..."] rendering of the nonzero counters; ["-"] when
+    every counter is zero. *)
+
 (** {1 Fusion peephole}
 
     With fusion enabled (the default), codegen applies three rewrites, all
@@ -77,15 +91,45 @@ val fusion_totals : unit -> int * int * int
 (** Process-wide [(fused, hoisted, linear)] site totals across every
     compile since the last {!reset}. *)
 
+val parallel_totals : unit -> int * int * int
+(** Process-wide [(par_runs, fallback_runs, tiled_runs)] across every
+    artifact since the last {!reset}. *)
+
+val reason_totals : unit -> (string * int) list
+(** Process-wide fallback counts by reason label, same order as
+    {!fallback_reasons}. *)
+
 (** {1 Domains-parallel execution}
 
     Outer [For] loops bound to [Block_x]/[Block_y]/[Block_z] whose bodies
-    pass {!Tir.Analysis.loop_writes_disjoint} run their iterations across a
-    fixed pool of OCaml domains: each domain gets a private copy of the slot
-    arrays (tensors stay shared — the analysis guarantees write regions are
-    disjoint) and pulls contiguous iteration chunks from an atomic cursor.
+    earn a [Par] verdict from {!Tir.Analysis.loop_disjointness} run their
+    iterations across a fixed pool of OCaml domains: each domain gets a
+    private copy of the slot arrays (tensors stay shared — the witnesses
+    guarantee write regions are disjoint) and pulls contiguous iteration
+    chunks from an atomic cursor ({!chunk_grain} iterations each).
+
+    Gather witnesses ([store C[.. map[i] ..]]) are resolved per run against
+    the bound map tensor's facts ({!Tir.Tensor.Facts}): injective maps chunk
+    anywhere; merely non-decreasing maps (hyb's widest bucket repeats a row
+    across its split pseudo-rows) get chunk cuts aligned to strict increases
+    of the map so no output row straddles two domains; unprovable maps fall
+    back to serial for that run, counted under the ["indirect"] reason.
+
+    Narrow direct-witness outputs (a whole iteration slab smaller than a
+    cache line) are tiled per domain: workers write private copies whose
+    chunk regions are blitted back into the shared tensor after the join,
+    and the chunk grain is rounded so cuts land on cache-line boundaries —
+    both kill false sharing on adjacent rows.
+
     Unprovable loops fall back to serial execution.  The domain count is read
     per run, so memoized artifacts remain valid when the knob changes. *)
+
+val chunk_grain : n:int -> domains:int -> align:int -> int
+(** Iterations per atomic-cursor chunk for an [n]-iteration loop across
+    [domains] domains: ceil(n / (4 * domains)) — at most [4 * domains]
+    chunks, never a degenerate 1-iteration flood at small [n] — rounded up
+    to a multiple of [align] and capped at one aligned per-domain share.
+    Always at least [max 1 align]. *)
 
 val num_domains : unit -> int
 (** Current domain budget for parallel loops; [1] disables parallelism.

@@ -82,7 +82,9 @@ let padding_ratio (m : t) : float =
   else float_of_int m.padded /. float_of_int (nnz_stored m)
 
 let indptr_tensor (m : t) : Tir.Tensor.t =
-  Tir.Tensor.of_int_array [ m.rows_b + 1 ] (Array.copy m.indptr)
+  let t = Tir.Tensor.of_int_array [ m.rows_b + 1 ] (Array.copy m.indptr) in
+  Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_nd;
+  t
 
 let indices_tensor (m : t) : Tir.Tensor.t =
   Tir.Tensor.of_int_array [ max 1 (nnzb m) ] (Array.copy m.indices)

@@ -116,9 +116,13 @@ let degree_stats (m : t) : int * int * float =
   done;
   (!mn, !mx, float_of_int !s /. float_of_int m.rows)
 
-(* Tensors for binding CSR data to compiled kernels. *)
+(* Tensors for binding CSR data to compiled kernels.  indptr is
+   non-decreasing by the CSR invariant, so the fact is declared rather than
+   left to a runtime scan. *)
 let indptr_tensor (m : t) : Tir.Tensor.t =
-  Tir.Tensor.of_int_array [ m.rows + 1 ] (Array.copy m.indptr)
+  let t = Tir.Tensor.of_int_array [ m.rows + 1 ] (Array.copy m.indptr) in
+  Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_nd;
+  t
 
 let indices_tensor (m : t) : Tir.Tensor.t =
   Tir.Tensor.of_int_array [ max 1 (nnz m) ]

@@ -68,4 +68,25 @@ let row_map_tensor (m : t) : Tir.Tensor.t =
   let map =
     match m.row_map with Some a -> a | None -> Array.init m.rows Fun.id
   in
-  Tir.Tensor.of_int_array [ max 1 m.rows ] (if m.rows = 0 then [| 0 |] else map)
+  let t =
+    Tir.Tensor.of_int_array [ max 1 m.rows ]
+      (if m.rows = 0 then [| 0 |] else map)
+  in
+  (* Establish ordering facts at construction: the identity map is strictly
+     increasing by definition, and explicit maps (hyb/RGMS buckets emit rows
+     in ascending order, duplicated only across a split row's pseudo-rows)
+     are verified with one O(n) pass, so the parallel executor never pays a
+     runtime scan for a format-constructed map. *)
+  (if m.row_map = None then
+     Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_inc
+   else
+     let n = Array.length map in
+     let strict = ref true and nondec = ref true in
+     for i = 1 to n - 1 do
+       if map.(i) <= map.(i - 1) then strict := false;
+       if map.(i) < map.(i - 1) then nondec := false
+     done;
+     if !strict then Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_inc
+     else if !nondec then
+       Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_nd);
+  t

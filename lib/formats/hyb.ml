@@ -61,7 +61,7 @@ let of_csr ~(c : int) ~(k : int) (m : Csr.t) : t =
             c1 :: chunks rest
         in
         List.iter (fun ch -> pseudo := (i, ch) :: !pseudo) (chunks es))
-      (List.rev !rows_entries);
+      !rows_entries;
     let pseudo = List.rev !pseudo in
     (* assign pseudo-rows to buckets by ceil(log2 l) *)
     let nbuckets = k + 1 in

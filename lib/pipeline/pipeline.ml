@@ -254,6 +254,13 @@ let report () : string =
       strength-reduced offsets across %d compiles\n"
      (if Engine.fusion () then "on" else "off")
      fused hoisted linear (Engine.compiles ()));
+  (let par, fb, tiled = Engine.parallel_totals () in
+   if par + fb > 0 then
+     Printf.bprintf b
+       "engine parallel: %d parallel runs (%d tiled), %d serial fallbacks \
+        (%s)\n"
+       par tiled fb
+       (Engine.reasons_to_string (Engine.reason_totals ())));
   let order = ref [] in
   let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter

@@ -548,21 +548,53 @@ let replace_exprs ?(into_block_binds = true) (subs : (expr * expr) list)
 (* Write-disjointness                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Witness that distinct values of a loop variable write disjoint regions of
+   one buffer: either a direct linear index in some dimension, or a linear
+   index routed through a gather from an index map whose structural facts
+   (injectivity / monotonicity, established at run time by
+   [Tensor.Facts.holds]) make the scatter conflict-free. *)
+type witness =
+  | W_direct of { dim : int; coeff : int; arity : int option }
+  | W_gather of { dim : int; coeff : int; scale : int; map : buffer }
+
+type fail_reason =
+  | Fr_indirect (* store routed through an index load; facts must decide *)
+  | Fr_bsearch (* binary search / MMA tile over a written buffer *)
+  | Fr_non_linear (* an index is not linear in the loop variable *)
+  | Fr_no_witness (* linear, but no dimension agrees across all accesses *)
+
+type verdict = Par of (buffer * witness) list | Serial of fail_reason
+
+let reason_label = function
+  | Fr_indirect -> "indirect"
+  | Fr_bsearch -> "bsearch"
+  | Fr_non_linear -> "non-linear"
+  | Fr_no_witness -> "no-witness"
+
 (* Can the iterations of [for x in range(n): body] run concurrently without
    write conflicts?  We prove a strong sufficient condition: for every buffer
    the body writes (and does not allocate locally), all accesses — loads and
    stores alike, since a read of another iteration's write is also a race —
-   agree on a witness dimension [d] and positive coefficient [c] such that the
-   d-th index is [c * x + rest] with [rest] provably inside [0, c).  Distinct
-   iterations then touch disjoint index slabs.  Block-iter and let-bound
-   variables are substituted by their binding expressions first, so indices
-   are analyzed in terms of actual loop variables; enclosing constant-extent
-   loops contribute ranges for the residual interval check.  Anything we
-   cannot bound (bsearch or MMA tiles over a written buffer, non-linear or
-   unbounded indices, leftover sparse constructs) fails conservatively. *)
-let loop_writes_disjoint (x : var) (body : stmt) : bool =
-  let exception Not_disjoint in
-  let written : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+   agree on a witness dimension [d] whose index is either
+
+   - [c * x + rest] with [c > 0] and [rest] provably inside [0, c)
+     ([W_direct]: distinct iterations touch disjoint index slabs), or
+   - [a * map[c * x + r] + rest] with [r] inside [0, c), [rest] inside
+     [0, a), and [map] an unwritten non-sparse integer buffer ([W_gather]:
+     iteration [x] touches the slabs of rows [map[c*x .. c*x+c)]; if [map]
+     is injective the row sets of distinct iterations are disjoint, and if
+     it is merely non-decreasing the executor may still cut chunks at strict
+     increases of [map]).
+
+   Block-iter and let-bound variables are substituted by their binding
+   expressions first, so indices are analyzed in terms of actual loop
+   variables; enclosing constant-extent loops contribute ranges for the
+   residual interval checks.  Anything we cannot bound (bsearch or MMA tiles
+   over a written buffer, non-linear or unbounded indices, leftover sparse
+   constructs) fails conservatively with a [fail_reason]. *)
+let loop_disjointness (x : var) (body : stmt) : verdict =
+  let exception Not_disjoint of fail_reason in
+  let written : (int, buffer) Hashtbl.t = Hashtbl.create 8 in
   let hazard : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let local : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   (* buf_id -> accesses, each an (index list, interval env) pair: the env in
@@ -607,7 +639,7 @@ let loop_writes_disjoint (x : var) (body : stmt) : bool =
     | Store (b, idx, value) ->
         let idx = List.map (norm env) idx in
         if not (Hashtbl.mem local b.buf_id) then
-          Hashtbl.replace written b.buf_id ();
+          Hashtbl.replace written b.buf_id b;
         add_access ienv b idx;
         List.iter (scan_expr ienv) idx;
         collect env ienv value
@@ -651,42 +683,172 @@ let loop_writes_disjoint (x : var) (body : stmt) : bool =
             collect env ienv o.op_ld)
           [ m.mma_a; m.mma_b; m.mma_c ];
         if not (Hashtbl.mem local m.mma_c.op_buf.buf_id) then
-          Hashtbl.replace written m.mma_c.op_buf.buf_id ()
-    | Sp_iter_stmt _ -> raise Not_disjoint
+          Hashtbl.replace written m.mma_c.op_buf.buf_id m.mma_c.op_buf
+    | Sp_iter_stmt _ -> raise (Not_disjoint Fr_non_linear)
   in
-  (* Witness dimensions for one access: dims whose index is [c * x + rest],
-     c > 0, with rest's interval inside [0, c). *)
-  let witnesses (idx, ienv) : (int * int) list =
+  (* Replace every occurrence of a structurally-equal sub-expression
+     (expressions contain no binders, so plain equality suffices). *)
+  let rec replace_sub (pat : expr) (rep : expr) (e : expr) : expr =
+    if e = pat then rep
+    else
+      let r = replace_sub pat rep in
+      match e with
+      | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> e
+      | Load (b, idx) -> Load (b, List.map r idx)
+      | Binop (op, a, b) -> Binop (op, r a, r b)
+      | Unop (op, a) -> Unop (op, r a)
+      | Select (c, t, f) -> Select (r c, r t, r f)
+      | Cast (dt, a) -> Cast (dt, r a)
+      | Bsearch bs ->
+          Bsearch
+            { bs with bs_lo = r bs.bs_lo; bs_hi = r bs.bs_hi; bs_v = r bs.bs_v }
+  in
+  let rec load_subterms (e : expr) : expr list =
+    let sub =
+      match e with
+      | Int_imm _ | Float_imm _ | Bool_imm _ | Evar _ -> []
+      | Load (_, idx) -> List.concat_map load_subterms idx
+      | Binop (_, a, b) -> load_subterms a @ load_subterms b
+      | Unop (_, a) -> load_subterms a
+      | Select (c, t, f) ->
+          load_subterms c @ load_subterms t @ load_subterms f
+      | Cast (_, a) -> load_subterms a
+      | Bsearch bs ->
+          load_subterms bs.bs_lo @ load_subterms bs.bs_hi
+          @ load_subterms bs.bs_v
+    in
+    match e with Load _ -> e :: sub | _ -> sub
+  in
+  (* The gather variable stands in for a [map[...]] load during linear
+     analysis; the substitution is local to one index expression, so a fixed
+     negative id cannot collide with program variables. *)
+  let gather_var = { vid = -1; vname = "$gather"; vdtype = Dtype.I32 } in
+  (* a map buffer may be routed through when nothing in the body can change
+     it mid-loop: non-sparse, integral, never written or probed by a
+     hazard-class construct *)
+  let eligible_map (m : buffer) =
+    (not (is_sparse_buffer m))
+    && (not (Dtype.is_float m.buf_dtype))
+    && m.buf_dtype <> Dtype.Bool
+    && (not (Hashtbl.mem written m.buf_id))
+    && (not (Hashtbl.mem hazard m.buf_id))
+    && not (Hashtbl.mem local m.buf_id)
+  in
+  let bounded_in ienv (e : expr) ~(below : int) =
+    match interval ienv (simplify e) with
+    | Some (lo, hi) -> lo >= 0 && hi < below
+    | None -> false
+  in
+  (* Witness keys for one access: dims whose index is [c * x + rest] with
+     rest in [0, c) (direct), or [a * map[c * x + r] + rest] with r in
+     [0, c) and rest in [0, a) (gather). *)
+  let witnesses (idx, ienv) : (int * witness) list =
     List.concat
       (List.mapi
          (fun d e ->
            match linear_in x e with
-           | Some (c, rest) when c > 0 -> (
-               match interval ienv (simplify rest) with
-               | Some (lo, hi) when lo >= 0 && hi < c -> [ (d, c) ]
-               | _ -> [])
-           | _ -> [])
+           | Some (c, rest) when c > 0 && bounded_in ienv rest ~below:c ->
+               [ (d, W_direct { dim = d; coeff = c; arity = None }) ]
+           | Some _ -> []
+           | None ->
+               List.concat_map
+                 (fun l ->
+                   match l with
+                   | Load (m, [ mi ]) when eligible_map m -> (
+                       match linear_in x mi with
+                       | Some (c, r) when c > 0 && bounded_in ienv r ~below:c
+                         -> (
+                           let e' = replace_sub l (Evar gather_var) e in
+                           match linear_in gather_var e' with
+                           | Some (a, rest)
+                             when a > 0 && bounded_in ienv rest ~below:a ->
+                               [ ( d,
+                                   W_gather
+                                     { dim = d; coeff = c; scale = a; map = m }
+                                 ) ]
+                           | _ -> [])
+                       | _ -> [])
+                   | _ -> [])
+                 (List.sort_uniq compare (load_subterms e)))
          idx)
   in
+  (* Witness equality for the cross-access intersection: the arity slot of a
+     direct witness is resolved afterwards, everything else must agree. *)
+  let same_witness (a : witness) (b : witness) =
+    match (a, b) with
+    | W_direct da, W_direct db -> da.dim = db.dim && da.coeff = db.coeff
+    | W_gather ga, W_gather gb ->
+        ga.dim = gb.dim && ga.coeff = gb.coeff && ga.scale = gb.scale
+        && ga.map.buf_id = gb.map.buf_id
+    | _ -> false
+  in
+  let classify_failure (accs : (expr list * (int * int) Int_map.t) list) :
+      fail_reason =
+    let idxs = List.concat_map fst accs in
+    if List.exists (fun e -> load_subterms e <> []) idxs then Fr_indirect
+    else if List.exists (fun e -> linear_in x e = None) idxs then Fr_non_linear
+    else Fr_no_witness
+  in
   try
+    let out = ref [] in
     walk Int_map.empty Int_map.empty body;
     Hashtbl.iter
-      (fun id () ->
-        if Hashtbl.mem hazard id then raise Not_disjoint;
+      (fun id (b : buffer) ->
+        if Hashtbl.mem hazard id then raise (Not_disjoint Fr_bsearch);
         let accs =
           match Hashtbl.find_opt accesses id with Some l -> !l | None -> []
         in
         match accs with
-        | [] -> raise Not_disjoint (* written via hazard-only paths *)
+        | [] ->
+            (* written via hazard-only paths (MMA origins) *)
+            raise (Not_disjoint Fr_no_witness)
         | first :: rest ->
             let surviving =
               List.fold_left
                 (fun cands acc ->
                   let ws = witnesses acc in
-                  List.filter (fun w -> List.mem w ws) cands)
+                  List.filter
+                    (fun (_, w) ->
+                      List.exists (fun (_, w') -> same_witness w w') ws)
+                    cands)
                 (witnesses first) rest
             in
-            if surviving = [] then raise Not_disjoint)
+            let chosen =
+              (* prefer a direct witness: it needs no runtime fact check *)
+              match
+                List.find_opt
+                  (fun (_, w) -> match w with W_direct _ -> true | _ -> false)
+                  surviving
+              with
+              | Some w -> Some w
+              | None -> (
+                  match surviving with w :: _ -> Some w | [] -> None)
+            in
+            (match chosen with
+            | None -> raise (Not_disjoint (classify_failure accs))
+            | Some (_, W_direct dw) ->
+                (* the executor can only tile dimension-contiguous strips
+                   when every access spells the index the same way *)
+                let arities =
+                  List.sort_uniq compare
+                    (List.map (fun (idx, _) -> List.length idx) accs)
+                in
+                let arity =
+                  match arities with [ n ] -> Some n | _ -> None
+                in
+                out := (b, W_direct { dw with arity }) :: !out
+            | Some (_, w) -> out := (b, w) :: !out))
       written;
-    true
-  with Not_disjoint -> false
+    Par !out
+  with Not_disjoint r -> Serial r
+
+(* Boolean view, preserved for callers that only need the unconditional
+   answer: gather witnesses depend on runtime tensor facts, so only
+   all-direct verdicts count as true here. *)
+let loop_writes_disjoint (x : var) (body : stmt) : bool =
+  match loop_disjointness x body with
+  | Par ws ->
+      List.for_all
+        (fun (_, w) -> match w with W_direct _ -> true | W_gather _ -> false)
+        ws
+  | Serial _ -> false

@@ -93,11 +93,47 @@ val replace_exprs :
 
 (** {1 Write-disjointness} *)
 
+type witness =
+  | W_direct of { dim : int; coeff : int; arity : int option }
+      (** The [dim]-th index of every access is [coeff * x + rest] with
+          [rest] in [[0, coeff)]: distinct iterations touch disjoint slabs.
+          [arity] is the common index-list length of the accesses when they
+          all agree ([None] otherwise); the executor needs it to tile
+          dimension-0 output strips. *)
+  | W_gather of { dim : int; coeff : int; scale : int; map : Ir.buffer }
+      (** The [dim]-th index of every access is
+          [scale * map[coeff * x + r] + rest] with [r] in [[0, coeff)] and
+          [rest] in [[0, scale)], where [map] is an unwritten non-sparse
+          integer buffer.  Iterations scatter through [map]; the executor
+          must establish a runtime fact ({!Tir.Tensor.Facts}) about the
+          bound tensor — injectivity for arbitrary chunking, or
+          non-decreasing monotonicity with chunk cuts at strict increases —
+          before running the loop in parallel. *)
+
+type fail_reason =
+  | Fr_indirect
+      (** a store is routed through an index load with no provable gather
+          witness (or the runtime facts were not established) *)
+  | Fr_bsearch  (** binary search / MMA tile over a written buffer *)
+  | Fr_non_linear  (** an index is not linear in the loop variable *)
+  | Fr_no_witness
+      (** indices are linear but no dimension agrees across accesses *)
+
+type verdict = Par of (Ir.buffer * witness) list | Serial of fail_reason
+
+val reason_label : fail_reason -> string
+(** Short diagnostic label: ["indirect"], ["bsearch"], ["non-linear"],
+    ["no-witness"]. *)
+
+val loop_disjointness : Ir.var -> Ir.stmt -> verdict
+(** [loop_disjointness x body] proves, per buffer [body] writes (locally
+    allocated buffers are private and exempt), a {!witness} that distinct
+    values of [x] touch disjoint regions — all accesses to a written buffer,
+    loads included, must agree on the witness.  [Serial] carries the first
+    failure's reason and is always safe (the executor falls back to serial
+    execution). *)
+
 val loop_writes_disjoint : Ir.var -> Ir.stmt -> bool
-(** [loop_writes_disjoint x body] holds when distinct values of the loop
-    variable [x] provably touch disjoint regions of every buffer [body]
-    writes (locally allocated buffers are private and exempt): all accesses
-    to a written buffer must agree on a dimension whose index is
-    [c * x + rest] with [c > 0] and [rest] bounded inside [[0, c)].  The
-    parallel executor uses this to decide whether a thread-bound outer loop
-    may run across domains; [false] is always safe (serial fallback). *)
+(** Boolean view of {!loop_disjointness}: true only for [Par] verdicts whose
+    witnesses are all [W_direct] (gather witnesses additionally depend on
+    runtime tensor facts). *)

@@ -10,7 +10,14 @@ type t = {
   dtype : Dtype.t;
   shape : int array;
   data : data;
+  id : int; (* process-unique identity; copies get fresh ids *)
+  mutable version : int; (* bumped by every mutating operation *)
 }
+
+(* Atomic: tensors are also created by Alloc statements running inside
+   domains-parallel loop bodies. *)
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1
 
 let numel (t : t) = Array.fold_left ( * ) 1 t.shape
 
@@ -22,16 +29,22 @@ let create (dtype : Dtype.t) (shape : int list) : t =
     else if dtype = Dtype.Bool then B (Array.make n false)
     else I (Array.make n 0)
   in
-  { dtype; shape; data }
+  { dtype; shape; data; id = fresh_id (); version = 0 }
 
 let of_float_array ?(dtype = Dtype.F32) (shape : int list) (a : float array) : t
     =
-  let t = { dtype; shape = Array.of_list shape; data = F a } in
+  let t =
+    { dtype; shape = Array.of_list shape; data = F a; id = fresh_id ();
+      version = 0 }
+  in
   if numel t <> Array.length a then invalid_arg "Tensor.of_float_array: shape";
   t
 
 let of_int_array ?(dtype = Dtype.I32) (shape : int list) (a : int array) : t =
-  let t = { dtype; shape = Array.of_list shape; data = I a } in
+  let t =
+    { dtype; shape = Array.of_list shape; data = I a; id = fresh_id ();
+      version = 0 }
+  in
   if numel t <> Array.length a then invalid_arg "Tensor.of_int_array: shape";
   t
 
@@ -65,18 +78,21 @@ let get_i (t : t) (flat : int) : int =
   | B a -> if a.(flat) then 1 else 0
 
 let set_f (t : t) (flat : int) (x : float) : unit =
+  t.version <- t.version + 1;
   match t.data with
   | F a -> a.(flat) <- (if t.dtype = Dtype.F16 then Dtype.round_f16 x else x)
   | I a -> a.(flat) <- int_of_float x
   | B a -> a.(flat) <- (x <> 0.0)
 
 let set_i (t : t) (flat : int) (x : int) : unit =
+  t.version <- t.version + 1;
   match t.data with
   | I a -> a.(flat) <- x
   | F a -> a.(flat) <- float_of_int x
   | B a -> a.(flat) <- (x <> 0)
 
 let fill_f (t : t) (x : float) : unit =
+  t.version <- t.version + 1;
   match t.data with
   | F a -> Array.fill a 0 (Array.length a) x
   | I a -> Array.fill a 0 (Array.length a) (int_of_float x)
@@ -94,7 +110,20 @@ let copy (t : t) : t =
     | I a -> I (Array.copy a)
     | B a -> B (Array.copy a)
   in
-  { t with shape = Array.copy t.shape; data }
+  (* fresh identity: the copy's storage diverges from the original's, so it
+     must not share the original's fact-memo key *)
+  { t with shape = Array.copy t.shape; data; id = fresh_id (); version = 0 }
+
+(* Copy the flat range [pos, pos+len) of [src] into the same positions of
+   [dst].  Both tensors must use the same storage representation (the
+   parallel executor blits between a tensor and its [copy]). *)
+let blit ~(src : t) ~(dst : t) ~(pos : int) ~(len : int) : unit =
+  dst.version <- dst.version + 1;
+  match (src.data, dst.data) with
+  | F a, F b -> Array.blit a pos b pos len
+  | I a, I b -> Array.blit a pos b pos len
+  | B a, B b -> Array.blit a pos b pos len
+  | _ -> invalid_arg "Tensor.blit: mismatched storage representations"
 
 (* Maximum |a - b| over all elements; both tensors must have equal numel. *)
 let max_abs_diff (a : t) (b : t) : float =
@@ -108,3 +137,105 @@ let max_abs_diff (a : t) (b : t) : float =
   !worst
 
 let bytes (t : t) : int = numel t * Dtype.size_bytes t.dtype
+
+(* ------------------------------------------------------------------ *)
+(* Structural facts about index tensors                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The write-disjointness analysis (Tir.Analysis / the compiled engine's
+   parallel dispatch) needs structural facts about index buffers: a row map
+   that is injective scatters to all-distinct rows; an indptr-style buffer
+   that is monotone cuts safely at any strict increase.  Facts are either
+   [declare]d by format constructors (trusted — e.g. a CSR indptr is
+   non-decreasing by construction) or established by an O(n) scan, memoized
+   per tensor identity and invalidated by the mutation [version] stamp that
+   every write bumps. *)
+module Facts = struct
+  type fact =
+    | Injective (* all elements pairwise distinct *)
+    | Monotone_nd (* non-decreasing *)
+    | Monotone_inc (* strictly increasing: implies both facts above *)
+
+  type entry = {
+    mutable e_ver : int; (* tensor version the entry is valid for *)
+    mutable e_declared : fact list;
+    mutable e_scanned : (fact * bool) list;
+  }
+
+  (* Keyed on tensor id.  Bounded: on overflow the whole table resets (facts
+     re-establish by declaration or scan), which also sheds entries for dead
+     tensors.  Only the main domain consults facts (parallel dispatch happens
+     before workers launch), so no locking is needed. *)
+  let table : (int, entry) Hashtbl.t = Hashtbl.create 64
+  let max_entries = 4096
+  let scans = ref 0
+
+  let scan_count () = !scans
+  let clear () = Hashtbl.reset table
+
+  let entry_for (t : t) : entry =
+    match Hashtbl.find_opt table t.id with
+    | Some e ->
+        if e.e_ver <> t.version then begin
+          (* the tensor mutated since this entry was built: every recorded
+             fact is stale *)
+          e.e_ver <- t.version;
+          e.e_declared <- [];
+          e.e_scanned <- []
+        end;
+        e
+    | None ->
+        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+        let e = { e_ver = t.version; e_declared = []; e_scanned = [] } in
+        Hashtbl.add table t.id e;
+        e
+
+  let declare (t : t) (f : fact) : unit =
+    let e = entry_for t in
+    if not (List.mem f e.e_declared) then e.e_declared <- f :: e.e_declared
+
+  (* [have] certifies [want]: strict monotonicity implies both weaker
+     facts. *)
+  let implies (have : fact) (want : fact) : bool =
+    have = want || (have = Monotone_inc && want <> Monotone_inc)
+
+  let scan (t : t) (f : fact) : bool =
+    incr scans;
+    let n = numel t in
+    match f with
+    | Monotone_inc ->
+        let ok = ref true in
+        for i = 1 to n - 1 do
+          if get_i t i <= get_i t (i - 1) then ok := false
+        done;
+        !ok
+    | Monotone_nd ->
+        let ok = ref true in
+        for i = 1 to n - 1 do
+          if get_i t i < get_i t (i - 1) then ok := false
+        done;
+        !ok
+    | Injective -> (
+        let seen = Hashtbl.create (2 * max n 1) in
+        try
+          for i = 0 to n - 1 do
+            let v = get_i t i in
+            if Hashtbl.mem seen v then raise Exit;
+            Hashtbl.add seen v ()
+          done;
+          true
+        with Exit -> false)
+
+  let holds (t : t) (f : fact) : bool =
+    (match t.data with I _ -> true | _ -> false)
+    && (let e = entry_for t in
+        List.exists (fun d -> implies d f) e.e_declared
+        || List.exists (fun (s, ok) -> ok && implies s f) e.e_scanned
+        ||
+        match List.assoc_opt f e.e_scanned with
+        | Some ok -> ok
+        | None ->
+            let ok = scan t f in
+            e.e_scanned <- (f, ok) :: e.e_scanned;
+            ok)
+end

@@ -11,6 +11,10 @@ type t = {
   dtype : Dtype.t;
   shape : int array;
   data : data;
+  id : int;  (** process-unique identity; {!copy} allocates a fresh one *)
+  mutable version : int;
+      (** mutation stamp, bumped by every write ({!set_f}, {!set_i},
+          {!fill_f}, {!blit}); {!Facts} memoizes scans against it *)
 }
 
 val numel : t -> int
@@ -35,8 +39,44 @@ val to_float_array : t -> float array
 val to_int_array : t -> int array
 val copy : t -> t
 
+val blit : src:t -> dst:t -> pos:int -> len:int -> unit
+(** Copy the flat range [[pos, pos+len)] of [src] into the same positions of
+    [dst].  Both tensors must use the same storage representation; the
+    parallel executor uses this to stitch per-domain write strips back into
+    the shared output after a join. *)
+
 val max_abs_diff : t -> t -> float
 (** Maximum elementwise |a - b|; sizes must match. *)
 
 val bytes : t -> int
 (** Storage size in bytes (used for memory-footprint accounting). *)
+
+(** Structural facts about index tensors, consumed by the write-disjointness
+    analysis: a fact is either [declare]d by a format constructor (trusted —
+    e.g. a CSR indptr is non-decreasing by construction) or established by a
+    cheap O(n) scan, memoized per tensor identity and invalidated when the
+    mutation {!field-version} stamp moves. *)
+module Facts : sig
+  type fact =
+    | Injective  (** all elements pairwise distinct *)
+    | Monotone_nd  (** non-decreasing *)
+    | Monotone_inc  (** strictly increasing; implies the other two *)
+
+  val declare : t -> fact -> unit
+  (** Record [fact] as true by construction for the tensor's current
+      version.  Declarations are trusted — callers assert only what the
+      construction actually guarantees. *)
+
+  val holds : t -> fact -> bool
+  (** Is [fact] known (declared, or implied by a declared/scanned stronger
+      fact), or establishable by a scan?  Scans memoize their verdict —
+      positive or negative — until the tensor's next mutation.  Always false
+      for non-integer storage. *)
+
+  val scan_count : unit -> int
+  (** O(n) scans run so far (memo misses); tests use this to observe
+      invalidation. *)
+
+  val clear : unit -> unit
+  (** Drop every recorded fact (declared and scanned). *)
+end

@@ -365,6 +365,162 @@ let test_cache_reseeds_memo () =
   Alcotest.(check int) "still nothing compiled" 0 (Engine.compiles ());
   Alcotest.(check bool) "cold build did compile" true (cold > 0)
 
+(* ---------------- domains-parallel dispatch ---------------- *)
+
+(* Chunk grain: never zero (no empty chunks), never a 1-iteration flood when
+   n < 4 * domains, at most 4 * domains chunks, and alignment is respected
+   without overshooting the per-domain share. *)
+let test_chunk_grain () =
+  Alcotest.(check int) "n=0 degenerates to 1" 1
+    (Engine.chunk_grain ~n:0 ~domains:4 ~align:1);
+  Alcotest.(check int) "n=1" 1 (Engine.chunk_grain ~n:1 ~domains:8 ~align:1);
+  for n = 1 to 64 do
+    for d = 1 to 8 do
+      let g = Engine.chunk_grain ~n ~domains:d ~align:1 in
+      if g < 1 then Alcotest.failf "grain %d for n=%d d=%d" g n d;
+      let chunks = (n + g - 1) / g in
+      if chunks > 4 * d then
+        Alcotest.failf "%d chunks (> 4d) for n=%d d=%d grain=%d" chunks n d g
+    done
+  done;
+  Alcotest.(check int) "small n rounds up to align" 8
+    (Engine.chunk_grain ~n:5 ~domains:4 ~align:8);
+  Alcotest.(check int) "large n stays aligned" 0
+    (Engine.chunk_grain ~n:1000 ~domains:4 ~align:16 mod 16)
+
+(* A blockIdx loop accumulating through C[M[i]] earns a gather witness; the
+   runtime decision then hangs on the bound map tensor's facts. *)
+let gather_fn name n =
+  let open Tir in
+  let open Builder in
+  let m_buf = buffer ~dtype:Dtype.I32 "M" [ int n ] in
+  let a_buf = buffer ~dtype:Dtype.F32 "A" [ int n ] in
+  let c_buf = buffer ~dtype:Dtype.F32 "C" [ int n ] in
+  func name [ m_buf; a_buf; c_buf ]
+    (for_ ~kind:(Ir.Thread_bind Ir.Block_x) "i" (int n) (fun i ->
+         store c_buf
+           [ load m_buf [ i ] ]
+           (load c_buf [ load m_buf [ i ] ] +: load a_buf [ i ])))
+
+let gather_expected n perm a_val =
+  let e = Array.make n 0.0 in
+  Array.iteri (fun i p -> e.(p) <- e.(p) +. a_val i) perm;
+  e
+
+(* Injective map (a reversing permutation — deliberately NOT monotone, so
+   only the injectivity scan can prove it): the loop must dispatch parallel
+   with the exact same result as the serial run. *)
+let test_gather_injective_parallel () =
+  let open Tir in
+  let n = 128 in
+  let fn = gather_fn "eng_gather_inj" n in
+  let perm = Array.init n (fun i -> n - 1 - i) in
+  let m = Tensor.of_int_array [ n ] perm in
+  let a = Tensor.of_float_array [ n ] (Array.init n float_of_int) in
+  let c = Tensor.create Dtype.F32 [ n ] in
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ m; a; c ];
+  let art = Engine.artifact fn in
+  Alcotest.(check bool) "gather loop ran parallel" true
+    (Engine.par_runs art >= 1);
+  Alcotest.(check int) "no fallback" 0 (Engine.fallback_runs art);
+  Alcotest.(check bool) "scatter result exact" true
+    (Tensor.to_float_array c = gather_expected n perm float_of_int)
+
+(* A map with non-contiguous duplicates (i mod k) satisfies no fact: the
+   run must fall back to serial — counted under the "indirect" reason — and
+   the duplicated-cell accumulation must stay exact. *)
+let test_gather_unprovable_fallback () =
+  let open Tir in
+  let n = 96 in
+  let fn = gather_fn "eng_gather_dup" n in
+  let dup = Array.init n (fun i -> i mod (n / 2)) in
+  let m = Tensor.of_int_array [ n ] dup in
+  let a = Tensor.of_float_array [ n ] (Array.make n 1.0) in
+  let c = Tensor.create Dtype.F32 [ n ] in
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ m; a; c ];
+  let art = Engine.artifact fn in
+  Alcotest.(check int) "never parallel" 0 (Engine.par_runs art);
+  Alcotest.(check bool) "fell back" true (Engine.fallback_runs art >= 1);
+  Alcotest.(check bool) "counted as indirect" true
+    (List.assoc "indirect" (Engine.fallback_reasons art) >= 1);
+  Alcotest.(check bool) "duplicate accumulation exact" true
+    (Tensor.to_float_array c = gather_expected n dup (fun _ -> 1.0))
+
+(* Mutating a map tensor after a successful parallel run bumps its version:
+   the memoized fact is invalidated, the rescan fails, and the same artifact
+   falls back to serial on the next run. *)
+let test_fact_invalidation () =
+  let open Tir in
+  let n = 64 in
+  let fn = gather_fn "eng_gather_invalidate" n in
+  let m = Tensor.of_int_array [ n ] (Array.init n Fun.id) in
+  let a = Tensor.of_float_array [ n ] (Array.make n 1.0) in
+  let c = Tensor.create Dtype.F32 [ n ] in
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ m; a; c ];
+  let art = Engine.artifact fn in
+  Alcotest.(check bool) "identity map ran parallel" true
+    (Engine.par_runs art >= 1);
+  let par_before = Engine.par_runs art in
+  (* break injectivity AND monotonicity in one write *)
+  Tensor.set_i m 0 (n - 1);
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ m; a; c ];
+  Alcotest.(check int) "no new parallel run after mutation" par_before
+    (Engine.par_runs art);
+  Alcotest.(check bool) "serial fallback resumed" true
+    (Engine.fallback_runs art >= 1)
+
+(* hyb bucket kernels: every blockIdx loop (direct witness on the ELL part,
+   gather witnesses through the bucket row maps) must dispatch parallel at
+   4 domains with zero fallbacks, and the result must be bit-identical to
+   the 1-domain run. *)
+let test_hyb_parallel_no_fallback () =
+  let a = graph () in
+  let feat = 8 in
+  let x = Dense.random ~seed:2 a.Csr.cols feat in
+  let c, _ = Kernels.Spmm.sparsetir_hyb ~c:2 a x ~feat in
+  let exec nd =
+    Gpusim.execute ~num_domains:nd c.Kernels.Spmm.fn c.Kernels.Spmm.bindings;
+    Tir.Tensor.to_float_array c.Kernels.Spmm.out
+  in
+  let serial = exec 1 in
+  let parallel = exec 4 in
+  let art = Engine.artifact c.Kernels.Spmm.fn in
+  Alcotest.(check bool) "hyb buckets ran parallel" true
+    (Engine.par_runs art >= 1);
+  Alcotest.(check int) "hyb buckets never fell back" 0
+    (Engine.fallback_runs art);
+  Alcotest.(check bool) "serial = parallel bit-for-bit" true
+    (serial = parallel)
+
+(* Narrow accumulator (one f32 per iteration, far below a cache line): the
+   executor must give each domain a private write strip and stitch the
+   chunks back bit-identically. *)
+let test_narrow_output_strips () =
+  let open Tir in
+  let open Builder in
+  let n = 256 in
+  let a_buf = buffer ~dtype:Dtype.F32 "A" [ int n ] in
+  let c_buf = buffer ~dtype:Dtype.F32 "C" [ int n ] in
+  let fn =
+    func "eng_narrow_strips" [ a_buf; c_buf ]
+      (for_ ~kind:(Ir.Thread_bind Ir.Block_x) "i" (int n) (fun i ->
+           store c_buf [ i ] (load c_buf [ i ] +: load a_buf [ i ])))
+  in
+  let a = Tensor.of_float_array [ n ] (Array.init n float_of_int) in
+  let seed = Array.init n (fun i -> float_of_int (i * 7 mod 13)) in
+  let run nd =
+    let c = Tensor.of_float_array [ n ] (Array.copy seed) in
+    Engine.execute ~kind:Engine.Compiled ~num_domains:nd fn [ a; c ];
+    Tensor.to_float_array c
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  let art = Engine.artifact fn in
+  Alcotest.(check bool) "strips engaged" true (Engine.tiled_runs art >= 1);
+  Alcotest.(check int) "no fallback" 0 (Engine.fallback_runs art);
+  Alcotest.(check bool) "stitched result bit-identical" true
+    (serial = parallel)
+
 let () =
   Alcotest.run "engine"
     [ ( "differential",
@@ -387,4 +543,16 @@ let () =
         [ Alcotest.test_case "warm tuner compiles nothing" `Quick
             test_warm_tuner_no_codegen;
           Alcotest.test_case "cache hit re-seeds engine memo" `Quick
-            test_cache_reseeds_memo ] ) ]
+            test_cache_reseeds_memo ] );
+      ( "parallel",
+        [ Alcotest.test_case "chunk grain edge cases" `Quick test_chunk_grain;
+          Alcotest.test_case "injective gather runs parallel" `Quick
+            test_gather_injective_parallel;
+          Alcotest.test_case "unprovable gather falls back" `Quick
+            test_gather_unprovable_fallback;
+          Alcotest.test_case "mutation invalidates facts" `Quick
+            test_fact_invalidation;
+          Alcotest.test_case "hyb buckets: parallel, no fallback" `Quick
+            test_hyb_parallel_no_fallback;
+          Alcotest.test_case "narrow output strips stitch exactly" `Quick
+            test_narrow_output_strips ] ) ]

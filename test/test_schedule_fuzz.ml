@@ -146,6 +146,39 @@ let fuzz_sddmm =
     QCheck.small_int
     (fun seed -> sddmm_case (succ (abs seed)))
 
+(* hyb SpMM on a random matrix: the bucket loops store through their row
+   maps, so this keeps an indirect (gather-witness) loop shape in the fuzz
+   pool.  All three compiled legs must agree bit-for-bit with the
+   interpreter and match the dense reference, and — because the format
+   constructor declares the bucket maps' ordering facts — the 4-domain leg
+   must never take the serial fallback. *)
+let hyb_case (seed : int) : bool =
+  let g = Workloads.Rng.create seed in
+  let a = random_csr g in
+  let feat = 4 in
+  let x = Dense.random ~seed:(seed + 1) a.Csr.cols feat in
+  let parts = 1 + Workloads.Rng.int g 2 in
+  let c, _ = Kernels.Spmm.sparsetir_hyb ~c:parts a x ~feat in
+  let run ?num_domains engine =
+    Gpusim.execute ~engine ?num_domains c.Kernels.Spmm.fn
+      c.Kernels.Spmm.bindings;
+    Tensor.to_float_array c.Kernels.Spmm.out
+  in
+  let interp = run Engine.Interp in
+  let serial = run ~num_domains:1 Engine.Compiled in
+  let parallel = run ~num_domains:4 Engine.Compiled in
+  let art = Engine.artifact c.Kernels.Spmm.fn in
+  interp = serial
+  && serial = parallel
+  && Engine.fallback_runs art = 0
+  && max_err (Csr.spmm a x).Dense.data interp < 1e-5
+
+let fuzz_hyb =
+  QCheck.Test.make ~count:60
+    ~name:"random hyb SpMM: bucket row-map gathers dispatch without fallback"
+    QCheck.small_int
+    (fun seed -> hyb_case (succ (abs seed)))
+
 (* ---------------- disjointness-driven dispatch ---------------- *)
 
 (* A blockIdx-bound loop writing C[i] — injective in the loop var — must be
@@ -199,7 +232,8 @@ let () =
   Alcotest.run "schedule_fuzz"
     [ ( "fuzz",
         [ QCheck_alcotest.to_alcotest ~long:false fuzz_spmm;
-          QCheck_alcotest.to_alcotest ~long:false fuzz_sddmm ] );
+          QCheck_alcotest.to_alcotest ~long:false fuzz_sddmm;
+          QCheck_alcotest.to_alcotest ~long:false fuzz_hyb ] );
       ( "parallel_dispatch",
         [ Alcotest.test_case "provable loop runs parallel" `Quick
             test_parallel_provable;

@@ -1,17 +1,25 @@
-(* Engine-bench trend check: compare a fresh BENCH_engine.json against the
-   committed baseline and fail (exit 1) when any kernel's compiled speedup
-   regressed by more than the threshold.
+(* Bench trend check: compare a fresh bench JSON against the committed
+   baseline and fail (exit 1) when any kernel's speedup regressed by more
+   than the threshold.
 
-   The compared metric is the speedup-vs-interp column, not raw ns/iter:
-   both engines run on the same machine in the same process, so the ratio is
-   stable across hosts of different absolute speed — exactly what a CI
-   runner needs when the baseline file was written on a different box.
+   Two file kinds are understood, auto-detected from the "bench" field:
+   - BENCH_engine.json: the compared metric is each kernel's compiled
+     speedup-vs-interp.  Both engines run on the same machine in the same
+     process, so the ratio is stable across hosts of different absolute
+     speed — exactly what a CI runner needs when the baseline file was
+     written on a different box.
+   - BENCH_parallel.json: the compared metric is each kernel's
+     parallel-vs-serial speedup.  Unlike the engine ratio this one IS
+     host-dependent (it needs real cores), so on a host exposing fewer than
+     two cores the table is still printed but the regression gate is
+     skipped with a caveat — the fresh file then simply becomes the
+     recorded baseline.
 
    Usage: bench_trend BASELINE.json FRESH.json [--threshold=0.30]
 
-   The parser is deliberately matched to [Report.write_engine_json]'s
-   one-row-per-line output (this repo has no JSON dependency); unknown lines
-   are ignored. *)
+   The parser is deliberately matched to [Report.write_engine_json] /
+   [Report.write_parallel_json]'s one-row-per-line output (this repo has no
+   JSON dependency); unknown lines are ignored. *)
 
 let field_str (line : string) (key : string) : string option =
   let pat = Printf.sprintf "\"%s\": \"" key in
@@ -53,25 +61,35 @@ let field_float (line : string) (key : string) : float option =
       if !e = start then None
       else float_of_string_opt (String.sub line start (!e - start))
 
-(* kernel -> speedup of its compiled row; plus the file's geomean *)
-let load (path : string) : (string * float) list * float =
+(* kernel -> speedup of its measured row (engine files: the "compiled" rows'
+   speedup-vs-interp; parallel files: the "parallel" rows' speedup-vs-serial),
+   plus the file's kind and geomean *)
+let load (path : string) : string * (string * float) list * float =
   let ic = open_in path in
-  let rows = ref [] and geomean = ref nan in
+  let kind = ref "engine" and rows = ref [] and geomean = ref nan in
   (try
      while true do
        let line = input_line ic in
+       (match field_str line "bench" with
+       | Some k -> kind := k
+       | None -> ());
        (match field_float line "geomean_speedup" with
        | Some g -> geomean := g
        | None -> ());
-       match (field_str line "kernel", field_str line "engine") with
-       | Some k, Some "compiled" -> (
+       let tagged =
+         match field_str line "engine" with
+         | Some _ as e -> e
+         | None -> field_str line "mode"
+       in
+       match (field_str line "kernel", tagged) with
+       | Some k, Some ("compiled" | "parallel") -> (
            match field_float line "speedup" with
            | Some s -> rows := (k, s) :: !rows
            | None -> ())
        | _ -> ()
      done
    with End_of_file -> close_in ic);
-  (List.rev !rows, !geomean)
+  (!kind, List.rev !rows, !geomean)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -89,8 +107,25 @@ let () =
   in
   match files with
   | [ base_path; fresh_path ] ->
-      let base, base_geo = load base_path in
-      let fresh, fresh_geo = load fresh_path in
+      let base_kind, base, base_geo = load base_path in
+      let fresh_kind, fresh, fresh_geo = load fresh_path in
+      if base_kind <> fresh_kind then (
+        Printf.eprintf
+          "bench_trend: bench kinds differ (%s baseline vs %s fresh)\n"
+          base_kind fresh_kind;
+        exit 2);
+      (* parallel speedups need real cores: a single-core host measures pool
+         overhead, which would trip the gate on every run *)
+      let gate =
+        if fresh_kind = "parallel" && Domain.recommended_domain_count () < 2
+        then begin
+          Printf.printf
+            "bench_trend: host exposes < 2 cores — parallel speedups reflect \
+             pool overhead, regression gate skipped\n";
+          false
+        end
+        else true
+      in
       if base = [] then (
         Printf.eprintf "bench_trend: no compiled rows in %s\n" base_path;
         exit 2);
@@ -118,7 +153,7 @@ let () =
                   k b f "-"
               end
               else begin
-                let bad = ratio < 1.0 -. !threshold in
+                let bad = gate && ratio < 1.0 -. !threshold in
                 if bad then incr failures;
                 Printf.printf "%-20s %10.2f %10.2f %7.2f%s\n" k b f ratio
                   (if bad then "  REGRESSION" else "")
