@@ -30,6 +30,7 @@ let experiments ~full ~domains : (string * (unit -> unit)) list =
     ("ablations", Ablation_bench.run);
     ("pipeline", Pipeline_bench.run);
     ("engine", fun () -> Engine_bench.run ~full ());
+    ("formats", fun () -> Formats_bench.run ~full ());
     ("parallel", fun () -> Parallel_bench.run ~full ~domains ()) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)

@@ -69,6 +69,29 @@ let write_engine_json ~(path : string) ~(geomean_speedup : float)
 
 (* Same shape for the serial-vs-parallel bench; rows are
    (kernel, mode, ns/iter, speedup-vs-serial). *)
+(* Same shape for the formats bench; rows are
+   (format, mode, ns/iter, speedup-of-descriptor-vs-legacy): the legacy row
+   carries the bespoke builder's time at speedup 1.0, the descriptor row the
+   generic level-driven construction normalized against it. *)
+let write_formats_json ~(path : string) ~(geomean_speedup : float)
+    (rows : (string * string * float * float) list) : unit =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"formats\",\n";
+  Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" geomean_speedup;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (fmt, mode, ns, speedup) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"mode\": %S, \"ns_per_iter\": %.1f, \
+         \"speedup\": %.4f}%s\n"
+        fmt mode ns speedup
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let write_parallel_json ~(path : string) ~(domains : int)
     ~(geomean_speedup : float) (rows : (string * string * float * float) list)
     : unit =

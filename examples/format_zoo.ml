@@ -35,8 +35,18 @@ let () =
   Printf.printf "SR-BCRS : %d groups of %d tiles (height %d)\n"
     (Sr_bcrs.n_groups sr) sr.Sr_bcrs.group sr.Sr_bcrs.tile;
   let h = Hyb.of_csr ~c:2 ~k:2 a in
-  Printf.printf "hyb(2,2): %d ELL buckets, %.1f%% padding\n\n"
+  Printf.printf "hyb(2,2): %d ELL buckets, %.1f%% padding\n"
     (List.length h.Hyb.buckets) (Hyb.padding_pct h);
+  (* the two descriptor one-liners (DESIGN.md S3g): no bespoke construction
+     code at all, just a level list *)
+  let se = Sell.of_csr ~slice:4 a in
+  Printf.printf "SELL(4) : %s -> %d padded slots\n"
+    (Descriptor.to_trace (Sell.descriptor ~slice:4 ~rows:8 ~cols:8))
+    (Sell.padded se);
+  let bd = Banded.of_csr ~band:7 a in
+  Printf.printf "banded  : %s -> %d diagonals\n\n"
+    (Descriptor.to_trace (Banded.descriptor ~band:7 ~rows:8 ~cols:8))
+    (Banded.n_diags bd);
 
   (* Figure 5: format decomposition with generated copy iterations *)
   print_endline

@@ -17,7 +17,38 @@ type t = {
 let nnzb (m : t) = Array.length m.indices
 let nnz_stored (m : t) = nnzb m * m.block * m.block
 
+(* BSR as a descriptor: block-transformed coordinates, a dense block-row
+   level over a compressed block-column level over the dense b x b block. *)
+let descriptor ~block ~rows ~cols : Descriptor.t =
+  Descriptor.make ~name:"bsr" ~transform:(Descriptor.Blocked block)
+    ~dims:[| rows; cols |]
+    [ Levels.dense ((rows + block - 1) / block);
+      Levels.compressed (); Levels.dense block; Levels.dense block ]
+
 let of_csr ~(block : int) (c : Csr.t) : t =
+  let st =
+    Descriptor.build
+      (descriptor ~block ~rows:c.Csr.rows ~cols:c.Csr.cols)
+      (Csr.to_canon c)
+  in
+  let lv = st.Descriptor.st_levels.(1) in
+  let nb = lv.Descriptor.ld_count in
+  { rows = c.Csr.rows;
+    cols = c.Csr.cols;
+    block;
+    rows_b = (c.Csr.rows + block - 1) / block;
+    cols_b = (c.Csr.cols + block - 1) / block;
+    indptr = (match lv.Descriptor.ld_pos with Some a -> a | None -> [| 0 |]);
+    indices =
+      (match lv.Descriptor.ld_crd with
+      | Some a when nb > 0 -> a
+      | _ -> [| 0 |]);
+    data = (if nb > 0 then st.Descriptor.st_vals else [| 0.0 |]);
+    padded = st.Descriptor.st_padded }
+
+(* Pre-descriptor reference construction (differential tests, formats
+   benchmark). *)
+let of_csr_ref ~(block : int) (c : Csr.t) : t =
   let rows_b = (c.Csr.rows + block - 1) / block in
   let cols_b = (c.Csr.cols + block - 1) / block in
   (* collect non-empty blocks per block-row *)

@@ -10,26 +10,27 @@ type t = {
 
 let nnz (m : t) = Array.length m.entries
 
+(* The canonical-intermediate pipeline shared by every descriptor-built
+   format (DESIGN.md §3g): stable sort, duplicates summed, zero-valued
+   entries dropped (COO is the only format that drops them eagerly). *)
 let normalize rows cols (entries : (int * int * float) array) : t =
-  Array.iter
-    (fun (i, j, _) ->
-      if i < 0 || i >= rows || j < 0 || j >= cols then
-        invalid_arg (Printf.sprintf "Coo: entry (%d,%d) out of %dx%d" i j rows cols))
-    entries;
-  let entries = Array.copy entries in
-  Array.sort (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2)) entries;
-  (* sum duplicates *)
-  let out = ref [] in
-  Array.iter
-    (fun (i, j, v) ->
-      match !out with
-      | (i', j', v') :: rest when i = i' && j = j' -> out := (i, j, v +. v') :: rest
-      | _ -> out := (i, j, v) :: !out)
-    entries;
-  let deduped =
-    !out |> List.filter (fun (_, _, v) -> v <> 0.0) |> List.rev |> Array.of_list
+  let cn =
+    try Descriptor.filter_zeros (Descriptor.canon2 ~rows ~cols entries)
+    with Invalid_argument _ ->
+      let bad =
+        Array.to_list entries
+        |> List.find (fun (i, j, _) -> i < 0 || i >= rows || j < 0 || j >= cols)
+      in
+      let i, j, _ = bad in
+      invalid_arg
+        (Printf.sprintf "Coo: entry (%d,%d) out of %dx%d" i j rows cols)
   in
-  { rows; cols; entries = deduped }
+  { rows;
+    cols;
+    entries =
+      Array.map
+        (fun (co, v) -> (co.(0), co.(1), v))
+        cn.Descriptor.cn_entries }
 
 let of_entries ~rows ~cols entries : t = normalize rows cols (Array.of_list entries)
 
@@ -57,3 +58,30 @@ let structure (m : t) : t =
 
 let transpose (m : t) : t =
   normalize m.cols m.rows (Array.map (fun (i, j, v) -> (j, i, v)) m.entries)
+
+(* COO as a descriptor: a non-unique compressed row stream over a singleton
+   column stream — one stored position per entry at both levels. *)
+let descriptor (m : t) : Descriptor.t =
+  Descriptor.make ~name:"coo" ~dims:[| m.rows; m.cols |]
+    [ Levels.compressed
+        ~props:{ Levels.compressed_props with unique = false }
+        ();
+      Levels.singleton () ]
+
+let storage (m : t) : Descriptor.storage =
+  (* entries are already sorted/merged/non-zero: a valid canon as-is *)
+  Descriptor.build (descriptor m)
+    { Descriptor.cn_dims = [| m.rows; m.cols |];
+      cn_entries = Array.map (fun (i, j, v) -> ([| i; j |], v)) m.entries }
+
+(* Tensor accessors derived from the descriptor.  The row stream is sorted
+   but repeats rows, so it carries [Monotone_nd] — enough for the engine's
+   ordered-gather dispatch without a runtime scan. *)
+let row_tensor (m : t) : Tir.Tensor.t =
+  Descriptor.crd_tensor (storage m) ~level:0
+
+let col_tensor (m : t) : Tir.Tensor.t =
+  Descriptor.crd_tensor (storage m) ~level:1
+
+let data_tensor ?(dtype = Tir.Dtype.F32) (m : t) : Tir.Tensor.t =
+  Descriptor.vals_tensor ~dtype (storage m)

@@ -18,3 +18,15 @@ val structure : t -> t
 (** Values replaced by 1.0 (adjacency matrices). *)
 
 val transpose : t -> t
+
+val descriptor : t -> Descriptor.t
+(** COO as a level list: a non-unique compressed row stream over a
+    singleton column stream. *)
+
+val storage : t -> Descriptor.storage
+
+val row_tensor : t -> Tir.Tensor.t
+(** Per-entry row ids; sorted but repeating, so declared [Monotone_nd]. *)
+
+val col_tensor : t -> Tir.Tensor.t
+val data_tensor : ?dtype:Tir.Dtype.t -> t -> Tir.Tensor.t

@@ -18,9 +18,38 @@ type t = {
 let nnz (t : t) = Array.length t.data
 let nnz_fibers (t : t) = Array.length t.j_indices
 
-(* Build from (i, j, k, v) entries; duplicates summed. *)
+(* CSF as a descriptor: the order-3 identity chain, a dense I level over
+   compressed J and K levels. *)
+let descriptor ~dim_i ~dim_j ~dim_k : Descriptor.t =
+  Descriptor.make ~name:"csf" ~dims:[| dim_i; dim_j; dim_k |]
+    [ Levels.dense dim_i; Levels.compressed (); Levels.compressed () ]
+
 let of_entries ~dim_i ~dim_j ~dim_k (entries : (int * int * int * float) list) :
     t =
+  List.iter
+    (fun (i, j, k, _) ->
+      if i < 0 || i >= dim_i || j < 0 || j >= dim_j || k < 0 || k >= dim_k then
+        invalid_arg "Csf.of_entries: coordinate out of range")
+    entries;
+  let st =
+    Descriptor.build
+      (descriptor ~dim_i ~dim_j ~dim_k)
+      (Descriptor.filter_zeros
+         (Descriptor.canon3 ~dims:(dim_i, dim_j, dim_k)
+            (Array.of_list entries)))
+  in
+  let arr lv f = match f st.Descriptor.st_levels.(lv) with Some a -> a | None -> [||] in
+  { dim_i; dim_j; dim_k;
+    j_indptr = arr 1 (fun l -> l.Descriptor.ld_pos);
+    j_indices = arr 1 (fun l -> l.Descriptor.ld_crd);
+    k_indptr = arr 2 (fun l -> l.Descriptor.ld_pos);
+    k_indices = arr 2 (fun l -> l.Descriptor.ld_crd);
+    data = st.Descriptor.st_vals }
+
+(* Pre-descriptor reference construction (differential tests, formats
+   benchmark). *)
+let of_entries_ref ~dim_i ~dim_j ~dim_k
+    (entries : (int * int * int * float) list) : t =
   List.iter
     (fun (i, j, k, _) ->
       if i < 0 || i >= dim_i || j < 0 || j >= dim_j || k < 0 || k >= dim_k then
@@ -114,3 +143,28 @@ let random ?(seed = 12) ~dim_i ~dim_j ~dim_k ~nnz () : t =
       :: !entries
   done;
   of_entries ~dim_i ~dim_j ~dim_k !entries
+
+(* Tensor accessors with construction-declared facts: both indptr arrays
+   are cumulative sums, hence non-decreasing. *)
+let int_tensor a =
+  Tir.Tensor.of_int_array
+    [ max 1 (Array.length a) ]
+    (if Array.length a = 0 then [| 0 |] else Array.copy a)
+
+let j_indptr_tensor (t : t) : Tir.Tensor.t =
+  let x = int_tensor t.j_indptr in
+  Tir.Tensor.Facts.declare x Tir.Tensor.Facts.Monotone_nd;
+  x
+
+let k_indptr_tensor (t : t) : Tir.Tensor.t =
+  let x = int_tensor t.k_indptr in
+  Tir.Tensor.Facts.declare x Tir.Tensor.Facts.Monotone_nd;
+  x
+
+let j_indices_tensor (t : t) : Tir.Tensor.t = int_tensor t.j_indices
+let k_indices_tensor (t : t) : Tir.Tensor.t = int_tensor t.k_indices
+
+let data_tensor ?(dtype = Tir.Dtype.F32) (t : t) : Tir.Tensor.t =
+  Tir.Tensor.of_float_array ~dtype
+    [ max 1 (nnz t) ]
+    (if nnz t = 0 then [| 0.0 |] else Array.copy t.data)

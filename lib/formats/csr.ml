@@ -15,10 +15,35 @@ let row_len (m : t) i = m.indptr.(i + 1) - m.indptr.(i)
 let density (m : t) : float =
   float_of_int (nnz m) /. float_of_int (m.rows * m.cols)
 
-(* Robust to arbitrary entry order and duplicates: entries are bucketed per
-   row with cursors, then each row is sorted by column and duplicate columns
-   are summed (binary searches during lowering require sorted rows). *)
+(* CSR as a descriptor (DESIGN.md §3g): identity coordinates, a dense row
+   level over a compressed column level. *)
+let descriptor ~rows ~cols : Descriptor.t =
+  Descriptor.make ~name:"csr" ~dims:[| rows; cols |]
+    [ Levels.dense rows; Levels.compressed () ]
+
 let of_coo (c : Coo.t) : t =
+  let st =
+    Descriptor.build
+      (descriptor ~rows:c.Coo.rows ~cols:c.Coo.cols)
+      (Descriptor.canon2 ~rows:c.Coo.rows ~cols:c.Coo.cols c.Coo.entries)
+  in
+  let lv = st.Descriptor.st_levels.(1) in
+  let n = lv.Descriptor.ld_count in
+  { rows = c.Coo.rows;
+    cols = c.Coo.cols;
+    indptr = (match lv.Descriptor.ld_pos with Some a -> a | None -> [| 0 |]);
+    indices =
+      (match lv.Descriptor.ld_crd with
+      | Some a when n > 0 -> a
+      | _ -> [| 0 |]);
+    data = (if n > 0 then st.Descriptor.st_vals else [| 0.0 |]) }
+
+(* Pre-descriptor reference construction, kept for the differential tests
+   and the formats benchmark.  Robust to arbitrary entry order and
+   duplicates: entries are bucketed per row with cursors, then each row is
+   sorted by column and duplicate columns are summed (binary searches during
+   lowering require sorted rows). *)
+let of_coo_ref (c : Coo.t) : t =
   let n = Coo.nnz c in
   let counts = Array.make (c.Coo.rows + 1) 0 in
   Array.iter (fun (i, _, _) -> counts.(i + 1) <- counts.(i + 1) + 1) c.Coo.entries;
@@ -69,6 +94,20 @@ let to_coo (m : t) : Coo.t =
     done
   done;
   { Coo.rows = m.rows; cols = m.cols; entries = Array.of_list !entries }
+
+(* CSR's sorted rows make it a ready-made canonical intermediate: the other
+   compressed formats build from this without re-sorting. *)
+let to_canon (m : t) : Descriptor.canon =
+  let n = nnz m in
+  let ents = Array.make n ([||], 0.0) in
+  let q = ref 0 in
+  for i = 0 to m.rows - 1 do
+    for p = m.indptr.(i) to m.indptr.(i + 1) - 1 do
+      ents.(!q) <- ([| i; m.indices.(p) |], m.data.(p));
+      incr q
+    done
+  done;
+  { Descriptor.cn_dims = [| m.rows; m.cols |]; cn_entries = ents }
 
 let of_dense (d : Dense.t) : t = of_coo (Coo.of_dense d)
 let to_dense (m : t) : Dense.t = Coo.to_dense (to_coo m)

@@ -13,10 +13,23 @@ val nnz : t -> int
 val row_len : t -> int -> int
 val density : t -> float
 
+val descriptor : rows:int -> cols:int -> Descriptor.t
+(** CSR as a level list: [[dense rows; compressed]] over identity
+    coordinates (DESIGN.md §3g). *)
+
 val of_coo : Coo.t -> t
-(** Robust to arbitrary entry order and duplicates: entries are bucketed per
-    row, sorted by column, and duplicate columns summed (binary searches
+(** Descriptor-derived construction: robust to arbitrary entry order and
+    duplicates (the canonical intermediate sorts and sums; binary searches
     during lowering require sorted rows). *)
+
+val of_coo_ref : Coo.t -> t
+(** Pre-descriptor reference construction, kept for the differential tests
+    and the formats benchmark; bit-identical to {!of_coo} on
+    duplicate-free input. *)
+
+val to_canon : t -> Descriptor.canon
+(** CSR's sorted rows as a ready-made canonical intermediate (no
+    re-sorting). *)
 
 val to_coo : t -> Coo.t
 val of_dense : Dense.t -> t

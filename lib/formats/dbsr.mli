@@ -9,6 +9,27 @@ type t = {
 }
 
 val of_bsr : Bsr.t -> t
+
+val descriptor : block:int -> rows:int -> cols:int -> Descriptor.t
+(** DBSR as a level list: [Blocked block] coordinates under
+    [[compressed; compressed; dense block; dense block]] — the root
+    compressed level is the block-row id map. *)
+
 val of_csr : block:int -> Csr.t -> t
+
+val of_csr_ref : block:int -> Csr.t -> t
+(** Pre-descriptor reference construction (differential tests, formats
+    benchmark). *)
+
 val to_dense : t -> Dense.t
+
 val row_ids_tensor : t -> Tir.Tensor.t
+(** Strictly increasing by construction: declared [Monotone_inc], so the
+    parallel executor's gather-map dispatch never scans it. *)
+
+val indptr_tensor : t -> Tir.Tensor.t
+(** The compressed indptr over stored block rows (nrows_b + 1 entries);
+    declared [Monotone_nd]. *)
+
+val indices_tensor : t -> Tir.Tensor.t
+val data_tensor : ?dtype:Tir.Dtype.t -> t -> Tir.Tensor.t

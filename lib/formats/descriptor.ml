@@ -1,0 +1,577 @@
+(* Declarative format descriptors: generic construction, derived tensors
+   with facts, and stage-I axis emission (DESIGN.md §3g).  See
+   descriptor.mli for the model. *)
+
+type transform =
+  | Identity
+  | Blocked of int
+  | Row_tiled of int
+  | Diagonal
+
+type t = {
+  name : string;
+  dims : int array;
+  transform : transform;
+  levels : Levels.t list;
+}
+
+let arity (d : t) : int =
+  match d.transform with
+  | Identity -> Array.length d.dims
+  | Blocked _ -> 4
+  | Row_tiled _ -> 3
+  | Diagonal -> 2
+
+let make ?(name = "fmt") ?(transform = Identity) ~dims levels =
+  (match transform with
+  | Blocked b when b < 1 -> invalid_arg "Descriptor.make: block < 1"
+  | Row_tiled t when t < 1 -> invalid_arg "Descriptor.make: tile < 1"
+  | (Blocked _ | Row_tiled _ | Diagonal) when Array.length dims <> 2 ->
+      invalid_arg "Descriptor.make: 2-d transform over non-matrix dims"
+  | _ -> ());
+  Array.iter
+    (fun n -> if n < 0 then invalid_arg "Descriptor.make: negative dim")
+    dims;
+  let d = { name; dims; transform; levels } in
+  if List.length levels <> arity d then
+    invalid_arg "Descriptor.make: level count does not match transform arity";
+  d
+
+let cdiv a b = (a + b - 1) / b
+
+let level_extents (d : t) : int array =
+  match (d.transform, d.dims) with
+  | Identity, dims -> Array.copy dims
+  | Blocked b, [| r; c |] -> [| cdiv r b; cdiv c b; b; b |]
+  | Row_tiled t, [| r; c |] -> [| cdiv r t; c; t |]
+  | Diagonal, [| r; c |] -> [| max 0 (r + c - 1); r |]
+  | _ -> invalid_arg "Descriptor.level_extents: transform arity"
+
+let apply_transform (tr : transform) (co : int array) : int array =
+  match (tr, co) with
+  | Identity, _ -> co
+  | Blocked b, [| i; j |] -> [| i / b; j / b; i mod b; j mod b |]
+  | Row_tiled t, [| i; j |] -> [| i / t; j; i mod t |]
+  | Diagonal, [| i; j |] -> [| j - i; i |]
+  | _ -> invalid_arg "Descriptor.apply_transform: arity"
+
+let to_trace (d : t) : string =
+  Printf.sprintf "%s[%s;%s](%s)" d.name
+    (match d.transform with
+    | Identity -> "id"
+    | Blocked b -> Printf.sprintf "blk%d" b
+    | Row_tiled t -> Printf.sprintf "tile%d" t
+    | Diagonal -> "diag")
+    (String.concat ";" (List.map Levels.describe d.levels))
+    (String.concat "x" (Array.to_list (Array.map string_of_int d.dims)))
+
+(* ------------------------------------------------------------------ *)
+(* Canonical intermediate                                              *)
+(* ------------------------------------------------------------------ *)
+
+type canon = {
+  cn_dims : int array;
+  cn_entries : (int array * float) array;
+}
+
+(* Stable lexicographic sort + left-to-right duplicate merge.  Zero-valued
+   sums are kept (compressed formats store them, like the legacy
+   constructors); use [filter_zeros] for formats that drop them. *)
+let canon ~(dims : int array) (entries : (int array * float) array) : canon =
+  let cmp (a, _) (b, _) = compare (a : int array) b in
+  let sorted = List.stable_sort cmp (Array.to_list entries) in
+  let merged =
+    List.fold_left
+      (fun acc (co, v) ->
+        match acc with
+        | (co', v') :: rest when co = co' -> (co', v' +. v) :: rest
+        | _ -> (co, v) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  { cn_dims = dims; cn_entries = Array.of_list merged }
+
+let canon2 ~rows ~cols (entries : (int * int * float) array) : canon =
+  Array.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Descriptor.canon2: entry (%d,%d) out of %dx%d" i j
+             rows cols))
+    entries;
+  canon ~dims:[| rows; cols |]
+    (Array.map (fun (i, j, v) -> ([| i; j |], v)) entries)
+
+let canon3 ~dims:(di, dj, dk) (entries : (int * int * int * float) array) :
+    canon =
+  Array.iter
+    (fun (i, j, k, _) ->
+      if i < 0 || i >= di || j < 0 || j >= dj || k < 0 || k >= dk then
+        invalid_arg "Descriptor.canon3: coordinate out of range")
+    entries;
+  canon ~dims:[| di; dj; dk |]
+    (Array.map (fun (i, j, k, v) -> ([| i; j; k |], v)) entries)
+
+let filter_zeros (cn : canon) : canon =
+  { cn with
+    cn_entries =
+      Array.of_list
+        (List.filter (fun (_, v) -> v <> 0.0)
+           (Array.to_list cn.cn_entries)) }
+
+(* ------------------------------------------------------------------ *)
+(* Generic construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+type level_data = {
+  ld_level : Levels.t;
+  ld_pos : int array option;
+  ld_crd : int array option;
+  ld_width : int;
+  ld_count : int;
+  ld_fact : Tir.Tensor.Facts.fact option;
+}
+
+type storage = {
+  st_desc : t;
+  st_extents : int array;
+  st_levels : level_data array;
+  st_vals : float array;
+  st_nnz : int;
+  st_padded : int;
+}
+
+(* A group is a contiguous slice of the sorted entry array: the entries
+   under one stored position of the current level.  The group array index
+   IS the absolute stored position (padding positions are empty slices). *)
+type group = { lo : int; hi : int }
+
+let empty_group = { lo = 0; hi = 0 }
+
+(* Effective properties of an explicit coordinate stream, verified with one
+   construction-time pass, then mapped through the property->fact table. *)
+let order_fact (a : int array) : Tir.Tensor.Facts.fact option =
+  let strict = ref true and nondec = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) <= a.(i - 1) then strict := false;
+    if a.(i) < a.(i - 1) then nondec := false
+  done;
+  Levels.fact_of_props
+    { Levels.ordered = !nondec; unique = !strict; full = false }
+
+(* Value layout swap for [panel] compressed levels (SR-BCRS): within each
+   group of [g] stored positions, the trailing-dense index becomes the major
+   dimension — values form (dense x g) row-major panels (MMA tiles) instead
+   of position-major order. *)
+let apply_panel (lds : level_data array) (vals : float array) : float array =
+  let panel_at = ref None in
+  Array.iteri
+    (fun l ld ->
+      match ld.ld_level with
+      | Levels.Compressed { group; panel = true; _ } ->
+          panel_at := Some (l, group)
+      | _ -> ())
+    lds;
+  match !panel_at with
+  | None -> vals
+  | Some (l, g) ->
+      let r = ref 1 in
+      for q = l + 1 to Array.length lds - 1 do
+        if lds.(q).ld_width <= 0 then
+          invalid_arg
+            "Descriptor.build: panel layout requires fixed-width inner levels";
+        r := !r * lds.(q).ld_width
+      done;
+      let r = !r in
+      let t_total = lds.(l).ld_count in
+      let out = Array.make (Array.length vals) 0.0 in
+      for tpos = 0 to t_total - 1 do
+        let gidx = tpos / g and gk = tpos mod g in
+        for q = 0 to r - 1 do
+          out.((gidx * g * r) + (q * g) + gk) <- vals.((tpos * r) + q)
+        done
+      done;
+      out
+
+(* Descend the level list from [start_depth], partitioning the sorted entry
+   slices level by level.  [coord_ofs] maps level depth to entry coordinate
+   index (build_rows pre-consumes the root coordinate). *)
+let descend (d : t) (extents : int array)
+    (entries : (int array * float) array) ~(coord_ofs : int)
+    ~(start_depth : int) ~(parents : group array) ~(pre : level_data list) :
+    storage =
+  let levels_arr = Array.of_list d.levels in
+  let n_levels = Array.length levels_arr in
+  let parents = ref parents in
+  let out = ref pre in
+  for l = start_depth to n_levels - 1 do
+    let cdl e = (fst entries.(e)).(l - coord_ofs) in
+    let ld, children =
+      match levels_arr.(l) with
+      | Levels.Dense { extent } ->
+          let np = Array.length !parents in
+          let children = Array.make (np * extent) empty_group in
+          Array.iteri
+            (fun p g ->
+              let e = ref g.lo in
+              for c = 0 to extent - 1 do
+                let start = !e in
+                while !e < g.hi && cdl !e = c do
+                  incr e
+                done;
+                children.((p * extent) + c) <- { lo = start; hi = !e }
+              done;
+              if !e <> g.hi then
+                invalid_arg
+                  (Printf.sprintf
+                     "Descriptor.build(%s): dense coordinate out of range at \
+                      level %d"
+                     d.name l))
+            !parents;
+          ( { ld_level = levels_arr.(l); ld_pos = None; ld_crd = None;
+              ld_width = extent; ld_count = np * extent; ld_fact = None },
+            children )
+      | Levels.Compressed { props; group; panel = _ } ->
+          let np = Array.length !parents in
+          let unique = props.Levels.unique in
+          let runs_in g =
+            if not unique then g.hi - g.lo
+            else begin
+              let n = ref 0 and e = ref g.lo in
+              while !e < g.hi do
+                let c = cdl !e in
+                incr n;
+                while !e < g.hi && cdl !e = c do
+                  incr e
+                done
+              done;
+              !n
+            end
+          in
+          let pos = Array.make (np + 1) 0 in
+          Array.iteri
+            (fun p g ->
+              let n = runs_in g in
+              let n = if group > 1 then cdiv n group * group else n in
+              pos.(p + 1) <- pos.(p) + n)
+            !parents;
+          let total = pos.(np) in
+          let crd = Array.make total 0 in
+          let children = Array.make total empty_group in
+          Array.iteri
+            (fun p g ->
+              let slot = ref pos.(p) in
+              let e = ref g.lo in
+              while !e < g.hi do
+                let c = cdl !e in
+                let start = !e in
+                if unique then
+                  while !e < g.hi && cdl !e = c do
+                    incr e
+                  done
+                else incr e;
+                crd.(!slot) <- c;
+                children.(!slot) <- { lo = start; hi = !e };
+                incr slot
+              done)
+            !parents;
+          (* the shared pipeline sorts, so a root compressed level's
+             coordinates are ascending by construction: the fact comes
+             straight off the property table *)
+          let fact =
+            if l = 0 then
+              Levels.fact_of_props { props with Levels.ordered = true }
+            else None
+          in
+          ( { ld_level = levels_arr.(l); ld_pos = Some pos;
+              ld_crd = Some crd; ld_width = 0; ld_count = total;
+              ld_fact = fact },
+            children )
+      | Levels.Singleton _ ->
+          let np = Array.length !parents in
+          let crd = Array.make np 0 in
+          Array.iteri
+            (fun p g ->
+              if g.hi > g.lo then begin
+                let c = cdl g.lo in
+                for e = g.lo + 1 to g.hi - 1 do
+                  if cdl e <> c then
+                    invalid_arg
+                      "Descriptor.build: singleton level with branching \
+                       coordinates"
+                done;
+                crd.(p) <- c
+              end)
+            !parents;
+          ( { ld_level = levels_arr.(l); ld_pos = None; ld_crd = Some crd;
+              ld_width = 1; ld_count = np;
+              ld_fact = (if l = 0 then order_fact crd else None) },
+            !parents )
+      | Levels.Fixed_slice { width; pad_coord } ->
+          let np = Array.length !parents in
+          let pad = Option.value pad_coord ~default:0 in
+          let variable =
+            match width with
+            | Levels.Fit s -> s <> max_int
+            | Levels.Const _ -> false
+          in
+          let widths = Array.make np 1 in
+          (match width with
+          | Levels.Const w ->
+              Array.iteri
+                (fun p g ->
+                  if g.hi - g.lo > w then
+                    invalid_arg "Descriptor.build: fixed slice overfull";
+                  widths.(p) <- w)
+                !parents
+          | Levels.Fit s ->
+              let step = if s = max_int then max 1 np else s in
+              let p = ref 0 in
+              while !p < np do
+                let hi = min np (!p + step) in
+                let w = ref 1 in
+                for q = !p to hi - 1 do
+                  w := max !w ((!parents).(q).hi - (!parents).(q).lo)
+                done;
+                for q = !p to hi - 1 do
+                  widths.(q) <- !w
+                done;
+                p := hi
+              done);
+          let pos = Array.make (np + 1) 0 in
+          for p = 0 to np - 1 do
+            pos.(p + 1) <- pos.(p) + widths.(p)
+          done;
+          let total = pos.(np) in
+          let crd = Array.make total pad in
+          let children = Array.make total empty_group in
+          Array.iteri
+            (fun p g ->
+              let base = pos.(p) in
+              for q = 0 to g.hi - g.lo - 1 do
+                crd.(base + q) <- cdl (g.lo + q);
+                children.(base + q) <- { lo = g.lo + q; hi = g.lo + q + 1 }
+              done)
+            !parents;
+          let gwidth =
+            if variable then 0
+            else if np > 0 then widths.(0)
+            else match width with Levels.Const w -> w | Levels.Fit _ -> 1
+          in
+          ( { ld_level = levels_arr.(l);
+              ld_pos = (if variable then Some pos else None);
+              ld_crd = Some crd; ld_width = gwidth; ld_count = total;
+              ld_fact = None },
+            children )
+      | Levels.Offset { band } ->
+          if l <> 0 then
+            invalid_arg "Descriptor.build: offset level must be root";
+          let g0 = (!parents).(0) in
+          let runs = ref [] in
+          let e = ref g0.lo in
+          while !e < g0.hi do
+            let c = cdl !e in
+            let start = !e in
+            while !e < g0.hi && cdl !e = c do
+              incr e
+            done;
+            runs := (c, { lo = start; hi = !e }) :: !runs
+          done;
+          let runs = List.rev !runs in
+          let offsets, children =
+            match band with
+            | None ->
+                ( Array.of_list (List.map fst runs),
+                  Array.of_list (List.map snd runs) )
+            | Some b ->
+                List.iter
+                  (fun (o, _) ->
+                    if o < -b || o > b then
+                      invalid_arg
+                        "Descriptor.build: diagonal outside the band")
+                  runs;
+                let offsets = Array.init ((2 * b) + 1) (fun s -> s - b) in
+                let children = Array.make ((2 * b) + 1) empty_group in
+                List.iter (fun (o, g) -> children.(o + b) <- g) runs;
+                (offsets, children)
+          in
+          ( { ld_level = levels_arr.(l); ld_pos = None;
+              ld_crd = Some offsets; ld_width = 0;
+              ld_count = Array.length offsets;
+              ld_fact = Some Tir.Tensor.Facts.Monotone_inc },
+            children )
+    in
+    out := ld :: !out;
+    parents := children
+  done;
+  let leaves = !parents in
+  let vals = Array.make (Array.length leaves) 0.0 in
+  Array.iteri
+    (fun i g ->
+      if g.hi - g.lo > 1 then
+        invalid_arg "Descriptor.build: levels do not discriminate entries";
+      if g.hi > g.lo then vals.(i) <- snd entries.(g.lo))
+    leaves;
+  let lds = Array.of_list (List.rev !out) in
+  let vals = apply_panel lds vals in
+  { st_desc = d; st_extents = extents; st_levels = lds; st_vals = vals;
+    st_nnz = Array.length entries;
+    st_padded = Array.length vals - Array.length entries }
+
+let build (d : t) (cn : canon) : storage =
+  if cn.cn_dims <> d.dims then
+    invalid_arg "Descriptor.build: canon dims do not match descriptor";
+  let extents = level_extents d in
+  let entries =
+    match d.transform with
+    | Identity -> cn.cn_entries
+    | tr ->
+        (* injective transforms keep entries distinct: a plain re-sort in
+           level space, no second merge *)
+        let mapped =
+          Array.map (fun (co, v) -> (apply_transform tr co, v)) cn.cn_entries
+        in
+        Array.sort (fun (a, _) (b, _) -> compare (a : int array) b) mapped;
+        mapped
+  in
+  descend d extents entries ~coord_ofs:0 ~start_depth:0
+    ~parents:[| { lo = 0; hi = Array.length entries } |]
+    ~pre:[]
+
+let build_rows (d : t) ~(rows : (int * (int * float) list) list) : storage =
+  (match d.transform with
+  | Identity -> ()
+  | _ -> invalid_arg "Descriptor.build_rows: transform must be identity");
+  if arity d <> 2 then
+    invalid_arg "Descriptor.build_rows: matrix descriptors only";
+  (match d.levels with
+  | Levels.Singleton _ :: _ -> ()
+  | _ -> invalid_arg "Descriptor.build_rows: root level must be singleton");
+  let extents = level_extents d in
+  let nrows = List.length rows in
+  let crd = Array.make nrows 0 in
+  let groups = Array.make nrows empty_group in
+  let ents = ref [] and n = ref 0 in
+  List.iteri
+    (fun r (rid, es) ->
+      crd.(r) <- rid;
+      let lo = !n in
+      List.iter
+        (fun (c, v) ->
+          ents := ([| c |], v) :: !ents;
+          incr n)
+        es;
+      groups.(r) <- { lo; hi = !n })
+    rows;
+  let entries = Array.of_list (List.rev !ents) in
+  let root_ld =
+    { ld_level = List.hd d.levels; ld_pos = None; ld_crd = Some crd;
+      ld_width = 1; ld_count = nrows; ld_fact = order_fact crd }
+  in
+  descend d extents entries ~coord_ofs:1 ~start_depth:1 ~parents:groups
+    ~pre:[ root_ld ]
+
+(* ------------------------------------------------------------------ *)
+(* Derived tensors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pos_tensor (st : storage) ~(level : int) : Tir.Tensor.t =
+  match st.st_levels.(level).ld_pos with
+  | None -> invalid_arg "Descriptor.pos_tensor: level stores no positions"
+  | Some pos ->
+      let t = Tir.Tensor.of_int_array [ Array.length pos ] (Array.copy pos) in
+      Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_nd;
+      t
+
+let crd_tensor (st : storage) ~(level : int) : Tir.Tensor.t =
+  match st.st_levels.(level).ld_crd with
+  | None -> invalid_arg "Descriptor.crd_tensor: level stores no coordinates"
+  | Some crd ->
+      let n = Array.length crd in
+      let t =
+        Tir.Tensor.of_int_array [ max 1 n ]
+          (if n = 0 then [| 0 |] else Array.copy crd)
+      in
+      (match st.st_levels.(level).ld_fact with
+      | Some f -> Tir.Tensor.Facts.declare t f
+      | None -> ());
+      t
+
+let vals_tensor ?(dtype = Tir.Dtype.F32) ?shape (st : storage) :
+    Tir.Tensor.t =
+  let n = Array.length st.st_vals in
+  match shape with
+  | Some dims ->
+      if List.fold_left ( * ) 1 dims <> n then
+        invalid_arg "Descriptor.vals_tensor: shape does not cover the values";
+      Tir.Tensor.of_float_array ~dtype dims (Array.copy st.st_vals)
+  | None ->
+      Tir.Tensor.of_float_array ~dtype [ max 1 n ]
+        (if n = 0 then [| 0.0 |] else Array.copy st.st_vals)
+
+(* ------------------------------------------------------------------ *)
+(* Stage-I axis emission                                               *)
+(* ------------------------------------------------------------------ *)
+
+let emit_axes (st : storage) ~(names : string list) ~(buf_prefix : string) :
+    Tir.Ir.axis list * (string * Tir.Tensor.t) list =
+  let open Tir.Builder in
+  let n = Array.length st.st_levels in
+  if List.length names <> n then
+    invalid_arg "Descriptor.emit_axes: one name per level required";
+  let names = Array.of_list names in
+  let binds = ref [] and axes = ref [] in
+  let parent = ref None in
+  for l = 0 to n - 1 do
+    let ld = st.st_levels.(l) in
+    let pos_buf () =
+      let len = Array.length (Option.get ld.ld_pos) in
+      let b =
+        buffer ~dtype:Tir.Dtype.I32
+          (Printf.sprintf "%s_pos%d" buf_prefix l)
+          [ int len ]
+      in
+      binds := (b.Tir.Ir.buf_name, pos_tensor st ~level:l) :: !binds;
+      b
+    in
+    let crd_buf () =
+      let b =
+        buffer ~dtype:Tir.Dtype.I32
+          (Printf.sprintf "%s_crd%d" buf_prefix l)
+          [ int (max 1 ld.ld_count) ]
+      in
+      binds := (b.Tir.Ir.buf_name, crd_tensor st ~level:l) :: !binds;
+      b
+    in
+    let ax =
+      match (ld.ld_level, !parent) with
+      | Levels.Dense { extent }, _ ->
+          dense_fixed names.(l) ~length:(int extent)
+      | Levels.Compressed _, Some p ->
+          sparse_variable names.(l) ~parent:p
+            ~length:(int st.st_extents.(l))
+            ~nnz:(int (max 1 ld.ld_count))
+            ~indptr:(pos_buf ()) ~indices:(crd_buf ())
+      | Levels.Fixed_slice _, Some p when ld.ld_pos <> None ->
+          sparse_variable names.(l) ~parent:p
+            ~length:(int st.st_extents.(l))
+            ~nnz:(int (max 1 ld.ld_count))
+            ~indptr:(pos_buf ()) ~indices:(crd_buf ())
+      | Levels.Fixed_slice _, Some p ->
+          sparse_fixed names.(l) ~parent:p
+            ~length:(int st.st_extents.(l))
+            ~nnz_cols:(int ld.ld_width) ~indices:(crd_buf ())
+      | (Levels.Compressed _ | Levels.Singleton _ | Levels.Offset _), _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Descriptor.emit_axes(%s): level %d (%s) has no stage-I axis \
+                form — root coordinate streams use explicit gather plumbing"
+               st.st_desc.name l
+               (Levels.describe ld.ld_level))
+      | Levels.Fixed_slice _, None ->
+          invalid_arg "Descriptor.emit_axes: fixed slice cannot be root"
+    in
+    axes := ax :: !axes;
+    parent := Some ax
+  done;
+  (List.rev !axes, List.rev !binds)

@@ -12,7 +12,31 @@ type t = {
 
 let n_diags (m : t) = Array.length m.offsets
 
+(* DIA as a descriptor: diagonal-transformed coordinates (j-i, i), an
+   offset level over a dense per-diagonal vector. *)
+let descriptor ~rows ~cols : Descriptor.t =
+  Descriptor.make ~name:"dia" ~transform:Descriptor.Diagonal
+    ~dims:[| rows; cols |]
+    [ Levels.offset (); Levels.dense rows ]
+
 let of_csr (c : Csr.t) : t =
+  let st =
+    Descriptor.build
+      (descriptor ~rows:c.Csr.rows ~cols:c.Csr.cols)
+      (Csr.to_canon c)
+  in
+  let lv = st.Descriptor.st_levels.(0) in
+  { rows = c.Csr.rows;
+    cols = c.Csr.cols;
+    offsets = (match lv.Descriptor.ld_crd with Some a -> a | None -> [||]);
+    data =
+      (if Array.length st.Descriptor.st_vals > 0 then st.Descriptor.st_vals
+       else [| 0.0 |]);
+    padded = st.Descriptor.st_padded }
+
+(* Pre-descriptor reference construction (differential tests, formats
+   benchmark). *)
+let of_csr_ref (c : Csr.t) : t =
   let module IS = Set.Make (Int) in
   let diags = ref IS.empty in
   for i = 0 to c.Csr.rows - 1 do
@@ -48,3 +72,19 @@ let to_dense (m : t) : Dense.t =
       done)
     m.offsets;
   d
+
+(* Offsets are distinct and ascending by construction, so the strictly
+   increasing fact is declared rather than scanned. *)
+let offsets_tensor (m : t) : Tir.Tensor.t =
+  let t =
+    Tir.Tensor.of_int_array
+      [ max 1 (n_diags m) ]
+      (if n_diags m = 0 then [| 0 |] else Array.copy m.offsets)
+  in
+  Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_inc;
+  t
+
+let data_tensor ?(dtype = Tir.Dtype.F32) (m : t) : Tir.Tensor.t =
+  Tir.Tensor.of_float_array ~dtype
+    [ max 1 (Array.length m.data) ]
+    (Array.copy m.data)

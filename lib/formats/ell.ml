@@ -21,8 +21,31 @@ let nnz_stored (m : t) = m.rows * m.width
 let original_row (m : t) (r : int) : int =
   match m.row_map with Some map -> map.(r) | None -> r
 
+(* ELL as a descriptor: a dense row level over a globally-fitted slice
+   level ([Fit max_int] = one width for the whole matrix). *)
+let descriptor ~rows ~cols : Descriptor.t =
+  Descriptor.make ~name:"ell" ~dims:[| rows; cols |]
+    [ Levels.dense rows; Levels.fixed_slice (Levels.Fit max_int) ]
+
 (* Convert a CSR matrix to plain ELL with width = max row length. *)
 let of_csr (c : Csr.t) : t =
+  let st =
+    Descriptor.build
+      (descriptor ~rows:c.Csr.rows ~cols:c.Csr.cols)
+      (Csr.to_canon c)
+  in
+  let lv = st.Descriptor.st_levels.(1) in
+  { rows = c.Csr.rows;
+    cols = c.Csr.cols;
+    width = lv.Descriptor.ld_width;
+    indices = (match lv.Descriptor.ld_crd with Some a -> a | None -> [||]);
+    data = st.Descriptor.st_vals;
+    row_map = None;
+    padded = st.Descriptor.st_padded }
+
+(* Pre-descriptor reference construction (differential tests, formats
+   benchmark). *)
+let of_csr_ref (c : Csr.t) : t =
   let width = ref 1 in
   for i = 0 to c.Csr.rows - 1 do
     width := max !width (Csr.row_len c i)
@@ -75,18 +98,10 @@ let row_map_tensor (m : t) : Tir.Tensor.t =
   (* Establish ordering facts at construction: the identity map is strictly
      increasing by definition, and explicit maps (hyb/RGMS buckets emit rows
      in ascending order, duplicated only across a split row's pseudo-rows)
-     are verified with one O(n) pass, so the parallel executor never pays a
-     runtime scan for a format-constructed map. *)
+     get the strongest fact one construction-time pass supports, so the
+     parallel executor never pays a runtime scan for a format-constructed
+     map. *)
   (if m.row_map = None then
      Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_inc
-   else
-     let n = Array.length map in
-     let strict = ref true and nondec = ref true in
-     for i = 1 to n - 1 do
-       if map.(i) <= map.(i - 1) then strict := false;
-       if map.(i) < map.(i - 1) then nondec := false
-     done;
-     if !strict then Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_inc
-     else if !nondec then
-       Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_nd);
+   else Tir.Tensor.Facts.declare_order t);
   t

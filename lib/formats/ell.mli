@@ -14,7 +14,16 @@ type t = {
 
 val nnz_stored : t -> int
 val original_row : t -> int -> int
+
+val descriptor : rows:int -> cols:int -> Descriptor.t
+(** ELL as a level list: [[dense rows; fixed_slice (Fit max_int)]]. *)
+
 val of_csr : Csr.t -> t
+
+val of_csr_ref : Csr.t -> t
+(** Pre-descriptor reference construction (differential tests, formats
+    benchmark). *)
+
 val to_dense : t -> orig_rows:int -> Dense.t
 val indices_tensor : t -> Tir.Tensor.t
 val data_tensor : ?dtype:Tir.Dtype.t -> t -> Tir.Tensor.t

@@ -13,3 +13,7 @@ module Sr_bcrs = Sr_bcrs
 module Dia = Dia
 module Hyb = Hyb
 module Csf = Csf
+module Levels = Levels
+module Descriptor = Descriptor
+module Sell = Sell
+module Banded = Banded

@@ -28,6 +28,16 @@ let default_k (c : Csr.t) : int =
   let avg = float_of_int (Csr.nnz c) /. float_of_int (max 1 c.Csr.rows) in
   max 0 (int_of_float (Float.ceil (Float.log (Float.max 1.0 avg) /. Float.log 2.0)))
 
+(* One hyb bucket as a descriptor: an explicit pseudo-row stream (split
+   rows repeat their row id, so the root singleton is only non-decreasing)
+   over a constant-width slice level whose padding coordinate is one past
+   the last column — an absent coordinate, so compiled copies and
+   computations see padded slots as structural zeros. *)
+let bucket_descriptor ~width ~rows ~cols : Descriptor.t =
+  Descriptor.make ~name:"hyb-bucket" ~dims:[| rows; cols |]
+    [ Levels.singleton ();
+      Levels.fixed_slice ~pad_coord:cols (Levels.Const width) ]
+
 let of_csr ~(c : int) ~(k : int) (m : Csr.t) : t =
   let part_cols = (m.Csr.cols + c - 1) / c in
   let max_width = 1 lsl k in
@@ -78,13 +88,93 @@ let of_csr ~(c : int) ~(k : int) (m : Csr.t) : t =
     Array.iteri
       (fun b rows_list ->
         let rows_list = List.rev rows_list in
+        if rows_list <> [] then begin
+          let width = 1 lsl b in
+          let st =
+            Descriptor.build_rows
+              (bucket_descriptor ~width ~rows:m.Csr.rows ~cols:m.Csr.cols)
+              ~rows:rows_list
+          in
+          let root = st.Descriptor.st_levels.(0) in
+          let lv = st.Descriptor.st_levels.(1) in
+          padded := !padded + st.Descriptor.st_padded;
+          buckets :=
+            { bk_part = part;
+              bk_width = width;
+              bk_ell =
+                { Ell.rows = root.Descriptor.ld_count;
+                  cols = m.Csr.cols;
+                  width;
+                  indices =
+                    (match lv.Descriptor.ld_crd with
+                    | Some a -> a
+                    | None -> [||]);
+                  data = st.Descriptor.st_vals;
+                  row_map =
+                    (match root.Descriptor.ld_crd with
+                    | Some a -> Some a
+                    | None -> None);
+                  padded = 0 } }
+            :: !buckets
+        end)
+      by_bucket
+  done;
+  { rows = m.Csr.rows; cols = m.Csr.cols; parts = c; max_width; part_cols;
+    buckets = List.rev !buckets; nnz = Csr.nnz m; padded = !padded }
+
+(* Pre-descriptor reference construction (differential tests, formats
+   benchmark): identical partition/split/bucket logic with hand-rolled
+   array filling. *)
+let of_csr_ref ~(c : int) ~(k : int) (m : Csr.t) : t =
+  let part_cols = (m.Csr.cols + c - 1) / c in
+  let max_width = 1 lsl k in
+  let buckets = ref [] in
+  let padded = ref 0 in
+  for part = 0 to c - 1 do
+    let lo = part * part_cols and hi = min m.Csr.cols ((part + 1) * part_cols) in
+    let rows_entries = ref [] in
+    for i = m.Csr.rows - 1 downto 0 do
+      let es = ref [] in
+      for p = m.Csr.indptr.(i + 1) - 1 downto m.Csr.indptr.(i) do
+        let j = m.Csr.indices.(p) in
+        if j >= lo && j < hi then es := (j, m.Csr.data.(p)) :: !es
+      done;
+      if !es <> [] then rows_entries := (i, !es) :: !rows_entries
+    done;
+    let pseudo = ref [] in
+    List.iter
+      (fun (i, es) ->
+        let rec chunks l =
+          if List.length l <= max_width then [ l ]
+          else
+            let rec take n acc = function
+              | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let c1, rest = take max_width [] l in
+            c1 :: chunks rest
+        in
+        List.iter (fun ch -> pseudo := (i, ch) :: !pseudo) (chunks es))
+      !rows_entries;
+    let pseudo = List.rev !pseudo in
+    let nbuckets = k + 1 in
+    let by_bucket = Array.make nbuckets [] in
+    List.iter
+      (fun (i, es) ->
+        let l = List.length es in
+        let b =
+          let rec go w idx = if l <= w then idx else go (w * 2) (idx + 1) in
+          go 1 0
+        in
+        by_bucket.(b) <- (i, es) :: by_bucket.(b))
+      pseudo;
+    Array.iteri
+      (fun b rows_list ->
+        let rows_list = List.rev rows_list in
         let nrows = List.length rows_list in
         if nrows > 0 then begin
           let width = 1 lsl b in
           let row_map = Array.make nrows 0 in
-          (* padded slots point one past the last column: an absent
-             coordinate, so compiled copies and computations see them as
-             structural zeros (and they keep each row's indices sorted) *)
           let indices = Array.make (nrows * width) m.Csr.cols in
           let data = Array.make (nrows * width) 0.0 in
           List.iteri

@@ -22,9 +22,17 @@ type t = {
 val default_k : Csr.t -> int
 (** The paper's bucketing rule: k = ceil(log2(nnz / rows)). *)
 
+val bucket_descriptor : width:int -> rows:int -> cols:int -> Descriptor.t
+(** One bucket as a level list: an explicit pseudo-row stream
+    ([singleton]) over [fixed_slice ~pad_coord:cols (Const width)]. *)
+
 val of_csr : c:int -> k:int -> Csr.t -> t
 (** Padded slots point one past the last column (an absent coordinate), so
     compiled copies and computations see them as structural zeros. *)
+
+val of_csr_ref : c:int -> k:int -> Csr.t -> t
+(** Pre-descriptor reference construction (differential tests, formats
+    benchmark). *)
 
 val padding_pct : t -> float
 (** The %padding column of Tables 1 and 2. *)

@@ -26,7 +26,45 @@ let n_groups (m : t) = m.group_indptr.(m.strips)
 let n_tiles (m : t) = n_groups m * m.group
 let nnz_stored (m : t) = n_tiles m * m.tile
 
+(* SR-BCRS as a descriptor: row-tiled coordinates (strip, col, row-in-tile),
+   a dense strip level over a group-padded panel-laid compressed tile level
+   over the dense tile height — the [panel] flag is what produces the t x g
+   MMA panels. *)
+let descriptor ~tile ~group ~rows ~cols : Descriptor.t =
+  Descriptor.make ~name:"sr-bcrs" ~transform:(Descriptor.Row_tiled tile)
+    ~dims:[| rows; cols |]
+    [ Levels.dense ((rows + tile - 1) / tile);
+      Levels.compressed ~group ~panel:true ();
+      Levels.dense tile ]
+
 let of_csr ~(tile : int) ~(group : int) (c : Csr.t) : t =
+  let st =
+    Descriptor.build
+      (descriptor ~tile ~group ~rows:c.Csr.rows ~cols:c.Csr.cols)
+      (Csr.to_canon c)
+  in
+  let lv = st.Descriptor.st_levels.(1) in
+  let total_tiles = lv.Descriptor.ld_count in
+  { rows = c.Csr.rows;
+    cols = c.Csr.cols;
+    tile;
+    group;
+    strips = (c.Csr.rows + tile - 1) / tile;
+    group_indptr =
+      (match lv.Descriptor.ld_pos with
+      | Some pos -> Array.map (fun p -> p / group) pos
+      | None -> [| 0 |]);
+    tile_cols =
+      (match lv.Descriptor.ld_crd with
+      | Some a when total_tiles > 0 -> a
+      | _ -> [| 0 |]);
+    data =
+      (if total_tiles > 0 then st.Descriptor.st_vals else [| 0.0 |]);
+    padded = st.Descriptor.st_padded }
+
+(* Pre-descriptor reference construction (differential tests, formats
+   benchmark). *)
+let of_csr_ref ~(tile : int) ~(group : int) (c : Csr.t) : t =
   let strips = (c.Csr.rows + tile - 1) / tile in
   let d = Csr.to_dense c in
   let module IS = Set.Make (Int) in
@@ -87,7 +125,11 @@ let stored_density (m : t) : float =
   float_of_int (nnz_stored m) /. float_of_int (m.rows * m.cols)
 
 let group_indptr_tensor (m : t) : Tir.Tensor.t =
-  Tir.Tensor.of_int_array [ m.strips + 1 ] (Array.copy m.group_indptr)
+  let t =
+    Tir.Tensor.of_int_array [ m.strips + 1 ] (Array.copy m.group_indptr)
+  in
+  Tir.Tensor.Facts.declare t Tir.Tensor.Facts.Monotone_nd;
+  t
 
 let tile_cols_tensor (m : t) : Tir.Tensor.t =
   Tir.Tensor.of_int_array [ max 1 (Array.length m.tile_cols) ]

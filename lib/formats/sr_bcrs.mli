@@ -19,7 +19,18 @@ type t = {
 val n_groups : t -> int
 val n_tiles : t -> int
 val nnz_stored : t -> int
+
+val descriptor :
+  tile:int -> group:int -> rows:int -> cols:int -> Descriptor.t
+(** SR-BCRS as a level list: [Row_tiled tile] coordinates under
+    [[dense strips; compressed ~group ~panel:true; dense tile]]. *)
+
 val of_csr : tile:int -> group:int -> Csr.t -> t
+
+val of_csr_ref : tile:int -> group:int -> Csr.t -> t
+(** Pre-descriptor reference construction (differential tests, formats
+    benchmark). *)
+
 val to_dense : t -> Dense.t
 
 val stored_density : t -> float

@@ -330,8 +330,7 @@ let dbsr_spmm ?(staged = true) (w : Dbsr.t) (x : Dense.t) : compiled =
   in
   let bindings =
     [ ("W", Bsr.data_tensor ~dtype:Dtype.F16 b);
-      ("W_indptr",
-       Tensor.of_int_array [ w.Dbsr.nrows_b + 1 ] (Array.copy b.Bsr.indptr));
+      ("W_indptr", Dbsr.indptr_tensor w);
       ("W_indices", Bsr.indices_tensor b);
       ("W_rowids", Dbsr.row_ids_tensor w);
       ("X", xt);

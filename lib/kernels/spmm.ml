@@ -358,3 +358,122 @@ let accumulate_into ?(row_group = 8) (a : Csr.t) ~(b_tensor : Tensor.t)
       ("C", c_tensor) ]
   in
   (fn, bindings)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor-emitted kernels (DESIGN.md S3g)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* SELL SpMM: the stage-I axis chain and its aux bindings come straight
+   out of the format descriptor (Descriptor.emit_axes), so the kernel
+   never names the format's arrays itself.  Padded slots carry column 0
+   with value 0.0, which keeps the unguarded reduction exact.  The
+   schedule is the GE-SpMM shape: the per-slice width bound means the
+   unrolled reduction loop is short and uniform within a slice. *)
+let sell ?(slice = 32) ?(row_group = 8) (a : Csr.t) (x : Dense.t)
+    ~(feat : int) : compiled * Sell.t =
+  let s = Sell.of_csr ~slice a in
+  let open Builder in
+  let axes, aux_binds =
+    Descriptor.emit_axes s.Sell.storage ~names:[ "I"; "J" ] ~buf_prefix:"A"
+  in
+  let i_ax, j_ax = match axes with [ i; j ] -> (i, j) | _ -> assert false in
+  (* the emitted chain must carry exactly the aux buffers the lowering
+     passes read back through Offsets.indptr_exn/indices_exn *)
+  assert (
+    List.length (Sparse_ir.Offsets.aux_buffers j_ax) = List.length aux_binds);
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let a_buf = match_sparse_buffer "A" [ i_ax; j_ax ] in
+  let b_buf = buffer "B" [ int s.Sell.cols; int feat ] in
+  let c_buf = buffer "C" [ int s.Sell.rows; int feat ] in
+  let body =
+    sp_iter ~name:"spmm" ~axes:[ i_ax; j_ax; k_ax ] ~kinds:"SRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; _; k ] -> store c_buf [ i; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; j; k ] ->
+            store c_buf [ i; k ]
+              (load c_buf [ i; k ] +: (load a_buf [ i; j ] *: load b_buf [ j; k ]))
+        | _ -> assert false)
+  in
+  let tx = min 32 feat in
+  let fn =
+    Pipeline.compile ~name:"sell_spmm"
+      ~trace:(Printf.sprintf "sell(tx=%d,row_group=%d)" tx row_group)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        map_feature sched ~tx ~vec:1;
+        let _ = Schedule.split sched ~loop:"i" ~factor:row_group in
+        Schedule.reorder sched ~loops:[ "i.i"; "k.o"; "k.i"; "j" ];
+        ignore (Schedule.cache_write sched ~block:"spmm" ());
+        Schedule.unroll sched ~loop:"j";
+        Schedule.bind sched ~loop:"i.o" Ir.Block_x;
+        Schedule.bind sched ~loop:"i.i" Ir.Thread_y;
+        Schedule.get sched)
+      (func "spmm" [ a_buf; b_buf; c_buf ] body)
+  in
+  let c = Tensor.create Dtype.F32 [ s.Sell.rows; feat ] in
+  let bindings =
+    (("A", Sell.data_tensor s) :: aux_binds)
+    @ [ ("B", Dense.to_tensor x); ("C", c) ]
+  in
+  ({ fn; bindings; out = c }, s)
+
+(* Banded SpMM: the diagonal axis is a dense range (every offset in
+   [-band, band] is materialized), so the only data-dependence left is
+   the bounds guard on j = i + offset[s].  Values are diagonal-major
+   (n_diags x rows), giving unit-stride loads along i. *)
+let banded ?(band = 8) (a : Csr.t) (x : Dense.t) ~(feat : int) :
+    compiled * Banded.t =
+  let bd = Banded.of_csr ~band a in
+  let open Builder in
+  let m = bd.Banded.rows and n = bd.Banded.cols in
+  let nd = Banded.n_diags bd in
+  let off_buf = buffer ~dtype:Dtype.I32 "A_offsets" [ int nd ] in
+  let a_buf = buffer "A" [ int nd; int m ] in
+  let b_buf = buffer "B" [ int n; int feat ] in
+  let c_buf = buffer "C" [ int m; int feat ] in
+  let i_ax = dense_fixed "I" ~length:(int m) in
+  let s_ax = dense_fixed "S" ~length:(int nd) in
+  let k_ax = dense_fixed "K" ~length:(int feat) in
+  let body =
+    sp_iter ~name:"spmm" ~axes:[ i_ax; s_ax; k_ax ] ~kinds:"SRS"
+      ~init:(fun vs ->
+        match vs with
+        | [ i; _; k ] -> store c_buf [ i; k ] (float 0.0)
+        | _ -> assert false)
+      (fun vs ->
+        match vs with
+        | [ i; s; k ] ->
+            (* the shifted column, inlined (block read regions don't scope
+               let-bound names) *)
+            let j = i +: load off_buf [ s ] in
+            if_
+              ((j >=: int 0) &&: (j <: int n))
+              (store c_buf [ i; k ]
+                 (load c_buf [ i; k ]
+                 +: (load a_buf [ s; i ] *: load b_buf [ j; k ])))
+        | _ -> assert false)
+  in
+  let tx = min 32 feat in
+  let fn =
+    Pipeline.compile ~name:"banded_spmm"
+      ~trace:(Printf.sprintf "banded(tx=%d,band=%d)" tx band)
+      (fun fn ->
+        let sched = Schedule.create fn in
+        map_feature sched ~tx ~vec:1;
+        Schedule.reorder sched ~loops:[ "k.o"; "k.i"; "s" ];
+        Schedule.bind sched ~loop:"i" Ir.Block_x;
+        Schedule.get sched)
+      (func "spmm" [ a_buf; b_buf; c_buf ] body)
+  in
+  let c = Tensor.create Dtype.F32 [ m; feat ] in
+  let bindings =
+    [ ("A", Banded.data_tensor bd);
+      ("A_offsets", Banded.offsets_tensor bd);
+      ("B", Dense.to_tensor x);
+      ("C", c) ]
+  in
+  ({ fn; bindings; out = c }, bd)

@@ -53,3 +53,16 @@ val accumulate_into :
   ?row_group:int -> Csr.t -> b_tensor:Tir.Tensor.t -> c_tensor:Tir.Tensor.t ->
   feat:int -> tag:string -> Tir.Ir.func * Gpusim.bindings
 (** C += A B over existing tensors (no output init), for chained pipelines. *)
+
+val sell :
+  ?slice:int -> ?row_group:int -> Csr.t -> Dense.t -> feat:int ->
+  compiled * Sell.t
+(** Sliced-ELL SpMM.  The stage-I axes and aux bindings are emitted by
+    {!Formats.Descriptor.emit_axes} from the format descriptor — the
+    kernel itself never names the format's arrays. *)
+
+val banded :
+  ?band:int -> Csr.t -> Dense.t -> feat:int -> compiled * Banded.t
+(** Fixed-band SpMM over the dense diagonal range, with a bounds guard on
+    the shifted column.  Raises if the matrix has entries outside the
+    band. *)

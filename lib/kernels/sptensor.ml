@@ -55,15 +55,13 @@ let bindings_of (t : Csf.t) (b : Dense.t) (c : Dense.t) :
     Gpusim.bindings * Tensor.t =
   let rank = b.Dense.cols in
   let y = Tensor.create Dtype.F32 [ t.Csf.dim_i; rank ] in
-  ( [ ("T", Tensor.of_float_array [ max 1 (Csf.nnz t) ]
-         (if Csf.nnz t = 0 then [| 0.0 |] else Array.copy t.Csf.data));
-      ("T_jptr", Tensor.of_int_array [ t.Csf.dim_i + 1 ] (Array.copy t.Csf.j_indptr));
-      ("T_jidx", Tensor.of_int_array [ max 1 (Csf.nnz_fibers t) ]
-         (if Csf.nnz_fibers t = 0 then [| 0 |] else Array.copy t.Csf.j_indices));
-      ("T_kptr", Tensor.of_int_array
-         [ Array.length t.Csf.k_indptr ] (Array.copy t.Csf.k_indptr));
-      ("T_kidx", Tensor.of_int_array [ max 1 (Csf.nnz t) ]
-         (if Csf.nnz t = 0 then [| 0 |] else Array.copy t.Csf.k_indices));
+  (* format accessors declare the indptr facts, so the parallel executor
+     never scans the fiber pointers *)
+  ( [ ("T", Csf.data_tensor t);
+      ("T_jptr", Csf.j_indptr_tensor t);
+      ("T_jidx", Csf.j_indices_tensor t);
+      ("T_kptr", Csf.k_indptr_tensor t);
+      ("T_kidx", Csf.k_indices_tensor t);
       ("B", Dense.to_tensor b);
       ("C", Dense.to_tensor c);
       ("Y", y) ],

@@ -28,6 +28,14 @@ let nnz_cols_exn (a : axis) : expr =
   | Some e -> e
   | None -> err "axis %s has no nnz_cols" a.ax_name
 
+(* The auxiliary position/coordinate buffers an axis carries — what
+   [Formats.Descriptor.emit_axes] attaches and what the two lowering passes
+   read back through [indptr_exn]/[indices_exn].  Kernels use this to
+   enumerate the aux bindings a format-emitted axis chain requires. *)
+let aux_buffers (a : axis) : buffer list =
+  let opt = function Some b -> [ b ] | None -> [] in
+  opt a.ax_indptr @ opt a.ax_indices
+
 (* Flattened position-space offset of axis [a] given per-axis relative
    positions [pos] (Eq. 7).  [pos] maps axis name -> position expression. *)
 let rec offset (pos : string -> expr) (a : axis) : expr =

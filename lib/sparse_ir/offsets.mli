@@ -10,6 +10,12 @@ val indices_exn : Tir.Ir.axis -> Tir.Ir.buffer
 val nnz_exn : Tir.Ir.axis -> Tir.Ir.expr
 val nnz_cols_exn : Tir.Ir.axis -> Tir.Ir.expr
 
+val aux_buffers : Tir.Ir.axis -> Tir.Ir.buffer list
+(** The indptr/indices buffers the axis carries (either may be absent) —
+    what [Formats.Descriptor.emit_axes] attaches and the lowering passes
+    read back through {!indptr_exn}/{!indices_exn}.  Kernels use this to
+    enumerate the aux bindings a format-emitted axis chain requires. *)
+
 val offset : (string -> Tir.Ir.expr) -> Tir.Ir.axis -> Tir.Ir.expr
 (** Flattened position-space offset of an axis given per-axis relative
     positions, looked up by axis name (Eq. 7): roots use their position,

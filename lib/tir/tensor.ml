@@ -238,4 +238,23 @@ module Facts = struct
             let ok = scan t f in
             e.e_scanned <- (f, ok) :: e.e_scanned;
             ok)
+
+  (* One construction-time pass declaring the strongest ordering fact the
+     data supports.  Format constructors that materialize an index array
+     they just built (a row map, a block-row id list) call this instead of
+     hand-rolling the check; the pass is a declaration, not a memoized scan,
+     so it does not count against [scan_count] — dispatch-time scans stay
+     observable in tests.  Non-integer tensors are left untouched. *)
+  let declare_order (t : t) : unit =
+    match t.data with
+    | I a ->
+        let n = Array.length a in
+        let strict = ref true and nondec = ref true in
+        for i = 1 to n - 1 do
+          if a.(i) <= a.(i - 1) then strict := false;
+          if a.(i) < a.(i - 1) then nondec := false
+        done;
+        if !strict then declare t Monotone_inc
+        else if !nondec then declare t Monotone_nd
+    | F _ | B _ -> ()
 end

@@ -73,6 +73,14 @@ module Facts : sig
       positive or negative — until the tensor's next mutation.  Always false
       for non-integer storage. *)
 
+  val declare_order : t -> unit
+  (** One construction-time pass declaring the strongest ordering fact the
+      integer data supports ([Monotone_inc] if strictly increasing, else
+      [Monotone_nd] if non-decreasing, else nothing).  Does not count as a
+      {!scan_count} scan; no-op on non-integer tensors.  Format constructors
+      use this for index arrays whose order is data-dependent (explicit row
+      maps). *)
+
   val scan_count : unit -> int
   (** O(n) scans run so far (memo misses); tests use this to observe
       invalidation. *)

@@ -99,6 +99,29 @@ let spmm_no_hyb_candidates ?(groups = [ 4; 8 ]) ?(vecs = [ 1; 2 ])
         vecs)
     groups
 
+(* Search space of the sliced-ELL SpMM: the slice height is a format
+   parameter (padding-vs-uniformity trade) and the row group a schedule
+   parameter — the joint format x transformation search of S2, over a
+   format that exists only as a descriptor. *)
+let spmm_sell_candidates ?(slices = [ 4; 16; 32 ]) ?(groups = [ 4; 8 ])
+    (spec : Gpusim.Spec.t) (a : Formats.Csr.t) (x : Formats.Dense.t)
+    ~(feat : int) : (int * int) candidate list =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun g ->
+          { label = Printf.sprintf "sell(slice=%d,g=%d)" s g;
+            config = (s, g);
+            build =
+              (fun () ->
+                let compiled, _ =
+                  Kernels.Spmm.sell ~slice:s ~row_group:g a x ~feat
+                in
+                Gpusim.run spec compiled.Kernels.Spmm.fn
+                  compiled.Kernels.Spmm.bindings) })
+        groups)
+    slices
+
 (* Search space of the SparseTIR SDDMM: edges per block, reduction group
    size, vector width (the parameterization of S4.2.2). *)
 let sddmm_candidates ?(edges = [ 8; 16 ]) ?(groups = [ 4; 8 ])

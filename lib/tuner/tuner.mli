@@ -34,6 +34,13 @@ val spmm_no_hyb_candidates :
   ?groups:int list -> ?vecs:int list -> Gpusim.Spec.t -> Formats.Csr.t ->
   Formats.Dense.t -> feat:int -> (int * int) candidate list
 
+val spmm_sell_candidates :
+  ?slices:int list -> ?groups:int list -> Gpusim.Spec.t -> Formats.Csr.t ->
+  Formats.Dense.t -> feat:int -> (int * int) candidate list
+(** Sliced-ELL with the slice height (a format parameter) and row group (a
+    schedule parameter) swept jointly — format x transformation search
+    over a descriptor-defined format. *)
+
 val sddmm_candidates :
   ?edges:int list -> ?groups:int list -> ?vecs:int list -> Gpusim.Spec.t ->
   Formats.Csr.t -> Formats.Dense.t -> Formats.Dense.t -> feat:int ->

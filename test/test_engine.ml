@@ -54,7 +54,8 @@ let test_spmm () =
       ("sputnik", fun () -> Kernels.Spmm.sputnik a x ~feat);
       ("no_hyb",
        fun () -> Kernels.Spmm.sparsetir_no_hyb ~row_group:4 ~vec:2 a x ~feat);
-      ("hyb", fun () -> fst (Kernels.Spmm.sparsetir_hyb ~c:2 a x ~feat)) ]
+      ("hyb", fun () -> fst (Kernels.Spmm.sparsetir_hyb ~c:2 a x ~feat));
+      ("sell", fun () -> fst (Kernels.Spmm.sell ~slice:8 a x ~feat)) ]
 
 (* ---------------- SDDMM ---------------- *)
 
@@ -492,6 +493,56 @@ let test_hyb_parallel_no_fallback () =
   Alcotest.(check bool) "serial = parallel bit-for-bit" true
     (serial = parallel)
 
+(* Format accessors declare their ordering facts at construction time
+   (Descriptor / Facts.declare), so the parallel dispatch proof over a
+   format's index tensor is cheaper than over an undeclared copy of the
+   same data: the Monotone_nd check hits the declared fact instead of
+   scanning.  The scatter map is a COO row stream — sorted but repeating,
+   so neither leg can prove injectivity and the ordering fact is the only
+   route to parallel dispatch.  Both legs must dispatch parallel with no
+   serial fallback; the declared leg must need strictly fewer scans. *)
+let test_format_facts_no_scan () =
+  let open Tir in
+  let entries =
+    List.init 128 (fun e ->
+        (e / 2, e * 3 mod 7, float_of_int (1 + (e mod 5)) /. 2.0))
+  in
+  let m = Coo.of_entries ~rows:64 ~cols:7 entries in
+  let n = Coo.nnz m in
+  let a = Tensor.of_float_array [ n ] (Array.make n 1.0) in
+  let dispatch name map =
+    let fn = gather_fn name n in
+    let c = Tensor.create Dtype.F32 [ n ] in
+    let scans0 = Tensor.Facts.scan_count () in
+    Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ map; a; c ];
+    let art = Engine.artifact fn in
+    Alcotest.(check bool) (name ^ " ran parallel") true
+      (Engine.par_runs art >= 1);
+    Alcotest.(check int) (name ^ " never fell back") 0
+      (Engine.fallback_runs art);
+    Tensor.Facts.scan_count () - scans0
+  in
+  let declared = dispatch "eng_coo_rowmap_declared" (Coo.row_tensor m) in
+  let stripped =
+    dispatch "eng_coo_rowmap_stripped"
+      (Tensor.of_int_array [ n ] (Tensor.to_int_array (Coo.row_tensor m)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "declared facts scan less (%d < %d)" declared stripped)
+    true
+    (declared < stripped);
+  (* the Csf accessor swap in the MTTKRP bindings keeps its thread-bound
+     fiber loop on the parallel path *)
+  let t = Csf.random ~dim_i:48 ~dim_j:10 ~dim_k:9 ~nnz:300 () in
+  let b = Dense.random ~seed:3 t.Csf.dim_j 6 in
+  let c = Dense.random ~seed:4 t.Csf.dim_k 6 in
+  let k = Kernels.Sptensor.mttkrp t b c in
+  Gpusim.execute ~num_domains:4 k.Kernels.Sptensor.fn
+    k.Kernels.Sptensor.bindings;
+  let art = Engine.artifact k.Kernels.Sptensor.fn in
+  Alcotest.(check bool) "mttkrp ran parallel" true (Engine.par_runs art >= 1);
+  Alcotest.(check int) "mttkrp never fell back" 0 (Engine.fallback_runs art)
+
 (* Narrow accumulator (one f32 per iteration, far below a cache line): the
    executor must give each domain a private write strip and stitch the
    chunks back bit-identically. *)
@@ -555,4 +606,6 @@ let () =
           Alcotest.test_case "hyb buckets: parallel, no fallback" `Quick
             test_hyb_parallel_no_fallback;
           Alcotest.test_case "narrow output strips stitch exactly" `Quick
-            test_narrow_output_strips ] ) ]
+            test_narrow_output_strips;
+          Alcotest.test_case "declared format facts: no scans, no fallback"
+            `Quick test_format_facts_no_scan ] ) ]

@@ -93,6 +93,121 @@ let qcheck_tests =
         in
         stored = Csr.nnz c) ]
 
+(* ---------------- descriptor-derived construction ---------------- *)
+
+(* The level-based descriptors (DESIGN.md S3g) must reproduce the legacy
+   reference builders bit-for-bit: whole-record polymorphic equality
+   covers every array, count and padding field at once.  Entry values are
+   dyadic rationals, so duplicate merging is exact in both pipelines. *)
+let descriptor_matches name build =
+  QCheck.Test.make ~count:200 ~name sparse_arb (fun input ->
+      build (csr_of input))
+
+(* band-limited generator for the banded format (entries with |j-i| > band
+   are rejected by construction) *)
+let banded_band = 3
+
+let banded_arb =
+  QCheck.make
+    ~print:(fun (r, c, es) ->
+      Printf.sprintf "%dx%d nnz=%d" r c (List.length es))
+    QCheck.Gen.(
+      let* rows = int_range 1 30 in
+      let* cols = int_range 1 30 in
+      let* raw =
+        list_repeat 60
+          (triple (int_range 0 (rows - 1))
+             (int_range (-banded_band) banded_band)
+             (map (fun x -> float_of_int x /. 4.0) (int_range 1 32)))
+      in
+      let entries =
+        List.filter_map
+          (fun (i, dj, v) ->
+            let j = i + dj in
+            if j >= 0 && j < cols then Some (i, j, v) else None)
+          raw
+      in
+      return (rows, cols, entries))
+
+let csf_arb =
+  QCheck.make
+    ~print:(fun es -> Printf.sprintf "3d nnz=%d" (List.length es))
+    QCheck.Gen.(
+      list_size (int_range 0 50)
+        (quad (int_range 0 5) (int_range 0 5) (int_range 0 5)
+           (map (fun x -> float_of_int x /. 4.0) (int_range 0 8))))
+
+let descriptor_tests =
+  [ QCheck.Test.make ~count:200 ~name:"descriptor csr = legacy" sparse_arb
+      (fun (rows, cols, entries) ->
+        let coo = Coo.of_entries ~rows ~cols entries in
+        Csr.of_coo coo = Csr.of_coo_ref coo);
+    descriptor_matches "descriptor ell = legacy" (fun c ->
+        Ell.of_csr c = Ell.of_csr_ref c);
+    descriptor_matches "descriptor bsr = legacy" (fun c ->
+        Bsr.of_csr ~block:3 c = Bsr.of_csr_ref ~block:3 c);
+    descriptor_matches "descriptor dbsr = legacy" (fun c ->
+        Dbsr.of_csr ~block:4 c = Dbsr.of_csr_ref ~block:4 c);
+    descriptor_matches "descriptor dia = legacy" (fun c ->
+        Dia.of_csr c = Dia.of_csr_ref c);
+    descriptor_matches "descriptor sr-bcrs = legacy" (fun c ->
+        Sr_bcrs.of_csr ~tile:4 ~group:3 c
+        = Sr_bcrs.of_csr_ref ~tile:4 ~group:3 c);
+    descriptor_matches "descriptor hyb = legacy" (fun c ->
+        Hyb.of_csr ~c:2 ~k:2 c = Hyb.of_csr_ref ~c:2 ~k:2 c);
+    QCheck.Test.make ~count:200 ~name:"descriptor csf = legacy" csf_arb
+      (fun entries ->
+        Csf.of_entries ~dim_i:6 ~dim_j:6 ~dim_k:6 entries
+        = Csf.of_entries_ref ~dim_i:6 ~dim_j:6 ~dim_k:6 entries);
+    QCheck.Test.make ~count:200 ~name:"coo descriptor streams = entries"
+      sparse_arb (fun (rows, cols, entries) ->
+        let m = Coo.of_entries ~rows ~cols entries in
+        let st = Coo.storage m in
+        let crd lv =
+          match st.Descriptor.st_levels.(lv).Descriptor.ld_crd with
+          | Some a -> a
+          | None -> [||]
+        in
+        let rows_s = crd 0 and cols_s = crd 1 in
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun e (i, j, v) ->
+               rows_s.(e) = i && cols_s.(e) = j
+               && st.Descriptor.st_vals.(e) = v)
+             m.Coo.entries));
+    prop_roundtrip "csr->sell->dense" (fun c ->
+        Sell.to_dense (Sell.of_csr ~slice:4 c));
+    QCheck.Test.make ~count:200 ~name:"csr->banded->dense" banded_arb
+      (fun input ->
+        let c = csr_of input in
+        Dense.max_abs_diff (Csr.to_dense c)
+          (Banded.to_dense (Banded.of_csr ~band:banded_band c))
+        < 1e-9);
+    QCheck.Test.make ~count:200
+      ~name:"sell slices never pad past the slice max" sparse_arb
+      (fun input ->
+        let c = csr_of input in
+        let s = Sell.of_csr ~slice:4 c in
+        let ok = ref true in
+        for i = 0 to c.Csr.rows - 1 do
+          (* every row of a slice stores exactly the slice-max width *)
+          let slice_lo = i / 4 * 4 in
+          let slice_hi = min c.Csr.rows (slice_lo + 4) in
+          let wmax = ref 0 in
+          for r = slice_lo to slice_hi - 1 do
+            wmax := max !wmax (c.Csr.indptr.(r + 1) - c.Csr.indptr.(r))
+          done;
+          (* width floor of 1 per slice, like legacy ELL's max-1 width *)
+          if Sell.width_of s i <> max 1 !wmax then ok := false
+        done;
+        !ok) ]
+
+let test_banded_rejects_off_band () =
+  let d = Dense.init 8 8 (fun i j -> if j - i > 2 then 1.0 else 0.0) in
+  Alcotest.check_raises "entry outside the band"
+    (Invalid_argument "Descriptor.build: diagonal outside the band")
+    (fun () -> ignore (Banded.of_csr ~band:2 (Csr.of_dense d)))
+
 (* deterministic unit tests *)
 let test_bsr_padding () =
   let d = Dense.init 8 8 (fun i j -> if i = 0 && j = 0 then 1.0 else 0.0) in
@@ -144,6 +259,10 @@ let () =
           Alcotest.test_case "default k" `Quick test_default_k;
           Alcotest.test_case "sr-bcrs padding" `Quick test_sr_bcrs_group_padding;
           Alcotest.test_case "deterministic rng" `Quick
-            test_dense_random_deterministic ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests)
+            test_dense_random_deterministic;
+          Alcotest.test_case "banded rejects off-band" `Quick
+            test_banded_rejects_off_band ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+      ( "descriptor",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) descriptor_tests )
     ]

@@ -179,6 +179,38 @@ let fuzz_hyb =
     QCheck.small_int
     (fun seed -> hyb_case (succ (abs seed)))
 
+(* Sliced-ELL is built and stage-I-emitted entirely from its descriptor
+   (Descriptor.emit_axes), so this keeps a descriptor-emitted axis chain in
+   the fuzz pool: random matrix, random slice height, all three legs
+   bit-identical, dense-reference match, and no serial fallback (the
+   scatter is the direct C[i, k]). *)
+let sell_case (seed : int) : bool =
+  let g = Workloads.Rng.create seed in
+  let a = random_csr g in
+  let feat = 4 in
+  let x = Dense.random ~seed:(seed + 2) a.Csr.cols feat in
+  let slice = 1 + Workloads.Rng.int g 8 in
+  let c, _ = Kernels.Spmm.sell ~slice a x ~feat in
+  let run ?num_domains engine =
+    Gpusim.execute ~engine ?num_domains c.Kernels.Spmm.fn
+      c.Kernels.Spmm.bindings;
+    Tensor.to_float_array c.Kernels.Spmm.out
+  in
+  let interp = run Engine.Interp in
+  let serial = run ~num_domains:1 Engine.Compiled in
+  let parallel = run ~num_domains:4 Engine.Compiled in
+  let art = Engine.artifact c.Kernels.Spmm.fn in
+  interp = serial
+  && serial = parallel
+  && Engine.fallback_runs art = 0
+  && max_err (Csr.spmm a x).Dense.data interp < 1e-5
+
+let fuzz_sell =
+  QCheck.Test.make ~count:60
+    ~name:"random sliced-ELL SpMM: descriptor-emitted axes, no fallback"
+    QCheck.small_int
+    (fun seed -> sell_case (succ (abs seed)))
+
 (* ---------------- disjointness-driven dispatch ---------------- *)
 
 (* A blockIdx-bound loop writing C[i] — injective in the loop var — must be
@@ -233,7 +265,8 @@ let () =
     [ ( "fuzz",
         [ QCheck_alcotest.to_alcotest ~long:false fuzz_spmm;
           QCheck_alcotest.to_alcotest ~long:false fuzz_sddmm;
-          QCheck_alcotest.to_alcotest ~long:false fuzz_hyb ] );
+          QCheck_alcotest.to_alcotest ~long:false fuzz_hyb;
+          QCheck_alcotest.to_alcotest ~long:false fuzz_sell ] );
       ( "parallel_dispatch",
         [ Alcotest.test_case "provable loop runs parallel" `Quick
             test_parallel_provable;

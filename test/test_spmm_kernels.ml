@@ -45,7 +45,15 @@ let test_correctness () =
   let x64 = Dense.random ~seed:11 a.Csr.cols 64 in
   check_against_reference
     (Spmm.sparsetir_no_hyb ~vec:2 a x64 ~feat:64)
-    a x64 ~feat:64 ~name:"sparsetir_no_hyb_vec" 
+    a x64 ~feat:64 ~name:"sparsetir_no_hyb_vec";
+  (* descriptor-emitted kernels (DESIGN.md S3g) *)
+  check_against_reference (fst (Spmm.sell ~slice:8 a x ~feat)) a x ~feat
+    ~name:"sell";
+  let bm = Workloads.Attention.band ~size:64 ~band:16 () in
+  let xb = Dense.random ~seed:12 bm.Csr.cols feat in
+  check_against_reference
+    (fst (Spmm.banded ~band:8 bm xb ~feat))
+    bm xb ~feat ~name:"banded"
 
 let test_cost_sanity () =
   (* large enough that hub rows dominate a row-parallel kernel *)

@@ -14,6 +14,10 @@
      two cores the table is still printed but the regression gate is
      skipped with a caveat — the fresh file then simply becomes the
      recorded baseline.
+   - BENCH_formats.json: the compared metric is each format's
+     descriptor-vs-legacy construction speedup (the "descriptor" rows).
+     Like the engine ratio, both legs run in the same process, so the ratio
+     is host-stable and gated unconditionally.
 
    Usage: bench_trend BASELINE.json FRESH.json [--threshold=0.30]
 
@@ -82,7 +86,7 @@ let load (path : string) : string * (string * float) list * float =
          | None -> field_str line "mode"
        in
        match (field_str line "kernel", tagged) with
-       | Some k, Some ("compiled" | "parallel") -> (
+       | Some k, Some ("compiled" | "parallel" | "descriptor") -> (
            match field_float line "speedup" with
            | Some s -> rows := (k, s) :: !rows
            | None -> ())
