@@ -31,7 +31,8 @@ let experiments ~full ~domains : (string * (unit -> unit)) list =
     ("pipeline", Pipeline_bench.run);
     ("engine", fun () -> Engine_bench.run ~full ());
     ("formats", fun () -> Formats_bench.run ~full ());
-    ("parallel", fun () -> Parallel_bench.run ~full ~domains ()) ]
+    ("parallel", fun () -> Parallel_bench.run ~full ~domains ());
+    ("serve", fun () -> Serve_bench.run ~full ()) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)
 

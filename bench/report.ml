@@ -92,6 +92,30 @@ let write_formats_json ~(path : string) ~(geomean_speedup : float)
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* Serving-bench output: one row per traffic phase.  The headline metric is
+   steady-state requests/second; "geomean_speedup" carries it so the trend
+   tool's loader stays uniform across bench kinds.  Rows are
+   (phase, req/s, p99 latency ms, mean batch occupancy, warm-hit ratio). *)
+let write_serve_json ~(path : string) ~(domains : int) ~(headline : float)
+    (rows : (string * float * float * float * float) list) : unit =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"serve\",\n";
+  Printf.fprintf oc "  \"domains\": %d,\n" domains;
+  Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" headline;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (phase, rps, p99, occ, warm) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"mode\": \"serve\", \"req_per_s\": %.1f, \
+         \"p99_ms\": %.3f, \"occupancy\": %.3f, \"warm_ratio\": %.3f}%s\n"
+        phase rps p99 occ warm
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let write_parallel_json ~(path : string) ~(domains : int)
     ~(geomean_speedup : float) (rows : (string * string * float * float) list)
     : unit =

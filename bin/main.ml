@@ -137,6 +137,58 @@ let run graph feat op gpu system engine domains fusion =
       (Engine.linear_sites art)
   end
 
+(* serve: push the synthetic multi-tenant traffic mix through the serving
+   loop and print its metrics plus the pipeline report (whose serve hook
+   shows the process-wide totals). *)
+let serve requests max_batch deadline_ms width inflight domains =
+  Engine.set_num_domains domains;
+  let cfg =
+    {
+      Serve.max_batch;
+      deadline_ms;
+      lease_width = width;
+      max_inflight = inflight;
+    }
+  in
+  let fams = Serve.Traffic.mix ~seed:13 ~requests () in
+  let s = Serve.create ~config:cfg () in
+  List.iter
+    (fun (f : Serve.Traffic.family) ->
+      let inst = f.Serve.Traffic.f_build () in
+      ignore
+        (Serve.submit s ~tenant:inst.Serve.Traffic.ti_tenant
+           inst.Serve.Traffic.ti_steps);
+      Serve.pump s)
+    fams;
+  Serve.drain s;
+  Printf.printf "tenants: %s\n"
+    (String.concat ", " (Serve.Traffic.family_names ()));
+  print_endline (Serve.stats_to_string (Serve.stats s));
+  print_string (Pipeline.report ())
+
+let requests_arg =
+  let doc = "Number of requests to push through the serving loop." in
+  Arg.(value & opt int 32 & info [ "requests" ] ~docv:"N" ~doc)
+
+let max_batch_arg =
+  let doc = "Horizontal-fusion batch size: a tenant group flushes at this \
+             many waiting requests." in
+  Arg.(value & opt int 4 & info [ "max-batch" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Batching deadline in milliseconds: a group flushes when its \
+             oldest waiter is this old even if not full." in
+  Arg.(value & opt float 1.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let width_arg =
+  let doc = "Domain-lease width per launched batch (clamped to the domain \
+             budget)." in
+  Arg.(value & opt int 2 & info [ "width" ] ~docv:"N" ~doc)
+
+let inflight_arg =
+  let doc = "Maximum concurrently executing batches." in
+  Arg.(value & opt int 2 & info [ "inflight" ] ~docv:"N" ~doc)
+
 let system_arg =
   let doc = "Kernel strategy: cusparse, dgsparse, sputnik, taco, no-hyb, \
              hyb (SpMM) / dgl, dgsparse, taco, sparsetir (SDDMM)." in
@@ -152,8 +204,18 @@ let run_cmd =
       const run $ graph_arg $ feat_arg $ op_arg $ gpu_arg $ system_arg
       $ engine_arg $ domains_arg $ fusion_arg)
 
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant serving loop over synthetic GNN traffic \
+          (batched horizontal fusion, domain leases, tenant artifact cache)")
+    Term.(
+      const serve $ requests_arg $ max_batch_arg $ deadline_arg $ width_arg
+      $ inflight_arg $ domains_arg)
+
 let main_cmd =
   let doc = "SparseTIR (OCaml reproduction) command-line tools" in
-  Cmd.group (Cmd.info "sparsetir-cli" ~doc) [ show_cmd; run_cmd ]
+  Cmd.group (Cmd.info "sparsetir-cli" ~doc) [ show_cmd; run_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

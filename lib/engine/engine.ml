@@ -125,16 +125,20 @@ module Pool = struct
 
   let size () = Array.length !workers
 
-  (* Run [f 0] .. [f (k-1)] concurrently — [f 0] on the calling domain, the
-     rest on pool workers — and wait for all of them.  The first exception
-     any participant raises is re-raised here after the join. *)
-  let run_group (k : int) (f : int -> unit) : unit =
-    if k <= 1 then f 0
+  (* Run [f 0] on the calling domain and [f 1] .. [f k] on the pool workers
+     listed in [idxs] (k = length), waiting for all of them.  The first
+     exception any participant raises is re-raised here after the join.
+     Callers must already hold every listed worker: either the whole pool
+     (the main domain's unleased parallel regions) or a leased disjoint
+     subset — the one-job-slot-per-worker protocol relies on it.  Does not
+     [ensure]: the listed workers must exist. *)
+  let run_on (idxs : int array) (f : int -> unit) : unit =
+    let k = Array.length idxs in
+    if k = 0 then f 0
     else begin
-      ensure (k - 1);
       let m = Mutex.create () in
       let done_cv = Condition.create () in
-      let pending = ref (k - 1) in
+      let pending = ref k in
       let first_exn = ref None in
       let record_exn e =
         Mutex.lock m;
@@ -149,13 +153,14 @@ module Pool = struct
         Mutex.unlock m
       in
       let ws = !workers in
-      for i = 1 to k - 1 do
-        let w = ws.(i - 1) in
-        Mutex.lock w.w_mutex;
-        w.w_job <- Some (job i);
-        Condition.signal w.w_cond;
-        Mutex.unlock w.w_mutex
-      done;
+      Array.iteri
+        (fun j wi ->
+          let w = ws.(wi) in
+          Mutex.lock w.w_mutex;
+          w.w_job <- Some (job (j + 1));
+          Condition.signal w.w_cond;
+          Mutex.unlock w.w_mutex)
+        idxs;
       (try f 0 with e -> record_exn e);
       Mutex.lock m;
       while !pending > 0 do
@@ -164,9 +169,106 @@ module Pool = struct
       Mutex.unlock m;
       match !first_exn with Some e -> raise e | None -> ()
     end
+
+  (* Run [f 0] .. [f (k-1)] concurrently — [f 0] on the calling domain, the
+     rest on workers 0..k-2 — and wait for all of them.  The unleased
+     whole-pool entry point: only the main domain opens regions this way. *)
+  let run_group (k : int) (f : int -> unit) : unit =
+    if k <= 1 then f 0
+    else begin
+      ensure (k - 1);
+      run_on (Array.init (k - 1) (fun i -> i)) f
+    end
 end
 
 let pool_size = Pool.size
+
+(* ------------------------------------------------------------------ *)
+(* Domain leases                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving layer admits concurrent independent requests by handing each
+   one a *lease*: an exclusive reservation of [width - 1] pool workers plus
+   the leasing driver's own domain.  Leases partition the pool — worker sets
+   are disjoint, so two leased parallel regions can be open at once without
+   violating the one-job-slot-per-worker protocol.  The sum of outstanding
+   lease widths never exceeds the [num_domains] budget.
+
+   A leased driver makes its lease current with [run_leased] (a DLS slot
+   read by the parallel dispatch), capping that domain's parallel loops at
+   the lease width and steering them onto the leased workers only.  Unleased
+   parallel regions still assume exclusive use of the whole pool, so drivers
+   holding leases must not run concurrently with an unleased main-domain
+   parallel region. *)
+
+type lease = {
+  l_workers : int array; (* reserved pool worker indices, width - 1 of them *)
+  l_width : int;
+  mutable l_active : bool;
+}
+
+let lease_lock = Mutex.create ()
+let lease_free : int list ref = ref [] (* worker indices not leased out *)
+let lease_created = ref 0 (* workers ever brought under lease management *)
+let leased_units = ref 0 (* sum of outstanding lease widths *)
+let leases_active = ref 0
+
+let try_lease ~(width : int) : lease option =
+  let width = max 1 width in
+  Mutex.protect lease_lock (fun () ->
+      let budget = max 1 !num_domains_ref in
+      if !leased_units + width > budget then None
+      else begin
+        let need = width - 1 in
+        let have = List.length !lease_free in
+        if have < need then begin
+          let add = need - have in
+          lease_free :=
+            !lease_free @ List.init add (fun i -> !lease_created + i);
+          lease_created := !lease_created + add;
+          (* spawning happens here, under the allocator lock, never from a
+             driver mid-run: the pool array is only ever grown by the
+             domain holding this lock or by the main domain's run_group *)
+          Pool.ensure !lease_created
+        end;
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> assert false
+            | x :: tl -> take (n - 1) (x :: acc) tl
+        in
+        let mine, rest = take need [] !lease_free in
+        lease_free := rest;
+        leased_units := !leased_units + width;
+        incr leases_active;
+        Some { l_workers = Array.of_list mine; l_width = width;
+               l_active = true }
+      end)
+
+let release (l : lease) : unit =
+  Mutex.protect lease_lock (fun () ->
+      if l.l_active then begin
+        l.l_active <- false;
+        lease_free := Array.to_list l.l_workers @ !lease_free;
+        leased_units := !leased_units - l.l_width;
+        decr leases_active
+      end)
+
+let lease_width (l : lease) = l.l_width
+let leases_in_use () = Mutex.protect lease_lock (fun () -> !leases_active)
+
+(* The lease the executing domain currently runs under, if any; set by
+   [run_leased], consulted by the parallel dispatch closures. *)
+let current_lease : lease option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let run_leased (l : lease) (f : unit -> 'a) : 'a =
+  if not l.l_active then invalid_arg "Engine.run_leased: released lease";
+  let slot = Domain.DLS.get current_lease in
+  let saved = !slot in
+  slot := Some l;
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Chunking and output tiling                                           *)
@@ -239,11 +341,16 @@ let reason_index = function
   | Analysis.Fr_no_witness -> 3
 
 (* Process-wide run counters (per-artifact twins live in [ctx]); surfaced by
-   Pipeline.report and zeroed by [reset]. *)
-let total_par_runs = ref 0
-let total_fallback_runs = ref 0
-let total_tiled_runs = ref 0
-let total_reasons = Array.make (Array.length reason_labels) 0
+   Pipeline.report and zeroed by [reset].  Atomic because leased serve
+   drivers execute artifacts from their own domains concurrently.  The
+   per-artifact twins stay plain refs: a lost increment there skews one
+   artifact's local tally under contention, which the stats surface
+   tolerates, whereas the process totals feed the serve metrics. *)
+let total_par_runs = Atomic.make 0
+let total_fallback_runs = Atomic.make 0
+let total_tiled_runs = Atomic.make 0
+let total_reasons =
+  Array.init (Array.length reason_labels) (fun _ -> Atomic.make 0)
 
 (* ------------------------------------------------------------------ *)
 (* Fusion peephole gate                                                 *)
@@ -930,7 +1037,16 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
           fun st ->
             let n = ext st in
             run_prologue st;
-            let d = min !num_domains_ref n in
+            (* a leased driver caps its parallel loops at the lease width
+               and steers them onto the leased workers only; unleased
+               domains (the main domain) use the whole budget and pool *)
+            let lease = !(Domain.DLS.get current_lease) in
+            let budget =
+              match lease with
+              | Some l -> l.l_width
+              | None -> !num_domains_ref
+            in
+            let d = min budget n in
             if d <= 1 then iter st 0 n
             else begin
               (* runtime facts for every gather map: injective maps scatter
@@ -948,14 +1064,14 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
                 gathers;
               if not !provable then begin
                 incr fellback;
-                incr total_fallback_runs;
+                Atomic.incr total_fallback_runs;
                 reasons.(0) <- reasons.(0) + 1;
-                total_reasons.(0) <- total_reasons.(0) + 1;
+                Atomic.incr total_reasons.(0);
                 iter st 0 n
               end
               else begin
                 incr par;
-                incr total_par_runs;
+                Atomic.incr total_par_runs;
                 (* narrow direct-witness outputs: [u] flat elements per
                    iteration, contiguous from flat position 0 (witness dim
                    0), so chunks map to blit-able flat ranges *)
@@ -1010,7 +1126,7 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
                 let log_chunks = strips <> [] in
                 if log_chunks then begin
                   incr tiled;
-                  incr total_tiled_runs;
+                  Atomic.incr total_tiled_runs;
                   (* workers 1.. write private copies (worker 0 keeps the
                      shared tensor: nothing else touches its cache lines);
                      each copy carries the pre-loop values, so read-modify
@@ -1037,18 +1153,22 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
                         let k = Atomic.fetch_and_add cursor 1 in
                         if k >= segs then None else Some (b.(k), b.(k + 1))
                 in
-                Pool.run_group d (fun w ->
-                    let stw = states.(w) in
-                    let rec pull () =
-                      match next () with
-                      | None -> ()
-                      | Some (lo, hi) ->
-                          if log_chunks && w > 0 then
-                            logs.(w) <- (lo, hi) :: logs.(w);
-                          iter stw lo hi;
-                          pull ()
-                    in
-                    pull ());
+                let body w =
+                  let stw = states.(w) in
+                  let rec pull () =
+                    match next () with
+                    | None -> ()
+                    | Some (lo, hi) ->
+                        if log_chunks && w > 0 then
+                          logs.(w) <- (lo, hi) :: logs.(w);
+                        iter stw lo hi;
+                        pull ()
+                  in
+                  pull ()
+                in
+                (match lease with
+                | Some l -> Pool.run_on (Array.sub l.l_workers 0 (d - 1)) body
+                | None -> Pool.run_group d body);
                 (* stitch: copy each worker's chunk regions back into the
                    shared outputs (regions are disjoint across workers by
                    the witness, so order does not matter) *)
@@ -1076,9 +1196,9 @@ let rec compile_stmt (ctx : ctx) (scope : scope) (s : stmt) : state -> unit =
           let ri = reason_index reason in
           fun st ->
             incr fellback;
-            incr total_fallback_runs;
+            Atomic.incr total_fallback_runs;
             reasons.(ri) <- reasons.(ri) + 1;
-            total_reasons.(ri) <- total_reasons.(ri) + 1;
+            Atomic.incr total_reasons.(ri);
             let n = ext st in
             run_prologue st;
             iter st 0 n
@@ -1254,10 +1374,15 @@ let fallback_reasons (c : compiled) : (string * int) list =
   Array.to_list (Array.mapi (fun i n -> (reason_labels.(i), n)) c.c_reasons)
 
 let parallel_totals () =
-  (!total_par_runs, !total_fallback_runs, !total_tiled_runs)
+  ( Atomic.get total_par_runs,
+    Atomic.get total_fallback_runs,
+    Atomic.get total_tiled_runs )
 
 let reason_totals () : (string * int) list =
-  Array.to_list (Array.mapi (fun i n -> (reason_labels.(i), n)) total_reasons)
+  Array.to_list
+    (Array.mapi
+       (fun i n -> (reason_labels.(i), Atomic.get n))
+       total_reasons)
 
 (* One-line "label=n" rendering of the nonzero reason counters ("-" when all
    are zero); shared by the CLI, the bench tables and Pipeline.report. *)
@@ -1272,6 +1397,17 @@ let hoisted_sites (c : compiled) = c.c_hoisted_sites
 let linear_sites (c : compiled) = c.c_linear_sites
 
 let compile_count = ref 0
+
+(* Every compile registers its per-artifact run counters here so [reset]
+   can zero them even when the artifact outlives the memo — the pipeline
+   compile cache re-[register]s cached artifacts after a reset, and stale
+   par/fallback tallies from a prior tenant must not leak into the next
+   one's serve stats.  The registry grows by a few words per codegen run
+   for the process lifetime, which is noise next to the artifacts
+   themselves. *)
+let counter_registry :
+    (int ref * int ref * int ref * int array) list ref =
+  ref []
 
 (* Process-wide fusion-site totals across every [compile] since [reset]
    (Pipeline.report surfaces them next to the pass table). *)
@@ -1329,6 +1465,9 @@ let compile (fn : func) : compiled =
   total_fused := !total_fused + ctx.n_fused;
   total_hoisted := !total_hoisted + ctx.n_hoisted;
   total_linear := !total_linear + ctx.n_linear;
+  counter_registry :=
+    (ctx.par_runs, ctx.fallback_runs, ctx.tiled_runs, ctx.reasons)
+    :: !counter_registry;
   {
     c_name = fname;
     c_slots = (ni, nf, nb);
@@ -1400,10 +1539,19 @@ let reset () =
   total_fused := 0;
   total_hoisted := 0;
   total_linear := 0;
-  total_par_runs := 0;
-  total_fallback_runs := 0;
-  total_tiled_runs := 0;
-  Array.fill total_reasons 0 (Array.length total_reasons) 0
+  Atomic.set total_par_runs 0;
+  Atomic.set total_fallback_runs 0;
+  Atomic.set total_tiled_runs 0;
+  Array.iter (fun a -> Atomic.set a 0) total_reasons;
+  (* per-artifact counters survive the memo (the pipeline cache re-registers
+     its artifacts after a reset), so zero them through the registry *)
+  List.iter
+    (fun (p, f, t, rs) ->
+      p := 0;
+      f := 0;
+      t := 0;
+      Array.fill rs 0 (Array.length rs) 0)
+    !counter_registry
 
 let with_num_domains (d : int option) (f : unit -> 'a) : 'a =
   match d with

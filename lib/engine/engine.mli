@@ -145,6 +145,41 @@ val set_num_domains : int -> unit
 val pool_size : unit -> int
 (** Worker domains spawned so far (excludes the calling domain). *)
 
+(** {1 Domain leases}
+
+    The serving layer ({!module:Serve}) admits concurrent independent
+    requests by giving each one an exclusive reservation of a disjoint
+    subset of the worker pool: a lease of width [w] covers [w - 1] pool
+    workers plus the leasing driver's own domain.  The sum of outstanding
+    widths never exceeds {!num_domains}.  A driver wraps its request
+    execution in {!run_leased}; parallel loops run on that domain are then
+    capped at the lease width and dispatched onto the leased workers only,
+    so two leased regions can be open at once.  Unleased parallel regions
+    (the main domain's ordinary executes) still assume exclusive use of the
+    whole pool and must not overlap with active leases. *)
+
+type lease
+(** An exclusive reservation of part of the domain budget. *)
+
+val try_lease : width:int -> lease option
+(** Reserve [width] domains' worth of parallel capacity ([width - 1] pool
+    workers; clamped below at 1).  [None] when the outstanding leases plus
+    [width] would exceed the {!num_domains} budget.  Never blocks. *)
+
+val release : lease -> unit
+(** Return the lease's workers to the free set.  Idempotent.  The lease must
+    no longer be current on any domain. *)
+
+val lease_width : lease -> int
+
+val run_leased : lease -> (unit -> 'a) -> 'a
+(** Run [f] with the lease current for the calling domain: parallel loops
+    inside use at most [lease_width] domains, steered onto the leased
+    workers.  Raises [Invalid_argument] on a released lease. *)
+
+val leases_in_use : unit -> int
+(** Outstanding (unreleased) leases. *)
+
 (** {1 Engine selection and memoized dispatch} *)
 
 type kind = Interp | Compiled
@@ -185,4 +220,7 @@ val compiles : unit -> int
 val memo_size : unit -> int
 
 val reset : unit -> unit
-(** Drop memoized artifacts and zero the compile counter. *)
+(** Drop memoized artifacts and zero every counter: the compile counter,
+    the process-wide run/fusion totals, and the per-artifact run counters of
+    every artifact ever compiled — including artifacts the pipeline cache
+    later re-{!register}s, so a fresh serving window starts from zero. *)

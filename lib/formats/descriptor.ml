@@ -74,22 +74,44 @@ type canon = {
   cn_entries : (int array * float) array;
 }
 
-(* Stable lexicographic sort + left-to-right duplicate merge.  Zero-valued
-   sums are kept (compressed formats store them, like the legacy
-   constructors); use [filter_zeros] for formats that drop them. *)
-let canon ~(dims : int array) (entries : (int array * float) array) : canon =
-  let cmp (a, _) (b, _) = compare (a : int array) b in
-  let sorted = List.stable_sort cmp (Array.to_list entries) in
-  let merged =
-    List.fold_left
-      (fun acc (co, v) ->
-        match acc with
-        | (co', v') :: rest when co = co' -> (co', v' +. v) :: rest
-        | _ -> (co, v) :: acc)
-      [] sorted
-    |> List.rev
+(* Monomorphic lexicographic coordinate compare: the construction hot loop
+   sorts every entry array through this, and the generic polymorphic
+   [compare] on int arrays costs several times as much per call. *)
+let cmp_coords (a : int array) (b : int array) : int =
+  let la = Array.length a and lb = Array.length b in
+  let n = if la < lb then la else lb in
+  let rec go i =
+    if i = n then Int.compare la lb
+    else
+      let d = Int.compare a.(i) b.(i) in
+      if d <> 0 then d else go (i + 1)
   in
-  { cn_dims = dims; cn_entries = Array.of_list merged }
+  go 0
+
+(* Stable lexicographic sort + left-to-right duplicate merge, in place on a
+   copy (no list intermediate).  Zero-valued sums are kept (compressed
+   formats store them, like the legacy constructors); use [filter_zeros] for
+   formats that drop them. *)
+let canon ~(dims : int array) (entries : (int array * float) array) : canon =
+  let sorted = Array.copy entries in
+  Array.stable_sort (fun (a, _) (b, _) -> cmp_coords a b) sorted;
+  let n = Array.length sorted in
+  if n = 0 then { cn_dims = dims; cn_entries = sorted }
+  else begin
+    let m = ref 0 in
+    for i = 1 to n - 1 do
+      let co, v = sorted.(i) in
+      let co', v' = sorted.(!m) in
+      if cmp_coords co co' = 0 then sorted.(!m) <- (co', v' +. v)
+      else begin
+        incr m;
+        sorted.(!m) <- sorted.(i)
+      end
+    done;
+    { cn_dims = dims;
+      cn_entries =
+        (if !m + 1 = n then sorted else Array.sub sorted 0 (!m + 1)) }
+  end
 
 let canon2 ~rows ~cols (entries : (int * int * float) array) : canon =
   Array.iter
@@ -195,16 +217,41 @@ let apply_panel (lds : level_data array) (vals : float array) : float array =
 
 (* Descend the level list from [start_depth], partitioning the sorted entry
    slices level by level.  [coord_ofs] maps level depth to entry coordinate
-   index (build_rows pre-consumes the root coordinate). *)
+   index (build_rows pre-consumes the root coordinate).  [distinct] asserts
+   the entries' full coordinates are pairwise distinct (true for [build]:
+   canon merged duplicates and every transform is injective); it gates the
+   dense-suffix fast path, which scatters values directly instead of
+   partitioning groups and so cannot detect colliding entries itself. *)
 let descend (d : t) (extents : int array)
     (entries : (int array * float) array) ~(coord_ofs : int)
-    ~(start_depth : int) ~(parents : group array) ~(pre : level_data list) :
-    storage =
+    ~(start_depth : int) ~(distinct : bool) ~(parents : group array)
+    ~(pre : level_data list) : storage =
   let levels_arr = Array.of_list d.levels in
   let n_levels = Array.length levels_arr in
+  (* the longest all-Dense level suffix: with [distinct] entries those
+     levels need no group partitioning — each entry's slot is a closed-form
+     function of its remaining coordinates (per-level scans over np * extent
+     group records are the dominant cost of dense-heavy descriptors like
+     DIA's row level and BSR's two block levels) *)
+  let suffix_start =
+    if not distinct then n_levels
+    else begin
+      let s = ref n_levels in
+      while
+        !s > start_depth
+        &&
+        match levels_arr.(!s - 1) with
+        | Levels.Dense _ -> true
+        | _ -> false
+      do
+        decr s
+      done;
+      !s
+    end
+  in
   let parents = ref parents in
   let out = ref pre in
-  for l = start_depth to n_levels - 1 do
+  for l = start_depth to suffix_start - 1 do
     let cdl e = (fst entries.(e)).(l - coord_ofs) in
     let ld, children =
       match levels_arr.(l) with
@@ -404,14 +451,59 @@ let descend (d : t) (extents : int array)
     out := ld :: !out;
     parents := children
   done;
-  let leaves = !parents in
-  let vals = Array.make (Array.length leaves) 0.0 in
-  Array.iteri
-    (fun i g ->
-      if g.hi - g.lo > 1 then
-        invalid_arg "Descriptor.build: levels do not discriminate entries";
-      if g.hi > g.lo then vals.(i) <- snd entries.(g.lo))
-    leaves;
+  let vals =
+    if suffix_start < n_levels then begin
+      (* dense-suffix scatter: one pass over the entries, no group records *)
+      let exts =
+        Array.init (n_levels - suffix_start) (fun i ->
+            match levels_arr.(suffix_start + i) with
+            | Levels.Dense { extent } -> extent
+            | _ -> assert false)
+      in
+      let np = Array.length !parents in
+      let cnt = ref np in
+      Array.iteri
+        (fun i ext ->
+          cnt := !cnt * ext;
+          out :=
+            { ld_level = levels_arr.(suffix_start + i); ld_pos = None;
+              ld_crd = None; ld_width = ext; ld_count = !cnt;
+              ld_fact = None }
+            :: !out)
+        exts;
+      let vals = Array.make !cnt 0.0 in
+      Array.iteri
+        (fun p g ->
+          for e = g.lo to g.hi - 1 do
+            let co = fst entries.(e) in
+            let slot = ref p in
+            for i = 0 to Array.length exts - 1 do
+              let c = co.(suffix_start + i - coord_ofs) in
+              if c < 0 || c >= exts.(i) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Descriptor.build(%s): dense coordinate out of range \
+                      at level %d"
+                     d.name (suffix_start + i));
+              slot := (!slot * exts.(i)) + c
+            done;
+            vals.(!slot) <- snd entries.(e)
+          done)
+        !parents;
+      vals
+    end
+    else begin
+      let leaves = !parents in
+      let vals = Array.make (Array.length leaves) 0.0 in
+      Array.iteri
+        (fun i g ->
+          if g.hi - g.lo > 1 then
+            invalid_arg "Descriptor.build: levels do not discriminate entries";
+          if g.hi > g.lo then vals.(i) <- snd entries.(g.lo))
+        leaves;
+      vals
+    end
+  in
   let lds = Array.of_list (List.rev !out) in
   let vals = apply_panel lds vals in
   { st_desc = d; st_extents = extents; st_levels = lds; st_vals = vals;
@@ -431,10 +523,10 @@ let build (d : t) (cn : canon) : storage =
         let mapped =
           Array.map (fun (co, v) -> (apply_transform tr co, v)) cn.cn_entries
         in
-        Array.sort (fun (a, _) (b, _) -> compare (a : int array) b) mapped;
+        Array.sort (fun (a, _) (b, _) -> cmp_coords a b) mapped;
         mapped
   in
-  descend d extents entries ~coord_ofs:0 ~start_depth:0
+  descend d extents entries ~coord_ofs:0 ~start_depth:0 ~distinct:true
     ~parents:[| { lo = 0; hi = Array.length entries } |]
     ~pre:[]
 
@@ -468,8 +560,8 @@ let build_rows (d : t) ~(rows : (int * (int * float) list) list) : storage =
     { ld_level = List.hd d.levels; ld_pos = None; ld_crd = Some crd;
       ld_width = 1; ld_count = nrows; ld_fact = order_fact crd }
   in
-  descend d extents entries ~coord_ofs:1 ~start_depth:1 ~parents:groups
-    ~pre:[ root_ld ]
+  descend d extents entries ~coord_ofs:1 ~start_depth:1 ~distinct:false
+    ~parents:groups ~pre:[ root_ld ]
 
 (* ------------------------------------------------------------------ *)
 (* Derived tensors                                                     *)

@@ -259,12 +259,17 @@ let run ?(horizontal_fusion = false) ?(debug = false) (spec : Spec.t)
     p_memory_bytes = mem_bytes;
     p_smem_high = !smem_high }
 
+(* The positional argument list [Engine.run]/[Engine.execute] expects for
+   [fn], resolved from name-keyed bindings.  The serving layer uses this to
+   build concatenated argument lists for horizontally fused batches. *)
+let args_for (fn : func) (bindings : bindings) : Tensor.t list =
+  List.map (fun b -> find_binding bindings b) fn.fn_params
+
 (* Correctness run.  Dispatches through [Engine]: the compiled closure
    backend by default, or the tree-walking interpreter when [?engine] (or
    [Engine.default_kind]) selects it. *)
 let execute ?engine ?num_domains (fn : func) (bindings : bindings) : unit =
-  let args = List.map (fun b -> find_binding bindings b) fn.fn_params in
-  Engine.execute ?kind:engine ?num_domains fn args
+  Engine.execute ?kind:engine ?num_domains fn (args_for fn bindings)
 
 (* Multi-kernel composition (e.g. two-stage RGMS pipelines): sequential
    execution; cycles add, memory footprint counts each distinct tensor

@@ -86,8 +86,9 @@ let feature_loops ~(vec : int) =
    and no unrolling, because the provenance-graph IR cannot express them. *)
 let taco (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
   let tx = min 32 feat in
+  let bindings, out = base_bindings a x ~feat in
   let fn =
-    Pipeline.compile ~name:"taco_spmm" ~trace:(Printf.sprintf "taco(tx=%d)" tx)
+    Pipeline.compile ~bind:bindings ~name:"taco_spmm" ~trace:(Printf.sprintf "taco(tx=%d)" tx)
       (fun fn ->
         let sched = Schedule.create fn in
         map_feature sched ~tx ~vec:1;
@@ -99,15 +100,15 @@ let taco (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
         Schedule.get sched)
       (stage1 a ~feat)
   in
-  let bindings, out = base_bindings a x ~feat in
   { fn; bindings; out }
 
 (* cuSPARSE-style CSRMM: one row per block, features across threads,
    register accumulation. *)
 let cusparse (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
   let tx = min 32 feat in
+  let bindings, out = base_bindings a x ~feat in
   let fn =
-    Pipeline.compile ~name:"cusparse_spmm"
+    Pipeline.compile ~bind:bindings ~name:"cusparse_spmm"
       ~trace:(Printf.sprintf "cusparse(tx=%d)" tx)
       (fun fn ->
         let sched = Schedule.create fn in
@@ -118,7 +119,6 @@ let cusparse (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
         Schedule.get sched)
       (stage1 a ~feat)
   in
-  let bindings, out = base_bindings a x ~feat in
   { fn; bindings; out }
 
 (* GE-SpMM (dgSPARSE): row groups per block + coalesced feature access +
@@ -126,8 +126,9 @@ let cusparse (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled =
 let dgsparse ?(row_group = 8) (a : Csr.t) (x : Dense.t) ~(feat : int) :
     compiled =
   let tx = min 32 feat in
+  let bindings, out = base_bindings a x ~feat in
   let fn =
-    Pipeline.compile ~name:"dgsparse_spmm"
+    Pipeline.compile ~bind:bindings ~name:"dgsparse_spmm"
       ~trace:(Printf.sprintf "dgsparse(tx=%d,row_group=%d)" tx row_group)
       (fun fn ->
         let sched = Schedule.create fn in
@@ -142,15 +143,15 @@ let dgsparse ?(row_group = 8) (a : Csr.t) (x : Dense.t) ~(feat : int) :
         Schedule.get sched)
       (stage1 a ~feat)
   in
-  let bindings, out = base_bindings a x ~feat in
   { fn; bindings; out }
 
 (* Sputnik: subwarp tiling with vectorized (float4) feature loads. *)
 let sputnik ?(row_group = 4) (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled
     =
   let vec = if feat mod 4 = 0 then 4 else 1 in
+  let bindings, out = base_bindings a x ~feat in
   let fn =
-    Pipeline.compile ~name:"sputnik_spmm"
+    Pipeline.compile ~bind:bindings ~name:"sputnik_spmm"
       ~trace:(Printf.sprintf "sputnik(vec=%d,row_group=%d)" vec row_group)
       (fun fn ->
         let sched = Schedule.create fn in
@@ -166,7 +167,6 @@ let sputnik ?(row_group = 4) (a : Csr.t) (x : Dense.t) ~(feat : int) : compiled
         Schedule.get sched)
       (stage1 a ~feat)
   in
-  let bindings, out = base_bindings a x ~feat in
   { fn; bindings; out }
 
 (* SparseTIR without format decomposition: the best CSR schedule in the
@@ -176,8 +176,9 @@ let sparsetir_no_hyb ?(row_group = 8) ?(vec = 1) (a : Csr.t) (x : Dense.t)
     ~(feat : int) : compiled =
   let vec = if feat mod (32 * vec) = 0 then vec else 1 in
   let tx = min 32 (feat / vec) in
+  let bindings, out = base_bindings a x ~feat in
   let fn =
-    Pipeline.compile ~name:"sparsetir_no_hyb_spmm"
+    Pipeline.compile ~bind:bindings ~name:"sparsetir_no_hyb_spmm"
       ~trace:
         (Printf.sprintf "no_hyb(tx=%d,vec=%d,row_group=%d)" tx vec row_group)
       (fun fn ->
@@ -192,7 +193,6 @@ let sparsetir_no_hyb ?(row_group = 8) ?(vec = 1) (a : Csr.t) (x : Dense.t)
         Schedule.get sched)
       (stage1 a ~feat)
   in
-  let bindings, out = base_bindings a x ~feat in
   { fn; bindings; out }
 
 (* ------------------------------------------------------------------ *)
@@ -293,15 +293,16 @@ let sparsetir_hyb ?(c = 1) ?k (a : Csr.t) (x : Dense.t) ~(feat : int) :
       rules h.Hyb.buckets;
     Schedule.get sched
   in
-  let fn =
-    Pipeline.compile ~coord:[ decompose ] ~name:"hyb_spmm"
-      ~trace:(Printf.sprintf "hyb_sched(feat=%d,k=%d)" feat k)
-      schedule (stage1 a ~feat)
-  in
   let bindings, out = base_bindings a x ~feat in
   (* the original A data buffer is gone after decomposition *)
   let bindings = List.filter (fun (n, _) -> n <> "A") bindings in
-  ({ fn; bindings = bindings @ extra_binds; out }, h)
+  let bindings = bindings @ extra_binds in
+  let fn =
+    Pipeline.compile ~coord:[ decompose ] ~bind:bindings ~name:"hyb_spmm"
+      ~trace:(Printf.sprintf "hyb_sched(feat=%d,k=%d)" feat k)
+      schedule (stage1 a ~feat)
+  in
+  ({ fn; bindings; out }, h)
 
 (* Accumulating SpMM (no output init): C += A * B with B supplied as an
    existing tensor.  Used by the two-stage RGMS pipelines, where each

@@ -28,6 +28,11 @@ type entry = {
   e_ir : Ir.func;
   mutable e_artifact : Engine.compiled option;
   mutable e_last : int; (* generation of last find/add touch *)
+  mutable e_facts : (Tensor.t * int * Tensor.Facts.fact list) list;
+      (* declared tensor facts snapshotted at compile time: (tensor,
+         version-at-snapshot, facts).  A warm hit re-declares them (version
+         permitting) so re-bound kernels skip the O(n) dispatch-time rescan
+         even after the fact table was cleared. *)
 }
 
 type t = {
@@ -85,12 +90,35 @@ let evict_lru (t : t) : unit =
       t.evictions <- t.evictions + 1
 
 let add (t : t) (k : string) ?artifact (fn : Ir.func) : entry =
-  let e = { e_ir = fn; e_artifact = artifact; e_last = tick t } in
+  let e =
+    { e_ir = fn; e_artifact = artifact; e_last = tick t; e_facts = [] }
+  in
   Hashtbl.replace t.table k e;
   while Hashtbl.length t.table > t.capacity do
     evict_lru t
   done;
   e
+
+(* Declared facts of the bound tensors, for [entry.e_facts]: only tensors
+   with at least one declaration are recorded (scanned facts are not
+   portable — they were never asserted by a constructor). *)
+let snapshot_facts (binds : (string * Tensor.t) list) :
+    (Tensor.t * int * Tensor.Facts.fact list) list =
+  List.filter_map
+    (fun ((_, t) : string * Tensor.t) ->
+      match Tensor.Facts.declared t with
+      | [] -> None
+      | fs -> Some (t, t.Tensor.version, fs))
+    binds
+
+(* Re-declare an entry's snapshotted facts.  Sound only for tensors whose
+   version is unchanged since the snapshot — mutated tensors are skipped
+   (their facts may no longer hold and will re-establish by scan). *)
+let restore_facts (e : entry) : unit =
+  List.iter
+    (fun ((t : Tensor.t), ver, fs) ->
+      if t.Tensor.version = ver then Tensor.Facts.redeclare t fs)
+    e.e_facts
 
 let capacity (t : t) = t.capacity
 

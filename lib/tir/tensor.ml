@@ -164,14 +164,18 @@ module Facts = struct
 
   (* Keyed on tensor id.  Bounded: on overflow the whole table resets (facts
      re-establish by declaration or scan), which also sheds entries for dead
-     tensors.  Only the main domain consults facts (parallel dispatch happens
-     before workers launch), so no locking is needed. *)
+     tensors.  The serving layer consults facts from concurrent driver
+     domains (each request resolves its gather witnesses at dispatch time),
+     so the table is guarded by a mutex; every public entry point takes it
+     once and the internal helpers assume it is held. *)
   let table : (int, entry) Hashtbl.t = Hashtbl.create 64
+  let lock = Mutex.create ()
+  let locked f = Mutex.protect lock f
   let max_entries = 4096
   let scans = ref 0
 
-  let scan_count () = !scans
-  let clear () = Hashtbl.reset table
+  let scan_count () = locked (fun () -> !scans)
+  let clear () = locked (fun () -> Hashtbl.reset table)
 
   let entry_for (t : t) : entry =
     match Hashtbl.find_opt table t.id with
@@ -191,8 +195,18 @@ module Facts = struct
         e
 
   let declare (t : t) (f : fact) : unit =
-    let e = entry_for t in
-    if not (List.mem f e.e_declared) then e.e_declared <- f :: e.e_declared
+    locked (fun () ->
+        let e = entry_for t in
+        if not (List.mem f e.e_declared) then e.e_declared <- f :: e.e_declared)
+
+  (* Facts declared (not scanned) for the tensor's current version.  The
+     pipeline cache snapshots these per compile so a warm hit can re-declare
+     them after a table reset/clear instead of re-scanning. *)
+  let declared (t : t) : fact list =
+    locked (fun () ->
+        match Hashtbl.find_opt table t.id with
+        | Some e when e.e_ver = t.version -> e.e_declared
+        | _ -> [])
 
   (* [have] certifies [want]: strict monotonicity implies both weaker
      facts. *)
@@ -228,16 +242,17 @@ module Facts = struct
 
   let holds (t : t) (f : fact) : bool =
     (match t.data with I _ -> true | _ -> false)
-    && (let e = entry_for t in
-        List.exists (fun d -> implies d f) e.e_declared
-        || List.exists (fun (s, ok) -> ok && implies s f) e.e_scanned
-        ||
-        match List.assoc_opt f e.e_scanned with
-        | Some ok -> ok
-        | None ->
-            let ok = scan t f in
-            e.e_scanned <- (f, ok) :: e.e_scanned;
-            ok)
+    && locked (fun () ->
+           let e = entry_for t in
+           List.exists (fun d -> implies d f) e.e_declared
+           || List.exists (fun (s, ok) -> ok && implies s f) e.e_scanned
+           ||
+           match List.assoc_opt f e.e_scanned with
+           | Some ok -> ok
+           | None ->
+               let ok = scan t f in
+               e.e_scanned <- (f, ok) :: e.e_scanned;
+               ok)
 
   (* One construction-time pass declaring the strongest ordering fact the
      data supports.  Format constructors that materialize an index array
@@ -257,4 +272,6 @@ module Facts = struct
         if !strict then declare t Monotone_inc
         else if !nondec then declare t Monotone_nd
     | F _ | B _ -> ()
+
+  let redeclare (t : t) (fs : fact list) : unit = List.iter (declare t) fs
 end

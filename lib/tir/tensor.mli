@@ -67,6 +67,18 @@ module Facts : sig
       version.  Declarations are trusted — callers assert only what the
       construction actually guarantees. *)
 
+  val declared : t -> fact list
+  (** The facts declared (not scanned) for the tensor's current version;
+      empty when the tensor mutated since they were declared.  The pipeline
+      cache snapshots these so a warm hit can restore them with {!redeclare}
+      after the fact table was cleared, instead of paying a dispatch-time
+      rescan. *)
+
+  val redeclare : t -> fact list -> unit
+  (** Re-assert a snapshot taken by {!declared}.  Only sound when the
+      tensor's version is unchanged since the snapshot — the pipeline cache
+      records the version alongside and checks it before restoring. *)
+
   val holds : t -> fact -> bool
   (** Is [fact] known (declared, or implied by a declared/scanned stronger
       fact), or establishable by a scan?  Scans memoize their verdict —

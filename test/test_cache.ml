@@ -66,6 +66,46 @@ let test_tuner_search_hits () =
     (List.length r2.Tuner.trials) r2.Tuner.cache_hits;
   Alcotest.(check string) "same winner" r1.Tuner.best_label r2.Tuner.best_label
 
+(* ---------------- declared-fact persistence ---------------- *)
+
+(* Cache entries snapshot the declared facts of their bound tensors, and a
+   warm hit re-declares them.  So a cache-hit rebind after the fact table
+   was cleared re-executes without a single dispatch-time rescan, while the
+   same clear WITHOUT a rebuild forces the engine back to scanning.  The
+   graph's degrees are bounded (Centralized shape) so every hyb bucket row
+   map is strictly increasing — all facts involved are declarations. *)
+let test_facts_survive_cache_hit () =
+  Pipeline.reset ();
+  let a =
+    Workloads.Graphs.generate ~seed:11
+      { Workloads.Graphs.g_name = "cache_facts"; g_nodes = 80; g_edges = 320;
+        g_shape = Workloads.Graphs.Centralized 0.1 }
+  in
+  let feat = 8 in
+  let x = Dense.random ~seed:4 a.Csr.cols feat in
+  let build () = fst (Kernels.Spmm.sparsetir_hyb ~c:2 ~k:6 a x ~feat) in
+  let exec (c : Kernels.Spmm.compiled) =
+    Gpusim.execute ~num_domains:2 c.Kernels.Spmm.fn c.Kernels.Spmm.bindings
+  in
+  let c1 = build () in
+  exec c1;
+  let n0 = Tir.Tensor.Facts.scan_count () in
+  (* clear the fact table, then rebuild: the warm hit restores the compile
+     snapshot's declarations for c1's tensors *)
+  Tir.Tensor.Facts.clear ();
+  let hits0 = Pipeline.cache_hits () in
+  ignore (build ());
+  Alcotest.(check bool) "rebuild was a cache hit" true
+    (Pipeline.cache_hits () > hits0);
+  exec c1;
+  Alcotest.(check int) "cache-hit rebind skips re-scanning" n0
+    (Tir.Tensor.Facts.scan_count ());
+  (* negative leg: the same clear without a rebuild forces rescans *)
+  Tir.Tensor.Facts.clear ();
+  exec c1;
+  Alcotest.(check bool) "clear without rebuild rescans" true
+    (Tir.Tensor.Facts.scan_count () > n0)
+
 (* ---------------- LRU eviction ---------------- *)
 
 (* Tiny distinct Stage III funcs for populating a standalone cache. *)
@@ -136,8 +176,9 @@ let () =
           Alcotest.test_case "hit on same trace" `Quick test_hit_same_trace;
           Alcotest.test_case "miss on different trace" `Quick
             test_miss_different_trace;
-          Alcotest.test_case "tuner search hits" `Quick test_tuner_search_hits ]
-      );
+          Alcotest.test_case "tuner search hits" `Quick test_tuner_search_hits;
+          Alcotest.test_case "declared facts survive cache hit" `Quick
+            test_facts_survive_cache_hit ] );
       ( "lru",
         [ Alcotest.test_case "LRU order" `Quick test_lru_order;
           Alcotest.test_case "evict unregisters artifact" `Quick

@@ -470,6 +470,30 @@ let test_fact_invalidation () =
   Alcotest.(check bool) "serial fallback resumed" true
     (Engine.fallback_runs art >= 1)
 
+(* Engine.reset zeroes the per-artifact counters of artifacts that survive
+   the reset by re-registration (a pipeline-cache warm hit re-seeds the memo
+   with the same compiled value), so a fresh measurement window counts from
+   zero instead of inheriting a prior session's runs. *)
+let test_reset_zeroes_reregistered_counters () =
+  let open Tir in
+  let n = 64 in
+  let fn = gather_fn "eng_reset_rereg" n in
+  let m = Tensor.of_int_array [ n ] (Array.init n Fun.id) in
+  let a = Tensor.of_float_array [ n ] (Array.make n 1.0) in
+  let c = Tensor.create Dtype.F32 [ n ] in
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ m; a; c ];
+  let art = Engine.artifact fn in
+  Alcotest.(check bool) "counter nonzero before reset" true
+    (Engine.par_runs art >= 1);
+  Engine.reset ();
+  Engine.register fn art;
+  Alcotest.(check int) "re-registered artifact counts from zero" 0
+    (Engine.par_runs art);
+  Alcotest.(check int) "fallback counter zeroed too" 0
+    (Engine.fallback_runs art);
+  Engine.execute ~kind:Engine.Compiled ~num_domains:4 fn [ m; a; c ];
+  Alcotest.(check int) "counting resumes after reset" 1 (Engine.par_runs art)
+
 (* hyb bucket kernels: every blockIdx loop (direct witness on the ELL part,
    gather witnesses through the bucket row maps) must dispatch parallel at
    4 domains with zero fallbacks, and the result must be bit-identical to
@@ -603,6 +627,8 @@ let () =
             test_gather_unprovable_fallback;
           Alcotest.test_case "mutation invalidates facts" `Quick
             test_fact_invalidation;
+          Alcotest.test_case "reset zeroes re-registered counters" `Quick
+            test_reset_zeroes_reregistered_counters;
           Alcotest.test_case "hyb buckets: parallel, no fallback" `Quick
             test_hyb_parallel_no_fallback;
           Alcotest.test_case "narrow output strips stitch exactly" `Quick

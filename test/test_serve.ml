@@ -1,0 +1,187 @@
+(* Serving subsystem: batched multi-tenant execution must be bit-identical
+   to sequential execution — under random arrival orders, random batching
+   configs, concurrent leased drivers, and forced artifact eviction. *)
+
+open Formats
+
+let with_domains (n : int) (f : unit -> 'a) : 'a =
+  let saved = Engine.num_domains () in
+  Engine.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Engine.set_num_domains saved) f
+
+(* ---------------- batched funcs ---------------- *)
+
+let graph () =
+  Workloads.Graphs.generate ~seed:5
+    { Workloads.Graphs.g_name = "serve_t"; g_nodes = 100; g_edges = 700;
+      g_shape = Workloads.Graphs.Power_law 1.7 }
+
+(* batch_func over B instances of one template: one launch of the batched
+   artifact must write every instance's output exactly as B single runs. *)
+let test_batch_func_bit_identical () =
+  let a = graph () in
+  let feat = 16 in
+  let x = Dense.random ~seed:2 a.Csr.cols feat in
+  let insts = List.init 3 (fun _ -> Kernels.Spmm.dgsparse a x ~feat) in
+  let refs = List.init 3 (fun _ -> Kernels.Spmm.dgsparse a x ~feat) in
+  let tmpl = (List.hd insts).Kernels.Spmm.fn in
+  List.iter
+    (fun (c : Kernels.Spmm.compiled) ->
+      Alcotest.(check bool) "instances share the physical template" true
+        (c.Kernels.Spmm.fn == tmpl))
+    insts;
+  let batched = Serve.batch_func ~copies:3 tmpl in
+  let args =
+    List.concat_map
+      (fun (c : Kernels.Spmm.compiled) ->
+        Gpusim.args_for tmpl c.Kernels.Spmm.bindings)
+      insts
+  in
+  Engine.execute ~kind:Engine.Compiled batched args;
+  List.iter
+    (fun (r : Kernels.Spmm.compiled) ->
+      Gpusim.execute r.Kernels.Spmm.fn r.Kernels.Spmm.bindings)
+    refs;
+  List.iter2
+    (fun (c : Kernels.Spmm.compiled) (r : Kernels.Spmm.compiled) ->
+      Alcotest.(check bool) "batched copy bit-identical to single run" true
+        (Tir.Tensor.to_float_array c.Kernels.Spmm.out
+        = Tir.Tensor.to_float_array r.Kernels.Spmm.out))
+    insts refs
+
+let test_batch_func_single_copy_is_identity () =
+  let a = graph () in
+  let c = Kernels.Spmm.dgsparse a (Dense.random ~seed:3 a.Csr.cols 8) ~feat:8 in
+  Alcotest.(check bool) "copies=1 returns the template itself" true
+    (Serve.batch_func ~copies:1 c.Kernels.Spmm.fn == c.Kernels.Spmm.fn)
+
+(* ---------------- lease accounting ---------------- *)
+
+let test_lease_accounting () =
+  with_domains 4 (fun () ->
+      let l1 = Engine.try_lease ~width:2 in
+      let l2 = Engine.try_lease ~width:2 in
+      Alcotest.(check bool) "two width-2 leases fit a budget of 4" true
+        (Option.is_some l1 && Option.is_some l2);
+      Alcotest.(check bool) "budget exhausted" true
+        (Option.is_none (Engine.try_lease ~width:1));
+      Alcotest.(check int) "two outstanding" 2 (Engine.leases_in_use ());
+      let l1 = Option.get l1 and l2 = Option.get l2 in
+      Alcotest.(check int) "width recorded" 2 (Engine.lease_width l1);
+      Engine.release l1;
+      Engine.release l1 (* idempotent *);
+      Alcotest.(check bool) "freed capacity re-leases" true
+        (Option.is_some
+           (match Engine.try_lease ~width:2 with
+           | Some l ->
+               Engine.release l;
+               Some l
+           | None -> None));
+      Engine.release l2;
+      Alcotest.(check int) "all released" 0 (Engine.leases_in_use ());
+      Alcotest.check_raises "released lease cannot run"
+        (Invalid_argument "Engine.run_leased: released lease") (fun () ->
+          Engine.run_leased l1 (fun () -> ())))
+
+(* ---------------- served = sequential (QCheck) ---------------- *)
+
+(* One served window: submit [requests] mixed-tenant instances in a
+   seeded-shuffled arrival order, drain, then execute sibling instances
+   sequentially and demand exact equality of every output. *)
+let serve_matches_sequential ~(seed : int) ~(requests : int)
+    ~(max_batch : int) () : bool =
+  let fams = Serve.Traffic.mix ~seed ~requests () in
+  let cfg =
+    {
+      Serve.max_batch;
+      deadline_ms = 0.2;
+      lease_width = 2;
+      max_inflight = 2;
+    }
+  in
+  let s = Serve.create ~config:cfg () in
+  let pairs =
+    List.map
+      (fun (f : Serve.Traffic.family) ->
+        let inst = f.Serve.Traffic.f_build () in
+        let refr = f.Serve.Traffic.f_build () in
+        ignore
+          (Serve.submit s ~tenant:inst.Serve.Traffic.ti_tenant
+             inst.Serve.Traffic.ti_steps);
+        Serve.pump s;
+        (inst, refr))
+      fams
+  in
+  Serve.drain s;
+  let st = Serve.stats s in
+  if st.Serve.s_requests <> requests then false
+  else
+    List.for_all
+      (fun ((i : Serve.Traffic.instance), (r : Serve.Traffic.instance)) ->
+        Gpusim.execute_many r.Serve.Traffic.ti_steps;
+        Serve.Traffic.identical i.Serve.Traffic.ti_out r.Serve.Traffic.ti_out)
+      pairs
+
+let qcheck_serve_sequential =
+  QCheck.Test.make ~count:6 ~name:"served batches = sequential execution"
+    QCheck.(triple (int_range 0 1000) (int_range 3 10) (int_range 1 4))
+    (fun (seed, requests, max_batch) ->
+      with_domains 2 (fun () ->
+          serve_matches_sequential ~seed ~requests ~max_batch ()))
+
+(* Same property with the pipeline cache squeezed to 2 entries: batched
+   artifacts are evicted (and their engine memo entries unregistered)
+   between and during windows, so cold rebuilds and plans holding evicted
+   artifacts must still serve exact results. *)
+let qcheck_serve_under_eviction =
+  QCheck.Test.make ~count:4 ~name:"served = sequential under LRU eviction"
+    QCheck.(pair (int_range 0 1000) (int_range 3 8))
+    (fun (seed, requests) ->
+      let saved = Pipeline.cache_capacity () in
+      Fun.protect
+        ~finally:(fun () -> Pipeline.set_cache_capacity saved)
+        (fun () ->
+          Pipeline.set_cache_capacity 2;
+          with_domains 2 (fun () ->
+              serve_matches_sequential ~seed ~requests ~max_batch:3 ())))
+
+(* ---------------- warm reuse ---------------- *)
+
+(* Two identical windows: the second must serve a positive warm-hit ratio
+   from the tenant-scoped artifact cache. *)
+let test_steady_state_warm_hits () =
+  with_domains 2 (fun () ->
+      let window () =
+        let fams = Serve.Traffic.mix ~seed:42 ~requests:8 () in
+        let s = Serve.create () in
+        List.iter
+          (fun (f : Serve.Traffic.family) ->
+            let inst = f.Serve.Traffic.f_build () in
+            ignore
+              (Serve.submit s ~tenant:inst.Serve.Traffic.ti_tenant
+                 inst.Serve.Traffic.ti_steps);
+            Serve.pump s)
+          fams;
+        Serve.drain s;
+        Serve.stats s
+      in
+      ignore (window ());
+      let st = window () in
+      Alcotest.(check bool) "steady window reuses batched artifacts" true
+        (st.Serve.s_warm_ratio > 0.0))
+
+let () =
+  Alcotest.run "serve"
+    [ ( "batching",
+        [ Alcotest.test_case "batched func bit-identical" `Quick
+            test_batch_func_bit_identical;
+          Alcotest.test_case "single copy is identity" `Quick
+            test_batch_func_single_copy_is_identity ] );
+      ( "leases",
+        [ Alcotest.test_case "lease accounting" `Quick test_lease_accounting ]
+      );
+      ( "scheduling",
+        [ QCheck_alcotest.to_alcotest qcheck_serve_sequential;
+          QCheck_alcotest.to_alcotest qcheck_serve_under_eviction;
+          Alcotest.test_case "steady-state warm hits" `Quick
+            test_steady_state_warm_hits ] ) ]

@@ -18,6 +18,11 @@
      descriptor-vs-legacy construction speedup (the "descriptor" rows).
      Like the engine ratio, both legs run in the same process, so the ratio
      is host-stable and gated unconditionally.
+   - BENCH_serve.json: the compared metric is each traffic phase's
+     requests/second through the serving loop, with the p99 latency shown
+     alongside.  Throughput needs real cores for the leased driver domains,
+     so like the parallel kind the gate is skipped with a caveat on hosts
+     exposing fewer than two cores.
 
    Usage: bench_trend BASELINE.json FRESH.json [--threshold=0.30]
 
@@ -65,12 +70,15 @@ let field_float (line : string) (key : string) : float option =
       if !e = start then None
       else float_of_string_opt (String.sub line start (!e - start))
 
-(* kernel -> speedup of its measured row (engine files: the "compiled" rows'
-   speedup-vs-interp; parallel files: the "parallel" rows' speedup-vs-serial),
-   plus the file's kind and geomean *)
-let load (path : string) : string * (string * float) list * float =
+(* kernel -> the measured metric of its row (engine files: the "compiled"
+   rows' speedup-vs-interp; parallel files: the "parallel" rows'
+   speedup-vs-serial; serve files: the phase rows' req/s), plus the file's
+   kind, geomean, and — for serve files — each phase's p99 latency *)
+let load (path : string) :
+    string * (string * float) list * float * (string * float) list =
   let ic = open_in path in
   let kind = ref "engine" and rows = ref [] and geomean = ref nan in
+  let p99s = ref [] in
   (try
      while true do
        let line = input_line ic in
@@ -90,10 +98,17 @@ let load (path : string) : string * (string * float) list * float =
            match field_float line "speedup" with
            | Some s -> rows := (k, s) :: !rows
            | None -> ())
+       | Some k, Some "serve" -> (
+           (match field_float line "p99_ms" with
+           | Some p -> p99s := (k, p) :: !p99s
+           | None -> ());
+           match field_float line "req_per_s" with
+           | Some s -> rows := (k, s) :: !rows
+           | None -> ())
        | _ -> ()
      done
    with End_of_file -> close_in ic);
-  (!kind, List.rev !rows, !geomean)
+  (!kind, List.rev !rows, !geomean, List.rev !p99s)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -111,21 +126,27 @@ let () =
   in
   match files with
   | [ base_path; fresh_path ] ->
-      let base_kind, base, base_geo = load base_path in
-      let fresh_kind, fresh, fresh_geo = load fresh_path in
+      let base_kind, base, base_geo, base_p99 = load base_path in
+      let fresh_kind, fresh, fresh_geo, fresh_p99 = load fresh_path in
       if base_kind <> fresh_kind then (
         Printf.eprintf
           "bench_trend: bench kinds differ (%s baseline vs %s fresh)\n"
           base_kind fresh_kind;
         exit 2);
-      (* parallel speedups need real cores: a single-core host measures pool
-         overhead, which would trip the gate on every run *)
+      (* parallel speedups and serving throughput need real cores: a
+         single-core host measures pool/driver overhead, which would trip
+         the gate on every run *)
       let gate =
-        if fresh_kind = "parallel" && Domain.recommended_domain_count () < 2
+        if
+          (fresh_kind = "parallel" || fresh_kind = "serve")
+          && Domain.recommended_domain_count () < 2
         then begin
           Printf.printf
-            "bench_trend: host exposes < 2 cores — parallel speedups reflect \
-             pool overhead, regression gate skipped\n";
+            "bench_trend: host exposes < 2 cores — %s, regression gate \
+             skipped\n"
+            (if fresh_kind = "serve" then
+               "serving req/s reflects driver-domain contention"
+             else "parallel speedups reflect pool overhead");
           false
         end
         else true
@@ -159,7 +180,16 @@ let () =
               else begin
                 let bad = gate && ratio < 1.0 -. !threshold in
                 if bad then incr failures;
-                Printf.printf "%-20s %10.2f %10.2f %7.2f%s\n" k b f ratio
+                let p99 =
+                  match
+                    (List.assoc_opt k base_p99, List.assoc_opt k fresh_p99)
+                  with
+                  | Some pb, Some pf ->
+                      Printf.sprintf "  p99 %.2f->%.2fms" pb pf
+                  | _ -> ""
+                in
+                Printf.printf "%-20s %10.2f %10.2f %7.2f%s%s\n" k b f ratio
+                  p99
                   (if bad then "  REGRESSION" else "")
               end)
         base;
