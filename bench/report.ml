@@ -117,11 +117,12 @@ let write_serve_json ~(path : string) ~(domains : int) ~(headline : float)
   Printf.printf "wrote %s\n%!" path
 
 let write_parallel_json ~(path : string) ~(domains : int)
-    ~(geomean_speedup : float) (rows : (string * string * float * float) list)
-    : unit =
+    ~(stolen_chunks : int) ~(geomean_speedup : float)
+    (rows : (string * string * float * float) list) : unit =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"bench\": \"parallel\",\n";
   Printf.fprintf oc "  \"domains\": %d,\n" domains;
+  Printf.fprintf oc "  \"stolen_chunks\": %d,\n" stolen_chunks;
   Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" geomean_speedup;
   Printf.fprintf oc "  \"rows\": [\n";
   let n = List.length rows in

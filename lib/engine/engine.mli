@@ -106,7 +106,24 @@ val reason_totals : unit -> (string * int) list
     iterations across a fixed pool of OCaml domains: each domain gets a
     private copy of the slot arrays (tensors stay shared — the witnesses
     guarantee write regions are disjoint) and pulls contiguous iteration
-    chunks from an atomic cursor ({!chunk_grain} iterations each).
+    chunks from a scheduler.  Uniform-cost loops use an atomic cursor
+    ({!chunk_grain} iterations each); loops with skewed per-iteration
+    costs ({!Tir.Analysis.loop_skew_hint}, or any gather witness) use
+    work-stealing chunk deques — each worker owns a contiguous range,
+    pops grain-sized chunks off its low end, and steals the upper half of
+    another worker's range when its own runs dry.  Steal cuts land only
+    on boundaries the cursor could have produced (align multiples or
+    monotone-map segments), and chunks are logged by whichever worker ran
+    them, so outputs stay bit-identical to serial execution.
+
+    The runtime is persistent per artifact: replica states, chunk logs and
+    narrow-output strip copies are cached on each parallel loop site and
+    refreshed by blits on subsequent runs — {!replica_builds} counts the
+    runs that could not reuse them.  A cache is invalidated when the
+    domain count changes, when a runtime tensor-fact check fails, or when
+    the artifact itself is dropped ({!unregister}); concurrent leased
+    drivers executing the same artifact race for the cache and the loser
+    falls back to transient allocations for that run.
 
     Gather witnesses ([store C[.. map[i] ..]]) are resolved per run against
     the bound map tensor's facts ({!Tir.Tensor.Facts}): injective maps chunk
@@ -144,6 +161,40 @@ val set_num_domains : int -> unit
 
 val pool_size : unit -> int
 (** Worker domains spawned so far (excludes the calling domain). *)
+
+val replica_builds : unit -> int
+(** Parallel runs since the last {!reset} that had to (re)build per-domain
+    replica states instead of reusing an artifact's cached set.  Flat across
+    repeated executions of a warm artifact; increments when the domain
+    budget changes, after a runtime fact failure, or when two leased
+    drivers race for one artifact's cache. *)
+
+val stolen_chunks : unit -> int
+(** Steal transfers performed by the work-stealing scheduler since the last
+    {!reset} (0 when every loop used the cursor or no parallelism ran). *)
+
+(** {1 Parallel construction tasks}
+
+    Format constructors ({!Formats.Descriptor.build}, [Hyb.of_csr]) spread
+    independent construction tasks over the same domain pool the kernel
+    dispatch uses.  The entry points compose with leases exactly like
+    parallel loops: a leased driver's tasks run on its reserved workers
+    only, an unleased caller assumes the whole pool, and a task body that
+    itself calls [parallel_tasks] runs its tasks serially (the pool is
+    already occupied one level up). *)
+
+val parallel_tasks : int -> (int -> unit) -> unit
+(** [parallel_tasks k f] runs [f 0 .. f (k-1)] to completion, spread over
+    the current domain budget via an atomic cursor.  Tasks must be
+    independent; no ordering is guaranteed between them.  The first
+    exception any task raises is re-raised after all tasks finish.  Runs
+    serially when the budget is 1 or when called from inside a task. *)
+
+val parallel_width : unit -> int
+(** The domain budget a {!parallel_tasks} call on this domain would spread
+    over: the lease width for leased drivers, {!num_domains} otherwise, and
+    [1] inside a task body.  Lets construction code size its fan-out (and
+    skip slicing work that would not parallelize). *)
 
 (** {1 Domain leases}
 

@@ -25,6 +25,11 @@ let descriptor ~block ~rows ~cols : Descriptor.t =
     [ Levels.dense ((rows + block - 1) / block);
       Levels.compressed (); Levels.dense block; Levels.dense block ]
 
+(* The construction cost lives entirely in [Descriptor.build]: the Blocked
+   transform takes the int-keyed parallel sort, and the level fills (dense
+   block rows, compressed block columns, the dense-suffix block scatter)
+   spread over the engine pool — [of_csr] itself only reshapes the
+   resulting storage. *)
 let of_csr ~(block : int) (c : Csr.t) : t =
   let st =
     Descriptor.build

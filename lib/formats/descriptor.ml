@@ -88,13 +88,99 @@ let cmp_coords (a : int array) (b : int array) : int =
   in
   go 0
 
+(* ------------------------------------------------------------------ *)
+(* Pool-backed construction helpers                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Construction fans out over the engine's domain pool through
+   [Engine.parallel_tasks]; the fan-out is lease-aware (a leased driver's
+   construction stays on its reserved workers) and collapses to serial
+   inside another task, so Hyb's per-bucket builds calling back into
+   [build_rows] never oversubscribe the pool. *)
+
+let par_sort_min = 1 lsl 13
+let par_chunk_min = 1 lsl 11
+
+(* Split [0, np) into per-domain ranges and run [f lo hi] on each; [f] must
+   only write state owned by indices in its range.  Serial below the
+   amortization threshold or when no parallel width is available. *)
+let par_chunks (np : int) (f : int -> int -> unit) : unit =
+  let d =
+    min (min (Engine.parallel_width ()) 16) (max 1 (np / par_chunk_min))
+  in
+  if d <= 1 then f 0 np
+  else Engine.parallel_tasks d (fun i -> f (i * np / d) ((i + 1) * np / d))
+
+(* Parallel merge sort, stable and therefore output-identical to
+   [Array.stable_sort]: segments sorted per task, then pairwise merged
+   (ties take the left segment, which precedes in original order). *)
+let parallel_stable_sort (cmp : 'a -> 'a -> int) (a : 'a array) : unit =
+  let n = Array.length a in
+  let d =
+    min (min (Engine.parallel_width ()) 16) (max 1 (n / par_sort_min))
+  in
+  if d <= 1 then Array.stable_sort cmp a
+  else begin
+    let bounds = Array.init (d + 1) (fun i -> i * n / d) in
+    let segs =
+      Array.init d (fun i -> Array.sub a bounds.(i) (bounds.(i + 1) - bounds.(i)))
+    in
+    Engine.parallel_tasks d (fun i -> Array.stable_sort cmp segs.(i));
+    let merge l r =
+      let nl = Array.length l and nr = Array.length r in
+      if nl = 0 then r
+      else if nr = 0 then l
+      else begin
+        let out = Array.make (nl + nr) l.(0) in
+        let i = ref 0 and j = ref 0 in
+        for k = 0 to nl + nr - 1 do
+          if !j >= nr || (!i < nl && cmp l.(!i) r.(!j) <= 0) then begin
+            out.(k) <- l.(!i);
+            incr i
+          end
+          else begin
+            out.(k) <- r.(!j);
+            incr j
+          end
+        done;
+        out
+      end
+    in
+    let cur = ref segs in
+    while Array.length !cur > 1 do
+      let m = Array.length !cur in
+      let half = (m + 1) / 2 in
+      let prev = !cur in
+      let next = Array.make half [||] in
+      Engine.parallel_tasks half (fun i ->
+          next.(i) <-
+            (if (2 * i) + 1 >= m then prev.(2 * i)
+             else merge prev.(2 * i) prev.((2 * i) + 1)));
+      cur := next
+    done;
+    Array.blit !cur.(0) 0 a 0 n
+  end
+
 (* Stable lexicographic sort + left-to-right duplicate merge, in place on a
    copy (no list intermediate).  Zero-valued sums are kept (compressed
    formats store them, like the legacy constructors); use [filter_zeros] for
-   formats that drop them. *)
+   formats that drop them.  Already-sorted inputs (CSR conversions emit
+   canonical order) skip the sort entirely. *)
 let canon ~(dims : int array) (entries : (int array * float) array) : canon =
   let sorted = Array.copy entries in
-  Array.stable_sort (fun (a, _) (b, _) -> cmp_coords a b) sorted;
+  let presorted =
+    let ok = ref true in
+    let i = ref 1 in
+    let n = Array.length sorted in
+    while !ok && !i < n do
+      if cmp_coords (fst sorted.(!i - 1)) (fst sorted.(!i)) > 0 then
+        ok := false;
+      incr i
+    done;
+    !ok
+  in
+  if not presorted then
+    parallel_stable_sort (fun (a, _) (b, _) -> cmp_coords a b) sorted;
   let n = Array.length sorted in
   if n = 0 then { cn_dims = dims; cn_entries = sorted }
   else begin
@@ -135,11 +221,23 @@ let canon3 ~dims:(di, dj, dk) (entries : (int * int * int * float) array) :
     (Array.map (fun (i, j, k, v) -> ([| i; j; k |], v)) entries)
 
 let filter_zeros (cn : canon) : canon =
-  { cn with
-    cn_entries =
-      Array.of_list
-        (List.filter (fun (_, v) -> v <> 0.0)
-           (Array.to_list cn.cn_entries)) }
+  let src = cn.cn_entries in
+  let n = Array.length src in
+  let m = ref 0 in
+  Array.iter (fun (_, v) -> if v <> 0.0 then incr m) src;
+  if !m = n then cn
+  else begin
+    let out = Array.make !m ([||], 0.0) in
+    let k = ref 0 in
+    Array.iter
+      (fun e ->
+        if snd e <> 0.0 then begin
+          out.(!k) <- e;
+          incr k
+        end)
+      src;
+    { cn with cn_entries = out }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Generic construction                                                *)
@@ -256,30 +354,33 @@ let descend (d : t) (extents : int array)
     let ld, children =
       match levels_arr.(l) with
       | Levels.Dense { extent } ->
-          let np = Array.length !parents in
+          let parents_a = !parents in
+          let np = Array.length parents_a in
           let children = Array.make (np * extent) empty_group in
-          Array.iteri
-            (fun p g ->
-              let e = ref g.lo in
-              for c = 0 to extent - 1 do
-                let start = !e in
-                while !e < g.hi && cdl !e = c do
-                  incr e
+          par_chunks np (fun p0 p1 ->
+              for p = p0 to p1 - 1 do
+                let g = parents_a.(p) in
+                let e = ref g.lo in
+                for c = 0 to extent - 1 do
+                  let start = !e in
+                  while !e < g.hi && cdl !e = c do
+                    incr e
+                  done;
+                  children.((p * extent) + c) <- { lo = start; hi = !e }
                 done;
-                children.((p * extent) + c) <- { lo = start; hi = !e }
-              done;
-              if !e <> g.hi then
-                invalid_arg
-                  (Printf.sprintf
-                     "Descriptor.build(%s): dense coordinate out of range at \
-                      level %d"
-                     d.name l))
-            !parents;
+                if !e <> g.hi then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Descriptor.build(%s): dense coordinate out of range \
+                        at level %d"
+                       d.name l)
+              done);
           ( { ld_level = levels_arr.(l); ld_pos = None; ld_crd = None;
               ld_width = extent; ld_count = np * extent; ld_fact = None },
             children )
       | Levels.Compressed { props; group; panel = _ } ->
-          let np = Array.length !parents in
+          let parents_a = !parents in
+          let np = Array.length parents_a in
           let unique = props.Levels.unique in
           let runs_in g =
             if not unique then g.hi - g.lo
@@ -295,33 +396,40 @@ let descend (d : t) (extents : int array)
               !n
             end
           in
+          (* two-phase so both the run counting and the fill go wide: counts
+             per parent first, serial prefix sum, then each parent fills its
+             own [pos.(p), pos.(p+1)) slice *)
+          let counts = Array.make (max 1 np) 0 in
+          par_chunks np (fun p0 p1 ->
+              for p = p0 to p1 - 1 do
+                let n = runs_in parents_a.(p) in
+                counts.(p) <- (if group > 1 then cdiv n group * group else n)
+              done);
           let pos = Array.make (np + 1) 0 in
-          Array.iteri
-            (fun p g ->
-              let n = runs_in g in
-              let n = if group > 1 then cdiv n group * group else n in
-              pos.(p + 1) <- pos.(p) + n)
-            !parents;
+          for p = 0 to np - 1 do
+            pos.(p + 1) <- pos.(p) + counts.(p)
+          done;
           let total = pos.(np) in
           let crd = Array.make total 0 in
           let children = Array.make total empty_group in
-          Array.iteri
-            (fun p g ->
-              let slot = ref pos.(p) in
-              let e = ref g.lo in
-              while !e < g.hi do
-                let c = cdl !e in
-                let start = !e in
-                if unique then
-                  while !e < g.hi && cdl !e = c do
-                    incr e
-                  done
-                else incr e;
-                crd.(!slot) <- c;
-                children.(!slot) <- { lo = start; hi = !e };
-                incr slot
-              done)
-            !parents;
+          par_chunks np (fun p0 p1 ->
+              for p = p0 to p1 - 1 do
+                let g = parents_a.(p) in
+                let slot = ref pos.(p) in
+                let e = ref g.lo in
+                while !e < g.hi do
+                  let c = cdl !e in
+                  let start = !e in
+                  if unique then
+                    while !e < g.hi && cdl !e = c do
+                      incr e
+                    done
+                  else incr e;
+                  crd.(!slot) <- c;
+                  children.(!slot) <- { lo = start; hi = !e };
+                  incr slot
+                done
+              done);
           (* the shared pipeline sorts, so a root compressed level's
              coordinates are ascending by construction: the fact comes
              straight off the property table *)
@@ -472,24 +580,26 @@ let descend (d : t) (extents : int array)
             :: !out)
         exts;
       let vals = Array.make !cnt 0.0 in
-      Array.iteri
-        (fun p g ->
-          for e = g.lo to g.hi - 1 do
-            let co = fst entries.(e) in
-            let slot = ref p in
-            for i = 0 to Array.length exts - 1 do
-              let c = co.(suffix_start + i - coord_ofs) in
-              if c < 0 || c >= exts.(i) then
-                invalid_arg
-                  (Printf.sprintf
-                     "Descriptor.build(%s): dense coordinate out of range \
-                      at level %d"
-                     d.name (suffix_start + i));
-              slot := (!slot * exts.(i)) + c
-            done;
-            vals.(!slot) <- snd entries.(e)
-          done)
-        !parents;
+      let parents_a = !parents in
+      par_chunks (Array.length parents_a) (fun p0 p1 ->
+          for p = p0 to p1 - 1 do
+            let g = parents_a.(p) in
+            for e = g.lo to g.hi - 1 do
+              let co = fst entries.(e) in
+              let slot = ref p in
+              for i = 0 to Array.length exts - 1 do
+                let c = co.(suffix_start + i - coord_ofs) in
+                if c < 0 || c >= exts.(i) then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Descriptor.build(%s): dense coordinate out of range \
+                        at level %d"
+                       d.name (suffix_start + i));
+                slot := (!slot * exts.(i)) + c
+              done;
+              vals.(!slot) <- snd entries.(e)
+            done
+          done);
       vals
     end
     else begin
@@ -510,25 +620,167 @@ let descend (d : t) (extents : int array)
     st_nnz = Array.length entries;
     st_padded = Array.length vals - Array.length entries }
 
+(* Direct DIA construction: the generic path pays the full transform +
+   re-sort + level descent for a format whose layout is a closed form of
+   (i, j) — diagonal slot for j - i, row i within the slot.  One presence
+   scan plus one scatter reproduces descend's output exactly: the presence
+   array enumerates offsets ascending (the order the (j-i, i) re-sort would
+   have grouped them in), values land at [slot * extent + i] like the
+   dense-suffix scatter.  Returns [None] — fall back to the generic
+   descent — when an offset falls outside the [-(rows-1), cols-1] span the
+   presence scan covers (possible only for coordinates outside [dims]). *)
+let build_diagonal (d : t) (extents : int array) (cn : canon)
+    ~(band : int option) ~(extent : int) : storage option =
+  let rows = d.dims.(0) and cols = d.dims.(1) in
+  let entries = cn.cn_entries in
+  let n = Array.length entries in
+  let span = max 0 (rows + cols - 1) in
+  let base = rows - 1 in
+  let in_span = ref true in
+  Array.iter
+    (fun (co, _) ->
+      let o = co.(1) - co.(0) in
+      if o + base < 0 || o + base >= span then in_span := false)
+    entries;
+  if not !in_span then None
+  else begin
+    let offsets =
+      match band with
+      | Some b ->
+          Array.iter
+            (fun (co, _) ->
+              let o = co.(1) - co.(0) in
+              if o < -b || o > b then
+                invalid_arg "Descriptor.build: diagonal outside the band")
+            entries;
+          Array.init ((2 * b) + 1) (fun s -> s - b)
+      | None ->
+          let present = Array.make (max 1 span) false in
+          Array.iter
+            (fun (co, _) -> present.(co.(1) - co.(0) + base) <- true)
+            entries;
+          let nd = ref 0 in
+          Array.iter (fun p -> if p then incr nd) present;
+          let offsets = Array.make !nd 0 in
+          let s = ref 0 in
+          Array.iteri
+            (fun idx p ->
+              if p then begin
+                offsets.(!s) <- idx - base;
+                incr s
+              end)
+            present;
+          offsets
+    in
+    let nd = Array.length offsets in
+    let slot =
+      match band with
+      | Some b -> fun o -> o + b
+      | None ->
+          let lut = Array.make (max 1 span) 0 in
+          Array.iteri (fun s o -> lut.(o + base) <- s) offsets;
+          fun o -> lut.(o + base)
+    in
+    let vals = Array.make (nd * extent) 0.0 in
+    par_chunks n (fun e0 e1 ->
+        for e = e0 to e1 - 1 do
+          let co, v = entries.(e) in
+          let i = co.(0) in
+          if i < 0 || i >= extent then
+            invalid_arg
+              (Printf.sprintf
+                 "Descriptor.build(%s): dense coordinate out of range at \
+                  level 1"
+                 d.name);
+          vals.((slot (co.(1) - i) * extent) + i) <- v
+        done);
+    let lds =
+      [| { ld_level = List.hd d.levels; ld_pos = None;
+           ld_crd = Some offsets; ld_width = 0; ld_count = nd;
+           ld_fact = Some Tir.Tensor.Facts.Monotone_inc };
+         { ld_level = List.nth d.levels 1; ld_pos = None; ld_crd = None;
+           ld_width = extent; ld_count = nd * extent; ld_fact = None } |]
+    in
+    Some
+      { st_desc = d; st_extents = extents; st_levels = lds; st_vals = vals;
+        st_nnz = n; st_padded = (nd * extent) - n }
+  end
+
+(* Sort transform-mapped entries into level order.  Blocked/Row_tiled
+   coordinates are nonnegative and extent-bounded, so lexicographic order
+   equals the integer order of a Horner fold over the level extents — one
+   int compare per element pair instead of an array walk.  Diagonal
+   coordinates can be negative (j - i), and out-of-range coordinates would
+   scramble the fold, so both take the direct comparison sort. *)
+let sort_mapped (tr : transform) (extents : int array)
+    (mapped : (int array * float) array) : unit =
+  let key_fits =
+    match tr with
+    | Blocked _ | Row_tiled _ ->
+        Array.for_all (fun e -> e > 0) extents
+        && Array.fold_left
+             (fun acc e ->
+               match acc with
+               | Some p when p <= max_int / e -> Some (p * e)
+               | _ -> None)
+             (Some 1) extents
+           <> None
+    | _ -> false
+  in
+  let keyed =
+    if not key_fits then None
+    else
+      let nl = Array.length extents in
+      try
+        Some
+          (Array.map
+             (fun ((co, _) as e) ->
+               let k = ref 0 in
+               for l = 0 to nl - 1 do
+                 let c = co.(l) in
+                 if c < 0 || c >= extents.(l) then raise Exit;
+                 k := (!k * extents.(l)) + c
+               done;
+               (!k, e))
+             mapped)
+      with Exit -> None
+  in
+  match keyed with
+  | Some ks ->
+      parallel_stable_sort (fun (a, _) (b, _) -> Int.compare a b) ks;
+      Array.iteri (fun i (_, e) -> mapped.(i) <- e) ks
+  | None -> parallel_stable_sort (fun (a, _) (b, _) -> cmp_coords a b) mapped
+
 let build (d : t) (cn : canon) : storage =
   if cn.cn_dims <> d.dims then
     invalid_arg "Descriptor.build: canon dims do not match descriptor";
   let extents = level_extents d in
-  let entries =
-    match d.transform with
-    | Identity -> cn.cn_entries
-    | tr ->
-        (* injective transforms keep entries distinct: a plain re-sort in
-           level space, no second merge *)
-        let mapped =
-          Array.map (fun (co, v) -> (apply_transform tr co, v)) cn.cn_entries
-        in
-        Array.sort (fun (a, _) (b, _) -> cmp_coords a b) mapped;
-        mapped
+  let direct =
+    match (d.transform, d.levels) with
+    | Diagonal, [ Levels.Offset { band }; Levels.Dense { extent } ] ->
+        build_diagonal d extents cn ~band ~extent
+    | _ -> None
   in
-  descend d extents entries ~coord_ofs:0 ~start_depth:0 ~distinct:true
-    ~parents:[| { lo = 0; hi = Array.length entries } |]
-    ~pre:[]
+  match direct with
+  | Some st -> st
+  | None ->
+      let entries =
+        match d.transform with
+        | Identity -> cn.cn_entries
+        | tr ->
+            (* injective transforms keep entries distinct: a plain re-sort in
+               level space, no second merge *)
+            let mapped =
+              Array.map
+                (fun (co, v) -> (apply_transform tr co, v))
+                cn.cn_entries
+            in
+            sort_mapped tr extents mapped;
+            mapped
+      in
+      descend d extents entries ~coord_ofs:0 ~start_depth:0 ~distinct:true
+        ~parents:[| { lo = 0; hi = Array.length entries } |]
+        ~pre:[]
 
 let build_rows (d : t) ~(rows : (int * (int * float) list) list) : storage =
   (match d.transform with
@@ -543,19 +795,22 @@ let build_rows (d : t) ~(rows : (int * (int * float) list) list) : storage =
   let nrows = List.length rows in
   let crd = Array.make nrows 0 in
   let groups = Array.make nrows empty_group in
-  let ents = ref [] and n = ref 0 in
+  let total =
+    List.fold_left (fun acc (_, es) -> acc + List.length es) 0 rows
+  in
+  let entries = Array.make total ([||], 0.0) in
+  let n = ref 0 in
   List.iteri
     (fun r (rid, es) ->
       crd.(r) <- rid;
       let lo = !n in
       List.iter
         (fun (c, v) ->
-          ents := ([| c |], v) :: !ents;
+          entries.(!n) <- ([| c |], v);
           incr n)
         es;
       groups.(r) <- { lo; hi = !n })
     rows;
-  let entries = Array.of_list (List.rev !ents) in
   let root_ld =
     { ld_level = List.hd d.levels; ld_pos = None; ld_crd = Some crd;
       ld_width = 1; ld_count = nrows; ld_fact = order_fact crd }

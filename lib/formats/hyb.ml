@@ -38,139 +38,151 @@ let bucket_descriptor ~width ~rows ~cols : Descriptor.t =
     [ Levels.singleton ();
       Levels.fixed_slice ~pad_coord:cols (Levels.Const width) ]
 
+(* One pass over the CSR: count entries per column partition, prefix into
+   per-partition arrays, then fill the (row, col, value) streams in CSR
+   order — each partition's stream comes out row-ascending with columns
+   ascending within a row, exactly the order a per-partition rescan would
+   have produced.  (The old builders re-walked the entire indices/data
+   arrays once per partition, O(c * nnz) on the construction path.) *)
+let partition_streams ~(c : int) ~(part_cols : int) (m : Csr.t) :
+    (int array * int array * float array) array =
+  let nnz = Csr.nnz m in
+  let counts = Array.make c 0 in
+  for p = 0 to nnz - 1 do
+    let part = m.Csr.indices.(p) / part_cols in
+    counts.(part) <- counts.(part) + 1
+  done;
+  let streams =
+    Array.init c (fun part ->
+        ( Array.make counts.(part) 0,
+          Array.make counts.(part) 0,
+          Array.make counts.(part) 0.0 ))
+  in
+  let cursors = Array.make c 0 in
+  for i = 0 to m.Csr.rows - 1 do
+    for p = m.Csr.indptr.(i) to m.Csr.indptr.(i + 1) - 1 do
+      let j = m.Csr.indices.(p) in
+      let part = j / part_cols in
+      let rows_a, cols_a, vals_a = streams.(part) in
+      let q = cursors.(part) in
+      rows_a.(q) <- i;
+      cols_a.(q) <- j;
+      vals_a.(q) <- m.Csr.data.(p);
+      cursors.(part) <- q + 1
+    done
+  done;
+  streams
+
+(* Group one partition stream into (row, entries) runs, split long rows
+   into pseudo-rows of at most [max_width] entries, and assign pseudo-rows
+   to buckets by ceil(log2 length).  The split walks the stream by index,
+   linear in the row length — the old splitter re-measured the remaining
+   list at every step, O(len^2 / width) on long rows.  Bucket row lists
+   come out row-ascending, chunk-ascending. *)
+let bucketize ~(k : int) ~(max_width : int)
+    ((rows_a, cols_a, vals_a) : int array * int array * float array) :
+    (int * (int * float) list) list array =
+  let n = Array.length rows_a in
+  let by_bucket = Array.make (k + 1) [] in
+  let push i es len =
+    let b =
+      let rec go w idx = if len <= w then idx else go (w * 2) (idx + 1) in
+      go 1 0
+    in
+    by_bucket.(b) <- (i, es) :: by_bucket.(b)
+  in
+  let q = ref 0 in
+  while !q < n do
+    let i = rows_a.(!q) in
+    let row_end = ref !q in
+    while !row_end < n && rows_a.(!row_end) = i do
+      incr row_end
+    done;
+    let s = ref !q in
+    while !s < !row_end do
+      let e = min !row_end (!s + max_width) in
+      let es = ref [] in
+      for t = e - 1 downto !s do
+        es := (cols_a.(t), vals_a.(t)) :: !es
+      done;
+      push i !es (e - !s);
+      s := e
+    done;
+    q := !row_end
+  done;
+  Array.map List.rev by_bucket
+
 let of_csr ~(c : int) ~(k : int) (m : Csr.t) : t =
   let part_cols = (m.Csr.cols + c - 1) / c in
   let max_width = 1 lsl k in
-  (* per partition: (row id, entries) lists *)
-  let buckets = ref [] in
-  let padded = ref 0 in
-  for part = 0 to c - 1 do
-    let lo = part * part_cols and hi = min m.Csr.cols ((part + 1) * part_cols) in
-    (* rows of this partition, as (row, (col, v) list) *)
-    let rows_entries = ref [] in
-    for i = m.Csr.rows - 1 downto 0 do
-      let es = ref [] in
-      for p = m.Csr.indptr.(i + 1) - 1 downto m.Csr.indptr.(i) do
-        let j = m.Csr.indices.(p) in
-        if j >= lo && j < hi then es := (j, m.Csr.data.(p)) :: !es
-      done;
-      if !es <> [] then rows_entries := (i, !es) :: !rows_entries
-    done;
-    (* split long rows into pseudo-rows of width at most 2^k *)
-    let pseudo = ref [] in
-    List.iter
-      (fun (i, es) ->
-        let rec chunks l =
-          if List.length l <= max_width then [ l ]
-          else
-            let rec take n acc = function
-              | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
-              | rest -> (List.rev acc, rest)
-            in
-            let c1, rest = take max_width [] l in
-            c1 :: chunks rest
-        in
-        List.iter (fun ch -> pseudo := (i, ch) :: !pseudo) (chunks es))
-      !rows_entries;
-    let pseudo = List.rev !pseudo in
-    (* assign pseudo-rows to buckets by ceil(log2 l) *)
-    let nbuckets = k + 1 in
-    let by_bucket = Array.make nbuckets [] in
-    List.iter
-      (fun (i, es) ->
-        let l = List.length es in
-        let b =
-          let rec go w idx = if l <= w then idx else go (w * 2) (idx + 1) in
-          go 1 0
-        in
-        by_bucket.(b) <- (i, es) :: by_bucket.(b))
-      pseudo;
-    Array.iteri
-      (fun b rows_list ->
-        let rows_list = List.rev rows_list in
-        if rows_list <> [] then begin
-          let width = 1 lsl b in
-          let st =
-            Descriptor.build_rows
-              (bucket_descriptor ~width ~rows:m.Csr.rows ~cols:m.Csr.cols)
-              ~rows:rows_list
-          in
-          let root = st.Descriptor.st_levels.(0) in
-          let lv = st.Descriptor.st_levels.(1) in
-          padded := !padded + st.Descriptor.st_padded;
-          buckets :=
-            { bk_part = part;
-              bk_width = width;
-              bk_ell =
-                { Ell.rows = root.Descriptor.ld_count;
-                  cols = m.Csr.cols;
-                  width;
-                  indices =
-                    (match lv.Descriptor.ld_crd with
-                    | Some a -> a
-                    | None -> [||]);
-                  data = st.Descriptor.st_vals;
-                  row_map =
-                    (match root.Descriptor.ld_crd with
-                    | Some a -> Some a
-                    | None -> None);
-                  padded = 0 } }
-            :: !buckets
-        end)
-      by_bucket
+  let streams = partition_streams ~c ~part_cols m in
+  (* every non-empty (partition, bucket) pair is an independent ELL build:
+     collect them all, then spread the builds over the engine pool (the
+     descent inside each build runs serially — nested fan-out collapses) *)
+  let jobs = ref [] in
+  for part = c - 1 downto 0 do
+    let by_bucket = bucketize ~k ~max_width streams.(part) in
+    for b = k downto 0 do
+      if by_bucket.(b) <> [] then jobs := (part, b, by_bucket.(b)) :: !jobs
+    done
   done;
+  let jobs = Array.of_list !jobs in
+  let results = Array.make (Array.length jobs) None in
+  Engine.parallel_tasks (Array.length jobs) (fun ji ->
+      let _, b, rows_list = jobs.(ji) in
+      let width = 1 lsl b in
+      results.(ji) <-
+        Some
+          (Descriptor.build_rows
+             (bucket_descriptor ~width ~rows:m.Csr.rows ~cols:m.Csr.cols)
+             ~rows:rows_list));
+  let padded = ref 0 in
+  let buckets =
+    List.filter_map
+      (fun ji ->
+        match results.(ji) with
+        | None -> None
+        | Some st ->
+            let part, b, _ = jobs.(ji) in
+            let width = 1 lsl b in
+            let root = st.Descriptor.st_levels.(0) in
+            let lv = st.Descriptor.st_levels.(1) in
+            padded := !padded + st.Descriptor.st_padded;
+            Some
+              { bk_part = part;
+                bk_width = width;
+                bk_ell =
+                  { Ell.rows = root.Descriptor.ld_count;
+                    cols = m.Csr.cols;
+                    width;
+                    indices =
+                      (match lv.Descriptor.ld_crd with
+                      | Some a -> a
+                      | None -> [||]);
+                    data = st.Descriptor.st_vals;
+                    row_map =
+                      (match root.Descriptor.ld_crd with
+                      | Some a -> Some a
+                      | None -> None);
+                    padded = 0 } })
+      (List.init (Array.length jobs) Fun.id)
+  in
   { rows = m.Csr.rows; cols = m.Csr.cols; parts = c; max_width; part_cols;
-    buckets = List.rev !buckets; nnz = Csr.nnz m; padded = !padded }
+    buckets; nnz = Csr.nnz m; padded = !padded }
 
 (* Pre-descriptor reference construction (differential tests, formats
-   benchmark): identical partition/split/bucket logic with hand-rolled
-   array filling. *)
+   benchmark): same single-pass partitioning and linear splitting, with
+   hand-rolled serial array filling. *)
 let of_csr_ref ~(c : int) ~(k : int) (m : Csr.t) : t =
   let part_cols = (m.Csr.cols + c - 1) / c in
   let max_width = 1 lsl k in
+  let streams = partition_streams ~c ~part_cols m in
   let buckets = ref [] in
   let padded = ref 0 in
   for part = 0 to c - 1 do
-    let lo = part * part_cols and hi = min m.Csr.cols ((part + 1) * part_cols) in
-    let rows_entries = ref [] in
-    for i = m.Csr.rows - 1 downto 0 do
-      let es = ref [] in
-      for p = m.Csr.indptr.(i + 1) - 1 downto m.Csr.indptr.(i) do
-        let j = m.Csr.indices.(p) in
-        if j >= lo && j < hi then es := (j, m.Csr.data.(p)) :: !es
-      done;
-      if !es <> [] then rows_entries := (i, !es) :: !rows_entries
-    done;
-    let pseudo = ref [] in
-    List.iter
-      (fun (i, es) ->
-        let rec chunks l =
-          if List.length l <= max_width then [ l ]
-          else
-            let rec take n acc = function
-              | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
-              | rest -> (List.rev acc, rest)
-            in
-            let c1, rest = take max_width [] l in
-            c1 :: chunks rest
-        in
-        List.iter (fun ch -> pseudo := (i, ch) :: !pseudo) (chunks es))
-      !rows_entries;
-    let pseudo = List.rev !pseudo in
-    let nbuckets = k + 1 in
-    let by_bucket = Array.make nbuckets [] in
-    List.iter
-      (fun (i, es) ->
-        let l = List.length es in
-        let b =
-          let rec go w idx = if l <= w then idx else go (w * 2) (idx + 1) in
-          go 1 0
-        in
-        by_bucket.(b) <- (i, es) :: by_bucket.(b))
-      pseudo;
+    let by_bucket = bucketize ~k ~max_width streams.(part) in
     Array.iteri
       (fun b rows_list ->
-        let rows_list = List.rev rows_list in
         let nrows = List.length rows_list in
         if nrows > 0 then begin
           let width = 1 lsl b in

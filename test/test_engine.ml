@@ -596,6 +596,79 @@ let test_narrow_output_strips () =
   Alcotest.(check bool) "stitched result bit-identical" true
     (serial = parallel)
 
+(* Persistent parallel runtime: once an artifact has run at a domain count,
+   repeated executes reuse its cached replica states (zero rebuilds); a
+   domain-count change rebuilds once, and unregistering the artifact drops
+   the cache with it. *)
+let test_replica_reuse () =
+  let open Tir in
+  let n = 256 in
+  let fn = gather_fn "eng_replica_reuse" n in
+  let m = Tensor.of_int_array [ n ] (Array.init n Fun.id) in
+  let a = Tensor.of_float_array [ n ] (Array.make n 1.0) in
+  let c = Tensor.create Dtype.F32 [ n ] in
+  let exec nd =
+    Engine.execute ~kind:Engine.Compiled ~num_domains:nd fn [ m; a; c ]
+  in
+  exec 4;
+  let art = Engine.artifact fn in
+  Alcotest.(check bool) "warmup ran parallel" true (Engine.par_runs art >= 1);
+  let b0 = Engine.replica_builds () in
+  for _ = 1 to 8 do
+    exec 4
+  done;
+  Alcotest.(check int) "warm runs allocate no replicas" 0
+    (Engine.replica_builds () - b0);
+  exec 2;
+  Alcotest.(check bool) "domain-count change rebuilds" true
+    (Engine.replica_builds () > b0);
+  exec 4;
+  let b1 = Engine.replica_builds () in
+  for _ = 1 to 4 do
+    exec 4
+  done;
+  Alcotest.(check int) "warm again after the switch back" 0
+    (Engine.replica_builds () - b1);
+  Engine.unregister fn;
+  exec 4;
+  Alcotest.(check bool) "unregister drops the cache" true
+    (Engine.replica_builds () > b1)
+
+(* Skewed hyb input (one dense row split into many pseudo-rows over a tail
+   of short rows): the bucket loops take the work-stealing scheduler
+   (gather witnesses always do).  Outputs must stay bit-identical to the
+   serial run with zero fallbacks at 4 domains, warm or cold. *)
+let test_stealing_skewed_bit_identical () =
+  let rows = 96 and cols = 64 in
+  let entries = ref [] in
+  for j = 0 to cols - 1 do
+    entries := (0, j, float_of_int (j + 1)) :: !entries
+  done;
+  for i = 1 to rows - 1 do
+    entries :=
+      (i, i mod cols, 1.0) :: (i, ((i * 7) + 1) mod cols, 2.0) :: !entries
+  done;
+  let a = Csr.of_coo (Coo.of_entries ~rows ~cols !entries) in
+  let feat = 8 in
+  let x = Dense.random ~seed:11 cols feat in
+  let c, _ = Kernels.Spmm.sparsetir_hyb ~c:2 a x ~feat in
+  let exec nd =
+    Gpusim.execute ~num_domains:nd c.Kernels.Spmm.fn c.Kernels.Spmm.bindings;
+    Tir.Tensor.to_float_array c.Kernels.Spmm.out
+  in
+  let serial = exec 1 in
+  let stolen0 = Engine.stolen_chunks () in
+  let cold = exec 4 in
+  let warm = exec 4 in
+  let art = Engine.artifact c.Kernels.Spmm.fn in
+  Alcotest.(check bool) "skewed hyb ran parallel" true
+    (Engine.par_runs art >= 1);
+  Alcotest.(check int) "no fallback" 0 (Engine.fallback_runs art);
+  Alcotest.(check bool) "serial = stolen parallel bit-for-bit" true
+    (serial = cold && serial = warm);
+  Alcotest.(check bool) "stolen-chunk counter monotone" true
+    (Engine.stolen_chunks () >= stolen0)
+
 let () =
   Alcotest.run "engine"
     [ ( "differential",
@@ -634,4 +707,8 @@ let () =
           Alcotest.test_case "narrow output strips stitch exactly" `Quick
             test_narrow_output_strips;
           Alcotest.test_case "declared format facts: no scans, no fallback"
-            `Quick test_format_facts_no_scan ] ) ]
+            `Quick test_format_facts_no_scan;
+          Alcotest.test_case "replica cache: reuse and invalidation" `Quick
+            test_replica_reuse;
+          Alcotest.test_case "work stealing: skewed hyb bit-identical" `Quick
+            test_stealing_skewed_bit_identical ] ) ]

@@ -233,6 +233,128 @@ let test_hyb_bucket_widths () =
   Alcotest.(check (list int)) "bucket widths" [ 1; 2; 4 ] widths;
   Alcotest.(check bool) "padding counted" true (h.Hyb.padded > 0)
 
+(* The pre-single-pass hyb builder, kept verbatim as a reference: one full
+   rescan of the CSR per column partition and the quadratic list splitter.
+   The rewritten builders must be bit-identical to it. *)
+let hyb_rescan_reference ~(c : int) ~(k : int) (m : Csr.t) : Hyb.t =
+  let part_cols = (m.Csr.cols + c - 1) / c in
+  let max_width = 1 lsl k in
+  let buckets = ref [] in
+  let padded = ref 0 in
+  for part = 0 to c - 1 do
+    let lo = part * part_cols
+    and hi = min m.Csr.cols ((part + 1) * part_cols) in
+    let rows_entries = ref [] in
+    for i = m.Csr.rows - 1 downto 0 do
+      let es = ref [] in
+      for p = m.Csr.indptr.(i + 1) - 1 downto m.Csr.indptr.(i) do
+        let j = m.Csr.indices.(p) in
+        if j >= lo && j < hi then es := (j, m.Csr.data.(p)) :: !es
+      done;
+      if !es <> [] then rows_entries := (i, !es) :: !rows_entries
+    done;
+    let pseudo = ref [] in
+    List.iter
+      (fun (i, es) ->
+        let rec chunks l =
+          if List.length l <= max_width then [ l ]
+          else
+            let rec take n acc = function
+              | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let c1, rest = take max_width [] l in
+            c1 :: chunks rest
+        in
+        List.iter (fun ch -> pseudo := (i, ch) :: !pseudo) (chunks es))
+      !rows_entries;
+    let pseudo = List.rev !pseudo in
+    let by_bucket = Array.make (k + 1) [] in
+    List.iter
+      (fun (i, es) ->
+        let l = List.length es in
+        let b =
+          let rec go w idx = if l <= w then idx else go (w * 2) (idx + 1) in
+          go 1 0
+        in
+        by_bucket.(b) <- (i, es) :: by_bucket.(b))
+      pseudo;
+    Array.iteri
+      (fun b rows_list ->
+        let rows_list = List.rev rows_list in
+        let nrows = List.length rows_list in
+        if nrows > 0 then begin
+          let width = 1 lsl b in
+          let row_map = Array.make nrows 0 in
+          let indices = Array.make (nrows * width) m.Csr.cols in
+          let data = Array.make (nrows * width) 0.0 in
+          List.iteri
+            (fun r (i, es) ->
+              row_map.(r) <- i;
+              List.iteri
+                (fun q (j, v) ->
+                  indices.((r * width) + q) <- j;
+                  data.((r * width) + q) <- v)
+                es;
+              padded := !padded + (width - List.length es))
+            rows_list;
+          buckets :=
+            { Hyb.bk_part = part;
+              bk_width = width;
+              bk_ell =
+                { Ell.rows = nrows; cols = m.Csr.cols; width; indices; data;
+                  row_map = Some row_map; padded = 0 } }
+            :: !buckets
+        end)
+      by_bucket
+  done;
+  { Hyb.rows = m.Csr.rows; cols = m.Csr.cols; parts = c; max_width;
+    part_cols; buckets = List.rev !buckets; nnz = Csr.nnz m;
+    padded = !padded }
+
+let hyb_single_pass_matches_rescan =
+  QCheck.Test.make ~count:200 ~name:"hyb single-pass = per-partition rescan"
+    sparse_arb (fun input ->
+      let m = csr_of input in
+      Hyb.of_csr_ref ~c:3 ~k:2 m = hyb_rescan_reference ~c:3 ~k:2 m)
+
+(* Regression for the quadratic pseudo-row splitter: one long row must
+   split in linear time and come out identical to the rescan reference
+   (checked at a width where the old splitter's cost would already bite). *)
+let test_hyb_long_single_row () =
+  let n = 20_000 in
+  let entries = List.init n (fun j -> (0, j, float_of_int (j + 1))) in
+  let m = Csr.of_coo (Coo.of_entries ~rows:1 ~cols:n entries) in
+  let k = 3 in
+  let h = Hyb.of_csr ~c:1 ~k m in
+  let href = Hyb.of_csr_ref ~c:1 ~k m in
+  let pseudo_rows =
+    List.fold_left (fun acc b -> acc + b.Hyb.bk_ell.Ell.rows) 0 h.Hyb.buckets
+  in
+  Alcotest.(check int) "split into ceil(n / 2^k) pseudo-rows"
+    ((n + (1 lsl k) - 1) / (1 lsl k))
+    pseudo_rows;
+  Alcotest.(check int) "nnz preserved" n h.Hyb.nnz;
+  Alcotest.(check bool) "descriptor = reference on the long row" true
+    (let ell b = b.Hyb.bk_ell in
+     List.map ell h.Hyb.buckets = List.map ell href.Hyb.buckets)
+
+(* The direct DIA build path must reproduce the generic descent's storage:
+   ascending unique offsets, row-indexed values, padding accounted. *)
+let test_dia_direct_build () =
+  let d =
+    Dense.init 64 64 (fun i j ->
+        let o = j - i in
+        if o = 0 || o = 3 || o = -2 then float_of_int ((i * 7 mod 11) + 1)
+        else 0.0)
+  in
+  let c = Csr.of_dense d in
+  let s = Dia.of_csr c in
+  Alcotest.(check bool) "direct dia = legacy dia" true
+    (s = Dia.of_csr_ref c);
+  Alcotest.(check (float 0.0)) "dense roundtrip exact" 0.0
+    (Dense.max_abs_diff d (Dia.to_dense s))
+
 let test_default_k () =
   let d = Dense.init 4 16 (fun _ _ -> 1.0) in
   let c = Csr.of_dense d in
@@ -261,8 +383,13 @@ let () =
           Alcotest.test_case "deterministic rng" `Quick
             test_dense_random_deterministic;
           Alcotest.test_case "banded rejects off-band" `Quick
-            test_banded_rejects_off_band ] );
+            test_banded_rejects_off_band;
+          Alcotest.test_case "hyb long single row splits linearly" `Quick
+            test_hyb_long_single_row;
+          Alcotest.test_case "dia direct build" `Quick test_dia_direct_build ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
       ( "descriptor",
-        List.map (QCheck_alcotest.to_alcotest ~long:false) descriptor_tests )
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          (descriptor_tests @ [ hyb_single_pass_matches_rescan ]) )
     ]

@@ -13,11 +13,15 @@
      host-dependent (it needs real cores), so on a host exposing fewer than
      two cores the table is still printed but the regression gate is
      skipped with a caveat — the fresh file then simply becomes the
-     recorded baseline.
+     recorded baseline.  The run's work-stealing total ("stolen_chunks")
+     is echoed after the table.
    - BENCH_formats.json: the compared metric is each format's
      descriptor-vs-legacy construction speedup (the "descriptor" rows).
      Like the engine ratio, both legs run in the same process, so the ratio
-     is host-stable and gated unconditionally.
+     is host-stable and gated unconditionally.  A construction-wall column
+     additionally shows each format's absolute cold-build time (ns per
+     build, baseline -> fresh) — informational only, never gated, since
+     wall time is host-dependent.
    - BENCH_serve.json: the compared metric is each traffic phase's
      requests/second through the serving loop, with the p99 latency shown
      alongside.  Throughput needs real cores for the leased driver domains,
@@ -70,15 +74,26 @@ let field_float (line : string) (key : string) : float option =
       if !e = start then None
       else float_of_string_opt (String.sub line start (!e - start))
 
-(* kernel -> the measured metric of its row (engine files: the "compiled"
-   rows' speedup-vs-interp; parallel files: the "parallel" rows'
-   speedup-vs-serial; serve files: the phase rows' req/s), plus the file's
-   kind, geomean, and — for serve files — each phase's p99 latency *)
-let load (path : string) :
-    string * (string * float) list * float * (string * float) list =
+(* One parsed bench file: kernel -> the measured metric of its row (engine
+   files: the "compiled" rows' speedup-vs-interp; parallel files: the
+   "parallel" rows' speedup-vs-serial; serve files: the phase rows' req/s),
+   plus the file's kind and geomean.  Side channels: serve files carry each
+   phase's p99 latency, formats files the "descriptor" rows' absolute
+   construction wall time (ns per cold build — host-dependent, printed but
+   never gated), parallel files the run's stolen-chunk total. *)
+type bench_file = {
+  bf_kind : string;
+  bf_rows : (string * float) list;
+  bf_geo : float;
+  bf_p99 : (string * float) list;
+  bf_wall : (string * float) list;
+  bf_stolen : float option;
+}
+
+let load (path : string) : bench_file =
   let ic = open_in path in
   let kind = ref "engine" and rows = ref [] and geomean = ref nan in
-  let p99s = ref [] in
+  let p99s = ref [] and walls = ref [] and stolen = ref None in
   (try
      while true do
        let line = input_line ic in
@@ -88,14 +103,24 @@ let load (path : string) :
        (match field_float line "geomean_speedup" with
        | Some g -> geomean := g
        | None -> ());
+       (match field_str line "kernel" with
+       | Some _ -> ()
+       | None -> (
+           (* top-level field, not a row *)
+           match field_float line "stolen_chunks" with
+           | Some s -> stolen := Some s
+           | None -> ()));
        let tagged =
          match field_str line "engine" with
          | Some _ as e -> e
          | None -> field_str line "mode"
        in
        match (field_str line "kernel", tagged) with
-       | Some k, Some ("compiled" | "parallel" | "descriptor") -> (
-           match field_float line "speedup" with
+       | Some k, Some ("compiled" | "parallel" | "descriptor") ->
+           (match (tagged, field_float line "ns_per_iter") with
+           | Some "descriptor", Some w -> walls := (k, w) :: !walls
+           | _ -> ());
+           (match field_float line "speedup" with
            | Some s -> rows := (k, s) :: !rows
            | None -> ())
        | Some k, Some "serve" -> (
@@ -108,7 +133,9 @@ let load (path : string) :
        | _ -> ()
      done
    with End_of_file -> close_in ic);
-  (!kind, List.rev !rows, !geomean, List.rev !p99s)
+  { bf_kind = !kind; bf_rows = List.rev !rows; bf_geo = !geomean;
+    bf_p99 = List.rev !p99s; bf_wall = List.rev !walls;
+    bf_stolen = !stolen }
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -126,8 +153,11 @@ let () =
   in
   match files with
   | [ base_path; fresh_path ] ->
-      let base_kind, base, base_geo, base_p99 = load base_path in
-      let fresh_kind, fresh, fresh_geo, fresh_p99 = load fresh_path in
+      let bf = load base_path and ff = load fresh_path in
+      let base_kind = bf.bf_kind and fresh_kind = ff.bf_kind in
+      let base = bf.bf_rows and fresh = ff.bf_rows in
+      let base_geo = bf.bf_geo and fresh_geo = ff.bf_geo in
+      let base_p99 = bf.bf_p99 and fresh_p99 = ff.bf_p99 in
       if base_kind <> fresh_kind then (
         Printf.eprintf
           "bench_trend: bench kinds differ (%s baseline vs %s fresh)\n"
@@ -157,8 +187,14 @@ let () =
       if fresh = [] then (
         Printf.eprintf "bench_trend: no compiled rows in %s\n" fresh_path;
         exit 2);
-      Printf.printf "%-20s %10s %10s %8s\n" "kernel" "baseline" "fresh"
-        "ratio";
+      let fmt_ns ns =
+        if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+        else Printf.sprintf "%.0fns" ns
+      in
+      Printf.printf "%-20s %10s %10s %8s%s\n" "kernel" "baseline" "fresh"
+        "ratio"
+        (if fresh_kind = "formats" then "  construction-wall (b->f)" else "");
       let failures = ref 0 in
       List.iter
         (fun (k, b) ->
@@ -188,8 +224,19 @@ let () =
                       Printf.sprintf "  p99 %.2f->%.2fms" pb pf
                   | _ -> ""
                 in
-                Printf.printf "%-20s %10.2f %10.2f %7.2f%s%s\n" k b f ratio
-                  p99
+                (* absolute cold-build wall time for formats rows: the
+                   speedup ratio alone hides a construction path that got
+                   uniformly slower against its legacy leg *)
+                let wall =
+                  match
+                    (List.assoc_opt k bf.bf_wall, List.assoc_opt k ff.bf_wall)
+                  with
+                  | Some wb, Some wf ->
+                      Printf.sprintf "  wall %s->%s" (fmt_ns wb) (fmt_ns wf)
+                  | _ -> ""
+                in
+                Printf.printf "%-20s %10.2f %10.2f %7.2f%s%s%s\n" k b f ratio
+                  p99 wall
                   (if bad then "  REGRESSION" else "")
               end)
         base;
@@ -201,6 +248,14 @@ let () =
             Printf.printf "%-20s %10s %10.2f %8s  NEW (no baseline)\n" k "-" f
               "-")
         fresh;
+      (match ff.bf_stolen with
+      | Some sf ->
+          Printf.printf "stolen chunks: baseline %s -> fresh %.0f\n"
+            (match bf.bf_stolen with
+            | Some sb -> Printf.sprintf "%.0f" sb
+            | None -> "-")
+            sf
+      | None -> ());
       Printf.printf "geomean: baseline %.2fx -> fresh %.2fx (threshold: \
                      fail below %.0f%% of baseline per kernel)\n"
         base_geo fresh_geo
