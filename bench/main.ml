@@ -32,7 +32,8 @@ let experiments ~full ~domains : (string * (unit -> unit)) list =
     ("engine", fun () -> Engine_bench.run ~full ());
     ("formats", fun () -> Formats_bench.run ~full ());
     ("parallel", fun () -> Parallel_bench.run ~full ~domains ());
-    ("serve", fun () -> Serve_bench.run ~full ()) ]
+    ("serve", fun () -> Serve_bench.run ~full ());
+    ("mutate", fun () -> Mutate_bench.run ~full ()) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)
 

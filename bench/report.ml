@@ -116,6 +116,39 @@ let write_serve_json ~(path : string) ~(domains : int) ~(headline : float)
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* Mutation-bench output (DESIGN.md §3i): delta-update cost vs cold format
+   rebuild under a stream of edge-delta batches sized at ≤ 1% of nnz.  The
+   "mutate" rows carry each delta leg's wall (ns per batch) and its speedup
+   against the matching cold-rebuild leg; both legs run in the same process
+   on the same batch stream, so the ratio is host-stable and the trend gate
+   applies unconditionally.  The "cold" and "steady" rows (absolute rebuild
+   wall, post-delta SpMM wall) are informational and never gated.
+   [facts_rescans] counts full-column Facts scans triggered during the
+   mutation loops — the delta path re-verifies touched spans instead of
+   rescanning, so it must stay 0. *)
+let write_mutate_json ~(path : string) ~(delta_pct : float)
+    ~(facts_rescans : int) ~(span_checks : int) ~(geomean_speedup : float)
+    (rows : (string * string * float * float) list) : unit =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"mutate\",\n";
+  Printf.fprintf oc "  \"delta_pct\": %.3f,\n" delta_pct;
+  Printf.fprintf oc "  \"facts_rescans\": %d,\n" facts_rescans;
+  Printf.fprintf oc "  \"span_checks\": %d,\n" span_checks;
+  Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" geomean_speedup;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (kernel, mode, ns, speedup) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"mode\": %S, \"ns_per_iter\": %.1f, \
+         \"speedup\": %.4f}%s\n"
+        kernel mode ns speedup
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let write_parallel_json ~(path : string) ~(domains : int)
     ~(stolen_chunks : int) ~(geomean_speedup : float)
     (rows : (string * string * float * float) list) : unit =

@@ -170,3 +170,246 @@ let indices_tensor (m : t) : Tir.Tensor.t =
 let data_tensor ?(dtype = Tir.Dtype.F32) (m : t) : Tir.Tensor.t =
   Tir.Tensor.of_float_array ~dtype [ max 1 (nnz m) ]
     (if nnz m = 0 then [| 0.0 |] else Array.copy m.data)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental deltas (DESIGN.md §3i)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Value-level patch: merge each touched row against its normalized edits
+   and blit the untouched row runs wholesale.  O(Δ log Δ + entries of
+   touched rows + rows) plus the output copy — the sort-and-canonicalize
+   work of a cold [of_coo] is never paid.  The result is structurally
+   identical to [of_coo] over the patched entry set (exact-size arrays,
+   sorted rows), which is what the differential tests assert. *)
+let apply_delta (m : t) (batch : Delta.edit list) : t =
+  let patches = Delta.normalize ~rows:m.rows ~cols:m.cols batch in
+  if patches = [] then m
+  else begin
+    let merged =
+      List.map
+        (fun (re : Delta.row_edits) ->
+          let lo = m.indptr.(re.Delta.re_row)
+          and hi = m.indptr.(re.Delta.re_row + 1) in
+          let cols, vals, added, removed =
+            Delta.merge_row ~old_cols:m.indices ~old_vals:m.data ~lo ~hi
+              re.Delta.re_cols
+          in
+          (re.Delta.re_row, cols, vals, added - removed))
+        patches
+    in
+    let net = List.fold_left (fun a (_, _, _, d) -> a + d) 0 merged in
+    let n_new = nnz m + net in
+    let indptr = Array.make (m.rows + 1) 0 in
+    let indices = Array.make (max 1 n_new) 0 in
+    let data = Array.make (max 1 n_new) 0.0 in
+    let w = ref 0 in
+    let next = ref merged in
+    let row = ref 0 in
+    while !row < m.rows do
+      (match !next with
+      | (r, cols, vals, _) :: rest when r = !row ->
+          let len = Array.length cols in
+          Array.blit cols 0 indices !w len;
+          Array.blit vals 0 data !w len;
+          w := !w + len;
+          indptr.(!row + 1) <- !w;
+          next := rest;
+          incr row
+      | _ ->
+          (* untouched run up to the next touched row: one blit, with the
+             per-row indptr entries shifted by the accumulated net *)
+          let stop =
+            match !next with (r, _, _, _) :: _ -> r | [] -> m.rows
+          in
+          let lo = m.indptr.(!row) and hi = m.indptr.(stop) in
+          Array.blit m.indices lo indices !w (hi - lo);
+          Array.blit m.data lo data !w (hi - lo);
+          let shift = !w - lo in
+          for i = !row to stop - 1 do
+            indptr.(i + 1) <- m.indptr.(i + 1) + shift
+          done;
+          w := !w + (hi - lo);
+          row := stop);
+    done;
+    { m with indptr; indices; data }
+  end
+
+(* A live CSR: the same indptr/indices/data triple, but owned by tensors
+   that share the arrays (no copy at bind time) and patched in place by
+   [apply_delta_live].  indices/data carry capacity slack beyond the
+   current nnz — kernels never read past indptr.(rows), and the engine's
+   relaxed loads return 0 out of range, so oversized arrays are inert.
+   Each batch bumps every tensor version exactly once and re-establishes
+   the indptr ordering fact over the rewritten span only
+   ([Facts.redeclare_span]), so dispatch-time scan counts stay flat. *)
+type live = {
+  lv_rows : int;
+  lv_cols : int;
+  lv_indptr : int array; (* rows + 1, shared with lv_iptr_t *)
+  mutable lv_indices : int array; (* capacity >= nnz *)
+  mutable lv_data : float array;
+  lv_iptr_t : Tir.Tensor.t;
+  mutable lv_idx_t : Tir.Tensor.t;
+  mutable lv_val_t : Tir.Tensor.t;
+  mutable lv_scratch_i : int array; (* suffix stash for the rewrite *)
+  mutable lv_scratch_f : float array;
+  mutable lv_generation : int; (* bumped when capacity growth rebinds *)
+}
+
+let live ?(slack = 0) (m : t) : live =
+  let n = nnz m in
+  let cap = max 1 (n + max 0 slack) in
+  let indptr = Array.copy m.indptr in
+  let indices = Array.make cap 0 in
+  let data = Array.make cap 0.0 in
+  if n > 0 then begin
+    Array.blit m.indices 0 indices 0 n;
+    Array.blit m.data 0 data 0 n
+  end;
+  let iptr_t = Tir.Tensor.of_int_array [ m.rows + 1 ] indptr in
+  Tir.Tensor.Facts.declare iptr_t Tir.Tensor.Facts.Monotone_nd;
+  { lv_rows = m.rows;
+    lv_cols = m.cols;
+    lv_indptr = indptr;
+    lv_indices = indices;
+    lv_data = data;
+    lv_iptr_t = iptr_t;
+    lv_idx_t = Tir.Tensor.of_int_array [ cap ] indices;
+    lv_val_t = Tir.Tensor.of_float_array [ cap ] data;
+    lv_scratch_i = [||];
+    lv_scratch_f = [||];
+    lv_generation = 0 }
+
+let live_nnz (lv : live) : int = lv.lv_indptr.(lv.lv_rows)
+let live_generation (lv : live) : int = lv.lv_generation
+
+(* Packed snapshot: exact-size arrays, the same shape [of_coo] builds. *)
+let live_csr (lv : live) : t =
+  let n = live_nnz lv in
+  { rows = lv.lv_rows;
+    cols = lv.lv_cols;
+    indptr = Array.copy lv.lv_indptr;
+    indices = (if n = 0 then [| 0 |] else Array.sub lv.lv_indices 0 n);
+    data = (if n = 0 then [| 0.0 |] else Array.sub lv.lv_data 0 n) }
+
+let live_tensors (lv : live) : Tir.Tensor.t * Tir.Tensor.t * Tir.Tensor.t =
+  (lv.lv_iptr_t, lv.lv_idx_t, lv.lv_val_t)
+
+(* Raw shared arrays, read-only for layered formats: hyb's bucket patcher
+   pulls merged row segments straight from these instead of re-deriving
+   them.  Only entries below [live_nnz] are meaningful. *)
+let live_arrays (lv : live) : int array * int array * float array =
+  (lv.lv_indptr, lv.lv_indices, lv.lv_data)
+
+(* Swap a compiled kernel's A bindings for the live tensors, so deltas are
+   visible to the cached artifact without recompiling (rows/cols/feat are
+   baked into the func; nnz is data-dependent through indptr loads).
+   Re-derive bindings after any batch that bumped [live_generation] —
+   capacity growth replaces the indices/data tensors. *)
+let live_bindings ?(data = "A") ?(indptr = "A_indptr")
+    ?(indices = "A_indices") (lv : live)
+    (binds : (string * Tir.Tensor.t) list) : (string * Tir.Tensor.t) list =
+  List.map
+    (fun (n, t) ->
+      if n = data then (n, lv.lv_val_t)
+      else if n = indptr then (n, lv.lv_iptr_t)
+      else if n = indices then (n, lv.lv_idx_t)
+      else (n, t))
+    binds
+
+(* Capacity growth: fresh (larger) arrays and fresh indices/data tensors;
+   the indptr tensor is untouched (its array never resizes), so its
+   declared fact survives.  Callers observe [live_generation] and re-derive
+   bindings. *)
+let grow (lv : live) (need : int) : unit =
+  let cap = max need ((Array.length lv.lv_indices * 3 / 2) + 8) in
+  let idx = Array.make cap 0 and vals = Array.make cap 0.0 in
+  let n = live_nnz lv in
+  Array.blit lv.lv_indices 0 idx 0 n;
+  Array.blit lv.lv_data 0 vals 0 n;
+  lv.lv_indices <- idx;
+  lv.lv_data <- vals;
+  lv.lv_idx_t <- Tir.Tensor.of_int_array [ cap ] idx;
+  lv.lv_val_t <- Tir.Tensor.of_float_array [ cap ] vals;
+  lv.lv_generation <- lv.lv_generation + 1
+
+(* Per-row patch record, returned so layered formats (hyb) can update
+   their own maps from the same merge pass. *)
+type row_patch = {
+  rp_row : int;
+  rp_cols : int array; (* full merged row, columns ascending *)
+  rp_vals : float array;
+  rp_edits : (int * float option) list; (* normalized edits for the row *)
+  rp_added : int;
+  rp_removed : int;
+}
+
+let apply_delta_live (lv : live) (batch : Delta.edit list) : row_patch list =
+  let patches = Delta.normalize ~rows:lv.lv_rows ~cols:lv.lv_cols batch in
+  if patches = [] then []
+  else begin
+    let merged =
+      List.map
+        (fun (re : Delta.row_edits) ->
+          let lo = lv.lv_indptr.(re.Delta.re_row)
+          and hi = lv.lv_indptr.(re.Delta.re_row + 1) in
+          let cols, vals, added, removed =
+            Delta.merge_row ~old_cols:lv.lv_indices ~old_vals:lv.lv_data ~lo
+              ~hi re.Delta.re_cols
+          in
+          { rp_row = re.Delta.re_row;
+            rp_cols = cols;
+            rp_vals = vals;
+            rp_edits = re.Delta.re_cols;
+            rp_added = added;
+            rp_removed = removed })
+        patches
+    in
+    let net =
+      List.fold_left (fun a p -> a + p.rp_added - p.rp_removed) 0 merged
+    in
+    let n_old = live_nnz lv in
+    let n_new = n_old + net in
+    if n_new > Array.length lv.lv_indices then grow lv n_new;
+    (* rows at/after the first touched row shift by varying amounts; stash
+       the old suffix once and rewrite left-to-right reading from it *)
+    let r0 = (List.hd merged).rp_row in
+    let p0 = lv.lv_indptr.(r0) in
+    let suffix = n_old - p0 in
+    if Array.length lv.lv_scratch_i < suffix then begin
+      let cap = suffix + (suffix / 2) + 8 in
+      lv.lv_scratch_i <- Array.make cap 0;
+      lv.lv_scratch_f <- Array.make cap 0.0
+    end;
+    Array.blit lv.lv_indices p0 lv.lv_scratch_i 0 suffix;
+    Array.blit lv.lv_data p0 lv.lv_scratch_f 0 suffix;
+    let w = ref p0 in
+    let next = ref merged in
+    let old_lo = ref p0 in
+    for row = r0 to lv.lv_rows - 1 do
+      let old_hi = lv.lv_indptr.(row + 1) in
+      (match !next with
+      | p :: rest when p.rp_row = row ->
+          let len = Array.length p.rp_cols in
+          Array.blit p.rp_cols 0 lv.lv_indices !w len;
+          Array.blit p.rp_vals 0 lv.lv_data !w len;
+          w := !w + len;
+          next := rest
+      | _ ->
+          let lo = !old_lo - p0 and len = old_hi - !old_lo in
+          Array.blit lv.lv_scratch_i lo lv.lv_indices !w len;
+          Array.blit lv.lv_scratch_f lo lv.lv_data !w len;
+          w := !w + len);
+      lv.lv_indptr.(row + 1) <- !w;
+      old_lo := old_hi
+    done;
+    (* exactly one version bump per tensor per batch, then re-establish the
+       indptr ordering fact over the rewritten span only *)
+    Tir.Tensor.touch lv.lv_iptr_t;
+    Tir.Tensor.touch lv.lv_idx_t;
+    Tir.Tensor.touch lv.lv_val_t;
+    ignore
+      (Tir.Tensor.Facts.redeclare_span lv.lv_iptr_t
+         [ Tir.Tensor.Facts.Monotone_nd ] ~lo:(r0 + 1) ~hi:(lv.lv_rows + 1));
+    merged
+  end

@@ -17,3 +17,4 @@ module Levels = Levels
 module Descriptor = Descriptor
 module Sell = Sell
 module Banded = Banded
+module Delta = Delta

@@ -202,7 +202,7 @@ let sparsetir_no_hyb ?(row_group = 8) ?(vec = 1) (a : Csr.t) (x : Dense.t)
 (* One FormatRewriteRule per bucket: a row-mapped ELL sub-matrix.  The
    inverse index map gathers the original row id from the bucket's row map,
    exercising the paper's integer-loaded index expressions. *)
-let bucket_rule (idx : int) (b : Hyb.bucket) :
+let bucket_rule ?tensors (idx : int) (b : Hyb.bucket) :
     Sparse_ir.Format_rewrite.rule * (string * Tensor.t) list =
   let open Builder in
   let e = b.Hyb.bk_ell in
@@ -228,10 +228,19 @@ let bucket_rule (idx : int) (b : Hyb.bucket) :
             | [ i2c; j2c ] -> [ load row_map_buf [ i2c ]; j2c ]
             | _ -> invalid_arg "bucket_rule: arity") }
   in
+  (* [tensors] overrides the default copying accessors with tensors that
+     share the format's arrays — the live-delta path, where the same
+     tensors stay bound across in-place patches *)
   let binds =
-    [ ("rowmap_" ^ tag, Ell.row_map_tensor e);
-      ("ellidx_" ^ tag, Ell.indices_tensor e);
-      ("A_" ^ tag, Ell.data_tensor e) ]
+    match tensors with
+    | Some (rm_t, idx_t, val_t) ->
+        [ ("rowmap_" ^ tag, rm_t);
+          ("ellidx_" ^ tag, idx_t);
+          ("A_" ^ tag, val_t) ]
+    | None ->
+        [ ("rowmap_" ^ tag, Ell.row_map_tensor e);
+          ("ellidx_" ^ tag, Ell.indices_tensor e);
+          ("A_" ^ tag, Ell.data_tensor e) ]
   in
   (rule, binds)
 
@@ -247,14 +256,16 @@ let hyb_trace ~c ~k (h : Hyb.t) : string =
               b.Hyb.bk_ell.Ell.rows)
           h.Hyb.buckets))
 
-(* The hyb(c, k) SpMM: decompose the CSR iteration into per-bucket ELL
-   iterations, then schedule each bucket so a thread block processes 2^k
-   non-zeros (2^{k-i} rows of bucket width 2^i). *)
-let sparsetir_hyb ?(c = 1) ?k (a : Csr.t) (x : Dense.t) ~(feat : int) :
-    compiled * Hyb.t =
-  let k = match k with Some k -> k | None -> Hyb.default_k a in
-  let h = Hyb.of_csr ~c ~k a in
-  let rules_binds = List.mapi bucket_rule h.Hyb.buckets in
+(* The hyb(c, k) SpMM body shared by the cold and live entry points:
+   decompose the CSR iteration into per-bucket ELL iterations, then
+   schedule each bucket so a thread block processes 2^k non-zeros
+   (2^{k-i} rows of bucket width 2^i).  [rebind] post-processes the base
+   bindings (the live path swaps in its shared-array tensors). *)
+let hyb_compiled ~(c : int) ~(k : int) (h : Hyb.t)
+    (rules_binds :
+      (Sparse_ir.Format_rewrite.rule * (string * Tensor.t) list) list)
+    (a : Csr.t) (x : Dense.t) ~(feat : int)
+    ~(rebind : Gpusim.bindings -> Gpusim.bindings) : compiled =
   let rules = List.map fst rules_binds in
   let extra_binds = List.concat_map snd rules_binds in
   let decompose =
@@ -296,13 +307,55 @@ let sparsetir_hyb ?(c = 1) ?k (a : Csr.t) (x : Dense.t) ~(feat : int) :
   let bindings, out = base_bindings a x ~feat in
   (* the original A data buffer is gone after decomposition *)
   let bindings = List.filter (fun (n, _) -> n <> "A") bindings in
-  let bindings = bindings @ extra_binds in
+  let bindings = rebind bindings @ extra_binds in
   let fn =
     Pipeline.compile ~coord:[ decompose ] ~bind:bindings ~name:"hyb_spmm"
       ~trace:(Printf.sprintf "hyb_sched(feat=%d,k=%d)" feat k)
       schedule (stage1 a ~feat)
   in
-  ({ fn; bindings; out }, h)
+  { fn; bindings; out }
+
+let sparsetir_hyb ?(c = 1) ?k (a : Csr.t) (x : Dense.t) ~(feat : int) :
+    compiled * Hyb.t =
+  let k = match k with Some k -> k | None -> Hyb.default_k a in
+  let h = Hyb.of_csr ~c ~k a in
+  let rules_binds = List.mapi (fun i b -> bucket_rule i b) h.Hyb.buckets in
+  (hyb_compiled ~c ~k h rules_binds a x ~feat ~rebind:Fun.id, h)
+
+(* Live-delta hyb SpMM: binds the live format's shared-array tensors, so
+   in-place patches are visible to the compiled artifact without
+   re-deriving anything.  After a delta that rebuilt buckets
+   ([di_shape_changed] or a [Hyb.live_generation] bump), call this again:
+   unchanged bucket shapes hit the compile cache (the trace keys on them)
+   and only the bindings are re-derived. *)
+let sparsetir_hyb_live (lv : Hyb.live) (x : Dense.t) ~(feat : int) :
+    compiled =
+  let h = Hyb.live_hyb lv in
+  let c = h.Hyb.parts in
+  let k =
+    let rec lg w = if w <= 1 then 0 else 1 + lg (w / 2) in
+    lg h.Hyb.max_width
+  in
+  let a = Csr.live_csr (Hyb.live_source lv) in
+  let rules_binds =
+    List.mapi
+      (fun i (b, rm_t, idx_t, val_t) ->
+        bucket_rule ~tensors:(rm_t, idx_t, val_t) i b)
+      (Hyb.live_buckets lv)
+  in
+  hyb_compiled ~c ~k h rules_binds a x ~feat
+    ~rebind:(Csr.live_bindings (Hyb.live_source lv))
+
+(* Live-delta CSR SpMM on the single-format SparseTIR schedule: the
+   indptr/indices/data bindings share the live arrays, and the artifact
+   itself survives every delta (rows/cols/feat are baked; nnz is
+   data-dependent through indptr loads).  Re-derive bindings only after a
+   capacity growth ([Csr.live_generation] bump). *)
+let sparsetir_csr_live ?(row_group = 8) ?(vec = 1) (lv : Csr.live)
+    (x : Dense.t) ~(feat : int) : compiled =
+  let a = Csr.live_csr lv in
+  let compiled = sparsetir_no_hyb ~row_group ~vec a x ~feat in
+  { compiled with bindings = Csr.live_bindings lv compiled.bindings }
 
 (* Accumulating SpMM (no output init): C += A * B with B supplied as an
    existing tensor.  Used by the two-stage RGMS pipelines, where each

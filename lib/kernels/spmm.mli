@@ -38,9 +38,12 @@ val sparsetir_no_hyb : ?row_group:int -> ?vec:int -> Csr.t -> Dense.t -> feat:in
 (** The best single-format (CSR) point of SparseTIR's schedule space. *)
 
 val bucket_rule :
+  ?tensors:Tir.Tensor.t * Tir.Tensor.t * Tir.Tensor.t ->
   int -> Hyb.bucket -> Sparse_ir.Format_rewrite.rule * (string * Tir.Tensor.t) list
 (** One FormatRewriteRule per hyb bucket (a row-mapped ELL): the inverse
-    index map gathers the original row id from the bucket's row map. *)
+    index map gathers the original row id from the bucket's row map.
+    [tensors] = (row_map, indices, data) overrides the default copying
+    accessors with shared-array tensors (the live-delta path). *)
 
 val sparsetir_hyb :
   ?c:int -> ?k:int -> Csr.t -> Dense.t -> feat:int -> compiled * Hyb.t
@@ -48,6 +51,18 @@ val sparsetir_hyb :
     the bucket rules, one kernel per bucket (thread blocks cover 2^k
     non-zeros each), plus the generated output-initialization kernel.
     Profile with horizontal fusion. *)
+
+val sparsetir_hyb_live : Hyb.live -> Dense.t -> feat:int -> compiled
+(** The hyb kernel over a live (delta-patched) format: bindings share the
+    live arrays, so in-place patches reach the artifact with no rebind.
+    Call again after a {!Hyb.live_generation} bump — unchanged bucket
+    shapes hit the compile cache and only bindings are re-derived. *)
+
+val sparsetir_csr_live :
+  ?row_group:int -> ?vec:int -> Csr.live -> Dense.t -> feat:int -> compiled
+(** {!sparsetir_no_hyb} over a live CSR: the artifact survives every delta
+    (nnz is data-dependent through indptr loads); re-derive bindings only
+    after a {!Csr.live_generation} bump (capacity growth). *)
 
 val accumulate_into :
   ?row_group:int -> Csr.t -> b_tensor:Tir.Tensor.t -> c_tensor:Tir.Tensor.t ->

@@ -120,6 +120,27 @@ let restore_facts (e : entry) : unit =
       if t.Tensor.version = ver then Tensor.Facts.redeclare t fs)
     e.e_facts
 
+(* Delta coherence: after an in-place patch bumped a tensor's version and
+   re-established its facts ([Facts.redeclare_span]), stale snapshots in
+   any cached entry would be skipped by [restore_facts] forever (version
+   mismatch), forcing dispatch-time rescans after the next fact-table
+   clear.  Refresh every entry's snapshot for the given tensors from
+   their current version and currently-declared facts.  The entries'
+   artifacts stay untouched — a delta never invalidates lowered IR, only
+   the fact snapshots. *)
+let refresh_facts (t : t) (tensors : Tensor.t list) : unit =
+  let ids = List.map (fun (x : Tensor.t) -> x.Tensor.id) tensors in
+  Hashtbl.iter
+    (fun _ e ->
+      e.e_facts <-
+        List.map
+          (fun (((x : Tensor.t), _, _) as snap) ->
+            if List.mem x.Tensor.id ids then
+              (x, x.Tensor.version, Tensor.Facts.declared x)
+            else snap)
+          e.e_facts)
+    t.table
+
 let capacity (t : t) = t.capacity
 
 let set_capacity (t : t) (c : int) =

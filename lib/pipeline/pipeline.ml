@@ -71,6 +71,14 @@ let cache_evictions () = Cache.evictions shared_cache
    are unregistered in the same step on eviction). *)
 let set_cache_capacity (c : int) = Cache.set_capacity shared_cache c
 let cache_capacity () = Cache.capacity shared_cache
+
+(* Delta coherence (DESIGN.md §3i): after an in-place patch bumped a
+   tensor's version and re-established its facts, refresh every cached
+   entry's fact snapshot for those tensors so warm hits keep restoring
+   them.  Artifacts are untouched — a delta never invalidates lowered
+   IR. *)
+let refresh_fact_snapshots (tensors : Tir.Tensor.t list) : unit =
+  Cache.refresh_facts shared_cache tensors
 let all_stats () = List.rev !history
 let last_stats () = match !history with [] -> None | s :: _ -> Some s
 

@@ -123,3 +123,59 @@ let mix ?(seed = 11) ~(requests : int) () : family list =
    single ulp. *)
 let identical (a : Tir.Tensor.t) (b : Tir.Tensor.t) : bool =
   Tir.Tensor.to_float_array a = Tir.Tensor.to_float_array b
+
+(* ------------------------------------------------------------------ *)
+(* Evolving-graph traffic (DESIGN.md §3i)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A tenant whose graph mutates between requests: each epoch applies one
+   seeded edge-delta batch to a live hyb ([Hyb.apply_delta] — O(Δ) patches
+   plus targeted bucket rebuilds), refreshes the pipeline cache's fact
+   snapshots, and re-derives the serving instance.  Unchanged bucket
+   shapes hit the compile cache, so the steady-state cost is the patch,
+   not a recompile.  [ev_reference] rebuilds the same epoch cold (pure
+   [Csr.apply_delta] chain + cold kernels) for bit-identity validation. *)
+type evolving = {
+  ev_name : string;
+  ev_nodes : int;
+  ev_edits : int; (* edits per epoch *)
+  ev_step : unit -> instance * Hyb.delta_info; (* advance one epoch *)
+  ev_reference : unit -> instance; (* cold rebuild of the current epoch *)
+  ev_generation : unit -> int; (* live hyb generation (bucket rebuilds) *)
+}
+
+let evolving ?(seed = 17) ?(nodes = 160) ?(edges = 1300) ?(edits = 24)
+    ?(slack = 0) () : evolving =
+  let feat = 16 in
+  let g =
+    Workloads.Graphs.generate ~seed (graph_spec "serve_evolve" nodes edges)
+  in
+  let x = Dense.random ~seed:(seed + 1) g.Csr.cols feat in
+  let lv = Hyb.live ~slack ~cap_slack:(4 * edits) ~c:2 ~k:2 g in
+  let cold = ref g in
+  let epoch = ref 0 in
+  let instance_of (c : Kernels.Spmm.compiled) =
+    { ti_tenant = "tenant-evolve";
+      ti_steps = [ (c.Kernels.Spmm.fn, c.Kernels.Spmm.bindings) ];
+      ti_out = c.Kernels.Spmm.out }
+  in
+  { ev_name = "spmm-evolve";
+    ev_nodes = nodes;
+    ev_edits = edits;
+    ev_step =
+      (fun () ->
+        incr epoch;
+        let batch =
+          Delta.random ~seed:(seed + (31 * !epoch)) ~rows:g.Csr.rows
+            ~cols:g.Csr.cols ~edits ()
+        in
+        let info = Hyb.apply_delta lv batch in
+        cold := Csr.apply_delta !cold batch;
+        let iptr, idx, v = Csr.live_tensors (Hyb.live_source lv) in
+        Pipeline.refresh_fact_snapshots [ iptr; idx; v ];
+        (instance_of (Kernels.Spmm.sparsetir_hyb_live lv x ~feat), info));
+    ev_reference =
+      (fun () ->
+        let c, _ = Kernels.Spmm.sparsetir_hyb ~c:2 ~k:2 !cold x ~feat in
+        instance_of c);
+    ev_generation = (fun () -> Hyb.live_generation lv) }

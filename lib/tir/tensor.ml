@@ -103,16 +103,11 @@ let to_float_array (t : t) : float array =
 
 let to_int_array (t : t) : int array = Array.init (numel t) (fun i -> get_i t i)
 
-let copy (t : t) : t =
-  let data =
-    match t.data with
-    | F a -> F (Array.copy a)
-    | I a -> I (Array.copy a)
-    | B a -> B (Array.copy a)
-  in
-  (* fresh identity: the copy's storage diverges from the original's, so it
-     must not share the original's fact-memo key *)
-  { t with shape = Array.copy t.shape; data; id = fresh_id (); version = 0 }
+(* One version bump covering a whole in-place patch batch: the delta path
+   writes the underlying arrays directly (not through [set_f]/[set_i], which
+   would bump once per element) and stamps the tensor exactly once, so the
+   facts/replica machinery observes one invalidation per batch. *)
+let touch (t : t) : unit = t.version <- t.version + 1
 
 (* Copy the flat range [pos, pos+len) of [src] into the same positions of
    [dst].  Both tensors must use the same storage representation (the
@@ -160,24 +155,60 @@ module Facts = struct
     mutable e_ver : int; (* tensor version the entry is valid for *)
     mutable e_declared : fact list;
     mutable e_scanned : (fact * bool) list;
+    mutable e_tick : int; (* recency stamp, for oldest-first eviction *)
   }
 
-  (* Keyed on tensor id.  Bounded: on overflow the whole table resets (facts
-     re-establish by declaration or scan), which also sheds entries for dead
-     tensors.  The serving layer consults facts from concurrent driver
-     domains (each request resolves its gather witnesses at dispatch time),
-     so the table is guarded by a mutex; every public entry point takes it
-     once and the internal helpers assume it is held. *)
+  (* Keyed on tensor id.  Bounded: crossing [max_entries] evicts the
+     least-recently-touched entries, preferring scanned-only entries over
+     ones holding declared (trusted) facts — a fact a format constructor
+     asserted for a live tensor survives churn from short-lived scratch
+     tensors.  (Resetting the whole table here would silently turn
+     provably-parallel loops into serial fallbacks whenever an unrelated
+     allocation crossed the bound.)  The serving layer consults facts from
+     concurrent driver domains (each request resolves its gather witnesses
+     at dispatch time), so the table is guarded by a mutex; every public
+     entry point takes it once and the internal helpers assume it is
+     held. *)
   let table : (int, entry) Hashtbl.t = Hashtbl.create 64
   let lock = Mutex.create ()
   let locked f = Mutex.protect lock f
   let max_entries = 4096
   let scans = ref 0
+  let span_checks = ref 0
+  let clock = ref 0
+  let evicted = ref 0
 
   let scan_count () = locked (fun () -> !scans)
+  let span_check_count () = locked (fun () -> !span_checks)
+  let eviction_count () = locked (fun () -> !evicted)
+  let capacity () = max_entries
+  let size () = locked (fun () -> Hashtbl.length table)
   let clear () = locked (fun () -> Hashtbl.reset table)
 
+  (* Shed the oldest quarter of the table.  Entries without declared facts
+     (pure scan memos — re-establishable by a rescan) go first, oldest
+     first; declared entries are evicted only if the target is still not
+     met.  Linear scan + sort: eviction is rare (once per [max_entries/4]
+     distinct new tensors) and already amortized against thousands of table
+     insertions. *)
+  let evict_oldest () =
+    let target = max_entries - (max_entries / 4) in
+    let entries = Hashtbl.fold (fun id e acc -> (id, e) :: acc) table [] in
+    let score (_, e) = ((if e.e_declared = [] then 0 else 1), e.e_tick) in
+    let sorted =
+      List.sort (fun a b -> compare (score a) (score b)) entries
+    in
+    let excess = List.length entries - target in
+    List.iteri
+      (fun i (id, _) ->
+        if i < excess then begin
+          Hashtbl.remove table id;
+          incr evicted
+        end)
+      sorted
+
   let entry_for (t : t) : entry =
+    incr clock;
     match Hashtbl.find_opt table t.id with
     | Some e ->
         if e.e_ver <> t.version then begin
@@ -187,10 +218,14 @@ module Facts = struct
           e.e_declared <- [];
           e.e_scanned <- []
         end;
+        e.e_tick <- !clock;
         e
     | None ->
-        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-        let e = { e_ver = t.version; e_declared = []; e_scanned = [] } in
+        if Hashtbl.length table >= max_entries then evict_oldest ();
+        let e =
+          { e_ver = t.version; e_declared = []; e_scanned = [];
+            e_tick = !clock }
+        in
         Hashtbl.add table t.id e;
         e
 
@@ -274,4 +309,68 @@ module Facts = struct
     | F _ | B _ -> ()
 
   let redeclare (t : t) (fs : fact list) : unit = List.iter (declare t) fs
+
+  (* Re-establish [fs] for [t]'s current version after an in-place patch
+     confined to flat positions [lo, hi): each ordering fact is verified on
+     the touched span plus one boundary pair on each side — O(hi - lo), not
+     O(n) — and re-declared on success.  Sound only under the caller's
+     contract that the fact held for the pre-patch contents and that no
+     position outside [lo, hi) changed.  [Injective] has no local witness
+     (a patched value can collide with any untouched one), so it is
+     re-established only when implied by a re-verified [Monotone_inc].
+     Span verifications are counted separately from [scan_count]
+     ([span_check_count]), so tests can assert O(n) dispatch-time rescans
+     stayed flat while still observing the O(delta) re-verification
+     work. *)
+  let redeclare_span (t : t) (fs : fact list) ~(lo : int) ~(hi : int) :
+      fact list =
+    match t.data with
+    | I a ->
+        let n = Array.length a in
+        (* adjacent pairs (i-1, i) with either index inside [lo, hi) *)
+        let first = max 1 lo and last = min (n - 1) hi in
+        let pair_ok strict =
+          locked (fun () -> incr span_checks);
+          let ok = ref true in
+          for i = first to last do
+            if (if strict then a.(i) <= a.(i - 1) else a.(i) < a.(i - 1))
+            then ok := false
+          done;
+          !ok
+        in
+        let established =
+          List.filter
+            (fun f ->
+              match f with
+              | Monotone_inc -> pair_ok true
+              | Monotone_nd -> pair_ok false
+              | Injective -> List.mem Monotone_inc fs && pair_ok true)
+            fs
+        in
+        List.iter (declare t) established;
+        established
+    | F _ | B _ -> []
 end
+
+let copy ?(keep_facts = false) (t : t) : t =
+  let data =
+    match t.data with
+    | F a -> F (Array.copy a)
+    | I a -> I (Array.copy a)
+    | B a -> B (Array.copy a)
+  in
+  (* fresh identity: the copy's storage diverges from the original's, so it
+     must not share the original's fact-memo key *)
+  let c =
+    { t with shape = Array.copy t.shape; data; id = fresh_id (); version = 0 }
+  in
+  (* [keep_facts] carries the original's *declared* facts to the fresh id:
+     the copy holds bit-identical contents, so every construction-time
+     assertion still holds and the copy skips the O(n) dispatch-time rescan
+     a bare copy of a declared-monotone indptr would pay.  Scanned facts
+     are not carried — they were never asserted by a constructor. *)
+  (if keep_facts then
+     match Facts.declared t with
+     | [] -> ()
+     | fs -> List.iter (Facts.declare c) fs);
+  c

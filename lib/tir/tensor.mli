@@ -37,7 +37,19 @@ val set_i : t -> int -> int -> unit
 val fill_f : t -> float -> unit
 val to_float_array : t -> float array
 val to_int_array : t -> int array
-val copy : t -> t
+
+val copy : ?keep_facts:bool -> t -> t
+(** Deep copy with a fresh identity (version 0).  [keep_facts] (default
+    off) re-declares the original's declared facts on the copy — sound
+    because the copy's contents are bit-identical at creation; scanned
+    facts are not carried.  The delta path uses it when freezing a live
+    matrix into an immutable snapshot. *)
+
+val touch : t -> unit
+(** Bump the mutation version once.  The delta path patches the underlying
+    arrays directly and calls [touch] exactly once per edit batch, so the
+    facts/replica machinery observes a single invalidation instead of one
+    per element. *)
 
 val blit : src:t -> dst:t -> pos:int -> len:int -> unit
 (** Copy the flat range [[pos, pos+len)] of [src] into the same positions of
@@ -79,6 +91,18 @@ module Facts : sig
       tensor's version is unchanged since the snapshot — the pipeline cache
       records the version alongside and checks it before restoring. *)
 
+  val redeclare_span : t -> fact list -> lo:int -> hi:int -> fact list
+  (** Re-establish facts for the tensor's *current* version after an
+      in-place patch confined to flat positions [[lo, hi)]: each ordering
+      fact in the list is verified over the touched span plus one boundary
+      pair on each side — O(hi - lo), not O(n) — and re-declared on
+      success.  Returns the facts actually re-established.  Sound only
+      under the caller's contract that the facts held before the patch and
+      nothing outside the span changed.  [Injective] has no local witness
+      and is re-established only when implied by a re-verified
+      [Monotone_inc].  Counts against {!span_check_count}, never
+      {!scan_count}. *)
+
   val holds : t -> fact -> bool
   (** Is [fact] known (declared, or implied by a declared/scanned stronger
       fact), or establishable by a scan?  Scans memoize their verdict —
@@ -96,6 +120,21 @@ module Facts : sig
   val scan_count : unit -> int
   (** O(n) scans run so far (memo misses); tests use this to observe
       invalidation. *)
+
+  val span_check_count : unit -> int
+  (** O(span) re-verifications run by {!redeclare_span}; kept separate from
+      {!scan_count} so the delta path's bounded work stays observable. *)
+
+  val eviction_count : unit -> int
+  (** Entries evicted at the table's size bound.  Eviction is
+      oldest-first and prefers scanned-only entries, so declared facts on
+      live tensors survive churn from short-lived scratch tensors. *)
+
+  val capacity : unit -> int
+  (** The table's entry bound ([max_entries]). *)
+
+  val size : unit -> int
+  (** Entries currently in the table. *)
 
   val clear : unit -> unit
   (** Drop every recorded fact (declared and scanned). *)

@@ -170,6 +170,31 @@ let test_steady_state_warm_hits () =
       Alcotest.(check bool) "steady window reuses batched artifacts" true
         (st.Serve.s_warm_ratio > 0.0))
 
+(* ---------------- evolving-graph traffic ---------------- *)
+
+(* A tenant whose graph mutates between requests: each epoch's served
+   output must be bit-identical to a cold rebuild of the same epoch, and
+   epochs whose deltas rebuilt no bucket must not bump the live
+   generation (the serving loop kept its bindings). *)
+let test_evolving_traffic () =
+  with_domains 2 (fun () ->
+      let ev = Serve.Traffic.evolving ~seed:23 ~edits:16 () in
+      let s = Serve.create () in
+      for _epoch = 1 to 4 do
+        let inst, _info = ev.Serve.Traffic.ev_step () in
+        ignore
+          (Serve.submit s ~tenant:inst.Serve.Traffic.ti_tenant
+             inst.Serve.Traffic.ti_steps);
+        Serve.drain s;
+        let refr = ev.Serve.Traffic.ev_reference () in
+        Gpusim.execute_many refr.Serve.Traffic.ti_steps;
+        Alcotest.(check bool) "served epoch = cold rebuild" true
+          (Serve.Traffic.identical inst.Serve.Traffic.ti_out
+             refr.Serve.Traffic.ti_out)
+      done;
+      let st = Serve.stats s in
+      Alcotest.(check int) "every epoch served" 4 st.Serve.s_requests)
+
 let () =
   Alcotest.run "serve"
     [ ( "batching",
@@ -184,4 +209,7 @@ let () =
         [ QCheck_alcotest.to_alcotest qcheck_serve_sequential;
           QCheck_alcotest.to_alcotest qcheck_serve_under_eviction;
           Alcotest.test_case "steady-state warm hits" `Quick
-            test_steady_state_warm_hits ] ) ]
+            test_steady_state_warm_hits ] );
+      ( "evolving",
+        [ Alcotest.test_case "evolving tenant = cold rebuild" `Quick
+            test_evolving_traffic ] ) ]

@@ -27,6 +27,11 @@
      alongside.  Throughput needs real cores for the leased driver domains,
      so like the parallel kind the gate is skipped with a caveat on hosts
      exposing fewer than two cores.
+   - BENCH_mutate.json: the compared metric is each delta leg's
+     delta-vs-cold-rebuild speedup (the "mutate" rows).  Both legs run in
+     the same process on the same batch stream, so the ratio is
+     host-stable and gated unconditionally; the "cold" and "steady"
+     absolute-wall rows are informational and ignored.
 
    Usage: bench_trend BASELINE.json FRESH.json [--threshold=0.30]
 
@@ -76,7 +81,8 @@ let field_float (line : string) (key : string) : float option =
 
 (* One parsed bench file: kernel -> the measured metric of its row (engine
    files: the "compiled" rows' speedup-vs-interp; parallel files: the
-   "parallel" rows' speedup-vs-serial; serve files: the phase rows' req/s),
+   "parallel" rows' speedup-vs-serial; serve files: the phase rows' req/s;
+   mutate files: the "mutate" rows' delta-vs-cold-rebuild speedup),
    plus the file's kind and geomean.  Side channels: serve files carry each
    phase's p99 latency, formats files the "descriptor" rows' absolute
    construction wall time (ns per cold build — host-dependent, printed but
@@ -116,7 +122,7 @@ let load (path : string) : bench_file =
          | None -> field_str line "mode"
        in
        match (field_str line "kernel", tagged) with
-       | Some k, Some ("compiled" | "parallel" | "descriptor") ->
+       | Some k, Some ("compiled" | "parallel" | "descriptor" | "mutate") ->
            (match (tagged, field_float line "ns_per_iter") with
            | Some "descriptor", Some w -> walls := (k, w) :: !walls
            | _ -> ());
