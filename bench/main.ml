@@ -33,6 +33,7 @@ let experiments ~full ~domains : (string * (unit -> unit)) list =
     ("formats", fun () -> Formats_bench.run ~full ());
     ("parallel", fun () -> Parallel_bench.run ~full ~domains ());
     ("serve", fun () -> Serve_bench.run ~full ());
+    ("tuner", fun () -> Tuner_bench.run ~full ());
     ("mutate", fun () -> Mutate_bench.run ~full ()) ]
 
 (* --------------- Bechamel micro-benchmarks ------------------- *)

@@ -149,6 +149,42 @@ let write_mutate_json ~(path : string) ~(delta_pct : float)
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* Tuner-bench output (DESIGN.md §3j): estimator-guided search vs exhaustive
+   measurement over each kernel family's schedule grid.  Rows are
+   (family, full_wall_ns, guided_wall_ns, measured, grid_size, regret); the
+   row's "speedup" is full-vs-guided search wall — both legs run in the same
+   process with the compile cache reset between them, so the ratio is
+   host-stable and the trend gate applies unconditionally.  "regret" is the
+   guided winner's relative slowdown against the exhaustive winner
+   (0 = same schedule found) and is gated absolutely, not against the
+   baseline.  [warm_measured] is the measurement count of a repeat tuning
+   run over a structurally-similar matrix served from the schedule cache —
+   it must be 0. *)
+let write_tuner_json ~(path : string) ~(warm_hits : int)
+    ~(warm_measured : int) ~(geomean_speedup : float)
+    (rows : (string * float * float * int * int * float) list) : unit =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"tuner\",\n";
+  Printf.fprintf oc "  \"warm_hits\": %d,\n" warm_hits;
+  Printf.fprintf oc "  \"warm_measured\": %d,\n" warm_measured;
+  Printf.fprintf oc "  \"geomean_speedup\": %.4f,\n" geomean_speedup;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (family, full_ns, guided_ns, measured, grid, regret) ->
+      Printf.fprintf oc
+        "    {\"kernel\": %S, \"mode\": \"tuner\", \"ns_per_iter\": %.1f, \
+         \"full_ns\": %.1f, \"speedup\": %.4f, \"measured\": %d, \
+         \"grid\": %d, \"regret\": %.4f}%s\n"
+        family guided_ns full_ns
+        (full_ns /. guided_ns)
+        measured grid regret
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let write_parallel_json ~(path : string) ~(domains : int)
     ~(stolen_chunks : int) ~(geomean_speedup : float)
     (rows : (string * string * float * float) list) : unit =

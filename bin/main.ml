@@ -166,6 +166,57 @@ let serve requests max_batch deadline_ms width inflight domains =
   print_endline (Serve.stats_to_string (Serve.stats s));
   print_string (Pipeline.report ())
 
+(* tune: search a kernel family's candidate grid — exhaustively or guided
+   by the analytical estimator — and print the ranked trials, the winner
+   and the structure-keyed cache interaction. *)
+let tune graph feat family gpu guided topk rho =
+  let a = Workloads.Graphs.by_name graph in
+  let spec = spec_of gpu in
+  let x = Dense.random ~seed:11 a.Csr.cols feat in
+  let st = Formats.Stats.of_csr a in
+  Printf.printf "structure: %s\n  key: %s\n" (Formats.Stats.to_string st)
+    (Formats.Stats.key st);
+  let search cands =
+    if guided then Tuner.search_guided ?topk ?rho cands else Tuner.search cands
+  in
+  let print_result (type a) (to_ints : a -> int list) (r : a Tuner.result) =
+    List.iter
+      (fun (label, t) ->
+        if t = infinity then Printf.printf "  %-24s FAILED\n" label
+        else Printf.printf "  %-24s %.4f ms\n" label t)
+      (List.sort (fun (_, t1) (_, t2) -> compare t1 t2) r.Tuner.trials);
+    Printf.printf
+      "winner: %s (%.4f ms) — measured %d, skipped %d, failed %d, compile \
+       cache %d hits / %d misses\n"
+      r.Tuner.best_label r.Tuner.best.Gpusim.p_time_ms r.Tuner.measured
+      r.Tuner.skipped r.Tuner.failed r.Tuner.cache_hits r.Tuner.cache_misses;
+    Tuner.Cache.store ~family ~feat (Formats.Stats.key st)
+      ~label:r.Tuner.best_label
+      ~config:(to_ints r.Tuner.best_config);
+    Printf.printf "schedule cache: stored under family %s (size %d)\n" family
+      (Tuner.Cache.size ())
+  in
+  (match family with
+  | "no-hyb" | "no_hyb" ->
+      print_result
+        (fun (g, v) -> [ g; v ])
+        (search (Tuner.spmm_no_hyb_candidates spec a x ~feat))
+  | "sell" ->
+      print_result
+        (fun (s, g) -> [ s; g ])
+        (search (Tuner.spmm_sell_candidates spec a x ~feat))
+  | "sddmm" ->
+      let xs = Dense.random ~seed:5 a.Csr.rows feat in
+      let ys = Dense.random ~seed:6 feat a.Csr.cols in
+      print_result
+        (fun (e, g, v) -> [ e; g; v ])
+        (search (Tuner.sddmm_candidates spec a xs ys ~feat))
+  | _ ->
+      print_result
+        (fun c -> [ c ])
+        (search (Tuner.spmm_hyb_candidates spec a x ~feat)));
+  print_string (Pipeline.report ())
+
 let requests_arg =
   let doc = "Number of requests to push through the serving loop." in
   Arg.(value & opt int 32 & info [ "requests" ] ~docv:"N" ~doc)
@@ -194,6 +245,25 @@ let system_arg =
              hyb (SpMM) / dgl, dgsparse, taco, sparsetir (SDDMM)." in
   Arg.(value & opt string "hyb" & info [ "system" ] ~docv:"SYS" ~doc)
 
+let family_arg =
+  let doc = "Kernel family to tune: hyb, no-hyb, sell or sddmm." in
+  Arg.(value & opt string "hyb" & info [ "family" ] ~docv:"FAM" ~doc)
+
+let guided_arg =
+  let doc = "Rank candidates with the analytical cost estimator and measure \
+             only the top fraction (see $(b,--rho) / $(b,--topk)); off means \
+             exhaustive measurement." in
+  Arg.(value & flag & info [ "guided" ] ~doc)
+
+let topk_arg =
+  let doc = "Measure exactly K estimator-ranked candidates (overrides \
+             $(b,--rho))." in
+  Arg.(value & opt (some int) None & info [ "topk" ] ~docv:"K" ~doc)
+
+let rho_arg =
+  let doc = "Fraction of the candidate grid to measure under guided search." in
+  Arg.(value & opt (some float) None & info [ "rho" ] ~docv:"RHO" ~doc)
+
 let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Print the IR of an operator at a pipeline stage")
     Term.(const show $ graph_arg $ feat_arg $ op_arg $ stage_arg)
@@ -214,8 +284,21 @@ let serve_cmd =
       const serve $ requests_arg $ max_batch_arg $ deadline_arg $ width_arg
       $ inflight_arg $ domains_arg)
 
+let tune_cmd =
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search a kernel family's schedule grid on a simulated GPU, \
+          exhaustively or guided by the analytical cost estimator, and print \
+          the ranked trials plus the structure-keyed schedule-cache entry")
+    Term.(
+      const tune $ graph_arg $ feat_arg $ family_arg $ gpu_arg $ guided_arg
+      $ topk_arg $ rho_arg)
+
 let main_cmd =
   let doc = "SparseTIR (OCaml reproduction) command-line tools" in
-  Cmd.group (Cmd.info "sparsetir-cli" ~doc) [ show_cmd; run_cmd; serve_cmd ]
+  Cmd.group
+    (Cmd.info "sparsetir-cli" ~doc)
+    [ show_cmd; run_cmd; serve_cmd; tune_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

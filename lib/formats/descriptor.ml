@@ -481,18 +481,27 @@ let descend (d : t) (extents : int array)
                 !parents
           | Levels.Fit s ->
               let step = if s = max_int then max 1 np else s in
-              let p = ref 0 in
-              while !p < np do
-                let hi = min np (!p + step) in
-                let w = ref 1 in
-                for q = !p to hi - 1 do
-                  w := max !w ((!parents).(q).hi - (!parents).(q).lo)
-                done;
-                for q = !p to hi - 1 do
-                  widths.(q) <- !w
-                done;
-                p := hi
-              done);
+              let nslices = (np + step - 1) / step in
+              let parents_a = !parents in
+              let slice_widths sl0 sl1 =
+                for sl = sl0 to sl1 - 1 do
+                  let p0 = sl * step in
+                  let hi = min np (p0 + step) in
+                  let w = ref 1 in
+                  for q = p0 to hi - 1 do
+                    w := max !w (parents_a.(q).hi - parents_a.(q).lo)
+                  done;
+                  for q = p0 to hi - 1 do
+                    widths.(q) <- !w
+                  done
+                done
+              in
+              (* slices are independent: fan the per-slice max/fill out over
+                 the pool (SELL has many short slices; ELL is one slice
+                 spanning every parent, where the serial max scan is already
+                 O(np) and not worth forking for) *)
+              if nslices > 1 then par_chunks nslices slice_widths
+              else slice_widths 0 nslices);
           let pos = Array.make (np + 1) 0 in
           for p = 0 to np - 1 do
             pos.(p + 1) <- pos.(p) + widths.(p)
@@ -500,14 +509,19 @@ let descend (d : t) (extents : int array)
           let total = pos.(np) in
           let crd = Array.make total pad in
           let children = Array.make total empty_group in
-          Array.iteri
-            (fun p g ->
-              let base = pos.(p) in
-              for q = 0 to g.hi - g.lo - 1 do
-                crd.(base + q) <- cdl (g.lo + q);
-                children.(base + q) <- { lo = g.lo + q; hi = g.lo + q + 1 }
-              done)
-            !parents;
+          let parents_a = !parents in
+          (* parents own disjoint slot ranges [pos p, pos p + len): the fill
+             parallelizes with no overlap — the single-threaded version of
+             this leg was the worst construction ratio in BENCH_formats *)
+          par_chunks np (fun p0 p1 ->
+              for p = p0 to p1 - 1 do
+                let g = parents_a.(p) in
+                let base = pos.(p) in
+                for q = 0 to g.hi - g.lo - 1 do
+                  crd.(base + q) <- cdl (g.lo + q);
+                  children.(base + q) <- { lo = g.lo + q; hi = g.lo + q + 1 }
+                done
+              done);
           let gwidth =
             if variable then 0
             else if np > 0 then widths.(0)
@@ -604,13 +618,19 @@ let descend (d : t) (extents : int array)
     end
     else begin
       let leaves = !parents in
-      let vals = Array.make (Array.length leaves) 0.0 in
-      Array.iteri
-        (fun i g ->
-          if g.hi - g.lo > 1 then
-            invalid_arg "Descriptor.build: levels do not discriminate entries";
-          if g.hi > g.lo then vals.(i) <- snd entries.(g.lo))
-        leaves;
+      let nl = Array.length leaves in
+      let vals = Array.make nl 0.0 in
+      (* one slot per leaf; padded formats (ELL) have far more leaves than
+         entries, so this leg scales with slots and is worth fanning out *)
+      let overfull = Atomic.make false in
+      par_chunks nl (fun i0 i1 ->
+          for i = i0 to i1 - 1 do
+            let g = leaves.(i) in
+            if g.hi - g.lo > 1 then Atomic.set overfull true
+            else if g.hi > g.lo then vals.(i) <- snd entries.(g.lo)
+          done);
+      if Atomic.get overfull then
+        invalid_arg "Descriptor.build: levels do not discriminate entries";
       vals
     end
   in

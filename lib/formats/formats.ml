@@ -18,3 +18,4 @@ module Descriptor = Descriptor
 module Sell = Sell
 module Banded = Banded
 module Delta = Delta
+module Stats = Stats

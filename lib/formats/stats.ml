@@ -1,0 +1,169 @@
+(* Sparsity-structure statistics (DESIGN.md §3j): a compact, row-permutation
+   invariant signature of a matrix's sparsity structure, and a quantized key
+   over it.
+
+   Every field is computed per row and aggregated, so two matrices that
+   differ only by a row permutation produce identical signatures — the
+   property that lets a tuned-schedule cache keyed on the quantized
+   signature amortize one tuning run across a fleet of structurally-similar
+   inputs (ROADMAP: schedules keyed on structure statistics, not exact
+   matrices).  Sensitivity goes the other way: a change in row-length skew,
+   column clustering (block density) or row spread (bandwidth) moves the
+   signature, because those are exactly the properties the analytical cost
+   model prices (padding waste, cache-line traffic, load imbalance). *)
+
+type t = {
+  rows : int;
+  cols : int;
+  nnz : int;
+  empty_rows : int;
+  hist : int array;
+      (* hist.(i) = rows of length l with ceil(log2 l) = i (l >= 1);
+         hist.(0) counts rows of length exactly 1 *)
+  mean : float;   (* nnz per row *)
+  cv : float;     (* stddev of row length / mean *)
+  skew : float;   (* third standardized moment of row lengths *)
+  max_len : int;
+  q25 : int;      (* row-length quantiles *)
+  q50 : int;
+  q75 : int;
+  q90 : int;
+  block_density : float;
+      (* nnz / (blk * distinct (row, col/blk) pairs): 1.0 = perfectly
+         clustered columns, 1/blk = fully scattered *)
+  bandwidth : float;
+      (* mean (max_col - min_col + 1) over non-empty rows, / cols *)
+}
+
+let block = 4 (* column-block width of the block-density probe *)
+
+let log2_bucket (l : int) : int =
+  (* ceil(log2 l) for l >= 1 *)
+  let rec go w i = if l <= w then i else go (w * 2) (i + 1) in
+  if l <= 1 then 0 else go 1 0
+
+let of_csr (m : Csr.t) : t =
+  let rows = m.Csr.rows and cols = m.Csr.cols in
+  let nnz = Csr.nnz m in
+  let lens = Array.init rows (fun i -> Csr.row_len m i) in
+  let empty_rows = Array.fold_left (fun a l -> if l = 0 then a + 1 else a) 0 lens in
+  let hist = Array.make 32 0 in
+  let max_len = ref 0 in
+  Array.iter
+    (fun l ->
+      if l > 0 then begin
+        let b = min 31 (log2_bucket l) in
+        hist.(b) <- hist.(b) + 1;
+        if l > !max_len then max_len := l
+      end)
+    lens;
+  let fr = float_of_int (max 1 rows) in
+  let mean = float_of_int nnz /. fr in
+  let var =
+    Array.fold_left
+      (fun a l ->
+        let d = float_of_int l -. mean in
+        a +. (d *. d))
+      0.0 lens
+    /. fr
+  in
+  let sigma = sqrt var in
+  let cv = if mean <= 0.0 then 0.0 else sigma /. mean in
+  let skew =
+    if sigma <= 1e-12 then 0.0
+    else
+      Array.fold_left
+        (fun a l ->
+          let d = (float_of_int l -. mean) /. sigma in
+          a +. (d *. d *. d))
+        0.0 lens
+      /. fr
+  in
+  let sorted = Array.copy lens in
+  Array.sort compare sorted;
+  let quant p =
+    if rows = 0 then 0
+    else sorted.(min (rows - 1) (int_of_float (p *. float_of_int rows)))
+  in
+  (* block density and bandwidth: one pass over the rows; within a row the
+     CSR invariant (columns ascending) makes distinct-block counting and
+     span extraction O(row length) *)
+  let blocks = ref 0 and span_sum = ref 0.0 and nonempty = ref 0 in
+  for i = 0 to rows - 1 do
+    let lo = m.Csr.indptr.(i) and hi = m.Csr.indptr.(i + 1) in
+    if hi > lo then begin
+      incr nonempty;
+      span_sum :=
+        !span_sum
+        +. float_of_int (m.Csr.indices.(hi - 1) - m.Csr.indices.(lo) + 1);
+      let last = ref (-1) in
+      for p = lo to hi - 1 do
+        let b = m.Csr.indices.(p) / block in
+        if b <> !last then begin
+          incr blocks;
+          last := b
+        end
+      done
+    end
+  done;
+  let block_density =
+    if !blocks = 0 then 0.0
+    else float_of_int nnz /. float_of_int (block * !blocks)
+  in
+  let bandwidth =
+    if !nonempty = 0 || cols = 0 then 0.0
+    else !span_sum /. float_of_int !nonempty /. float_of_int cols
+  in
+  { rows; cols; nnz; empty_rows; hist; mean; cv; skew;
+    max_len = !max_len;
+    q25 = quant 0.25; q50 = quant 0.50; q75 = quant 0.75; q90 = quant 0.90;
+    block_density; bandwidth }
+
+(* ------------------------------------------------------------------ *)
+(* Quantization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Buckets are deliberately coarse: two matrices drawn from the same
+   generator with different seeds land in the same bucket, while a change
+   of distribution shape (skew, clustering, spread) moves at least one
+   component.  Scale-like quantities quantize on a half-log2 grid,
+   bounded ratios on a 1/4 grid.  Cv and skew are scale-like, not bounded:
+   under a heavy-tailed degree distribution their sampling noise across
+   seeds is a multiplicative factor, so they join the log grid — a 1/4
+   grid would separate re-draws of the same generator. *)
+
+let qlog (x : float) : int =
+  if x <= 0.0 then -1
+  else int_of_float (Float.round (2.0 *. (log x /. log 2.0)))
+
+let qlog_int (n : int) : int = qlog (float_of_int n)
+
+let qquarter (x : float) : int = int_of_float (Float.round (4.0 *. x))
+
+let quantized (s : t) : int list =
+  [ qlog_int s.rows;
+    qlog_int s.cols;
+    qlog_int s.nnz;
+    qlog (s.mean +. 1.0);
+    qlog (s.cv +. 1.0);
+    qlog (s.skew +. 1.0);
+    qlog (float_of_int (s.q25 + 1));
+    qlog (float_of_int (s.q50 + 1));
+    qlog (float_of_int (s.q75 + 1));
+    qlog (float_of_int (s.q90 + 1));
+    qlog (float_of_int (s.max_len + 1));
+    qquarter s.block_density;
+    qquarter s.bandwidth;
+    qlog (float_of_int (s.empty_rows + 1)) ]
+
+type key = string
+
+let key (s : t) : key =
+  String.concat ":" (List.map string_of_int (quantized s))
+
+let to_string (s : t) : string =
+  Printf.sprintf
+    "%dx%d nnz=%d mean=%.2f cv=%.2f skew=%.2f max=%d q=[%d;%d;%d;%d] \
+     blk=%.2f bw=%.3f empty=%d"
+    s.rows s.cols s.nnz s.mean s.cv s.skew s.max_len s.q25 s.q50 s.q75 s.q90
+    s.block_density s.bandwidth s.empty_rows

@@ -9,6 +9,7 @@
 module Spec = Spec
 module Cache = Cache
 module Cost = Cost
+module Estimate = Estimate
 
 open Tir
 open Tir.Ir

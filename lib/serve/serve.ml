@@ -224,6 +224,8 @@ type t = {
   mutable max_queue : int;
   mutable warm_hits : int;
   mutable cold_misses : int;
+  mutable tuner_warm : int;  (** admissions served from the schedule cache *)
+  mutable tuner_cold : int;  (** admissions that ran a tuning search *)
   mutable t_first : float;  (** first submit; nan before *)
   mutable t_last : float;  (** last batch retirement *)
 }
@@ -269,6 +271,8 @@ let create ?(config = default_config) () : t =
     max_queue = 0;
     warm_hits = 0;
     cold_misses = 0;
+    tuner_warm = 0;
+    tuner_cold = 0;
     t_first = Float.nan;
     t_last = Float.nan;
   }
@@ -300,6 +304,53 @@ let submit (t : t) ~(tenant : string)
   rq
 
 let queue_depth (t : t) = List.length t.pending
+
+(* ------------------------------------------------------------------ *)
+(* Tuned admission (DESIGN.md §3j)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A tenant arriving with a new sparse matrix gets a tuned hyb schedule:
+   the matrix's quantized structure signature is looked up in the
+   structure-keyed schedule cache first, so a tenant structurally similar
+   to one already tuned admits with ZERO cost-model measurements; only a
+   genuinely new structure pays a (guided) search.  The winner is stored
+   back under the signature, warming the cache for the whole fleet. *)
+
+type admission = {
+  ad_request : request;
+  ad_config : int;  (* chosen hyb column-partition count c *)
+  ad_tuner_warm : bool;  (* admitted from the schedule cache *)
+  ad_measured : int;  (* cost-model measurements paid (0 when warm) *)
+}
+
+let tuner_family = "spmm_hyb"
+
+let submit_spmm_tuned ?(spec = Gpusim.Spec.v100) ?rho ?topk (t : t)
+    ~(tenant : string) (a : Formats.Csr.t) (x : Formats.Dense.t)
+    ~(feat : int) : admission =
+  let key = Formats.Stats.key (Formats.Stats.of_csr a) in
+  let c, warm, measured =
+    match Tuner.Cache.find ~family:tuner_family ~feat key with
+    | Some e ->
+        t.tuner_warm <- t.tuner_warm + 1;
+        ((match e.Tuner.Cache.ce_config with c :: _ -> c | [] -> 1), true, 0)
+    | None ->
+        t.tuner_cold <- t.tuner_cold + 1;
+        let r =
+          Tuner.search_guided ?rho ?topk
+            (Tuner.spmm_hyb_candidates spec a x ~feat)
+        in
+        Tuner.Cache.store ~family:tuner_family ~feat key
+          ~label:r.Tuner.best_label ~config:[ r.Tuner.best_config ];
+        (r.Tuner.best_config, false, r.Tuner.measured)
+  in
+  let compiled, _ = Kernels.Spmm.sparsetir_hyb ~c a x ~feat in
+  let rq =
+    submit t ~tenant
+      [ (compiled.Kernels.Spmm.fn, compiled.Kernels.Spmm.bindings) ]
+  in
+  { ad_request = rq; ad_config = c; ad_tuner_warm = warm;
+    ad_measured = measured }
 
 (* ------------------------------------------------------------------ *)
 (* Batched-artifact resolution (tenant-scoped cache)                   *)
@@ -522,6 +573,9 @@ type stats = {
   s_warm_hits : int;
   s_cold_misses : int;
   s_warm_ratio : float;  (** warm / (warm + cold) step lookups *)
+  s_tuner_warm : int;  (** admissions served from the schedule cache *)
+  s_tuner_cold : int;  (** admissions that ran a tuning search *)
+  s_tuner_warm_ratio : float;  (** warm / (warm + cold) tuned admissions *)
 }
 
 let percentile (sorted : float array) (p : float) : float =
@@ -556,14 +610,27 @@ let stats (t : t) : stats =
     s_warm_ratio =
       (if lookups = 0 then 0.0
        else float_of_int t.warm_hits /. float_of_int lookups);
+    s_tuner_warm = t.tuner_warm;
+    s_tuner_cold = t.tuner_cold;
+    s_tuner_warm_ratio =
+      (let a = t.tuner_warm + t.tuner_cold in
+       if a = 0 then 0.0 else float_of_int t.tuner_warm /. float_of_int a);
   }
 
 let stats_to_string (s : stats) : string =
+  let tuner =
+    if s.s_tuner_warm + s.s_tuner_cold = 0 then ""
+    else
+      Printf.sprintf ", tuner %d warm / %d cold (%.0f%% warm)" s.s_tuner_warm
+        s.s_tuner_cold
+        (100.0 *. s.s_tuner_warm_ratio)
+  in
   Printf.sprintf
     "%d req in %d batches (occupancy %.2f), %.1f req/s, p50 %.2fms p99 \
-     %.2fms, queue<=%d, artifacts %d warm / %d cold (%.0f%% warm)"
+     %.2fms, queue<=%d, artifacts %d warm / %d cold (%.0f%% warm)%s"
     s.s_requests s.s_batches s.s_occupancy s.s_req_per_s s.s_p50_ms s.s_p99_ms
     s.s_max_queue s.s_warm_hits s.s_cold_misses (100.0 *. s.s_warm_ratio)
+    tuner
 
 let reset_totals () =
   total_requests := 0;

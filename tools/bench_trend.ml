@@ -32,6 +32,13 @@
      the same process on the same batch stream, so the ratio is
      host-stable and gated unconditionally; the "cold" and "steady"
      absolute-wall rows are informational and ignored.
+   - BENCH_tuner.json: the compared metric is each kernel family's
+     full-vs-guided search wall ratio.  Both legs run in the same process
+     with the compile cache reset between them, so the ratio is host-stable
+     and gated unconditionally.  Each row additionally carries the guided
+     winner's regret against the exhaustive winner, gated ABSOLUTELY (fresh
+     regret above 10% fails regardless of the baseline — a cost model that
+     starts picking bad schedules is a bug even if it always did).
 
    Usage: bench_trend BASELINE.json FRESH.json [--threshold=0.30]
 
@@ -94,12 +101,14 @@ type bench_file = {
   bf_p99 : (string * float) list;
   bf_wall : (string * float) list;
   bf_stolen : float option;
+  bf_regret : (string * float) list;
 }
 
 let load (path : string) : bench_file =
   let ic = open_in path in
   let kind = ref "engine" and rows = ref [] and geomean = ref nan in
   let p99s = ref [] and walls = ref [] and stolen = ref None in
+  let regrets = ref [] in
   (try
      while true do
        let line = input_line ic in
@@ -122,9 +131,13 @@ let load (path : string) : bench_file =
          | None -> field_str line "mode"
        in
        match (field_str line "kernel", tagged) with
-       | Some k, Some ("compiled" | "parallel" | "descriptor" | "mutate") ->
+       | Some k, Some ("compiled" | "parallel" | "descriptor" | "mutate"
+                      | "tuner") ->
            (match (tagged, field_float line "ns_per_iter") with
-           | Some "descriptor", Some w -> walls := (k, w) :: !walls
+           | Some ("descriptor" | "tuner"), Some w -> walls := (k, w) :: !walls
+           | _ -> ());
+           (match (tagged, field_float line "regret") with
+           | Some "tuner", Some r -> regrets := (k, r) :: !regrets
            | _ -> ());
            (match field_float line "speedup" with
            | Some s -> rows := (k, s) :: !rows
@@ -141,7 +154,7 @@ let load (path : string) : bench_file =
    with End_of_file -> close_in ic);
   { bf_kind = !kind; bf_rows = List.rev !rows; bf_geo = !geomean;
     bf_p99 = List.rev !p99s; bf_wall = List.rev !walls;
-    bf_stolen = !stolen }
+    bf_stolen = !stolen; bf_regret = List.rev !regrets }
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -200,7 +213,9 @@ let () =
       in
       Printf.printf "%-20s %10s %10s %8s%s\n" "kernel" "baseline" "fresh"
         "ratio"
-        (if fresh_kind = "formats" then "  construction-wall (b->f)" else "");
+        (if fresh_kind = "formats" then "  construction-wall (b->f)"
+         else if fresh_kind = "tuner" then "  guided-wall (b->f)"
+         else "");
       let failures = ref 0 in
       List.iter
         (fun (k, b) ->
@@ -241,8 +256,20 @@ let () =
                       Printf.sprintf "  wall %s->%s" (fmt_ns wb) (fmt_ns wf)
                   | _ -> ""
                 in
-                Printf.printf "%-20s %10.2f %10.2f %7.2f%s%s%s\n" k b f ratio
-                  p99 wall
+                (* guided-search regret is gated absolutely: the 10% bound
+                   is the cost model's contract, not a trend relative to
+                   the baseline file *)
+                let regret =
+                  match List.assoc_opt k ff.bf_regret with
+                  | Some r ->
+                      let rbad = r > 0.10 in
+                      if rbad then incr failures;
+                      Printf.sprintf "  regret %.1f%%%s" (100.0 *. r)
+                        (if rbad then "  EXCEEDS 10% BOUND" else "")
+                  | None -> ""
+                in
+                Printf.printf "%-20s %10.2f %10.2f %7.2f%s%s%s%s\n" k b f
+                  ratio p99 wall regret
                   (if bad then "  REGRESSION" else "")
               end)
         base;
